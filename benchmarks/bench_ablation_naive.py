@@ -1,0 +1,74 @@
+"""E-ABL1 (ablation): the sweep's neighbor-pair discipline vs the
+naive all-pairs baseline.
+
+The design choice DESIGN.md calls out: the sweep computes intersection
+candidates only for *adjacent* curve pairs (Lemma 7 makes that sound),
+while the naive baseline enumerates all O(N^2) pairwise crossings and
+re-sorts per segment.  Both are exact; the benchmark locates who wins
+where and by how much as N grows.
+"""
+
+import pytest
+
+from repro.baselines.naive import naive_knn_answer
+from repro.bench.harness import format_table, time_callable
+from repro.core.api import evaluate_knn
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.workloads.generator import random_linear_mod
+
+from _support import publish_table
+
+INTERVAL = Interval(0.0, 20.0)
+SIZES = [8, 16, 32, 64, 128]
+
+
+def gd():
+    return SquaredEuclideanDistance([0.0, 0.0])
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_naive_baseline_single_size(benchmark, n):
+    db = random_linear_mod(n, seed=n, extent=60.0, speed=6.0)
+    answer = benchmark.pedantic(
+        lambda: naive_knn_answer(db, gd(), INTERVAL, 2), rounds=2, iterations=1
+    )
+    assert answer.objects
+    benchmark.extra_info["N"] = n
+
+
+def test_ablation_sweep_vs_naive(benchmark):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            db = random_linear_mod(n, seed=n, extent=60.0, speed=6.0)
+            sweep_time = time_callable(
+                lambda: evaluate_knn(db, [0.0, 0.0], INTERVAL, 2),
+                repeats=2,
+                warmup=0,
+            )
+            naive_time = time_callable(
+                lambda: naive_knn_answer(db, gd(), INTERVAL, 2),
+                repeats=2,
+                warmup=0,
+            )
+            agree = evaluate_knn(db, [0.0, 0.0], INTERVAL, 2).approx_equals(
+                naive_knn_answer(db, gd(), INTERVAL, 2), atol=1e-6
+            )
+            assert agree
+            rows.append((n, sweep_time, naive_time, naive_time / sweep_time))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish_table(
+        "ablation_sweep_vs_naive",
+        format_table(
+            ["N", "sweep (s)", "naive all-pairs (s)", "naive/sweep"],
+            rows,
+            title="E-ABL1: neighbor-pair sweep vs all-pairs baseline (2-NN)",
+        ),
+    )
+    # The sweep must win from modest sizes on, by a factor growing with N.
+    ratios = [r[3] for r in rows]
+    assert ratios[-1] > 2.0
+    assert ratios[-1] > ratios[0]

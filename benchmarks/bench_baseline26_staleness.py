@@ -1,0 +1,77 @@
+"""E-B26: the Song-Roussopoulos [26] periodic re-search baseline.
+
+Section 5 argues the range re-search approach "gives a correct query
+result only at the time of search following the update, and the result
+may soon become incorrect due to the movement of the query object" —
+the exchange at C in Figure 2 goes undetected.  The benchmark measures
+the baseline's *staleness* (fraction of time its held answer is wrong)
+as a function of the refresh period, next to the sweep, which is exact
+at every instant by construction.
+"""
+
+import pytest
+
+from repro.baselines.periodic_knn import PeriodicKNNBaseline, staleness
+from repro.bench.harness import format_table, time_callable
+from repro.core.api import evaluate_knn
+from repro.geometry.intervals import Interval
+from repro.trajectory.builder import from_waypoints
+from repro.workloads.generator import random_linear_mod
+
+from _support import publish_table
+
+INTERVAL = Interval(0.0, 30.0)
+PERIODS = [10.0, 5.0, 2.0, 1.0, 0.25]
+
+
+def workload():
+    db = random_linear_mod(20, seed=26, extent=40.0, speed=7.0)
+    query = from_waypoints([(0, [-20.0, -10.0]), (30, [20.0, 10.0])])
+    return db, query
+
+
+def test_sweep_exact_reference(benchmark):
+    db, query = workload()
+    answer = benchmark(lambda: evaluate_knn(db, query, INTERVAL, 2))
+    assert answer.objects
+
+
+@pytest.mark.parametrize("period", [5.0, 0.25])
+def test_periodic_baseline_single_period(benchmark, period):
+    db, query = workload()
+    baseline = PeriodicKNNBaseline(db, query, k=2, period=period)
+    answer = benchmark(lambda: baseline.snapshot_answer(INTERVAL))
+    assert answer.objects
+    benchmark.extra_info["period"] = period
+
+
+def test_baseline26_staleness_vs_period(benchmark):
+    def sweep():
+        db, query = workload()
+        exact = evaluate_knn(db, query, INTERVAL, 2)
+        rows = []
+        for period in PERIODS:
+            baseline = PeriodicKNNBaseline(db, query, k=2, period=period)
+            stale_answer = baseline.snapshot_answer(INTERVAL)
+            rate = staleness(stale_answer, exact, INTERVAL)
+            rows.append((period, baseline.refresh_count, rate))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish_table(
+        "baseline26_staleness",
+        format_table(
+            ["refresh period", "re-searches", "stale fraction"],
+            rows,
+            title=(
+                "E-B26: periodic re-search staleness (sweep = 0 by "
+                "construction)"
+            ),
+        ),
+    )
+    rates = [r[2] for r in rows]
+    # Coarse refresh is substantially wrong; the trend is monotone
+    # (modulo sampling noise) and never reaches exactness.
+    assert rates[0] > 0.15
+    assert rates[-1] < rates[0]
+    assert all(r > 0.0 for r in rates[:-1])

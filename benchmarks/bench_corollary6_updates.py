@@ -1,0 +1,98 @@
+"""E-C6: Corollary 6 — bounded support changes => O(log N) per update.
+
+Contrasts the two regimes the paper discusses:
+
+- **bounded m** (frequent periodic updates on a rank-stable workload):
+  per-update cost must be essentially independent of N (the log N term
+  hides under constant curve bookkeeping), and
+- **unbounded m** (sparse updates on a crossing-heavy workload): the
+  cost per update grows with the support changes that accumulate
+  between updates — Theorem 5's general O(m log N), not Corollary 6.
+
+The benchmark prints both columns; the assertion is on the *shape*:
+bounded-m cost stays flat while unbounded-m cost grows.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table, time_callable
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.sweep.engine import SweepEngine
+from repro.workloads.generator import UpdateStream, banded_mod, random_linear_mod
+
+from _support import publish_table
+
+SIZES = [64, 128, 256, 512]
+UPDATES = 50
+
+
+def bounded_m_cost(n):
+    db = banded_mod(n, seed=n, band_gap=5.0, jitter_speed=0.2)
+    engine = SweepEngine(
+        db, SquaredEuclideanDistance([0.0, 0.0]), Interval(0.0, 500.0)
+    )
+    db.subscribe(engine.on_update)
+    stream = UpdateStream(
+        db, seed=n + 1, mean_gap=0.25, periodic=True, speed=0.2,
+        weights=(0.0, 0.0, 1.0),
+    )
+    total = time_callable(lambda: stream.run(UPDATES), repeats=1, warmup=0)
+    return total / UPDATES, engine.stats.support_changes / UPDATES
+
+
+def unbounded_m_cost(n):
+    db = random_linear_mod(n, seed=n, extent=120.0, speed=6.0)
+    engine = SweepEngine(
+        db, SquaredEuclideanDistance([0.0, 0.0]), Interval(0.0, 500.0)
+    )
+    db.subscribe(engine.on_update)
+    stream = UpdateStream(
+        db, seed=n + 1, mean_gap=2.0, periodic=True, extent=120.0, speed=6.0,
+        weights=(0.0, 0.0, 1.0),
+    )
+    total = time_callable(lambda: stream.run(UPDATES), repeats=1, warmup=0)
+    return total / UPDATES, engine.stats.support_changes / UPDATES
+
+
+@pytest.mark.parametrize("n", [64, 1024])
+def test_bounded_regime_single_size(benchmark, n):
+    per_update, m = benchmark.pedantic(
+        lambda: bounded_m_cost(n), rounds=1, iterations=1
+    )
+    benchmark.extra_info["N"] = n
+    benchmark.extra_info["m_per_update"] = m
+    benchmark.extra_info["per_update_seconds"] = per_update
+
+
+def test_corollary6_shape(benchmark):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            bounded_t, bounded_m = bounded_m_cost(n)
+            free_t, free_m = unbounded_m_cost(n)
+            rows.append((n, bounded_m, bounded_t, free_m, free_t))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish_table(
+        "corollary6_updates",
+        format_table(
+            [
+                "N",
+                "bounded: m/upd",
+                "bounded: s/upd",
+                "crossing-heavy: m/upd",
+                "crossing-heavy: s/upd",
+            ],
+            rows,
+            title="E-C6: per-update cost, bounded vs unbounded support changes",
+        ),
+    )
+    size_ratio = SIZES[-1] / SIZES[0]
+    bounded_growth = rows[-1][2] / max(rows[0][2], 1e-12)
+    free_growth = rows[-1][4] / max(rows[0][4], 1e-12)
+    # Corollary 6: bounded-m per-update cost is (near) size-independent.
+    assert bounded_growth < size_ratio / 4
+    # The crossing-heavy regime grows markedly faster than the bounded one.
+    assert free_growth > 2 * bounded_growth

@@ -1,0 +1,73 @@
+"""E-FIG1: Figure 1 / Example 9 — the fastest-arrival g-distance.
+
+Validates Example 9's claim that ``t_D^2`` is exactly quadratic in the
+perpendicular configuration, benchmarks exact-curve construction
+against Chebyshev polynomialization of the general configuration, and
+records the approximation error footnote 1 tolerates.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.geometry.intervals import Interval
+from repro.gdist.approx import PolynomialApproximation
+from repro.gdist.arrival import ArrivalTimeGDistance, SquaredArrivalTimeGDistance
+from repro.trajectory.builder import linear_from
+from repro.workloads.paperfigures import figure1_configuration
+
+from _support import publish_table
+
+
+@pytest.fixture(scope="module")
+def config():
+    return figure1_configuration(initial_gap=4.0, climb_rate=1.0)
+
+
+def test_example9_quadratic_shape(benchmark, config):
+    """t_D^2 = c2 t^2 + c1 t + c0 exactly, and cheap to build."""
+    gdist = SquaredArrivalTimeGDistance(config.query)
+    curve = benchmark(gdist, config.object)
+    (_, poly) = curve.pieces[0]
+    assert poly.coeffs == pytest.approx(config.expected_coeffs)
+    assert curve.max_degree == 2
+    exact = ArrivalTimeGDistance(config.query)
+    rows = []
+    for t in (0.0, 1.0, 2.0, 3.0):
+        td = exact.evaluate_at(config.object, t)
+        rows.append([t, td * td, curve(t), abs(td * td - curve(t))])
+    publish_table(
+        "fig1_exact_quadratic",
+        format_table(
+            ["t", "exact t_D^2", "quadratic", "error"],
+            rows,
+            title="E-FIG1: Example 9's t_D^2 (perpendicular configuration)",
+        ),
+    )
+
+
+def test_general_configuration_approximation(benchmark):
+    """Chebyshev polynomialization: error decays with degree."""
+    query = linear_from(0.0, [0.0, 0.0], [1.2, 0.3])
+    car = linear_from(0.0, [30.0, -10.0], [-1.0, 1.4])
+    window = Interval(0.0, 20.0)
+    exact = ArrivalTimeGDistance(query)
+
+    def build():
+        return PolynomialApproximation(exact, window, degree=8, num_pieces=6)(car)
+
+    curve = benchmark(build)
+    assert curve.domain == window
+    rows = []
+    for degree in (3, 5, 8, 12):
+        approx = PolynomialApproximation(exact, window, degree=degree, num_pieces=6)
+        rows.append([degree, approx.max_error(car)])
+    publish_table(
+        "fig1_approx_error",
+        format_table(
+            ["degree", "max |approx - exact|"],
+            rows,
+            title="E-FIG1: polynomialization error vs degree (general config)",
+        ),
+    )
+    assert rows[-1][1] < rows[0][1]
+    assert rows[-1][1] < 1e-4

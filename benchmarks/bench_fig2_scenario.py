@@ -1,0 +1,58 @@
+"""E-FIG2: Figure 2 — updates cancel and re-route intersection events.
+
+Benchmarks the full two-object scenario (initialization, two ``chdir``
+updates, sweep to the horizon) and asserts the narrated discrete
+behaviour: the crossing predicted at D = 10 disappears at update A and
+the actual exchange happens at C = 8.4 after update B.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import ContinuousKNN
+from repro.sweep.support import SupportTracker
+from repro.workloads.paperfigures import figure2_scenario
+
+from _support import publish_table
+
+
+def run_figure2():
+    sc = figure2_scenario()
+    gd = SquaredEuclideanDistance(sc.query)
+    engine = SweepEngine(sc.db, gd, sc.interval)
+    view = ContinuousKNN(engine, 1)
+    tracker = SupportTracker()
+    engine.add_listener(tracker)
+    engine.subscribe_to(sc.db)
+    predicted_d = engine._queue.peek_time()
+    sc.db.apply(sc.update_a)
+    after_a = engine.queue_length
+    sc.db.apply(sc.update_b)
+    predicted_c = engine._queue.peek_time()
+    engine.run_to_end()
+    return sc, view.answer(), tracker, predicted_d, after_a, predicted_c
+
+
+def test_figure2_full_scenario(benchmark):
+    sc, answer, tracker, predicted_d, after_a, predicted_c = benchmark(run_figure2)
+    assert predicted_d == pytest.approx(sc.expected_d)
+    assert after_a == 0
+    assert predicted_c == pytest.approx(sc.expected_c)
+    assert tracker.swap_times() == pytest.approx([sc.expected_c])
+    assert answer.at(9.0) == {"o1"}
+    assert answer.at(8.0) == {"o2"}
+    publish_table(
+        "fig2_scenario",
+        format_table(
+            ["event", "time", "effect"],
+            [
+                ["init", 0.0, f"exchange predicted at D={predicted_d:g}"],
+                ["chdir o1 (A)", sc.update_a.time, "event at D cancelled"],
+                ["chdir o2 (B)", sc.update_b.time, f"new exchange at C={predicted_c:g}"],
+                ["swap", tracker.swap_times()[0], "o1 becomes nearest"],
+            ],
+            title="E-FIG2: Figure 2 event narrative",
+        ),
+    )

@@ -1,0 +1,76 @@
+"""E-FIG3: Figure 3 / Example 12 — the four-object 2-NN walkthrough.
+
+Benchmarks the scripted scenario and asserts the narrated trace:
+initial events at {8, 10, 31}, swaps at 8/10/17, the pending (o1, o3)
+crossing at 24 cancelled by the ``chdir`` at 20 and replaced by an
+earlier one at 22, and the queue never exceeding Lemma 9's bound.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.baselines.naive import naive_knn_answer
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import ContinuousKNN
+from repro.sweep.support import SupportTracker
+from repro.workloads.paperfigures import (
+    EXAMPLE12_EVENTS_BEFORE_UPDATE,
+    EXAMPLE12_NEW_CROSSING,
+    EXAMPLE12_PENDING_CROSSING,
+    EXAMPLE12_UPDATE_TIME,
+    example12_scenario,
+)
+
+from _support import publish_table
+
+
+def run_example12():
+    sc = example12_scenario()
+    gd = SquaredEuclideanDistance(sc.query)
+    engine = SweepEngine(sc.db, gd, sc.interval)
+    view = ContinuousKNN(engine, 2)
+    tracker = SupportTracker()
+    engine.add_listener(tracker)
+    initial_events = sorted(e.time for e in engine._queue._heap)
+    engine.advance_to(EXAMPLE12_UPDATE_TIME)
+    pending = sorted(e.time for e in engine._queue._heap)
+    sc.db.apply(sc.update)
+    engine.on_update(sc.update)
+    after_update = sorted(e.time for e in engine._queue._heap)
+    engine.run_to_end()
+    return sc, gd, view.answer(), tracker, initial_events, pending, after_update, engine
+
+
+def test_example12_full_walkthrough(benchmark):
+    (sc, gd, answer, tracker, initial_events, pending, after_update, engine) = benchmark(
+        run_example12
+    )
+    assert initial_events == pytest.approx([8.0, 10.0, 31.0], abs=1e-6)
+    assert tracker.swap_times()[:3] == pytest.approx(
+        EXAMPLE12_EVENTS_BEFORE_UPDATE, abs=1e-6
+    )
+    assert any(abs(t - EXAMPLE12_PENDING_CROSSING) < 1e-6 for t in pending)
+    assert not any(
+        abs(t - EXAMPLE12_PENDING_CROSSING) < 1e-6 for t in after_update
+    )
+    assert any(abs(t - EXAMPLE12_NEW_CROSSING) < 1e-6 for t in after_update)
+    assert engine.max_queue_length <= 4
+    naive = naive_knn_answer(sc.db, gd, sc.interval, 2)
+    assert answer.approx_equals(naive, atol=1e-5)
+    publish_table(
+        "fig3_example12",
+        format_table(
+            ["stage", "value"],
+            [
+                ["initial order", "o4 < o3 < o2 < o1"],
+                ["initial events", str([round(t, 3) for t in initial_events])],
+                ["swaps before update", str([round(t, 3) for t in tracker.swap_times()[:3]])],
+                ["pending before update", str([round(t, 3) for t in pending])],
+                ["after chdir(o1, 20)", str([round(t, 3) for t in after_update])],
+                ["all swaps", str([round(t, 3) for t in tracker.swap_times()])],
+                ["queue high-water", engine.max_queue_length],
+            ],
+            title="E-FIG3: Example 12 narrated trace",
+        ),
+    )

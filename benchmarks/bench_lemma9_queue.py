@@ -1,0 +1,73 @@
+"""E-L9: Lemma 9 — queue length <= N and O(log N) event processing.
+
+Drives the adversarial crossing-rich workload (every pair overtakes:
+m = N(N-1)/2 order swaps) and checks the two halves of Lemma 9:
+
+- the event queue, holding only the earliest intersection per *current*
+  neighbor pair, never exceeds the number of curve entries, and
+- the amortized cost per processed event grows like log N, not N —
+  checked as sub-linear growth of time-per-event while total events
+  grow quadratically.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table, time_callable
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.sweep.engine import SweepEngine
+from repro.workloads.generator import crossing_rich_mod
+
+from _support import publish_table
+
+SIZES = [16, 32, 64, 128]
+HORIZON = 2000.0
+
+
+def run_crossing_sweep(n):
+    db = crossing_rich_mod(n, seed=n)
+    engine = SweepEngine(
+        db, SquaredEuclideanDistance([0.0, 0.0]), Interval(0.0, HORIZON)
+    )
+    engine.run_to_end()
+    return engine
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_crossing_rich_sweep(benchmark, n):
+    engine = benchmark.pedantic(lambda: run_crossing_sweep(n), rounds=2, iterations=1)
+    assert engine.stats.swaps >= n * (n - 1) // 2
+    assert engine.max_queue_length <= n
+    benchmark.extra_info["N"] = n
+    benchmark.extra_info["swaps"] = engine.stats.swaps
+    benchmark.extra_info["max_queue"] = engine.max_queue_length
+
+
+def test_lemma9_queue_bound_and_event_cost(benchmark):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            elapsed = time_callable(lambda: run_crossing_sweep(n), repeats=1, warmup=0)
+            engine = run_crossing_sweep(n)
+            events = engine.stats.intersections_processed
+            rows.append(
+                (n, events, engine.max_queue_length, elapsed, elapsed / events)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish_table(
+        "lemma9_queue",
+        format_table(
+            ["N", "events (≈N²/2)", "max queue", "total (s)", "s/event"],
+            rows,
+            title="E-L9: crossing-rich sweep — queue bound and per-event cost",
+        ),
+    )
+    for n, events, max_queue, _, __ in rows:
+        assert max_queue <= n, "Lemma 9 queue bound violated"
+        assert events >= n * (n - 1) // 2
+    # Per-event cost must grow far slower than N (log-like).
+    per_event_growth = rows[-1][4] / max(rows[0][4], 1e-12)
+    size_growth = SIZES[-1] / SIZES[0]
+    assert per_event_growth < size_growth / 2

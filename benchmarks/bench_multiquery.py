@@ -1,0 +1,89 @@
+"""E-ABL2 (ablation): amortizing one sweep across many queries.
+
+All k-NN queries share the same support (the precedence relation), so
+one sweep can answer any number of them; separate engines redo the
+intersection detection per query.  The benchmark measures the
+amortization factor for query batches of growing size.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table, time_callable
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import ContinuousKNN
+from repro.sweep.multiknn import MultiKNN
+from repro.workloads.generator import random_linear_mod
+
+from _support import publish_table
+
+INTERVAL = Interval(0.0, 25.0)
+N_OBJECTS = 64
+BATCHES = [1, 2, 4, 8]
+
+
+def gd():
+    return SquaredEuclideanDistance([0.0, 0.0])
+
+
+def shared_sweep(db, ks):
+    engine = SweepEngine(db, gd(), INTERVAL)
+    view = MultiKNN(engine, ks)
+    engine.run_to_end()
+    return view
+
+
+def separate_sweeps(db, ks):
+    answers = {}
+    for k in ks:
+        engine = SweepEngine(db, gd(), INTERVAL)
+        view = ContinuousKNN(engine, k)
+        engine.run_to_end()
+        answers[k] = view.answer()
+    return answers
+
+
+@pytest.mark.parametrize("batch", [1, 8])
+def test_shared_sweep_single_batch(benchmark, batch):
+    db = random_linear_mod(N_OBJECTS, seed=42, extent=60.0, speed=6.0)
+    ks = list(range(1, batch + 1))
+    view = benchmark.pedantic(lambda: shared_sweep(db, ks), rounds=2, iterations=1)
+    assert view.ks == ks
+    benchmark.extra_info["batch"] = batch
+
+
+def test_multiquery_amortization(benchmark):
+    def sweep():
+        db = random_linear_mod(N_OBJECTS, seed=42, extent=60.0, speed=6.0)
+        rows = []
+        for batch in BATCHES:
+            ks = list(range(1, batch + 1))
+            shared_time = time_callable(
+                lambda: shared_sweep(db, ks), repeats=2, warmup=0
+            )
+            separate_time = time_callable(
+                lambda: separate_sweeps(db, ks), repeats=2, warmup=0
+            )
+            # Answers must agree.
+            shared = shared_sweep(db, ks)
+            separate = separate_sweeps(db, ks)
+            for k in ks:
+                assert shared.answer(k).approx_equals(separate[k], atol=1e-6)
+            rows.append(
+                (batch, shared_time, separate_time, separate_time / shared_time)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish_table(
+        "multiquery_amortization",
+        format_table(
+            ["queries", "shared sweep (s)", "separate sweeps (s)", "speedup"],
+            rows,
+            title="E-ABL2: one sweep, many k-NN queries",
+        ),
+    )
+    speedups = [r[3] for r in rows]
+    # One query: no advantage; eight queries: clear advantage.
+    assert speedups[-1] > 2.0

@@ -1,0 +1,79 @@
+"""E-T4: Theorem 4 — past queries in O((m + N) log N).
+
+Runs the full past-query sweep (continuous 2-NN over a bounded
+interval) on random workloads of growing size, recording the wall time,
+the object count N, and the measured number of support changes m.  The
+time is then fitted against the claimed model ``(m + N) log N`` and the
+competing models ``N^2`` and ``m + N`` (no log); the claimed model must
+explain the data at least as well as the quadratic strawman.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.fits import fit_model
+from repro.bench.harness import format_table, time_callable
+from repro.core.api import evaluate_knn
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import ContinuousKNN
+from repro.workloads.generator import random_linear_mod
+
+from _support import publish_table
+
+INTERVAL = Interval(0.0, 30.0)
+SIZES = [32, 64, 128, 256]
+
+
+def run_past_query(db):
+    engine = SweepEngine(db, SquaredEuclideanDistance([0.0, 0.0]), INTERVAL)
+    view = ContinuousKNN(engine, 2)
+    engine.run_to_end()
+    return engine, view.answer()
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_past_query_scaling(benchmark, n):
+    db = random_linear_mod(n, seed=n, extent=80.0, speed=6.0)
+    engine, answer = benchmark(run_past_query, db)
+    assert answer.objects
+    benchmark.extra_info["N"] = n
+    benchmark.extra_info["support_changes_m"] = engine.stats.support_changes
+
+
+def test_theorem4_complexity_fit(benchmark):
+    """Fit measured time against (m + N) log N."""
+
+    def sweep_all():
+        rows = []
+        for n in SIZES:
+            db = random_linear_mod(n, seed=n, extent=80.0, speed=6.0)
+            elapsed = time_callable(lambda: run_past_query(db), repeats=2, warmup=0)
+            engine, _ = run_past_query(db)
+            m = engine.stats.support_changes
+            rows.append((n, m, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    claimed_x = [(m + n) * math.log(n) for n, m, _ in rows]
+    naive_x = [n * n for n, _, __ in rows]
+    times = [t for _, __, t in rows]
+    claimed = fit_model(claimed_x, times, "n")
+    quadratic = fit_model(naive_x, times, "n")
+    publish_table(
+        "theorem4_past",
+        format_table(
+            ["N", "m", "time (s)", "(m+N) log N"],
+            [[n, m, t, x] for (n, m, t), x in zip(rows, claimed_x)],
+            title=(
+                "E-T4: past 2-NN sweep | fit vs (m+N)logN: "
+                f"R^2={claimed.r_squared:.4f} | vs N^2: "
+                f"R^2={quadratic.r_squared:.4f}"
+            ),
+        ),
+    )
+    # The claimed model must explain the data well.
+    assert claimed.r_squared > 0.95
+    assert claimed.scale > 0

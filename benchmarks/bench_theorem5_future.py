@@ -1,0 +1,136 @@
+"""E-T5: Theorem 5 — future queries: O(N log N) initialization and
+O(m log N) maintenance per update.
+
+Part 1 times sweep initialization (sorting the objects and seeding the
+neighbor-pair events) against N and fits ``N log N``.
+
+Part 2 drives a Poisson ``chdir`` stream with a *fixed* update rate and
+a fixed interval, so the support changes between consecutive updates
+(m) stay roughly constant as N grows; per-update maintenance cost is
+fitted against ``log N`` vs ``N``.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.fits import fit_model
+from repro.bench.harness import format_table, time_callable
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.sweep.engine import SweepEngine
+from repro.workloads.generator import UpdateStream, banded_mod, random_linear_mod
+
+from _support import publish_table
+
+INIT_SIZES = [128, 256, 512, 1024, 2048]
+UPDATE_SIZES = [64, 128, 256, 512, 1024]
+
+
+def make_engine(db, horizon=300.0):
+    return SweepEngine(
+        db, SquaredEuclideanDistance([0.0, 0.0]), Interval(0.0, horizon)
+    )
+
+
+@pytest.mark.parametrize("n", [128, 512, 2048])
+def test_initialization_scaling(benchmark, n):
+    db = random_linear_mod(n, seed=n, extent=200.0, speed=5.0)
+    engine = benchmark(make_engine, db)
+    assert len(engine.order) == n
+    benchmark.extra_info["N"] = n
+
+
+def test_theorem5_init_fit(benchmark):
+    def sweep():
+        rows = []
+        for n in INIT_SIZES:
+            db = random_linear_mod(n, seed=n, extent=200.0, speed=5.0)
+            elapsed = time_callable(lambda: make_engine(db), repeats=2, warmup=1)
+            rows.append((n, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sizes = [n for n, _ in rows]
+    times = [t for _, t in rows]
+    nlogn = fit_model(sizes, times, "n log n")
+    quad = fit_model(sizes, times, "n^2")
+    publish_table(
+        "theorem5_init",
+        format_table(
+            ["N", "init time (s)"],
+            rows,
+            title=(
+                "E-T5 part 1: initialization | fit N log N: "
+                f"R^2={nlogn.r_squared:.4f} | N^2: R^2={quad.r_squared:.4f}"
+            ),
+        ),
+    )
+    assert nlogn.r_squared > 0.95
+    assert nlogn.scale > 0
+
+
+def measure_update_cost(n, updates=60):
+    """Mean per-update maintenance time in the bounded-m regime.
+
+    The banded workload keeps distance ranks essentially static, so the
+    support changes between consecutive updates are bounded — exactly
+    Corollary 6's precondition for the O(log N) per-update claim.
+    """
+    db = banded_mod(n, seed=n + 1, band_gap=5.0, jitter_speed=0.2)
+    engine = make_engine(db)
+    stream = UpdateStream(
+        db,
+        seed=n + 2,
+        mean_gap=0.25,
+        periodic=True,
+        speed=0.2,
+        weights=(0.0, 0.0, 1.0),
+    )
+    db.subscribe(engine.on_update)
+    total = time_callable(lambda: stream.run(updates), repeats=1, warmup=0)
+    return total / updates, engine
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_per_update_scaling(benchmark, n):
+    def run():
+        return measure_update_cost(n, updates=40)
+
+    per_update, engine = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert engine.stats.updates_applied == 40
+    benchmark.extra_info["N"] = n
+    benchmark.extra_info["per_update_seconds"] = per_update
+
+
+def test_theorem5_update_fit(benchmark):
+    def sweep():
+        rows = []
+        for n in UPDATE_SIZES:
+            per_update, engine = measure_update_cost(n)
+            m_per_update = engine.stats.support_changes / max(
+                engine.stats.updates_applied, 1
+            )
+            rows.append((n, m_per_update, per_update))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sizes = [n for n, _, __ in rows]
+    times = [t for _, __, t in rows]
+    log_fit = fit_model(sizes, times, "log n")
+    lin_fit = fit_model(sizes, times, "n")
+    publish_table(
+        "theorem5_updates",
+        format_table(
+            ["N", "m per update", "time per update (s)"],
+            rows,
+            title=(
+                "E-T5 part 2: per-update maintenance | fit log N: "
+                f"R^2={log_fit.r_squared:.4f} | N: R^2={lin_fit.r_squared:.4f}"
+            ),
+        ),
+    )
+    # Sub-linear growth: a 16x larger database must cost far less than
+    # 16x more per update.
+    growth = times[-1] / max(times[0], 1e-12)
+    assert growth < (sizes[-1] / sizes[0]) / 2

@@ -1,0 +1,140 @@
+"""Air traffic monitoring: the paper's flagship scenario.
+
+Run with::
+
+    python examples/air_traffic.py
+
+Recreates the paper's running examples in one scenario:
+
+- Example 1's three-piece airplane trajectory and Example 2's landing
+  ``chdir``;
+- Example 11's "flights within 50 km of Flight 623" as a continuous
+  range query;
+- Example 3's "aircraft entering the county" via the Section 3
+  constraint language (nested time quantifiers and a polygonal region);
+- the past/continuing/future classification of Definitions 4-5.
+"""
+
+from repro import (
+    Interval,
+    MovingObjectDatabase,
+    SquaredEuclideanDistance,
+    Vector,
+    evaluate_knn,
+    evaluate_within,
+    from_waypoints,
+    knn_query,
+)
+from repro.constraints.classify import classify_interval_query
+from repro.constraints.evaluator import TimelineEvaluator
+from repro.constraints.folq import (
+    ExistsTime,
+    FOAnd,
+    FONot,
+    FOOr,
+    ForAllTime,
+    InRegion,
+    TimeCompare,
+)
+from repro.constraints.regions import box
+from repro.geometry.intervals import Interval as I
+from repro.trajectory.builder import linear_from
+from repro.trajectory.linearpiece import LinearPiece
+from repro.trajectory.trajectory import Trajectory
+
+
+def example1_airplane() -> Trajectory:
+    """Example 1's trajectory, verbatim from the paper."""
+    return Trajectory(
+        [
+            LinearPiece(Vector.of(2, -1, 0), Vector.of(-40, 23, 30), I(0, 21)),
+            LinearPiece(Vector.of(0, -1, -5), Vector.of(2, 23, 135), I(21, 22)),
+            LinearPiece(
+                Vector.of(0.5, 0, -1), Vector.of(-9, 1, 47), I.at_least(22)
+            ),
+        ]
+    )
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Example 1 + 2: the airplane and its landing update.
+    # ------------------------------------------------------------------
+    db = MovingObjectDatabase(initial_time=-1.0)
+    db.install("N4071K", example1_airplane())
+    print("Example 1 airplane:")
+    print(f"  turn at t=21 at position {db.position('N4071K', 21.0)}")
+    print(f"  turn at t=22 at position {db.position('N4071K', 22.0)}")
+
+    db.advance_clock(30.0)
+    db.change_direction("N4071K", 47.0, [0.0, 0.0, 0.0])  # Example 2: landing
+    print(f"  landed at t=47 at position {db.position('N4071K', 47.0)}")
+    print(f"  still there at t=100: {db.position('N4071K', 100.0)}")
+
+    # ------------------------------------------------------------------
+    # Example 11: flights within 50 km of Flight 623.
+    # ------------------------------------------------------------------
+    traffic = MovingObjectDatabase()
+    flight_623 = from_waypoints([(0, [0.0, 0.0]), (60, [600.0, 0.0])])
+    traffic.install(
+        "UA764", from_waypoints([(0, [0.0, 30.0]), (60, [600.0, 30.0])])
+    )
+    traffic.install(
+        "crossing", from_waypoints([(0, [300.0, -250.0]), (60, [300.0, 350.0])])
+    )
+    traffic.install("remote", from_waypoints([(0, [0.0, 400.0]), (60, [100.0, 400.0])]))
+
+    window = Interval(0.0, 60.0)
+    near_623 = evaluate_within(traffic, flight_623, window, distance=50.0)
+    print("\nFlights within 50 km of Flight 623 during [0, 60]:")
+    for flight in sorted(near_623.objects):
+        print(f"  {flight}: {near_623.intervals_for(flight)}")
+
+    two_nearest = evaluate_knn(traffic, flight_623, window, k=2)
+    print("2-NN to Flight 623 at t=30:", sorted(two_nearest.at(30.0)))
+
+    # ------------------------------------------------------------------
+    # Example 3: aircraft *entering* the county during [tau1, tau2].
+    # ------------------------------------------------------------------
+    county = box([250.0, -50.0], [350.0, 50.0], name="SB County")
+    not_inside_between = ForAllTime(
+        "ts",
+        FOOr(
+            FONot(FOAnd(TimeCompare("tp", "<", "ts"), TimeCompare("ts", "<", "t"))),
+            FONot(InRegion("y", "ts", county)),
+        ),
+    )
+    entering = ExistsTime(
+        "t",
+        FOAnd(
+            InRegion("y", "t", county),
+            ExistsTime(
+                "tp", FOAnd(TimeCompare("tp", "<", "t"), not_inside_between)
+            ),
+        ),
+        within=(0.0, 60.0),
+    )
+    evaluator = TimelineEvaluator(traffic)
+    print(
+        "\nAircraft entering SB County during [0, 60]:",
+        sorted(evaluator.answer(entering, "y")),
+    )
+
+    # ------------------------------------------------------------------
+    # Definitions 4-5: how much of an answer is valid vs predicted?
+    # ------------------------------------------------------------------
+    traffic.advance_clock(20.0)  # "now" is t=20; beyond that is prediction
+    gdist = SquaredEuclideanDistance(flight_623)
+    for lo, hi in [(0.0, 15.0), (5.0, 50.0), (30.0, 50.0)]:
+        result = classify_interval_query(
+            traffic, gdist, knn_query(Interval(lo, hi), 1)
+        )
+        print(
+            f"1-NN over [{lo:g}, {hi:g}]: {result.query_class.value:10s} "
+            f"valid={sorted(result.valid)} "
+            f"predicted-only={sorted(result.predicted_only)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Collision discovery: Section 2's motivating application, live.
+
+Run with::
+
+    python examples/conflict_monitoring.py
+
+An air-traffic control scene: aircraft on crossing airways, a
+separation minimum, and a monitor that predicts every loss of
+separation from the current flight plans — updating its predictions
+the moment a plan changes, exactly the eager-maintenance posture the
+paper advocates for future queries.
+"""
+
+from repro import Interval, MovingObjectDatabase
+from repro.analysis import (
+    ConflictMonitor,
+    closest_approach,
+    separation_conflicts,
+)
+
+
+def main() -> None:
+    db = MovingObjectDatabase()
+    # Four aircraft on crossing airways (positions in nautical miles,
+    # times in minutes).
+    db.create("AAL12", 0.1, position=[-80.0, 0.0], velocity=[8.0, 0.0])
+    db.create("UAL77", 0.2, position=[0.0, -60.0], velocity=[0.0, 6.0])
+    db.create("DAL31", 0.3, position=[100.0, 100.0], velocity=[-7.0, -7.0])
+    db.create("SWA09", 0.4, position=[200.0, -50.0], velocity=[-9.0, 1.0])
+
+    window = Interval(0.0, 30.0)
+    minimum = 5.0  # required separation
+
+    # ------------------------------------------------------------------
+    # Batch analysis: every predicted loss of separation in 30 minutes.
+    # ------------------------------------------------------------------
+    print(f"Predicted losses of separation (< {minimum} nm) in {window}:")
+    for conflict in separation_conflicts(db, minimum, window):
+        a, b = sorted(conflict.pair)
+        print(
+            f"  {a} ~ {b}: violation during {conflict.intervals}, "
+            f"closest {conflict.closest.distance:.2f} nm at "
+            f"t={conflict.closest.time:.2f}"
+        )
+
+    pair = closest_approach(db.trajectory("AAL12"), db.trajectory("UAL77"), window)
+    print(f"\nAAL12/UAL77 closest approach: {pair.distance:.2f} nm at t={pair.time:.2f}")
+
+    # ------------------------------------------------------------------
+    # Live monitoring: predictions follow the flight-plan updates.
+    # ------------------------------------------------------------------
+    monitor = ConflictMonitor(db, separation=minimum, horizon=30.0)
+    upcoming = monitor.next_conflict_after(1.0)
+    if upcoming:
+        start, pair_ids = upcoming
+        print(f"\nNext predicted conflict: {sorted(pair_ids)} at t={start:.2f}")
+
+        # The controller vectors one aircraft off the airway.
+        offender = sorted(pair_ids)[0]
+        print(f"Vectoring {offender} north at t=2 ...")
+        db.change_direction(offender, 2.0, [8.0, 4.0])
+
+        resolved = monitor.next_conflict_after(2.0)
+        if resolved is None:
+            print("All conflicts resolved.")
+        else:
+            t, pair_ids = resolved
+            print(f"Remaining conflict: {sorted(pair_ids)} at t={t:.2f}")
+
+
+if __name__ == "__main__":
+    main()

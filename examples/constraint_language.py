@@ -1,0 +1,113 @@
+"""The Section 3 constraint query language, end to end.
+
+Run with::
+
+    python examples/constraint_language.py
+
+Shows the classical constraint-database route the paper starts from —
+first-order formulas over a MOD, decided by quantifier elimination
+(Proposition 1) — including the features FO(f) deliberately gives up
+for efficiency: nested time quantifiers (Example 3's "entering"),
+spatial regions, ``vel``/``unit`` atoms, and arbitrary boolean
+structure.
+"""
+
+import math
+
+from repro.constraints.evaluator import TimelineEvaluator
+from repro.constraints.folq import (
+    DistCompare,
+    ExistsTime,
+    FOAnd,
+    FONot,
+    FOOr,
+    ForAllObject,
+    ForAllTime,
+    HeadingCompare,
+    InRegion,
+    TimeCompare,
+    VelCompare,
+)
+from repro.constraints.regions import polygon
+from repro.mod.database import MovingObjectDatabase
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+
+
+def build_harbor() -> MovingObjectDatabase:
+    """A harbor scene: ships around a triangular anchorage zone."""
+    db = MovingObjectDatabase()
+    # Sails through the anchorage west to east.
+    db.install("freighter", from_waypoints([(0, [-60.0, 10.0]), (60, [60.0, 10.0])]))
+    # Anchored inside the zone the whole time.
+    db.install("barge", stationary([0.0, 15.0]))
+    # Patrols north of the zone, never enters.
+    db.install("patrol", from_waypoints([(0, [-40.0, 60.0]), (60, [40.0, 60.0])]))
+    # Speeds south-east, away from everything.
+    db.install("speedboat", linear_from(0.0, [-20.0, -20.0], [3.0, -2.0]))
+    return db
+
+
+def main() -> None:
+    db = build_harbor()
+    anchorage = polygon(
+        [(-30.0, 0.0), (30.0, 0.0), (0.0, 40.0)], name="anchorage"
+    )
+    evaluator = TimelineEvaluator(db)
+
+    # -- Region membership over a window --------------------------------
+    inside_sometime = ExistsTime(
+        "t", InRegion("y", "t", anchorage), within=(0.0, 60.0)
+    )
+    print("In the anchorage at some time:", sorted(evaluator.answer(inside_sometime, "y")))
+
+    always_inside = ForAllTime(
+        "t", InRegion("y", "t", anchorage), within=(0.0, 60.0)
+    )
+    print("In the anchorage the whole time:", sorted(evaluator.answer(always_inside, "y")))
+
+    # -- Example 3's 'entering' with nested time quantifiers --------------
+    not_inside_just_before = ForAllTime(
+        "ts",
+        FOOr(
+            FONot(FOAnd(TimeCompare("tp", "<", "ts"), TimeCompare("ts", "<", "t"))),
+            FONot(InRegion("y", "ts", anchorage)),
+        ),
+    )
+    entering = ExistsTime(
+        "t",
+        FOAnd(
+            InRegion("y", "t", anchorage),
+            ExistsTime("tp", FOAnd(TimeCompare("tp", "<", "t"), not_inside_just_before)),
+        ),
+        within=(0.0, 60.0),
+    )
+    print("Entering the anchorage:", sorted(evaluator.answer(entering, "y")))
+
+    # -- vel and unit atoms -------------------------------------------------
+    fast_souther = ExistsTime(
+        "t", VelCompare("y", 1, "<", -1.0, "t"), within=(0.0, 60.0)
+    )
+    print("Moving south faster than 1:", sorted(evaluator.answer(fast_souther, "y")))
+
+    heading_east = ForAllTime(
+        "t",
+        HeadingCompare("y", (1.0, 0.0), ">=", math.cos(math.radians(40)), "t"),
+        within=(1.0, 59.0),
+    )
+    print("Heading east throughout:", sorted(evaluator.answer(heading_east, "y")))
+
+    # -- Example 4's 1-NN via object quantification ------------------------
+    evaluator.add_query_trajectory("q", stationary([0.0, 0.0]))
+    nearest_sometime = ExistsTime(
+        "t",
+        ForAllObject("z", DistCompare("y", "q", "<=", ("z", "q"), "t")),
+        within=(0.0, 60.0),
+    )
+    print(
+        "Nearest to the harbor master at some time:",
+        sorted(evaluator.answer(nearest_sometime, "y", env={"q": "q"})),
+    )
+
+
+if __name__ == "__main__":
+    main()

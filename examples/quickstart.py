@@ -1,0 +1,63 @@
+"""Quickstart: build a moving object database, ask distance queries.
+
+Run with::
+
+    python examples/quickstart.py
+
+Demonstrates the core workflow of the library (and of the paper):
+create moving objects, apply updates as their motion changes, and
+evaluate k-NN / within-range queries whose answers are exact over whole
+time intervals — not just at the instant the query was asked.
+"""
+
+from repro import (
+    ContinuousQuerySession,
+    Interval,
+    MovingObjectDatabase,
+    evaluate_knn,
+    evaluate_within,
+)
+
+
+def main() -> None:
+    # A dispatch center at the origin tracks three delivery vans.
+    db = MovingObjectDatabase()
+    db.create("van-1", time=0.5, position=[2.0, 1.0], velocity=[0.5, 0.0])
+    db.create("van-2", time=1.0, position=[9.0, 3.0], velocity=[-1.0, 0.0])
+    db.create("van-3", time=1.5, position=[-4.0, -4.0], velocity=[0.0, 0.5])
+
+    depot = [0.0, 0.0]
+
+    # --- A past-style query: who was nearest during [2, 20]? -------------
+    answer = evaluate_knn(db, depot, Interval(2.0, 20.0), k=1)
+    print("Nearest van to the depot during [2, 20]:")
+    for van in sorted(answer.objects):
+        print(f"  {van}: nearest during {answer.intervals_for(van)}")
+    print(f"  nearest at t=3:  {sorted(answer.at(3.0))}")
+    print(f"  nearest at t=15: {sorted(answer.at(15.0))}")
+
+    # --- A range query: who comes within distance 5 of the depot? --------
+    nearby = evaluate_within(db, depot, Interval(2.0, 20.0), distance=5.0)
+    print("\nVans within distance 5 of the depot during [2, 20]:")
+    for van in sorted(nearby.objects):
+        print(f"  {van}: in range during {nearby.intervals_for(van)}")
+
+    # --- A continuing query: maintain the answer as updates arrive -------
+    session = ContinuousQuerySession.knn(db, depot, k=1)
+    print(f"\nLive 1-NN at t={session.current_time:g}: {sorted(session.members)}")
+
+    # van-2 turns toward the depot; the engine reacts to the update alone.
+    db.change_direction("van-2", 3.0, [-1.0, -0.4])
+    print(f"after van-2 turns (t=3): {sorted(session.members)}")
+
+    members_at_8 = session.advance_to(8.0)
+    print(f"at t=8 (no update needed): {sorted(members_at_8)}")
+
+    history = session.close(at=10.0)
+    print("\nFull 1-NN history of the session [%g, 10]:" % history.interval.lo)
+    for van in sorted(history.objects):
+        print(f"  {van}: {history.intervals_for(van)}")
+
+
+if __name__ == "__main__":
+    main()

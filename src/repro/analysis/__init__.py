@@ -1,0 +1,45 @@
+"""Trajectory analytics built on the query machinery.
+
+Section 2 names "traffic status monitoring and collision discovery" as
+the applications that make moving-object databases distinctive; this
+package provides those analyses directly on top of the library's
+curves:
+
+- :func:`closest_approach` — the time and distance of minimal
+  separation between two objects;
+- :func:`separation_conflicts` — all pairs violating a separation
+  minimum during an interval, with the exact violation intervals;
+- :func:`meetings` — pairs that actually meet (distance ~ 0);
+- :class:`ConflictMonitor` — eager conflict detection on a live
+  database, maintained per update like any other continuing query.
+"""
+
+from repro.analysis.conflicts import (
+    ClosestApproach,
+    Conflict,
+    ConflictMonitor,
+    closest_approach,
+    meetings,
+    separation_conflicts,
+)
+from repro.analysis.regions import (
+    entry_times,
+    occupancy,
+    peak_occupancy,
+    residence_set,
+    residence_time,
+)
+
+__all__ = [
+    "ClosestApproach",
+    "Conflict",
+    "ConflictMonitor",
+    "closest_approach",
+    "entry_times",
+    "meetings",
+    "occupancy",
+    "peak_occupancy",
+    "residence_set",
+    "residence_time",
+    "separation_conflicts",
+]

@@ -1,0 +1,239 @@
+"""Collision discovery and separation monitoring.
+
+All analyses reduce to the squared-distance curve between two
+trajectories — piecewise quadratic, so minima are closed-form and
+violation intervals come from exact root isolation.  Pairwise analyses
+are O(N^2) in the number of objects (every pair can genuinely conflict;
+for the rank-based queries that avoid the quadratic blow-up, use the
+sweep engine's views instead).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.geometry.roots import solution_intervals
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ChangeDirection, New, ObjectId, Terminate, Update
+from repro.trajectory.trajectory import Trajectory
+
+
+@dataclass(frozen=True)
+class ClosestApproach:
+    """The minimal separation between two objects and when it occurs."""
+
+    time: float
+    distance: float
+
+    def __repr__(self) -> str:
+        return f"ClosestApproach(t={self.time:g}, d={self.distance:g})"
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A separation violation between a pair of objects."""
+
+    pair: FrozenSet[ObjectId]
+    intervals: IntervalSet
+    closest: ClosestApproach
+
+    @property
+    def duration(self) -> float:
+        """Total violation time."""
+        return self.intervals.total_length
+
+    def __repr__(self) -> str:
+        a, b = sorted(self.pair, key=str)
+        return (
+            f"Conflict({a!r}~{b!r}, {self.intervals!r}, min {self.closest!r})"
+        )
+
+
+def closest_approach(
+    a: Trajectory,
+    b: Trajectory,
+    interval: Optional[Interval] = None,
+) -> ClosestApproach:
+    """Time and distance of minimal separation over an interval.
+
+    The squared distance is piecewise quadratic: per piece the minimum
+    is at an endpoint or the vertex, all closed-form.
+    """
+    sq = a.squared_distance_to(b)
+    window = sq.domain if interval is None else sq.domain.intersect(interval)
+    if window is None:
+        raise ValueError("objects never coexist in the requested interval")
+    best_time = window.lo
+    best_value = math.inf
+    for piece_interval, poly in sq.restrict(window).pieces:
+        candidates = []
+        if math.isfinite(piece_interval.lo):
+            candidates.append(piece_interval.lo)
+        if math.isfinite(piece_interval.hi):
+            candidates.append(piece_interval.hi)
+        derivative = poly.derivative()
+        if derivative.degree == 1:
+            vertex = -derivative.coeffs[0] / derivative.coeffs[1]
+            if piece_interval.contains(vertex):
+                candidates.append(vertex)
+        if not candidates:
+            candidates.append(0.0)
+        for t in candidates:
+            value = poly(t)
+            if value < best_value:
+                best_value, best_time = value, t
+    return ClosestApproach(best_time, math.sqrt(max(best_value, 0.0)))
+
+
+def _violation_intervals(
+    a: Trajectory, b: Trajectory, separation: float, window: Interval
+) -> IntervalSet:
+    sq = a.squared_distance_to(b)
+    overlap = sq.domain.intersect(window)
+    if overlap is None:
+        return IntervalSet()
+    threshold = separation * separation
+    out: List[Interval] = []
+    for piece_interval, poly in sq.restrict(overlap).pieces:
+        shifted = poly - threshold
+        out.extend(solution_intervals(shifted, piece_interval, "<="))
+    return IntervalSet(out)
+
+
+def separation_conflicts(
+    db: MovingObjectDatabase,
+    separation: float,
+    interval: Interval,
+) -> List[Conflict]:
+    """All pairs whose distance drops to ``separation`` or below during
+    ``interval``, with exact violation intervals.
+
+    Pairs are enumerated exhaustively (O(N^2)); each pair's analysis is
+    exact and independent.  Results are sorted by first violation time.
+    """
+    if separation < 0:
+        raise ValueError("separation must be nonnegative")
+    items = sorted(db.all_items(), key=lambda kv: str(kv[0]))
+    conflicts: List[Conflict] = []
+    for (oid_a, traj_a), (oid_b, traj_b) in itertools.combinations(items, 2):
+        if traj_a.domain.intersect(traj_b.domain) is None:
+            continue
+        violations = _violation_intervals(traj_a, traj_b, separation, interval)
+        if violations.is_empty:
+            continue
+        hull = Interval(
+            violations.intervals[0].lo, violations.intervals[-1].hi
+        )
+        closest = closest_approach(traj_a, traj_b, hull)
+        conflicts.append(
+            Conflict(frozenset({oid_a, oid_b}), violations, closest)
+        )
+    conflicts.sort(key=lambda c: c.intervals.intervals[0].lo)
+    return conflicts
+
+
+def meetings(
+    db: MovingObjectDatabase,
+    interval: Interval,
+    tolerance: float = 1e-6,
+) -> List[Conflict]:
+    """Pairs that (essentially) occupy the same position at some time —
+    Example 11's "police cars at the same positions as car #1404",
+    generalized to all pairs."""
+    return separation_conflicts(db, tolerance, interval)
+
+
+class ConflictMonitor:
+    """Eager conflict detection on a live database.
+
+    Subscribes to the database and keeps, per pair, the exact violation
+    intervals from the monitor's start to its horizon, recomputing only
+    the pairs an update touches (everything else is unaffected — the
+    same locality argument the sweep engine uses for ``chdir``).
+    """
+
+    def __init__(
+        self,
+        db: MovingObjectDatabase,
+        separation: float,
+        horizon: float = math.inf,
+    ) -> None:
+        if separation < 0:
+            raise ValueError("separation must be nonnegative")
+        self._db = db
+        self._separation = separation
+        self._window = Interval(db.last_update_time, horizon)
+        self._violations: Dict[FrozenSet[ObjectId], IntervalSet] = {}
+        self.recomputed_pairs = 0
+        for oid_a, oid_b in itertools.combinations(
+            sorted(db.all_items(), key=lambda kv: str(kv[0])), 2
+        ):
+            self._refresh_pair(oid_a[0], oid_b[0])
+        db.subscribe(self.on_update)
+
+    def _refresh_pair(self, a: ObjectId, b: ObjectId) -> None:
+        traj_a = self._db.trajectory(a)
+        traj_b = self._db.trajectory(b)
+        key = frozenset({a, b})
+        if traj_a.domain.intersect(traj_b.domain) is None:
+            self._violations.pop(key, None)
+            return
+        violations = _violation_intervals(
+            traj_a, traj_b, self._separation, self._window
+        )
+        self.recomputed_pairs += 1
+        if violations.is_empty:
+            self._violations.pop(key, None)
+        else:
+            self._violations[key] = violations
+
+    # -- live maintenance ---------------------------------------------------
+    def on_update(self, update: Update) -> None:
+        """Recompute only the pairs involving the updated object."""
+        if isinstance(update, (New, Terminate, ChangeDirection)):
+            target = update.oid
+            for oid, _ in self._db.all_items():
+                if oid != target:
+                    self._refresh_pair(target, oid)
+
+    def detach(self) -> None:
+        """Stop receiving database updates."""
+        self._db.unsubscribe(self.on_update)
+
+    # -- inspection -------------------------------------------------------------
+    @property
+    def separation(self) -> float:
+        """The separation minimum being monitored."""
+        return self._separation
+
+    def conflicts_at(self, t: float) -> List[FrozenSet[ObjectId]]:
+        """Pairs in violation at time ``t`` (as currently predicted)."""
+        return sorted(
+            (
+                pair
+                for pair, violations in self._violations.items()
+                if violations.contains(t)
+            ),
+            key=lambda p: tuple(sorted(p, key=str)),
+        )
+
+    def next_conflict_after(self, t: float) -> Optional[Tuple[float, FrozenSet[ObjectId]]]:
+        """The earliest predicted violation starting after ``t``."""
+        best: Optional[Tuple[float, FrozenSet[ObjectId]]] = None
+        for pair, violations in self._violations.items():
+            for iv in violations:
+                if iv.hi < t:
+                    continue
+                start = max(iv.lo, t)
+                if best is None or start < best[0]:
+                    best = (start, pair)
+                break
+        return best
+
+    def all_violations(self) -> Dict[FrozenSet[ObjectId], IntervalSet]:
+        """Every pair's predicted violation intervals."""
+        return dict(self._violations)

@@ -1,0 +1,134 @@
+"""Region residence analysis: when is an object inside a spatial region?
+
+Constraint databases make spatial regions first-class (Section 2); for
+a convex region (half-plane conjunction) and a piecewise-linear
+trajectory, each half-plane constraint is linear in time per piece, so
+the *residence set* — the exact time intervals the object spends inside
+— is computable by root isolation.  This powers Example 3-style
+analyses ("entered the county", "time spent in the sector") without
+running the full first-order evaluator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.constraints.regions import Region
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.geometry.poly import Polynomial
+from repro.geometry.roots import solution_intervals
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ObjectId
+from repro.trajectory.trajectory import Trajectory
+
+
+def residence_set(
+    trajectory: Trajectory,
+    region: Region,
+    window: Interval = Interval.all_time(),
+) -> IntervalSet:
+    """Exact time intervals the object spends inside ``region``.
+
+    Intersects, per trajectory piece, the solution sets of every
+    half-plane constraint ``n . (v t + b) - c <= 0`` (linear in ``t``).
+    """
+    if region.dimension and trajectory.dimension != region.dimension:
+        raise ValueError(
+            f"dimension mismatch: trajectory is {trajectory.dimension}-D, "
+            f"region is {region.dimension}-D"
+        )
+    overlap = trajectory.domain.intersect(window)
+    if overlap is None:
+        return IntervalSet()
+    out: List[Interval] = []
+    for piece in trajectory.pieces:
+        cell = piece.interval.intersect(overlap)
+        if cell is None or (cell.is_point and out):
+            continue
+        inside = IntervalSet([cell])
+        for plane in region.halfplanes:
+            slope = sum(n * v for n, v in zip(plane.normal, piece.velocity))
+            const = (
+                sum(n * b for n, b in zip(plane.normal, piece.offset))
+                - plane.offset
+            )
+            poly = Polynomial([const, slope])
+            solutions = IntervalSet(solution_intervals(poly, cell, "<="))
+            inside = inside.intersect(solutions)
+            if inside.is_empty:
+                break
+        out.extend(inside)
+    return IntervalSet(out)
+
+
+def residence_time(
+    trajectory: Trajectory,
+    region: Region,
+    window: Interval,
+) -> float:
+    """Total time spent inside ``region`` during ``window``."""
+    if not window.is_bounded:
+        raise ValueError("residence_time needs a bounded window")
+    return residence_set(trajectory, region, window).total_length
+
+
+def entry_times(
+    trajectory: Trajectory,
+    region: Region,
+    window: Interval = Interval.all_time(),
+) -> List[float]:
+    """Times at which the object *enters* the region (Example 3).
+
+    An entry is the left endpoint of a residence interval that is not
+    the start of the observation window or of the object's lifetime —
+    i.e. there are instants just before at which the object existed
+    outside the region.
+    """
+    residences = residence_set(trajectory, region, window)
+    earliest = max(window.lo, trajectory.domain.lo)
+    return [
+        iv.lo
+        for iv in residences
+        if iv.lo > earliest and math.isfinite(iv.lo)
+    ]
+
+
+def occupancy(
+    db: MovingObjectDatabase,
+    region: Region,
+    window: Interval,
+) -> Dict[ObjectId, IntervalSet]:
+    """Residence sets of every object that ever visits ``region``."""
+    out: Dict[ObjectId, IntervalSet] = {}
+    for oid, trajectory in db.all_items():
+        if trajectory.domain.intersect(window) is None:
+            continue
+        residences = residence_set(trajectory, region, window)
+        if not residences.is_empty:
+            out[oid] = residences
+    return out
+
+
+def peak_occupancy(
+    db: MovingObjectDatabase,
+    region: Region,
+    window: Interval,
+) -> int:
+    """The maximum number of objects simultaneously inside ``region``.
+
+    Classic interval stabbing: +1 at every residence start, -1 at every
+    end, take the running maximum.
+    """
+    events: List[tuple] = []
+    for residences in occupancy(db, region, window).values():
+        for iv in residences:
+            events.append((iv.lo, 1))
+            # Closed intervals: departures count after arrivals at ties.
+            events.append((iv.hi, -1))
+    events.sort(key=lambda e: (e[0], -e[1]))
+    best = current = 0
+    for _, delta in events:
+        current += delta
+        best = max(best, current)
+    return best

@@ -1,0 +1,22 @@
+"""Baselines the paper compares against (implicitly or explicitly).
+
+- :mod:`repro.baselines.naive` — no sweep: enumerate all O(N^2) curve
+  crossings, evaluate per segment.  Exact; serves as ground truth for
+  the engine's answers and as the performance strawman.
+- :mod:`repro.baselines.periodic_knn` — the Song-Roussopoulos [26]
+  style periodic re-search against a static spatial index, which the
+  paper criticizes for missing mid-interval order swaps (Figure 2's
+  point C).
+- :mod:`repro.baselines.qe_eval` — Section 3's quantifier-elimination
+  evaluation (Proposition 1), exact for past queries but asymptotically
+  heavier than the sweep.
+"""
+
+from repro.baselines.naive import naive_knn_answer, naive_query_answer
+from repro.baselines.periodic_knn import PeriodicKNNBaseline
+
+__all__ = [
+    "PeriodicKNNBaseline",
+    "naive_knn_answer",
+    "naive_query_answer",
+]

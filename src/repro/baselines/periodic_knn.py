@@ -1,0 +1,164 @@
+"""The Song-Roussopoulos [26] style baseline: periodic k-NN re-search.
+
+The paper (Section 5) discusses [26]: objects are stored in a spatial
+index (an R*-tree there; a uniform grid here — same role, simpler) and
+the k-NN set of a moving query point is *re-searched* at each update,
+using the distance moved since the last search.  The result "is correct
+only at the time of search following the update, and the result may
+soon become incorrect due to the movement" — in Figure 2, the order
+exchange at time C between refreshes goes undetected.
+
+:class:`PeriodicKNNBaseline` reproduces that behaviour: it refreshes
+the k-NN answer from true positions every ``period`` time units (and at
+every update), holding the answer constant in between.  Tests and
+benchmarks measure its *staleness*: the fraction of time its held
+answer differs from the exact continuous answer the sweep maintains.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.geometry.vectors import Vector
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ObjectId
+from repro.query.answers import SnapshotAnswer
+from repro.trajectory.trajectory import Trajectory
+
+
+class UniformGridIndex:
+    """A uniform grid over 2-D points supporting k-NN by ring expansion.
+
+    Stands in for [26]'s R*-tree: a static spatial index rebuilt at each
+    refresh, with ``O(cells inspected + points scanned)`` k-NN search.
+    """
+
+    def __init__(self, points: Dict[ObjectId, Vector], cell_size: float = 10.0) -> None:
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self._cell_size = cell_size
+        self._cells: Dict[Tuple[int, int], List[ObjectId]] = {}
+        self._points = dict(points)
+        for oid, p in points.items():
+            self._cells.setdefault(self._cell_of(p), []).append(oid)
+
+    def _cell_of(self, p: Vector) -> Tuple[int, int]:
+        return (
+            int(math.floor(p[0] / self._cell_size)),
+            int(math.floor(p[1] / self._cell_size)),
+        )
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def knn(self, center: Vector, k: int) -> List[ObjectId]:
+        """The ``k`` nearest stored points to ``center``."""
+        if not self._points:
+            return []
+        cx, cy = self._cell_of(center)
+        found: List[Tuple[float, str, ObjectId]] = []
+        ring = 0
+        max_ring = 2 + int(
+            max(
+                abs(ix - cx) + abs(iy - cy)
+                for ix, iy in self._cells
+            )
+        )
+        while ring <= max_ring:
+            for ix, iy in self._ring_cells(cx, cy, ring):
+                for oid in self._cells.get((ix, iy), ()):
+                    d = self._points[oid].distance_to(center)
+                    found.append((d, str(oid), oid))
+            if len(found) >= k:
+                found.sort()
+                kth = found[min(k, len(found)) - 1][0]
+                # Points in farther rings are at least (ring-1)*cell away.
+                if kth <= max(ring - 1, 0) * self._cell_size:
+                    break
+            ring += 1
+        found.sort()
+        return [oid for _, __, oid in found[:k]]
+
+    @staticmethod
+    def _ring_cells(cx: int, cy: int, ring: int):
+        if ring == 0:
+            yield (cx, cy)
+            return
+        for dx in range(-ring, ring + 1):
+            yield (cx + dx, cy - ring)
+            yield (cx + dx, cy + ring)
+        for dy in range(-ring + 1, ring):
+            yield (cx - ring, cy + dy)
+            yield (cx + ring, cy + dy)
+
+
+class PeriodicKNNBaseline:
+    """Periodic re-search k-NN with answers held between refreshes."""
+
+    def __init__(
+        self,
+        db: MovingObjectDatabase,
+        query: Trajectory,
+        k: int,
+        period: float,
+        cell_size: float = 10.0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._db = db
+        self._query = query
+        self._k = k
+        self._period = period
+        self._cell_size = cell_size
+        self.refresh_count = 0
+
+    def _search_at(self, t: float) -> List[ObjectId]:
+        positions = self._db.snapshot(t)
+        self.refresh_count += 1
+        if not positions:
+            return []
+        index = UniformGridIndex(positions, cell_size=self._cell_size)
+        return index.knn(self._query.position(t), self._k)
+
+    def refresh_times(self, interval: Interval, update_times: Sequence[float] = ()) -> List[float]:
+        """Periodic refresh instants plus one per update."""
+        times: Set[float] = set()
+        t = interval.lo
+        while t <= interval.hi + 1e-12:
+            times.add(min(t, interval.hi))
+            t += self._period
+        for u in update_times:
+            if interval.lo <= u <= interval.hi:
+                times.add(u)
+        return sorted(times)
+
+    def snapshot_answer(
+        self, interval: Interval, update_times: Sequence[float] = ()
+    ) -> SnapshotAnswer:
+        """The baseline's (generally stale) piecewise-constant answer."""
+        times = self.refresh_times(interval, update_times)
+        per_object: Dict[ObjectId, List[Interval]] = {}
+        for idx, t in enumerate(times):
+            hold_until = times[idx + 1] if idx + 1 < len(times) else interval.hi
+            for oid in self._search_at(t):
+                per_object.setdefault(oid, []).append(Interval(t, hold_until))
+        return SnapshotAnswer(
+            {oid: IntervalSet(ivs) for oid, ivs in per_object.items()},
+            interval,
+        )
+
+
+def staleness(
+    baseline_answer: SnapshotAnswer,
+    exact_answer: SnapshotAnswer,
+    interval: Interval,
+    samples: int = 512,
+) -> float:
+    """Fraction of sampled instants where the answers disagree."""
+    times = interval.sample_points(samples)
+    wrong = sum(
+        1 for t in times if baseline_answer.at(t) != exact_answer.at(t)
+    )
+    return wrong / len(times)

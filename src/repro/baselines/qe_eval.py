@@ -1,0 +1,81 @@
+"""The Proposition 1 baseline: past queries via the Section 3 language.
+
+Evaluates distance queries by expressing them in the constraint query
+language and running the quantifier-elimination-style decision
+procedure (:class:`~repro.constraints.evaluator.TimelineEvaluator`).
+Exact, polynomial-time in the database size (Proposition 1) — and
+asymptotically much heavier than the plane sweep, which is the
+comparison the benchmarks draw.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.constraints.evaluator import TimelineEvaluator
+from repro.constraints.folq import (
+    DistCompare,
+    ExistsAt,
+    ExistsTime,
+    FOAnd,
+    ForAllObject,
+    FOOr,
+    FONot,
+)
+from repro.geometry.intervals import Interval
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ObjectId
+from repro.trajectory.trajectory import Trajectory
+
+#: Reserved identifier for the query trajectory inside formulas.
+QUERY_OID = "__query__"
+
+
+def one_nn_formula(interval: Interval, var: str = "y") -> ExistsTime:
+    """Example 4's 1-NN as a Section 3 formula.
+
+    ``exists t in [tau1, tau2]: y exists at t and
+    forall z: (z does not exist at t) or d(y,q) <= d(z,q)``.
+    """
+    body = FOAnd(
+        ExistsAt(var, "t"),
+        ForAllObject(
+            "z",
+            FOOr(
+                FONot(ExistsAt("z", "t")),
+                DistCompare(var, QUERY_OID, "<=", ("z", QUERY_OID), "t"),
+            ),
+        ),
+    )
+    return ExistsTime("t", body, within=(interval.lo, interval.hi))
+
+
+def within_formula(interval: Interval, threshold_sq: float, var: str = "y") -> ExistsTime:
+    """Example 11's range query as a Section 3 formula."""
+    body = DistCompare(var, QUERY_OID, "<=", float(threshold_sq), "t")
+    return ExistsTime("t", body, within=(interval.lo, interval.hi))
+
+
+def qe_one_nn(
+    db: MovingObjectDatabase, query: Trajectory, interval: Interval
+) -> Set[ObjectId]:
+    """Accumulative 1-NN answer via the QE-style evaluator."""
+    evaluator = TimelineEvaluator(db)
+    evaluator.add_query_trajectory(QUERY_OID, query)
+    return evaluator.answer(
+        one_nn_formula(interval), "y", env={QUERY_OID: QUERY_OID}
+    )
+
+
+def qe_within(
+    db: MovingObjectDatabase,
+    query: Trajectory,
+    interval: Interval,
+    threshold_sq: float,
+) -> Set[ObjectId]:
+    """Accumulative within-range answer via the QE-style evaluator."""
+    evaluator = TimelineEvaluator(db)
+    evaluator.add_query_trajectory(QUERY_OID, query)
+    return evaluator.answer(
+        within_formula(interval, threshold_sq), "y", env={QUERY_OID: QUERY_OID}
+    )

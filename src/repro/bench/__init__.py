@@ -1,0 +1,19 @@
+"""Benchmark support: timing, complexity-model fitting, table printing.
+
+The paper's evaluation is a set of asymptotic claims; the benchmarks in
+``benchmarks/`` measure runtimes and operation counts over parameter
+sweeps and fit them against the claimed complexity models with
+:mod:`repro.bench.fits`, printing paper-style result tables with
+:mod:`repro.bench.harness`.
+"""
+
+from repro.bench.fits import ComplexityFit, fit_model, best_model
+from repro.bench.harness import format_table, time_callable
+
+__all__ = [
+    "ComplexityFit",
+    "best_model",
+    "fit_model",
+    "format_table",
+    "time_callable",
+]

@@ -1,0 +1,105 @@
+"""Least-squares fits of measurements against complexity models.
+
+Each theorem benchmark collects ``(size, cost)`` pairs and asks which
+standard model — ``1``, ``log n``, ``n``, ``n log n``, ``n^2`` —
+explains them best.  The fit is one-parameter (``cost ~ a * model(n)``
+plus an intercept), scored by the coefficient of determination R^2;
+:func:`best_model` returns the models ranked by fit quality so a
+benchmark can assert, e.g., that per-update cost tracks ``log n``
+rather than ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+#: The candidate complexity models.
+MODELS: Dict[str, Callable[[float], float]] = {
+    "1": lambda n: 1.0,
+    "log n": lambda n: math.log(max(n, 2.0)),
+    "n": lambda n: n,
+    "n log n": lambda n: n * math.log(max(n, 2.0)),
+    "n^2": lambda n: n * n,
+}
+
+
+@dataclass(frozen=True)
+class ComplexityFit:
+    """A one-model fit result."""
+
+    model: str
+    scale: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, n: float) -> float:
+        """Predicted cost at size ``n``."""
+        return self.scale * MODELS[self.model](n) + self.intercept
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.model}: cost ~ {self.scale:.3g} * {self.model} + "
+            f"{self.intercept:.3g} (R^2 = {self.r_squared:.4f})"
+        )
+
+
+def fit_model(
+    sizes: Sequence[float], costs: Sequence[float], model: str
+) -> ComplexityFit:
+    """Least-squares fit of ``costs ~ a * model(sizes) + b``."""
+    if model not in MODELS:
+        raise ValueError(f"unknown model {model!r}; choose from {sorted(MODELS)}")
+    if len(sizes) != len(costs) or len(sizes) < 2:
+        raise ValueError("need at least two (size, cost) pairs")
+    fn = MODELS[model]
+    xs = [fn(float(n)) for n in sizes]
+    ys = [float(c) for c in costs]
+    count = len(xs)
+    mean_x = sum(xs) / count
+    mean_y = sum(ys) / count
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if var_x == 0.0:
+        scale, intercept = 0.0, mean_y
+    else:
+        scale = cov / var_x
+        intercept = mean_y - scale * mean_x
+    ss_res = sum(
+        (y - (scale * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return ComplexityFit(model, scale, intercept, r_squared)
+
+
+def best_model(
+    sizes: Sequence[float],
+    costs: Sequence[float],
+    models: Sequence[str] = ("1", "log n", "n", "n log n", "n^2"),
+) -> List[ComplexityFit]:
+    """All requested fits, best R^2 first.
+
+    Fits whose scale is negative (cost *decreasing* with size) are
+    ranked last regardless of R^2 — a shrinking model is never the
+    right complexity explanation.
+    """
+    fits = [fit_model(sizes, costs, m) for m in models]
+    return sorted(
+        fits,
+        key=lambda f: (f.scale < 0 and f.model != "1", -f.r_squared),
+    )
+
+
+def growth_ratio(
+    sizes: Sequence[float], costs: Sequence[float]
+) -> Tuple[float, float]:
+    """(size ratio, cost ratio) between the last and first measurement.
+
+    A quick sanity statistic: for an O(log n) quantity the cost ratio
+    stays near 1 while the size ratio is large; for O(n) they match.
+    """
+    if len(sizes) < 2:
+        raise ValueError("need at least two measurements")
+    return sizes[-1] / sizes[0], costs[-1] / max(costs[0], 1e-12)

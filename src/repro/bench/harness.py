@@ -1,0 +1,60 @@
+"""Timing helpers and paper-style result tables.
+
+``pytest-benchmark`` handles per-call statistics; what it does not do
+is parameter sweeps with derived columns (operation counts, fitted
+models) printed as a compact table.  :func:`format_table` renders those
+rows; :func:`time_callable` is a minimal repeat-and-take-best timer for
+sweep points that are too heavy to hand to pytest-benchmark wholesale.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence
+
+
+def time_callable(
+    fn: Callable[[], object],
+    repeats: int = 3,
+    warmup: int = 1,
+) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``fn()``."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned text table (printed into benchmark output)."""
+    cells: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

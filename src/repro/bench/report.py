@@ -1,0 +1,82 @@
+"""Collect benchmark result tables into one report.
+
+Every benchmark writes its fitted-complexity table under
+``benchmarks/results/``; this module gathers them into the single
+document EXPERIMENTS.md is curated from.  Usable as a library or as
+``python -m repro.bench.report [results_dir]``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+#: Presentation order matching DESIGN.md's experiment index.
+PREFERRED_ORDER = [
+    "fig1_exact_quadratic",
+    "fig1_approx_error",
+    "fig2_scenario",
+    "fig3_example12",
+    "theorem4_past",
+    "theorem5_init",
+    "theorem5_updates",
+    "corollary6_updates",
+    "theorem10_query_chdir",
+    "lemma9_queue",
+    "prop1_qe_baseline",
+    "baseline26_staleness",
+    "ablation_sweep_vs_naive",
+    "multiquery_amortization",
+]
+
+
+def collect_results(results_dir: pathlib.Path) -> Dict[str, str]:
+    """Read every ``*.txt`` table in the results directory."""
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    return {
+        path.stem: path.read_text().rstrip()
+        for path in sorted(results_dir.glob("*.txt"))
+    }
+
+
+def ordered_names(names) -> List[str]:
+    """Order result names by the experiment index, extras last."""
+    known = [n for n in PREFERRED_ORDER if n in names]
+    extras = sorted(n for n in names if n not in PREFERRED_ORDER)
+    return known + extras
+
+
+def render_report(results_dir: pathlib.Path, title: Optional[str] = None) -> str:
+    """One text document with every experiment table."""
+    tables = collect_results(results_dir)
+    if not tables:
+        return "(no benchmark results found — run pytest benchmarks/ --benchmark-only)"
+    lines: List[str] = []
+    lines.append(title or "Benchmark results (regenerated experiment tables)")
+    lines.append("=" * len(lines[0]))
+    for name in ordered_names(tables):
+        lines.append("")
+        lines.append(tables[name])
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: print the collected report."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    default = pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    results_dir = pathlib.Path(args[0]) if args else default
+    try:
+        print(render_report(results_dir))
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

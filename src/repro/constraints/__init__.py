@@ -1,0 +1,69 @@
+"""The Section 3 substrate: constraint databases and their query language.
+
+The paper models MODs as linear-constraint databases and discusses the
+classical evaluation route: ground object variables over the finite OID
+set, then eliminate real-variable quantifiers (Proposition 1).  This
+package provides that route end to end:
+
+- :mod:`repro.constraints.linear` — linear expressions and constraints
+  over named real variables;
+- :mod:`repro.constraints.fourier_motzkin` — exact Fourier-Motzkin
+  elimination (the linear-constraint quantifier-elimination engine);
+- :mod:`repro.constraints.regions` — convex spatial regions as
+  half-plane conjunctions (Example 3's Santa Barbara County);
+- :mod:`repro.constraints.folq` — the Section 3 first-order language
+  over time variables, with object quantifiers, spatial-region atoms,
+  and ``len``-based distance atoms;
+- :mod:`repro.constraints.evaluator` — a decision procedure for the
+  grounded language (cell decomposition over the time line), yielding
+  exact answers for past queries;
+- :mod:`repro.constraints.classify` — the sound-but-necessarily-
+  incomplete past/continuing/future classifier (exact classification is
+  undecidable: Theorem 2).
+"""
+
+from repro.constraints.classify import QueryClass, classify_interval_query
+from repro.constraints.evaluator import TimelineEvaluator
+from repro.constraints.folq import (
+    DistCompare,
+    ExistsObject,
+    ExistsTime,
+    FOAnd,
+    FOFormula,
+    FONot,
+    FOOr,
+    ForAllObject,
+    ForAllTime,
+    HeadingCompare,
+    InRegion,
+    TimeCompare,
+)
+from repro.constraints.fourier_motzkin import eliminate_variable, eliminate_variables
+from repro.constraints.linear import LinearConstraint, LinearExpr
+from repro.constraints.regions import Region, box, halfplane_region, polygon
+
+__all__ = [
+    "DistCompare",
+    "ExistsObject",
+    "ExistsTime",
+    "FOAnd",
+    "FOFormula",
+    "FONot",
+    "FOOr",
+    "ForAllObject",
+    "ForAllTime",
+    "HeadingCompare",
+    "InRegion",
+    "LinearConstraint",
+    "LinearExpr",
+    "QueryClass",
+    "Region",
+    "TimeCompare",
+    "TimelineEvaluator",
+    "box",
+    "classify_interval_query",
+    "eliminate_variable",
+    "eliminate_variables",
+    "halfplane_region",
+    "polygon",
+]

@@ -1,0 +1,113 @@
+"""Past / continuing / future classification (Definitions 4-5).
+
+Theorem 2 proves that deciding whether a query is *past* with respect
+to a MOD is undecidable (by reduction from the halting problem), so no
+classifier can be exact.  What *is* computable — and what this module
+provides — is the classification for **interval-bounded FO(f)
+queries**, where validity admits a clean characterization:
+
+- everything determined by the trajectory history up to the database's
+  last update time ``tau`` is immutable (updates never rewrite the
+  past), while
+- everything after ``tau`` is a prediction: a ``chdir``/``terminate``/
+  ``new`` at any time ``> tau`` can change it.
+
+For the accumulative answer ``Q^E`` of an FO(f) query this yields a
+*sound under-approximation* of the valid answer: an object whose
+membership is witnessed at some time ``<= tau`` is valid; membership
+witnessed only at predicted times may be revoked.  (For 1-NN it is
+exact under the open universe of updates: a new object can always be
+created closer, revoking any predicted-only membership; a formal
+statement and its boundary are exercised in the tests.)
+
+The general undecidability lives in queries that inspect unbounded
+future structure; the reduction encodes Turing machine configurations
+in insertion order — see ``tests/constraints/test_classify.py`` for a
+demonstration of the construction's shape.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Set
+
+from repro.geometry.intervals import Interval
+from repro.gdist.base import GDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ObjectId
+from repro.baselines.naive import naive_query_answer
+from repro.query.query import Query
+
+
+class QueryClass(enum.Enum):
+    """Definition 5's trichotomy."""
+
+    PAST = "past"
+    CONTINUING = "continuing"
+    FUTURE = "future"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Outcome of classifying a query against a MOD."""
+
+    query_class: QueryClass
+    #: The predicted (full-interval) accumulative answer Q(D).
+    predicted: frozenset
+    #: The valid part Q^v(D): membership witnessed at or before tau.
+    valid: frozenset
+
+    @property
+    def predicted_only(self) -> frozenset:
+        """Objects whose membership is only a prediction."""
+        return self.predicted - self.valid
+
+
+def classify_interval_query(
+    db: MovingObjectDatabase,
+    gdistance: GDistance,
+    query: Query,
+) -> Classification:
+    """Classify an FO(f) query under the accumulative semantics.
+
+    The query interval is split at ``tau`` (the last update time): the
+    committed part ``[lo, min(hi, tau)]`` determines the valid answer;
+    the full interval determines the predicted answer ``Q(D)``.
+    Following Definition 5:
+
+    - ``PAST`` when ``Q(D) = Q^v(D)`` (in particular whenever the whole
+      interval is committed),
+    - ``FUTURE`` when they differ and no answer is valid,
+    - ``CONTINUING`` when they differ and some answers are valid.
+    """
+    interval = query.interval
+    if not interval.is_bounded:
+        raise ValueError("classification requires a bounded query interval")
+    tau = db.last_update_time
+    predicted = frozenset(
+        naive_query_answer(db, gdistance, query).accumulative()
+    )
+    if interval.hi <= tau:
+        committed: Set[ObjectId] = set(predicted)
+    elif interval.lo > tau:
+        committed = set()
+    else:
+        committed_query = Query(
+            query.var,
+            Interval(interval.lo, tau),
+            query.formula,
+            query.time_terms,
+            query.description,
+        )
+        committed = set(
+            naive_query_answer(db, gdistance, committed_query).accumulative()
+        )
+    valid = frozenset(committed & predicted)
+    if valid == predicted:
+        query_class = QueryClass.PAST
+    elif valid:
+        query_class = QueryClass.CONTINUING
+    else:
+        query_class = QueryClass.FUTURE
+    return Classification(query_class, predicted, valid)

@@ -1,0 +1,497 @@
+"""A decision procedure for the Section 3 language over one time line.
+
+After grounding object variables over the finite OID universe, every
+atom of the normal-form language is a *unary* predicate of one time
+variable (region membership, squared-distance comparison, velocity
+bound, existence) or an order comparison between time variables.  All
+unary predicates are semialgebraic subsets of the same real line, so:
+
+1. collect the **critical points** of every grounded atom instance —
+   polynomial roots, trajectory piece boundaries, lifetime endpoints —
+   plus all time constants in the formula;
+2. partition the line into **cells**: the critical points and the open
+   intervals between consecutive ones (atom truth is constant on each
+   cell);
+3. evaluate quantifiers over cells.  Variables assigned to the same
+   open cell are ordered symbolically (dense orders realize any
+   ordering), so nested comparisons like Example 3's
+   ``t' < t'' < t`` are decided exactly.
+
+This is the "quantifier elimination" evaluation route of
+Proposition 1, specialized to the one-dimensional structure the
+grounded language actually has; its cost is polynomial in the database
+size for a fixed query, matching the proposition.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.constraints.folq import (
+    DistCompare,
+    ExistsAt,
+    ExistsObject,
+    ExistsTime,
+    FOAnd,
+    FOFormula,
+    FONot,
+    FOOr,
+    ForAllObject,
+    ForAllTime,
+    HeadingCompare,
+    InRegion,
+    ObjectEquals,
+    TimeCompare,
+    VelCompare,
+)
+from repro.geometry.poly import Polynomial
+from repro.geometry.roots import real_roots
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ObjectId
+from repro.trajectory.trajectory import Trajectory
+
+_EQ_ATOL = 1e-9
+
+
+def _compare(value: float, op: str, bound: float) -> bool:
+    if op == "<":
+        return value < bound - _EQ_ATOL
+    if op == "<=":
+        return value <= bound + _EQ_ATOL
+    if op == "=":
+        return abs(value - bound) <= _EQ_ATOL
+    if op == ">=":
+        return value >= bound - _EQ_ATOL
+    return value > bound + _EQ_ATOL
+
+
+class _Cell:
+    """One cell of the line decomposition."""
+
+    __slots__ = ("index", "is_point", "lo", "hi", "representative")
+
+    def __init__(self, index: int, is_point: bool, lo: float, hi: float) -> None:
+        self.index = index
+        self.is_point = is_point
+        self.lo = lo
+        self.hi = hi
+        if is_point:
+            self.representative = lo
+        elif math.isinf(lo) and math.isinf(hi):
+            self.representative = 0.0
+        elif math.isinf(lo):
+            self.representative = hi - 1.0
+        elif math.isinf(hi):
+            self.representative = lo + 1.0
+        else:
+            self.representative = (lo + hi) / 2.0
+
+    def within_window(self, lo: float, hi: float) -> bool:
+        """Whether the cell lies inside the closed window ``[lo, hi]``.
+
+        Window bounds are always criticals (hence point cells), so an
+        open cell is either fully inside or fully outside the window —
+        containment is the right test for both kinds.
+        """
+        if self.is_point:
+            return lo <= self.lo <= hi
+        return lo <= self.lo and self.hi <= hi
+
+
+class _Assignment:
+    """Immutable assignment of time variables to cells with symbolic
+    ordering of variables sharing an open cell."""
+
+    __slots__ = ("positions", "cell_groups")
+
+    def __init__(
+        self,
+        positions: Dict[str, Tuple[int, Optional[int]]],
+        cell_groups: Dict[int, Tuple[int, ...]],
+    ) -> None:
+        # positions: var -> (cell index, group id or None for point cells)
+        self.positions = positions
+        # cell_groups: open-cell index -> ordered group ids
+        self.cell_groups = cell_groups
+
+    @staticmethod
+    def empty() -> "_Assignment":
+        return _Assignment({}, {})
+
+    def place_point(self, var: str, cell: _Cell) -> "_Assignment":
+        positions = dict(self.positions)
+        positions[var] = (cell.index, None)
+        return _Assignment(positions, self.cell_groups)
+
+    def placements_in_open_cell(self, var: str, cell: _Cell, counter: itertools.count):
+        """All symbolic placements of ``var`` in an open cell: joining an
+        existing group (equal to its members) or a new group in any gap."""
+        groups = self.cell_groups.get(cell.index, ())
+        # Join an existing group.
+        for gid in groups:
+            positions = dict(self.positions)
+            positions[var] = (cell.index, gid)
+            yield _Assignment(positions, self.cell_groups)
+        # A fresh group in each gap.
+        for gap in range(len(groups) + 1):
+            gid = next(counter)
+            ordered = groups[:gap] + (gid,) + groups[gap:]
+            positions = dict(self.positions)
+            positions[var] = (cell.index, gid)
+            cell_groups = dict(self.cell_groups)
+            cell_groups[cell.index] = ordered
+            yield _Assignment(positions, cell_groups)
+
+    def compare(self, left: Tuple[int, Optional[int]], right: Tuple[int, Optional[int]]) -> int:
+        """-1 / 0 / +1 ordering of two placed positions."""
+        (lc, lg), (rc, rg) = left, right
+        if lc != rc:
+            return -1 if lc < rc else 1
+        if lg is None and rg is None:
+            return 0
+        if lg == rg:
+            return 0
+        order = self.cell_groups[lc]
+        li, ri = order.index(lg), order.index(rg)
+        return -1 if li < ri else 1
+
+
+class TimelineEvaluator:
+    """Evaluate Section 3 formulas against a MOD."""
+
+    def __init__(self, db: MovingObjectDatabase) -> None:
+        self._db = db
+        self._trajectories: Dict[ObjectId, Trajectory] = dict(db.all_items())
+        self._universe: List[ObjectId] = sorted(self._trajectories, key=str)
+        self._atom_criticals: Dict[tuple, List[float]] = {}
+
+    # -- public API ----------------------------------------------------------
+    @property
+    def universe(self) -> List[ObjectId]:
+        """The quantification universe: the database's objects (live and
+        terminated).  Auxiliary query trajectories are excluded."""
+        return list(self._universe)
+
+    def add_query_trajectory(self, oid: ObjectId, trajectory: Trajectory) -> None:
+        """Register an auxiliary trajectory (the paper's query
+        trajectory ``gamma``): usable in atoms via its identifier, but
+        not part of the quantification universe."""
+        if oid in self._trajectories:
+            raise ValueError(f"{oid!r} already names a database object")
+        self._trajectories[oid] = trajectory
+
+    def truth(self, formula: FOFormula, env: Optional[Dict[str, ObjectId]] = None) -> bool:
+        """Truth of a sentence (no free time variables; free object
+        variables must be bound by ``env``)."""
+        env = dict(env or {})
+        if formula.free_time_vars():
+            raise ValueError(
+                f"free time variables: {set(formula.free_time_vars())}"
+            )
+        unbound = formula.free_object_vars() - set(env)
+        if unbound:
+            raise ValueError(f"unbound object variables: {unbound}")
+        cells = self._build_cells(formula, env)
+        counter = itertools.count()
+        return self._eval(formula, env, _Assignment.empty(), cells, counter)
+
+    def answer(
+        self,
+        formula: FOFormula,
+        var: str,
+        env: Optional[Dict[str, ObjectId]] = None,
+    ) -> Set[ObjectId]:
+        """Objects ``o`` such that ``formula[var := o]`` is true."""
+        out: Set[ObjectId] = set()
+        for oid in self.universe:
+            bound = dict(env or {})
+            bound[var] = oid
+            if self.truth(formula, bound):
+                out.add(oid)
+        return out
+
+    # -- cell construction ------------------------------------------------------
+    def _build_cells(self, formula: FOFormula, env: Dict[str, ObjectId]) -> List[_Cell]:
+        criticals: Set[float] = set(formula.time_constants())
+        self._collect_criticals(formula, env, criticals)
+        points = sorted(criticals)
+        cells: List[_Cell] = []
+        index = 0
+        previous = -math.inf
+        for p in points:
+            if p > previous:
+                cells.append(_Cell(index, False, previous, p))
+                index += 1
+            cells.append(_Cell(index, True, p, p))
+            index += 1
+            previous = p
+        cells.append(_Cell(index, False, previous, math.inf))
+        return cells
+
+    def _collect_criticals(
+        self, formula: FOFormula, env: Dict[str, ObjectId], out: Set[float]
+    ) -> None:
+        """Add the critical points of every possible grounding of every
+        atom reachable in ``formula``."""
+        if isinstance(formula, (FOAnd, FOOr)):
+            for child in formula.children:
+                self._collect_criticals(child, env, out)
+        elif isinstance(formula, FONot):
+            self._collect_criticals(formula.body, env, out)
+        elif isinstance(formula, (ExistsTime, ForAllTime)):
+            if formula.within is not None:
+                out.update(formula.within)
+            self._collect_criticals(formula.body, env, out)
+        elif isinstance(formula, (ExistsObject, ForAllObject)):
+            # The bound variable may take any OID: union over all.
+            for oid in self.universe:
+                env_child = dict(env)
+                env_child[formula.var] = oid
+                self._collect_criticals(formula.body, env_child, out)
+        elif isinstance(
+            formula, (ExistsAt, InRegion, DistCompare, VelCompare, HeadingCompare)
+        ):
+            for oids in self._groundings(formula, env):
+                out.update(self._atom_critical_points(formula, oids))
+        elif isinstance(formula, (TimeCompare, ObjectEquals)):
+            pass
+        else:  # pragma: no cover
+            raise TypeError(f"unknown formula node: {formula!r}")
+
+    def _groundings(self, atom: FOFormula, env: Dict[str, ObjectId]):
+        """All OID tuples for the atom's object variables, respecting
+        variables already bound in ``env``."""
+        variables = sorted(atom.free_object_vars())
+        choices = [
+            [env[v]] if v in env else self.universe for v in variables
+        ]
+        for combo in itertools.product(*choices):
+            yield dict(zip(variables, combo))
+
+    # -- atom machinery ----------------------------------------------------------
+    def _trajectory(self, oid: ObjectId) -> Trajectory:
+        try:
+            return self._trajectories[oid]
+        except KeyError:
+            raise KeyError(f"unknown object {oid!r}") from None
+
+    def _atom_critical_points(self, atom: FOFormula, oids: Dict[str, ObjectId]) -> List[float]:
+        key = self._atom_key(atom, oids)
+        cached = self._atom_criticals.get(key)
+        if cached is not None:
+            return cached
+        points: List[float] = []
+        if isinstance(atom, ExistsAt):
+            dom = self._trajectory(oids[atom.obj]).domain
+            points.extend(b for b in (dom.lo, dom.hi) if math.isfinite(b))
+        elif isinstance(atom, InRegion):
+            traj = self._trajectory(oids[atom.obj])
+            dom = traj.domain
+            points.extend(b for b in (dom.lo, dom.hi) if math.isfinite(b))
+            names = [f"x{i}" for i in range(traj.dimension)]
+            for piece in traj.pieces:
+                for b in (piece.interval.lo, piece.interval.hi):
+                    if math.isfinite(b):
+                        points.append(b)
+                for plane in atom.region.halfplanes:
+                    # n . (v t + o) - b : linear in t.
+                    slope = sum(
+                        n * v for n, v in zip(plane.normal, piece.velocity)
+                    )
+                    const = (
+                        sum(n * o for n, o in zip(plane.normal, piece.offset))
+                        - plane.offset
+                    )
+                    poly = Polynomial([const, slope])
+                    if not poly.is_constant:
+                        points.extend(
+                            r
+                            for r in real_roots(poly)
+                            if piece.interval.contains(r, atol=1e-9)
+                        )
+        elif isinstance(atom, DistCompare):
+            lhs = self._sqdist(oids[atom.a], oids[atom.b])
+            if isinstance(atom.rhs, tuple):
+                rhs = self._sqdist(oids[atom.rhs[0]], oids[atom.rhs[1]])
+                diff = lhs - rhs if lhs.domain.intersect(rhs.domain) else None
+            else:
+                diff = lhs.plus_constant(-float(atom.rhs))
+            if diff is not None:
+                dom = diff.domain
+                points.extend(b for b in (dom.lo, dom.hi) if math.isfinite(b))
+                for interval, poly in diff.pieces:
+                    for b in (interval.lo, interval.hi):
+                        if math.isfinite(b):
+                            points.append(b)
+                    if not poly.is_zero and not poly.is_constant:
+                        points.extend(
+                            r
+                            for r in real_roots(poly)
+                            if interval.contains(r, atol=1e-9)
+                        )
+        elif isinstance(atom, (VelCompare, HeadingCompare)):
+            # Velocity (hence heading) is constant per piece: the only
+            # critical points are piece boundaries and lifetime ends.
+            traj = self._trajectory(oids[atom.obj])
+            dom = traj.domain
+            points.extend(b for b in (dom.lo, dom.hi) if math.isfinite(b))
+            for piece in traj.pieces:
+                for b in (piece.interval.lo, piece.interval.hi):
+                    if math.isfinite(b):
+                        points.append(b)
+        self._atom_criticals[key] = points
+        return points
+
+    def _sqdist(self, a: ObjectId, b: ObjectId):
+        return self._trajectory(a).squared_distance_to(self._trajectory(b))
+
+    @staticmethod
+    def _atom_key(atom: FOFormula, oids: Dict[str, ObjectId]) -> tuple:
+        return (type(atom).__name__, atom, tuple(sorted(oids.items(), key=lambda kv: kv[0])))
+
+    def _atom_truth_at(self, atom: FOFormula, env: Dict[str, ObjectId], t: float) -> bool:
+        if isinstance(atom, ExistsAt):
+            return self._trajectory(env[atom.obj]).defined_at(t)
+        if isinstance(atom, InRegion):
+            traj = self._trajectory(env[atom.obj])
+            if not traj.defined_at(t):
+                return False
+            return atom.region.contains(traj.position(t))
+        if isinstance(atom, DistCompare):
+            involved = [env[atom.a], env[atom.b]]
+            if isinstance(atom.rhs, tuple):
+                involved.extend(env[v] for v in atom.rhs)
+            if any(not self._trajectory(o).defined_at(t) for o in involved):
+                return False
+            lhs = (
+                self._trajectory(env[atom.a]).position(t)
+                - self._trajectory(env[atom.b]).position(t)
+            ).norm_squared()
+            if isinstance(atom.rhs, tuple):
+                rhs = (
+                    self._trajectory(env[atom.rhs[0]]).position(t)
+                    - self._trajectory(env[atom.rhs[1]]).position(t)
+                ).norm_squared()
+            else:
+                rhs = float(atom.rhs)
+            return _compare(lhs, atom.op, rhs)
+        if isinstance(atom, VelCompare):
+            traj = self._trajectory(env[atom.obj])
+            if not traj.defined_at(t):
+                return False
+            return _compare(traj.velocity(t)[atom.axis], atom.op, atom.bound)
+        if isinstance(atom, HeadingCompare):
+            traj = self._trajectory(env[atom.obj])
+            if not traj.defined_at(t):
+                return False
+            velocity = traj.velocity(t)
+            if velocity.is_zero():
+                return False  # a stationary object has no heading
+            from repro.geometry.vectors import Vector
+
+            direction = Vector(atom.direction).normalized()
+            cosine = velocity.normalized().dot(direction)
+            return _compare(cosine, atom.op, atom.bound)
+        raise TypeError(f"not a unary atom: {atom!r}")  # pragma: no cover
+
+    # -- recursive evaluation --------------------------------------------------------
+    def _eval(
+        self,
+        formula: FOFormula,
+        env: Dict[str, ObjectId],
+        assignment: _Assignment,
+        cells: List[_Cell],
+        counter: itertools.count,
+    ) -> bool:
+        if isinstance(formula, FOAnd):
+            return all(
+                self._eval(c, env, assignment, cells, counter)
+                for c in formula.children
+            )
+        if isinstance(formula, FOOr):
+            return any(
+                self._eval(c, env, assignment, cells, counter)
+                for c in formula.children
+            )
+        if isinstance(formula, FONot):
+            return not self._eval(formula.body, env, assignment, cells, counter)
+        if isinstance(formula, ExistsObject):
+            for oid in self.universe:
+                child_env = dict(env)
+                child_env[formula.var] = oid
+                if self._eval(formula.body, child_env, assignment, cells, counter):
+                    return True
+            return False
+        if isinstance(formula, ForAllObject):
+            for oid in self.universe:
+                child_env = dict(env)
+                child_env[formula.var] = oid
+                if not self._eval(formula.body, child_env, assignment, cells, counter):
+                    return False
+            return True
+        if isinstance(formula, ExistsTime):
+            return self._eval_exists_time(formula, env, assignment, cells, counter)
+        if isinstance(formula, ForAllTime):
+            flipped = ExistsTime(formula.var, FONot(formula.body), formula.within)
+            return not self._eval(flipped, env, assignment, cells, counter)
+        if isinstance(formula, TimeCompare):
+            return self._eval_time_compare(formula, assignment, cells)
+        if isinstance(formula, ObjectEquals):
+            return env[formula.left] == env[formula.right]
+        # Unary atom: resolve its time reference.
+        t = self._resolve_time(formula.time, assignment, cells)
+        return self._atom_truth_at(formula, env, t)
+
+    def _eval_exists_time(self, formula, env, assignment, cells, counter) -> bool:
+        lo, hi = (-math.inf, math.inf) if formula.within is None else formula.within
+        for cell in cells:
+            if not cell.within_window(lo, hi):
+                continue
+            if cell.is_point:
+                candidate = assignment.place_point(formula.var, cell)
+                if self._eval(formula.body, env, candidate, cells, counter):
+                    return True
+            else:
+                for candidate in assignment.placements_in_open_cell(
+                    formula.var, cell, counter
+                ):
+                    if self._eval(formula.body, env, candidate, cells, counter):
+                        return True
+        return False
+
+    def _resolve_time(self, ref, assignment: _Assignment, cells: List[_Cell]) -> float:
+        if isinstance(ref, str):
+            cell_index, _ = assignment.positions[ref]
+            return cells[cell_index].representative
+        return float(ref)
+
+    def _position_of(self, ref, assignment: _Assignment, cells: List[_Cell]):
+        if isinstance(ref, str):
+            return assignment.positions[ref]
+        value = float(ref)
+        # Constants are criticals, so they land on point cells.
+        for cell in cells:
+            if cell.is_point and cell.lo == value:
+                return (cell.index, None)
+        # A constant that never became a critical (no atom mentions it):
+        # locate the open cell containing it.
+        for cell in cells:
+            if not cell.is_point and cell.lo < value < cell.hi:
+                return (cell.index, None)
+        raise AssertionError(f"constant {value} not locatable")  # pragma: no cover
+
+    def _eval_time_compare(self, formula: TimeCompare, assignment: _Assignment, cells) -> bool:
+        left = self._position_of(formula.left, assignment, cells)
+        right = self._position_of(formula.right, assignment, cells)
+        order = assignment.compare(left, right)
+        if formula.op == "<":
+            return order < 0
+        if formula.op == "<=":
+            return order <= 0
+        if formula.op == "=":
+            return order == 0
+        if formula.op == ">=":
+            return order >= 0
+        return order > 0

@@ -1,0 +1,348 @@
+"""The Section 3 constraint query language (restricted normal form).
+
+The paper's language is first-order logic over a MOD with atoms
+``O(y)`` and ``T(y, t, x)``, vector functions ``len``/``unit``, and
+``vel``.  Because ``T`` is *functional* — an object occupies exactly
+one location at each instant — every vector variable bound by a
+``T``-atom can be eliminated by substituting the trajectory's
+piecewise-linear law.  We therefore provide the language in the
+substituted normal form, whose atoms are directly about objects and
+time variables:
+
+- :class:`ExistsAt` — ``exists x . T(y, tv, x)``: the object exists;
+- :class:`InRegion` — the object's location at ``tv`` lies in a convex
+  region (a conjunction of half-planes, Example 3's shape);
+- :class:`DistCompare` — comparison of two squared ``len`` distances
+  (or one against a constant) at the same time variable, Example 4's
+  shape (squared, so atoms stay polynomial);
+- :class:`VelCompare` — comparison of a velocity component at ``tv``
+  against a constant (the paper's ``vel`` function);
+- :class:`TimeCompare` — order between time variables and constants.
+
+Formulas close these under and/or/not and quantifiers over time
+variables and object variables.  Nested time quantifiers (Example 3's
+``exists t' forall t''``) are fully supported by the cell-decomposition
+evaluator in :mod:`repro.constraints.evaluator`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Set, Tuple, Union
+
+from repro.constraints.regions import Region
+
+TimeRef = Union[str, float]  # a time variable name or a constant
+
+
+class FOFormula(abc.ABC):
+    """A formula of the (normal-form) Section 3 language."""
+
+    @abc.abstractmethod
+    def free_object_vars(self) -> FrozenSet[str]:
+        """Free object variables."""
+
+    @abc.abstractmethod
+    def free_time_vars(self) -> FrozenSet[str]:
+        """Free time variables."""
+
+    @abc.abstractmethod
+    def time_constants(self) -> FrozenSet[float]:
+        """Time constants appearing anywhere in the formula."""
+
+    def __and__(self, other: "FOFormula") -> "FOFormula":
+        return FOAnd(self, other)
+
+    def __or__(self, other: "FOFormula") -> "FOFormula":
+        return FOOr(self, other)
+
+    def __invert__(self) -> "FOFormula":
+        return FONot(self)
+
+
+def _time_vars_of(ref: TimeRef) -> Set[str]:
+    return {ref} if isinstance(ref, str) else set()
+
+
+def _time_consts_of(ref: TimeRef) -> Set[float]:
+    return {float(ref)} if not isinstance(ref, str) else set()
+
+
+# ---------------------------------------------------------------------------
+# Atoms
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExistsAt(FOFormula):
+    """The object bound to ``obj`` exists (is located) at time ``time``."""
+
+    obj: str
+    time: TimeRef
+
+    def free_object_vars(self):
+        return frozenset({self.obj})
+
+    def free_time_vars(self):
+        return frozenset(_time_vars_of(self.time))
+
+    def time_constants(self):
+        return frozenset(_time_consts_of(self.time))
+
+
+@dataclass(frozen=True)
+class InRegion(FOFormula):
+    """The object's position at ``time`` lies inside ``region``.
+
+    False when the object does not exist at that time.
+    """
+
+    obj: str
+    time: TimeRef
+    region: Region
+
+    def free_object_vars(self):
+        return frozenset({self.obj})
+
+    def free_time_vars(self):
+        return frozenset(_time_vars_of(self.time))
+
+    def time_constants(self):
+        return frozenset(_time_consts_of(self.time))
+
+
+@dataclass(frozen=True)
+class DistCompare(FOFormula):
+    """``len(pos(a) - pos(b))^2  op  rhs`` at one time variable.
+
+    ``rhs`` is either a squared-distance pair ``(c, d)`` or a constant
+    (already squared).  False when any involved object does not exist
+    at the time.
+    """
+
+    a: str
+    b: str
+    op: str  # '<', '<=', '=', '>=', '>'
+    rhs: Union[Tuple[str, str], float]
+    time: TimeRef
+
+    def __post_init__(self):
+        if self.op not in ("<", "<=", "=", ">=", ">"):
+            raise ValueError(f"unknown predicate {self.op!r}")
+
+    def free_object_vars(self):
+        out = {self.a, self.b}
+        if isinstance(self.rhs, tuple):
+            out.update(self.rhs)
+        return frozenset(out)
+
+    def free_time_vars(self):
+        return frozenset(_time_vars_of(self.time))
+
+    def time_constants(self):
+        return frozenset(_time_consts_of(self.time))
+
+
+@dataclass(frozen=True)
+class VelCompare(FOFormula):
+    """``vel(obj).axis  op  bound`` at one time variable.
+
+    Realizes the paper's ``vel`` function: the derivative of a
+    coordinate of the trajectory.  False when the object does not exist
+    at the time.
+    """
+
+    obj: str
+    axis: int
+    op: str
+    bound: float
+    time: TimeRef
+
+    def __post_init__(self):
+        if self.op not in ("<", "<=", "=", ">=", ">"):
+            raise ValueError(f"unknown predicate {self.op!r}")
+
+    def free_object_vars(self):
+        return frozenset({self.obj})
+
+    def free_time_vars(self):
+        return frozenset(_time_vars_of(self.time))
+
+    def time_constants(self):
+        return frozenset(_time_consts_of(self.time))
+
+
+@dataclass(frozen=True)
+class HeadingCompare(FOFormula):
+    """``unit(vel(obj)) . direction  op  bound`` at one time variable.
+
+    Realizes the paper's ``unit`` function for the motion-direction
+    queries it motivates: the cosine between the object's heading and a
+    fixed direction is compared against a bound (e.g. ``>= cos(45deg)``
+    for "heading roughly east").  False when the object does not exist
+    at the time or is stationary there (no heading).
+    """
+
+    obj: str
+    direction: Tuple[float, ...]
+    op: str
+    bound: float
+    time: TimeRef
+
+    def __post_init__(self):
+        if self.op not in ("<", "<=", "=", ">=", ">"):
+            raise ValueError(f"unknown predicate {self.op!r}")
+        norm = sum(c * c for c in self.direction) ** 0.5
+        if norm == 0.0:
+            raise ValueError("direction must be a nonzero vector")
+
+    def free_object_vars(self):
+        return frozenset({self.obj})
+
+    def free_time_vars(self):
+        return frozenset(_time_vars_of(self.time))
+
+    def time_constants(self):
+        return frozenset(_time_consts_of(self.time))
+
+
+@dataclass(frozen=True)
+class TimeCompare(FOFormula):
+    """Order comparison between time variables and/or constants."""
+
+    left: TimeRef
+    op: str
+    right: TimeRef
+
+    def __post_init__(self):
+        if self.op not in ("<", "<=", "=", ">=", ">"):
+            raise ValueError(f"unknown predicate {self.op!r}")
+
+    def free_object_vars(self):
+        return frozenset()
+
+    def free_time_vars(self):
+        return frozenset(_time_vars_of(self.left) | _time_vars_of(self.right))
+
+    def time_constants(self):
+        return frozenset(_time_consts_of(self.left) | _time_consts_of(self.right))
+
+
+@dataclass(frozen=True)
+class ObjectEquals(FOFormula):
+    """Equality of two object variables."""
+
+    left: str
+    right: str
+
+    def free_object_vars(self):
+        return frozenset({self.left, self.right})
+
+    def free_time_vars(self):
+        return frozenset()
+
+    def time_constants(self):
+        return frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Connectives and quantifiers
+# ---------------------------------------------------------------------------
+class _Compound(FOFormula):
+    def __init__(self, *children: FOFormula) -> None:
+        if not children:
+            raise ValueError("connectives need at least one operand")
+        self.children = children
+
+    def free_object_vars(self):
+        out: Set[str] = set()
+        for c in self.children:
+            out |= c.free_object_vars()
+        return frozenset(out)
+
+    def free_time_vars(self):
+        out: Set[str] = set()
+        for c in self.children:
+            out |= c.free_time_vars()
+        return frozenset(out)
+
+    def time_constants(self):
+        out: Set[float] = set()
+        for c in self.children:
+            out |= c.time_constants()
+        return frozenset(out)
+
+
+class FOAnd(_Compound):
+    """Conjunction."""
+
+
+class FOOr(_Compound):
+    """Disjunction."""
+
+
+class FONot(FOFormula):
+    """Negation."""
+
+    def __init__(self, body: FOFormula) -> None:
+        self.body = body
+
+    def free_object_vars(self):
+        return self.body.free_object_vars()
+
+    def free_time_vars(self):
+        return self.body.free_time_vars()
+
+    def time_constants(self):
+        return self.body.time_constants()
+
+
+class _TimeQuantifier(FOFormula):
+    def __init__(self, var: str, body: FOFormula, within: Optional[Tuple[float, float]] = None) -> None:
+        """``within`` optionally bounds the quantified variable to a
+        closed interval (syntactic sugar for conjoined TimeCompares)."""
+        self.var = var
+        self.body = body
+        self.within = within
+
+    def free_object_vars(self):
+        return self.body.free_object_vars()
+
+    def free_time_vars(self):
+        return self.body.free_time_vars() - {self.var}
+
+    def time_constants(self):
+        out = set(self.body.time_constants())
+        if self.within is not None:
+            out.update(self.within)
+        return frozenset(out)
+
+
+class ExistsTime(_TimeQuantifier):
+    """Existential quantification over a time variable."""
+
+
+class ForAllTime(_TimeQuantifier):
+    """Universal quantification over a time variable."""
+
+
+class _ObjectQuantifier(FOFormula):
+    def __init__(self, var: str, body: FOFormula) -> None:
+        self.var = var
+        self.body = body
+
+    def free_object_vars(self):
+        return self.body.free_object_vars() - {self.var}
+
+    def free_time_vars(self):
+        return self.body.free_time_vars()
+
+    def time_constants(self):
+        return self.body.time_constants()
+
+
+class ExistsObject(_ObjectQuantifier):
+    """Existential quantification over the object universe ``O``."""
+
+
+class ForAllObject(_ObjectQuantifier):
+    """Universal quantification over the object universe ``O``."""

@@ -1,0 +1,147 @@
+"""Fourier-Motzkin elimination: exact quantifier elimination for
+conjunctions of linear constraints.
+
+This is the workhorse behind "evaluating constraint queries by
+quantifier elimination" (Section 3, citing [7, 2, 24] — those achieve
+better asymptotics, but FM is exact and entirely adequate for the
+region-emptiness and projection checks this reproduction needs).
+
+Eliminating ``x`` from a conjunction:
+
+1. equalities mentioning ``x`` let us *substitute* ``x`` away exactly;
+2. otherwise split the inequalities into lower bounds ``l <= x`` (or
+   ``<``), upper bounds ``x <= u``, and constraints without ``x``;
+3. the projection keeps the ``x``-free constraints plus one combined
+   constraint ``l <= u`` (strict if either side was strict) for every
+   lower/upper pair.
+
+The output is satisfiable over the reals iff the input is — FM is a
+complete decision procedure for linear arithmetic conjunctions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.constraints.linear import LinearConstraint, LinearExpr
+
+
+def eliminate_variable(
+    constraints: Sequence[LinearConstraint], var: str
+) -> List[LinearConstraint]:
+    """Project a conjunction onto the complement of ``var``."""
+    items = list(constraints)
+    # Prefer substitution through an equality: exact and size-friendly.
+    for idx, constraint in enumerate(items):
+        coeff = constraint.expr.coefficient(var)
+        if constraint.predicate == "=" and coeff != 0.0:
+            # expr = 0  with  expr = coeff*var + rest  ->  var = -rest/coeff
+            rest = LinearExpr.build(
+                {v: c for v, c in constraint.expr.coeffs if v != var},
+                constraint.expr.constant,
+            )
+            replacement = rest.scaled(-1.0 / coeff)
+            return [
+                c.substitute(var, replacement)
+                for j, c in enumerate(items)
+                if j != idx
+            ]
+
+    kept: List[LinearConstraint] = []
+    lowers: List[tuple] = []  # (expr_bound, strict): expr_bound <=/< var
+    uppers: List[tuple] = []  # (expr_bound, strict): var <=/< expr_bound
+    for constraint in items:
+        coeff = constraint.expr.coefficient(var)
+        if coeff == 0.0:
+            kept.append(constraint)
+            continue
+        strict = constraint.predicate == "<"
+        # coeff*var + rest <= 0   ->   var <= -rest/coeff  (coeff > 0)
+        #                         ->   var >= -rest/coeff  (coeff < 0)
+        rest = LinearExpr.build(
+            {v: c for v, c in constraint.expr.coeffs if v != var},
+            constraint.expr.constant,
+        )
+        bound = rest.scaled(-1.0 / coeff)
+        if constraint.predicate == "=":
+            # Can only happen with coeff == 0 handled above; an equality
+            # with coeff != 0 was substituted.  Defensive:
+            lowers.append((bound, False))
+            uppers.append((bound, False))
+        elif coeff > 0:
+            uppers.append((bound, strict))
+        else:
+            lowers.append((bound, strict))
+    for low, low_strict in lowers:
+        for up, up_strict in uppers:
+            predicate = "<" if (low_strict or up_strict) else "<="
+            kept.append(LinearConstraint.make(low - up, predicate))
+    return kept
+
+
+def eliminate_variables(
+    constraints: Sequence[LinearConstraint], variables: Iterable[str]
+) -> List[LinearConstraint]:
+    """Eliminate several variables in sequence."""
+    out = list(constraints)
+    for var in variables:
+        out = eliminate_variable(out, var)
+    return out
+
+
+def is_satisfiable(constraints: Sequence[LinearConstraint]) -> bool:
+    """Decide satisfiability of a conjunction over the reals."""
+    variables: List[str] = []
+    seen = set()
+    for constraint in constraints:
+        for v in constraint.variables:
+            if v not in seen:
+                seen.add(v)
+                variables.append(v)
+    remaining = eliminate_variables(constraints, variables)
+    for constraint in remaining:
+        value = constraint.expr.constant
+        if constraint.predicate == "<=" and value > 1e-12:
+            return False
+        if constraint.predicate == "<" and value >= -1e-12:
+            return False
+        if constraint.predicate == "=" and abs(value) > 1e-12:
+            return False
+    return True
+
+
+def solution_interval_for(
+    constraints: Sequence[LinearConstraint], var: str
+) -> Optional[tuple]:
+    """The (lo, hi) bounds the conjunction imposes on ``var`` after
+    eliminating every other variable; None when unsatisfiable.
+
+    Bounds are closed approximations (strictness is not reported); used
+    for diagnostics and tests, not by the decision procedure itself.
+    """
+    variables = {
+        v for c in constraints for v in c.variables if v != var
+    }
+    projected = eliminate_variables(constraints, sorted(variables))
+    lo, hi = float("-inf"), float("inf")
+    for constraint in projected:
+        coeff = constraint.expr.coefficient(var)
+        value = constraint.expr.constant
+        if coeff == 0.0:
+            if constraint.predicate == "<=" and value > 1e-12:
+                return None
+            if constraint.predicate == "<" and value >= -1e-12:
+                return None
+            if constraint.predicate == "=" and abs(value) > 1e-12:
+                return None
+            continue
+        bound = -value / coeff
+        if constraint.predicate == "=":
+            lo, hi = max(lo, bound), min(hi, bound)
+        elif coeff > 0:
+            hi = min(hi, bound)
+        else:
+            lo = max(lo, bound)
+    if lo > hi:
+        return None
+    return (lo, hi)

@@ -1,0 +1,153 @@
+"""Linear expressions and constraints over named real variables.
+
+A linear constraint has the paper's general form
+``sum_i a_i x_i  theta  a_0`` with ``theta`` an order or equality
+predicate (Section 2).  We normalize to ``expr theta 0`` with
+``theta in {<=, <, =}`` (``>=``/``>`` are negated into the kept forms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+#: Predicates kept after normalization.
+NORMALIZED_PREDICATES = ("<=", "<", "=")
+
+
+@dataclass(frozen=True)
+class LinearExpr:
+    """``sum coeffs[v] * v + constant`` over named real variables."""
+
+    coeffs: Tuple[Tuple[str, float], ...]
+    constant: float = 0.0
+
+    @staticmethod
+    def build(coeffs: Mapping[str, float], constant: float = 0.0) -> "LinearExpr":
+        """Construct from a mapping, dropping zero coefficients."""
+        items = tuple(
+            sorted((v, float(c)) for v, c in coeffs.items() if c != 0.0)
+        )
+        return LinearExpr(items, float(constant))
+
+    @staticmethod
+    def variable(name: str) -> "LinearExpr":
+        """The expression consisting of one variable."""
+        return LinearExpr.build({name: 1.0})
+
+    @staticmethod
+    def const(value: float) -> "LinearExpr":
+        """A constant expression."""
+        return LinearExpr.build({}, value)
+
+    @property
+    def coeff_map(self) -> Dict[str, float]:
+        """Coefficients as a dict."""
+        return dict(self.coeffs)
+
+    @property
+    def variables(self) -> List[str]:
+        """Variables with nonzero coefficients."""
+        return [v for v, _ in self.coeffs]
+
+    @property
+    def is_constant(self) -> bool:
+        """True when no variable occurs."""
+        return not self.coeffs
+
+    def coefficient(self, var: str) -> float:
+        """Coefficient of ``var`` (0 when absent)."""
+        return self.coeff_map.get(var, 0.0)
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Value under a (total) variable assignment."""
+        return self.constant + sum(
+            c * assignment[v] for v, c in self.coeffs
+        )
+
+    # -- algebra -----------------------------------------------------------
+    def __add__(self, other: "LinearExpr") -> "LinearExpr":
+        out = self.coeff_map
+        for v, c in other.coeffs:
+            out[v] = out.get(v, 0.0) + c
+        return LinearExpr.build(out, self.constant + other.constant)
+
+    def __sub__(self, other: "LinearExpr") -> "LinearExpr":
+        return self + other.scaled(-1.0)
+
+    def scaled(self, factor: float) -> "LinearExpr":
+        """Multiply by a scalar."""
+        return LinearExpr.build(
+            {v: c * factor for v, c in self.coeffs}, self.constant * factor
+        )
+
+    def substitute(self, var: str, replacement: "LinearExpr") -> "LinearExpr":
+        """Replace ``var`` by a linear expression."""
+        coeff = self.coefficient(var)
+        if coeff == 0.0:
+            return self
+        rest = LinearExpr.build(
+            {v: c for v, c in self.coeffs if v != var}, self.constant
+        )
+        return rest + replacement.scaled(coeff)
+
+    def __repr__(self) -> str:
+        parts = [f"{c:g}*{v}" for v, c in self.coeffs]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:g}")
+        return " + ".join(parts)
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """A normalized linear constraint ``expr theta 0``."""
+
+    expr: LinearExpr
+    predicate: str
+
+    def __post_init__(self) -> None:
+        if self.predicate not in NORMALIZED_PREDICATES:
+            raise ValueError(
+                f"predicate must be one of {NORMALIZED_PREDICATES}, "
+                f"got {self.predicate!r}"
+            )
+
+    @staticmethod
+    def make(expr: LinearExpr, predicate: str) -> "LinearConstraint":
+        """Build from any of ``<, <=, =, >=, >`` by normalizing."""
+        if predicate in NORMALIZED_PREDICATES:
+            return LinearConstraint(expr, predicate)
+        if predicate == ">=":
+            return LinearConstraint(expr.scaled(-1.0), "<=")
+        if predicate == ">":
+            return LinearConstraint(expr.scaled(-1.0), "<")
+        raise ValueError(f"unknown predicate {predicate!r}")
+
+    def holds(self, assignment: Mapping[str, float], atol: float = 1e-9) -> bool:
+        """Truth under a total assignment."""
+        value = self.expr.evaluate(assignment)
+        if self.predicate == "<=":
+            return value <= atol
+        if self.predicate == "<":
+            return value < -atol or (value < 0.0)
+        return abs(value) <= atol
+
+    @property
+    def variables(self) -> List[str]:
+        """Variables occurring in the constraint."""
+        return self.expr.variables
+
+    def substitute(self, var: str, replacement: LinearExpr) -> "LinearConstraint":
+        """Replace a variable by a linear expression."""
+        return LinearConstraint(self.expr.substitute(var, replacement), self.predicate)
+
+    def __repr__(self) -> str:
+        return f"{self.expr!r} {self.predicate} 0"
+
+
+def conjunction_holds(
+    constraints: Iterable[LinearConstraint],
+    assignment: Mapping[str, float],
+) -> bool:
+    """Truth of a conjunction under a total assignment."""
+    return all(c.holds(assignment) for c in constraints)

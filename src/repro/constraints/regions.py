@@ -1,0 +1,118 @@
+"""Convex spatial regions as half-plane conjunctions.
+
+Constraint databases represent spatial objects as boolean combinations
+of linear constraints (Section 2); Example 3's "Santa Barbara County"
+is such a region.  We model *convex* regions as conjunctions of
+half-planes ``n . x <= b`` — non-convex regions are unions of convex
+ones, handled at the formula level with disjunction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.constraints.fourier_motzkin import is_satisfiable
+from repro.constraints.linear import LinearConstraint, LinearExpr
+from repro.geometry.vectors import Vector, as_vector
+
+
+@dataclass(frozen=True)
+class HalfPlane:
+    """``normal . x <= offset`` over spatial coordinates."""
+
+    normal: Tuple[float, ...]
+    offset: float
+
+    def contains(self, point: Vector, atol: float = 1e-9) -> bool:
+        """Membership test."""
+        value = sum(n * c for n, c in zip(self.normal, point))
+        return value <= self.offset + atol
+
+    def boundary_value(self, point: Vector) -> float:
+        """``normal . x - offset`` (negative inside)."""
+        return sum(n * c for n, c in zip(self.normal, point)) - self.offset
+
+    def as_constraint(self, coordinate_names: Sequence[str]) -> LinearConstraint:
+        """The half-plane as a linear constraint over named coordinates."""
+        expr = LinearExpr.build(
+            dict(zip(coordinate_names, self.normal)), -self.offset
+        )
+        return LinearConstraint(expr, "<=")
+
+
+@dataclass(frozen=True)
+class Region:
+    """A convex region: a conjunction of half-planes."""
+
+    halfplanes: Tuple[HalfPlane, ...]
+    name: str = ""
+
+    def contains(self, point, atol: float = 1e-9) -> bool:
+        """Membership test for a point."""
+        p = as_vector(point)
+        return all(h.contains(p, atol=atol) for h in self.halfplanes)
+
+    @property
+    def dimension(self) -> int:
+        """Spatial dimension."""
+        return len(self.halfplanes[0].normal) if self.halfplanes else 0
+
+    def is_empty(self) -> bool:
+        """Exact emptiness check via Fourier-Motzkin."""
+        names = [f"x{i}" for i in range(self.dimension)]
+        return not is_satisfiable(
+            [h.as_constraint(names) for h in self.halfplanes]
+        )
+
+    def __repr__(self) -> str:
+        return f"Region({self.name or f'{len(self.halfplanes)} halfplanes'})"
+
+
+def halfplane_region(normal: Sequence[float], offset: float, name: str = "") -> Region:
+    """A single half-plane region."""
+    return Region((HalfPlane(tuple(float(n) for n in normal), float(offset)),), name)
+
+
+def box(lows: Sequence[float], highs: Sequence[float], name: str = "") -> Region:
+    """An axis-aligned box."""
+    if len(lows) != len(highs):
+        raise ValueError("lows and highs must have equal length")
+    planes: List[HalfPlane] = []
+    dim = len(lows)
+    for axis, (lo, hi) in enumerate(zip(lows, highs)):
+        if lo > hi:
+            raise ValueError(f"axis {axis}: low {lo} > high {hi}")
+        up = [0.0] * dim
+        up[axis] = 1.0
+        planes.append(HalfPlane(tuple(up), float(hi)))
+        down = [0.0] * dim
+        down[axis] = -1.0
+        planes.append(HalfPlane(tuple(down), -float(lo)))
+    return Region(tuple(planes), name)
+
+
+def polygon(vertices: Sequence[Sequence[float]], name: str = "") -> Region:
+    """A convex polygon in the plane from counter-clockwise vertices."""
+    if len(vertices) < 3:
+        raise ValueError("a polygon needs at least three vertices")
+    points = [as_vector(v) for v in vertices]
+    if any(p.dimension != 2 for p in points):
+        raise ValueError("polygon vertices must be 2-dimensional")
+    planes: List[HalfPlane] = []
+    count = len(points)
+    for i in range(count):
+        a = points[i]
+        b = points[(i + 1) % count]
+        edge = b - a
+        # Outward normal for CCW order: rotate edge by -90 degrees.
+        normal = (edge[1], -edge[0])
+        offset = normal[0] * a[0] + normal[1] * a[1]
+        planes.append(HalfPlane(normal, offset))
+    region = Region(tuple(planes), name)
+    # Sanity: the centroid must be inside, else the order was clockwise.
+    cx = sum(p[0] for p in points) / count
+    cy = sum(p[1] for p in points) / count
+    if not region.contains([cx, cy], atol=1e-7):
+        raise ValueError("vertices must be in counter-clockwise order")
+    return region

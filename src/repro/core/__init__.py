@@ -1,0 +1,26 @@
+"""The high-level public API: one-shot and continuous query evaluation.
+
+This package is the front door a downstream user should reach for:
+
+- :func:`evaluate_knn`, :func:`evaluate_within`,
+  :func:`evaluate_query` — one-shot (past-query) evaluation over a
+  time interval, Theorem 4's ``O((m+N) log N)`` path;
+- :class:`ContinuousQuerySession` — eager (future/continuing-query)
+  maintenance against a live database, Theorem 5's path: attach it to
+  a :class:`~repro.mod.database.MovingObjectDatabase` and the answer is
+  kept current as updates stream in.
+"""
+
+from repro.core.api import (
+    ContinuousQuerySession,
+    evaluate_knn,
+    evaluate_query,
+    evaluate_within,
+)
+
+__all__ = [
+    "ContinuousQuerySession",
+    "evaluate_knn",
+    "evaluate_query",
+    "evaluate_within",
+]

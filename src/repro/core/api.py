@@ -1,0 +1,196 @@
+"""One-shot and continuous query evaluation over moving object databases.
+
+These functions assemble the pieces — g-distance, sweep engine, view —
+so a caller only states the query.  The one-shot functions run the
+whole sweep immediately (appropriate when the trajectory history over
+the interval is already known, i.e. *past* queries); the session class
+subscribes to the database and maintains answers eagerly as updates
+arrive (*future* and *continuing* queries).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set, Union
+
+from repro.geometry.intervals import Interval
+from repro.gdist.base import GDistance
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ObjectId
+from repro.query.answers import SnapshotAnswer
+from repro.query.query import Query
+from repro.sweep.engine import SweepEngine
+from repro.sweep.evaluator import GenericFOEvaluator
+from repro.sweep.knn import ContinuousKNN
+from repro.sweep.within import ContinuousWithin
+from repro.trajectory.trajectory import Trajectory
+
+QueryLike = Union[Trajectory, Sequence[float], GDistance]
+
+
+def _as_gdistance(query: QueryLike) -> GDistance:
+    if isinstance(query, GDistance):
+        return query
+    return SquaredEuclideanDistance(query)
+
+
+def evaluate_knn(
+    db: MovingObjectDatabase,
+    query: QueryLike,
+    interval: Interval,
+    k: int = 1,
+) -> SnapshotAnswer:
+    """The k nearest objects to ``query`` over ``interval``.
+
+    ``query`` is a trajectory, a fixed point, or any polynomial
+    g-distance (ranking is by g-distance value).  Returns the snapshot
+    answer: per object, the exact time intervals during which it is
+    among the k nearest.
+    """
+    engine = SweepEngine(db, _as_gdistance(query), interval)
+    view = ContinuousKNN(engine, k)
+    engine.run_to_end()
+    return view.answer()
+
+
+def evaluate_within(
+    db: MovingObjectDatabase,
+    query: QueryLike,
+    interval: Interval,
+    distance: float,
+) -> SnapshotAnswer:
+    """Objects within Euclidean ``distance`` of ``query`` over ``interval``.
+
+    When ``query`` is a trajectory or point the threshold is squared
+    internally (the g-distance is the squared Euclidean distance); a
+    custom g-distance is compared against ``distance`` as-is.
+    """
+    gdistance = _as_gdistance(query)
+    threshold = (
+        distance * distance if not isinstance(query, GDistance) else float(distance)
+    )
+    engine = SweepEngine(db, gdistance, interval, constants=[threshold])
+    view = ContinuousWithin(engine, threshold)
+    engine.run_to_end()
+    return view.answer()
+
+
+def evaluate_query(
+    db: MovingObjectDatabase,
+    gdistance: GDistance,
+    query: Query,
+) -> SnapshotAnswer:
+    """Evaluate an arbitrary FO(f) query exactly.
+
+    Uses the sweep to find every support change and the generic
+    order-driven evaluator (Lemma 8) for the formula semantics.
+    """
+    engine = SweepEngine(
+        db,
+        gdistance,
+        query.interval,
+        constants=query.constants,
+        time_terms=query.time_terms,
+    )
+    view = GenericFOEvaluator(engine, query)
+    engine.run_to_end()
+    return view.answer()
+
+
+class ContinuousQuerySession:
+    """Eager maintenance of a k-NN or within-range query on a live MOD.
+
+    Construct with one of :meth:`knn` or :meth:`within`; the session
+    subscribes to the database, processes each update as it arrives
+    (Theorem 5's per-update maintenance), and exposes the *current*
+    answer at all times.  Call :meth:`close` to detach and obtain the
+    accumulated snapshot answer.
+    """
+
+    def __init__(
+        self,
+        db: MovingObjectDatabase,
+        engine: SweepEngine,
+        view,
+    ) -> None:
+        self._db = db
+        self._engine = engine
+        self._view = view
+        self._closed = False
+        db.subscribe(engine.on_update)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def knn(
+        cls,
+        db: MovingObjectDatabase,
+        query: QueryLike,
+        k: int = 1,
+        until: float = float("inf"),
+        start: Optional[float] = None,
+    ) -> "ContinuousQuerySession":
+        """A continuous k-NN session starting now (or at ``start``)."""
+        lo = db.last_update_time if start is None else start
+        engine = SweepEngine(db, _as_gdistance(query), Interval(lo, until))
+        view = ContinuousKNN(engine, k)
+        return cls(db, engine, view)
+
+    @classmethod
+    def within(
+        cls,
+        db: MovingObjectDatabase,
+        query: QueryLike,
+        distance: float,
+        until: float = float("inf"),
+        start: Optional[float] = None,
+    ) -> "ContinuousQuerySession":
+        """A continuous within-range session starting now (or at
+        ``start``)."""
+        lo = db.last_update_time if start is None else start
+        gdistance = _as_gdistance(query)
+        threshold = (
+            distance * distance
+            if not isinstance(query, GDistance)
+            else float(distance)
+        )
+        engine = SweepEngine(
+            db, gdistance, Interval(lo, until), constants=[threshold]
+        )
+        view = ContinuousWithin(engine, threshold)
+        return cls(db, engine, view)
+
+    # -- live inspection ------------------------------------------------------
+    @property
+    def engine(self) -> SweepEngine:
+        """The underlying sweep engine (stats, order, queue)."""
+        return self._engine
+
+    @property
+    def current_time(self) -> float:
+        """The sweep's current position on the time line."""
+        return self._engine.current_time
+
+    @property
+    def members(self) -> Set[ObjectId]:
+        """The current answer set."""
+        return self._view.members
+
+    def advance_to(self, t: float) -> Set[ObjectId]:
+        """Move the clock forward without an update (a MOD clock tick,
+        the paper's cost-spreading device) and return the answer at
+        ``t``."""
+        self._engine.advance_to(t)
+        return self.members
+
+    def close(self, at: Optional[float] = None) -> SnapshotAnswer:
+        """Detach from the database and return the snapshot answer
+        accumulated from the session start to ``at`` (default: the
+        current sweep time)."""
+        if self._closed:
+            raise RuntimeError("session already closed")
+        self._closed = True
+        self._db.unsubscribe(self._engine.on_update)
+        if at is not None:
+            self._engine.advance_to(at)
+        self._engine.finalize()
+        return self._view.answer()

@@ -1,0 +1,49 @@
+"""Generalized distances (Definition 6).
+
+A *g-distance* maps trajectories to continuous functions from time to
+``R``.  A g-distance is *polynomial* when every image function is
+piecewise polynomial with finitely many pieces — the class for which
+the plane-sweep evaluation of Section 5 applies.
+
+Provided g-distances:
+
+- :class:`~repro.gdist.euclidean.SquaredEuclideanDistance` — Example 8,
+  the canonical quadratic g-distance to a (moving) query trajectory;
+- :class:`~repro.gdist.coordinate.CoordinateDifference`,
+  :class:`~repro.gdist.coordinate.WeightedSquaredDistance`,
+  :class:`~repro.gdist.coordinate.CoordinateValue` — linear/quadratic
+  variations used by direction- and altitude-style queries;
+- :class:`~repro.gdist.arrival.ArrivalTimeGDistance` and
+  :class:`~repro.gdist.arrival.SquaredArrivalTimeGDistance` — Example 9's
+  fastest-arrival distance, exact and (in the perpendicular
+  configuration the paper sketches in Figure 1) exactly quadratic;
+- :class:`~repro.gdist.approx.PolynomialApproximation` — footnote 1's
+  escape hatch: piecewise-Chebyshev polynomialization of an arbitrary
+  continuous g-distance.
+"""
+
+from repro.gdist.approx import PolynomialApproximation, approximate_on
+from repro.gdist.arrival import ArrivalTimeGDistance, SquaredArrivalTimeGDistance
+from repro.gdist.base import CallableGDistance, GDistance
+from repro.gdist.coordinate import (
+    CoordinateDifference,
+    CoordinateValue,
+    WeightedSquaredDistance,
+)
+from repro.gdist.derived import ApproachRate, LinearCombination
+from repro.gdist.euclidean import SquaredEuclideanDistance
+
+__all__ = [
+    "ApproachRate",
+    "ArrivalTimeGDistance",
+    "CallableGDistance",
+    "CoordinateDifference",
+    "CoordinateValue",
+    "GDistance",
+    "LinearCombination",
+    "PolynomialApproximation",
+    "SquaredArrivalTimeGDistance",
+    "SquaredEuclideanDistance",
+    "WeightedSquaredDistance",
+    "approximate_on",
+]

@@ -1,0 +1,110 @@
+"""Coordinate-based generalized distances.
+
+These demonstrate that g-distances are *generalized*: any continuous
+trajectory property expressible as a piecewise polynomial of time
+qualifies, not just Euclidean distances.  They also power queries such
+as "flights below altitude 10000" (a :class:`CoordinateValue` compared
+against a constant sentinel) and "objects east of the convoy"
+(a :class:`CoordinateDifference`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.geometry.piecewise import PiecewiseFunction
+from repro.gdist.base import GDistance
+from repro.trajectory.builder import stationary
+from repro.trajectory.trajectory import Trajectory
+
+
+class CoordinateValue(GDistance):
+    """The value of one coordinate over time: ``f(gamma)(t) = gamma(t).i``.
+
+    Piecewise *linear*, so all intersection events are linear-root
+    computations.  Ranking by ``CoordinateValue(2)`` orders aircraft by
+    altitude; comparing with a constant expresses altitude thresholds.
+    """
+
+    def __init__(self, axis: int) -> None:
+        if axis < 0:
+            raise ValueError("axis must be nonnegative")
+        self._axis = axis
+
+    @property
+    def axis(self) -> int:
+        """The coordinate index."""
+        return self._axis
+
+    def __call__(self, trajectory: Trajectory) -> PiecewiseFunction:
+        return trajectory.coordinate_function(self._axis)
+
+    def __repr__(self) -> str:
+        return f"CoordinateValue(axis={self._axis})"
+
+
+class CoordinateDifference(GDistance):
+    """Signed difference of one coordinate against a query trajectory:
+    ``f(gamma')(t) = gamma'(t).i - gamma(t).i``."""
+
+    def __init__(self, query: Union[Trajectory, Sequence[float]], axis: int) -> None:
+        self._query = query if isinstance(query, Trajectory) else stationary(query)
+        if axis < 0:
+            raise ValueError("axis must be nonnegative")
+        self._axis = axis
+
+    def __call__(self, trajectory: Trajectory) -> PiecewiseFunction:
+        own = trajectory.coordinate_function(self._axis)
+        ref = self._query.coordinate_function(self._axis)
+        return own - ref
+
+    def __repr__(self) -> str:
+        return f"CoordinateDifference(axis={self._axis})"
+
+
+class WeightedSquaredDistance(GDistance):
+    """Axis-weighted squared distance to a query trajectory:
+    ``f(gamma')(t) = sum_i w_i (gamma'(t).i - gamma(t).i)^2``.
+
+    With unit weights this coincides with
+    :class:`~repro.gdist.euclidean.SquaredEuclideanDistance`; anisotropic
+    weights express queries like "nearest in ground-plane distance,
+    discounting altitude".  Weights must be nonnegative (the squared
+    form is then monotone-comparable like a distance).
+    """
+
+    def __init__(
+        self,
+        query: Union[Trajectory, Sequence[float]],
+        weights: Sequence[float],
+    ) -> None:
+        self._query = query if isinstance(query, Trajectory) else stationary(query)
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be nonnegative")
+        self._weights = tuple(float(w) for w in weights)
+
+    def __call__(self, trajectory: Trajectory) -> PiecewiseFunction:
+        if trajectory.dimension != len(self._weights):
+            raise ValueError(
+                f"expected dimension {len(self._weights)}, "
+                f"got {trajectory.dimension}"
+            )
+        total: Optional[PiecewiseFunction] = None
+        for axis, weight in enumerate(self._weights):
+            if weight == 0.0:
+                continue
+            diff = (
+                trajectory.coordinate_function(axis)
+                - self._query.coordinate_function(axis)
+            )
+            term = (diff * diff).scaled(weight)
+            total = term if total is None else total + term
+        if total is None:
+            domain = trajectory.domain.intersect(self._query.domain)
+            if domain is None:
+                raise ValueError("trajectory domains do not overlap")
+            return PiecewiseFunction.constant(0.0, domain)
+        return total
+
+    def __repr__(self) -> str:
+        return f"WeightedSquaredDistance(weights={self._weights})"

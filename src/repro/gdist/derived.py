@@ -1,0 +1,75 @@
+"""Derived generalized distances: calculus on other g-distances.
+
+Because polynomial g-distances are closed under differentiation and
+linear combination, useful derived quantities are themselves
+g-distances (Definition 6 only asks for a map from trajectories to
+functions from time to ``R``):
+
+- :class:`ApproachRate` — the time derivative of the squared distance
+  to the query.  Negative while closing in, positive while receding;
+  ranking by it answers "which object is approaching fastest?", and
+  comparing against the constant 0 answers "who is approaching at all?"
+  (both pure FO(f) queries over order comparisons);
+- :class:`LinearCombination` — weighted sums of other g-distances,
+  e.g. blending current distance with approach rate into a threat
+  score.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from repro.geometry.piecewise import PiecewiseFunction
+from repro.gdist.base import GDistance
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.trajectory.trajectory import Trajectory
+
+
+class ApproachRate(GDistance):
+    """``f(gamma')(t) = d/dt |gamma'(t) - gamma(t)|^2``.
+
+    Piecewise linear (the squared distance is piecewise quadratic).
+    Note the derivative jumps at turns: the image has finitely many
+    continuous pieces, the relaxation the paper's first closing remark
+    explicitly allows — the sweep handles the jumps as order changes at
+    the piece boundaries.
+    """
+
+    def __init__(self, query: Union[Trajectory, Sequence[float]]) -> None:
+        self._inner = SquaredEuclideanDistance(query)
+
+    @property
+    def query_trajectory(self) -> Trajectory:
+        """The query trajectory the rate is measured against."""
+        return self._inner.query_trajectory
+
+    def __call__(self, trajectory: Trajectory) -> PiecewiseFunction:
+        return self._inner(trajectory).derivative()
+
+    def __repr__(self) -> str:
+        return f"ApproachRate({self._inner.query_trajectory!r})"
+
+
+class LinearCombination(GDistance):
+    """``f = sum_i w_i * f_i`` over polynomial g-distances ``f_i``."""
+
+    def __init__(self, terms: Sequence[Tuple[float, GDistance]]) -> None:
+        if not terms:
+            raise ValueError("need at least one (weight, gdistance) term")
+        for _, gdist in terms:
+            if not gdist.is_polynomial:
+                raise TypeError(
+                    "LinearCombination requires polynomial g-distances"
+                )
+        self._terms = [(float(w), g) for w, g in terms]
+
+    def __call__(self, trajectory: Trajectory) -> PiecewiseFunction:
+        total = None
+        for weight, gdist in self._terms:
+            curve = gdist(trajectory).scaled(weight)
+            total = curve if total is None else total + curve
+        return total
+
+    def __repr__(self) -> str:
+        body = " + ".join(f"{w:g}*{g!r}" for w, g in self._terms)
+        return f"LinearCombination({body})"

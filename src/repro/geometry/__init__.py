@@ -1,0 +1,39 @@
+"""Geometric and algebraic substrate for the moving-object query engine.
+
+This package provides the exact numerical machinery the plane-sweep
+algorithm of Section 5 of the paper rests on:
+
+- :mod:`repro.geometry.tolerance` — the numeric comparison policy,
+- :mod:`repro.geometry.intervals` — closed/unbounded time intervals and
+  disjoint interval sets (the paper's time-interval model),
+- :mod:`repro.geometry.vectors` — small dense vectors for positions and
+  velocities in ``R^n``,
+- :mod:`repro.geometry.poly` — univariate polynomials with float
+  coefficients (the image of "polynomial" generalized distances),
+- :mod:`repro.geometry.roots` — certified real-root isolation used to
+  find curve intersection times,
+- :mod:`repro.geometry.piecewise` — piecewise polynomial functions of
+  time, the concrete representation of ``f(o)`` for every object ``o``.
+"""
+
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.geometry.piecewise import PiecewiseFunction
+from repro.geometry.poly import Polynomial
+from repro.geometry.roots import first_root_after, real_roots, roots_in_interval
+from repro.geometry.tolerance import DEFAULT_ATOL, approx_eq, approx_ge, approx_le
+from repro.geometry.vectors import Vector
+
+__all__ = [
+    "DEFAULT_ATOL",
+    "Interval",
+    "IntervalSet",
+    "PiecewiseFunction",
+    "Polynomial",
+    "Vector",
+    "approx_eq",
+    "approx_ge",
+    "approx_le",
+    "first_root_after",
+    "real_roots",
+    "roots_in_interval",
+]

@@ -1,0 +1,583 @@
+"""Piecewise polynomial functions of time.
+
+A *polynomial* generalized distance (Section 5) maps every trajectory to
+a function that "consists of finitely many pieces and is piecewise
+polynomial".  :class:`PiecewiseFunction` is that representation: a list
+of contiguous closed intervals, each carrying one
+:class:`~repro.geometry.poly.Polynomial`.
+
+The module also supplies the two analyses the sweep engine is built on:
+
+- :meth:`PiecewiseFunction.sign_segments` — the maximal runs of
+  constant sign of a function, with tangencies correctly *not* splitting
+  a run, and
+- :func:`first_order_flip_after` — the earliest future time at which the
+  strict order of two curves flips, which is exactly the "intersection
+  event" of Lemma 7 (coincidence stretches are handled by reporting the
+  time at which the opposite strict order first holds).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.geometry.intervals import Interval
+from repro.geometry.poly import Polynomial, as_polynomial
+from repro.geometry.roots import real_roots
+from repro.geometry.tolerance import DEFAULT_ATOL, approx_eq
+
+Piece = Tuple[Interval, Polynomial]
+
+#: Function values with magnitude at or below this are treated as an
+#: exact tie when classifying signs of difference curves.
+_SIGN_ATOL = 1e-11
+
+
+class PiecewiseFunction:
+    """A piecewise polynomial function on a contiguous closed domain.
+
+    Pieces are stored in increasing time order; consecutive pieces share
+    their boundary instant (intervals are closed, so boundaries belong
+    to both pieces — on a boundary the *earlier* piece is authoritative
+    for evaluation, which is immaterial for continuous functions).
+    """
+
+    __slots__ = ("_pieces",)
+
+    def __init__(self, pieces: Iterable[Piece]) -> None:
+        items = list(pieces)
+        if not items:
+            raise ValueError("a piecewise function needs at least one piece")
+        for (iv_a, _), (iv_b, _) in zip(items, items[1:]):
+            if not approx_eq(iv_a.hi, iv_b.lo):
+                raise ValueError(
+                    f"pieces must be contiguous: {iv_a} then {iv_b}"
+                )
+        self._pieces: Tuple[Piece, ...] = tuple(
+            (iv, as_polynomial(p)) for iv, p in items
+        )
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def from_polynomial(poly: Polynomial, domain: Interval = Interval.all_time()) -> "PiecewiseFunction":
+        """A single-piece function: ``poly`` on ``domain``."""
+        return PiecewiseFunction([(domain, poly)])
+
+    @staticmethod
+    def constant(value: float, domain: Interval = Interval.all_time()) -> "PiecewiseFunction":
+        """The constant function ``value`` on ``domain``."""
+        return PiecewiseFunction([(domain, Polynomial.constant(value))])
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def pieces(self) -> Tuple[Piece, ...]:
+        """The ``(interval, polynomial)`` pieces in time order."""
+        return self._pieces
+
+    @property
+    def piece_count(self) -> int:
+        """Number of pieces."""
+        return len(self._pieces)
+
+    @property
+    def domain(self) -> Interval:
+        """The contiguous domain covered by all pieces."""
+        return Interval(self._pieces[0][0].lo, self._pieces[-1][0].hi)
+
+    @property
+    def breakpoints(self) -> List[float]:
+        """Interior piece boundaries, in increasing order."""
+        return [iv.lo for iv, _ in self._pieces[1:]]
+
+    @property
+    def max_degree(self) -> int:
+        """Largest polynomial degree over all pieces."""
+        return max(p.degree for _, p in self._pieces)
+
+    def piece_at(self, t: float) -> Piece:
+        """The authoritative piece containing ``t`` (earliest on ties)."""
+        if not self.domain.contains(t, atol=DEFAULT_ATOL):
+            raise ValueError(f"{t} outside domain {self.domain}")
+        lo, hi = 0, len(self._pieces) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._pieces[mid][0].hi < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._pieces[lo]
+
+    def __call__(self, t: float) -> float:
+        _, poly = self.piece_at(t)
+        return poly(t)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PiecewiseFunction):
+            return NotImplemented
+        return self._pieces == other._pieces
+
+    def __repr__(self) -> str:
+        body = "; ".join(f"{poly!r} on {iv!r}" for iv, poly in self._pieces)
+        return f"PiecewiseFunction({body})"
+
+    def is_continuous(self, atol: float = 1e-7) -> bool:
+        """Check continuity across interior breakpoints."""
+        return not self.discontinuities(atol=atol)
+
+    def discontinuities(self, atol: float = 1e-7) -> List[float]:
+        """Interior breakpoints where the value jumps.
+
+        The model's default g-distances are continuous; the relaxed
+        class the paper's closing remark admits (finitely many
+        continuous pieces) jumps at these instants, and the sweep
+        engine must re-insert the affected curve there.
+        """
+        out: List[float] = []
+        for (iv_a, p_a), (_, p_b) in zip(self._pieces, self._pieces[1:]):
+            boundary = iv_a.hi
+            if not approx_eq(p_a(boundary), p_b(boundary), atol=atol):
+                out.append(boundary)
+        return out
+
+    def forward_taylor(self, t: float, terms: int = 8) -> Tuple[float, ...]:
+        """Derivatives ``(f(t+), f'(t+), f''(t+), ...)`` of the piece
+        governing ``[t, t+eps)``, padded/truncated to ``terms`` entries.
+
+        Lexicographic comparison of these tuples orders curves by their
+        values on an immediate right-neighborhood of ``t`` — the
+        tie-break the sweep needs when two curves are exactly equal at
+        an insertion instant: the list must reflect the order that
+        holds just *after* ``t``, or the first-nonzero-sign convention
+        used for intersection scheduling silently inverts.
+        """
+        poly = self._forward_piece(t)[1]
+        out: List[float] = []
+        current = poly
+        for _ in range(terms):
+            out.append(current(t))
+            current = current.derivative()
+        return tuple(out)
+
+    def _forward_piece(self, t: float) -> Piece:
+        """The piece governing ``[t, t+eps)`` (last piece at domain end)."""
+        lo, hi = 0, len(self._pieces) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._pieces[mid][0].hi <= t:
+                lo = mid + 1
+            else:
+                hi = mid
+        iv, poly = self._pieces[lo]
+        if not iv.contains(t, atol=DEFAULT_ATOL):
+            return self.piece_at(t)
+        return (iv, poly)
+
+    def value_after(self, t: float) -> float:
+        """The right-limit value at ``t``.
+
+        Differs from ``self(t)`` only at a discontinuity, where plain
+        evaluation is authoritative for the *earlier* piece.
+        """
+        lo, hi = 0, len(self._pieces) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._pieces[mid][0].hi <= t:
+                lo = mid + 1
+            else:
+                hi = mid
+        iv, poly = self._pieces[lo]
+        if not iv.contains(t, atol=DEFAULT_ATOL):
+            return self(t)
+        return poly(t)
+
+    def sample(self, times: Sequence[float]) -> List[float]:
+        """Evaluate at several times (test/baseline helper)."""
+        return [self(t) for t in times]
+
+    # -- restructuring ---------------------------------------------------
+    def restrict(self, interval: Interval) -> "PiecewiseFunction":
+        """Restriction to ``interval`` (must overlap the domain)."""
+        cap_domain = self.domain.intersect(interval)
+        if cap_domain is None:
+            raise ValueError(f"{interval} does not meet domain {self.domain}")
+        out: List[Piece] = []
+        for iv, poly in self._pieces:
+            cap = iv.intersect(cap_domain)
+            if cap is not None and (cap.length > 0 or cap_domain.is_point):
+                out.append((cap, poly))
+        if not out:
+            # Interval hits a single boundary instant.
+            iv, poly = self.piece_at(cap_domain.lo)
+            out = [(Interval.point(cap_domain.lo), poly)]
+        return PiecewiseFunction(out)
+
+    def extend_to(self, domain: Interval, mode: str = "hold") -> "PiecewiseFunction":
+        """Extend the function to a larger domain.
+
+        ``mode='hold'`` continues the first/last piece polynomials to
+        the new boundaries; ``mode='freeze'`` holds the boundary *value*
+        constant outside the original domain (used to model terminated
+        objects that keep their last recorded distance).
+        """
+        if mode not in ("hold", "freeze"):
+            raise ValueError(f"unknown extension mode {mode!r}")
+        pieces = list(self._pieces)
+        own = self.domain
+        if domain.lo < own.lo:
+            iv0, p0 = pieces[0]
+            filler = p0 if mode == "hold" else Polynomial.constant(p0(own.lo))
+            pieces[0] = (Interval(domain.lo, iv0.hi), filler) if mode == "hold" else pieces[0]
+            if mode == "freeze":
+                pieces.insert(0, (Interval(domain.lo, own.lo), filler))
+        if domain.hi > own.hi:
+            iv_n, p_n = pieces[-1]
+            filler = p_n if mode == "hold" else Polynomial.constant(p_n(own.hi))
+            if mode == "hold":
+                pieces[-1] = (Interval(iv_n.lo, domain.hi), filler)
+            else:
+                pieces.append((Interval(own.hi, domain.hi), filler))
+        return PiecewiseFunction(pieces)
+
+    def _refined_against(self, other: "PiecewiseFunction") -> Tuple[Interval, List[float]]:
+        """Common domain and the merged interior breakpoints on it."""
+        domain = self.domain.intersect(other.domain)
+        if domain is None:
+            raise ValueError(
+                f"domains {self.domain} and {other.domain} do not overlap"
+            )
+        cuts = sorted(
+            {
+                b
+                for b in (*self.breakpoints, *other.breakpoints)
+                if domain.lo < b < domain.hi
+            }
+        )
+        return domain, cuts
+
+    def _binary(self, other: "PiecewiseFunction", op: Callable[[Polynomial, Polynomial], Polynomial]) -> "PiecewiseFunction":
+        domain, cuts = self._refined_against(other)
+        bounds = [domain.lo, *cuts, domain.hi]
+        out: List[Piece] = []
+        if domain.is_point:
+            _, pa = self.piece_at(domain.lo)
+            _, pb = other.piece_at(domain.lo)
+            return PiecewiseFunction([(domain, op(pa, pb))])
+        for lo, hi in zip(bounds, bounds[1:]):
+            probe = self._probe_point(lo, hi)
+            _, pa = self.piece_at(probe)
+            _, pb = other.piece_at(probe)
+            out.append((Interval(lo, hi), op(pa, pb)))
+        return PiecewiseFunction(out)
+
+    @staticmethod
+    def _probe_point(lo: float, hi: float) -> float:
+        if math.isinf(lo) and math.isinf(hi):
+            return 0.0
+        if math.isinf(lo):
+            return hi - 1.0
+        if math.isinf(hi):
+            return lo + 1.0
+        return (lo + hi) / 2.0
+
+    # -- algebra --------------------------------------------------------------
+    def __add__(self, other: "PiecewiseFunction") -> "PiecewiseFunction":
+        return self._binary(other, lambda a, b: a + b)
+
+    def __sub__(self, other: "PiecewiseFunction") -> "PiecewiseFunction":
+        return self._binary(other, lambda a, b: a - b)
+
+    def __mul__(self, other: "PiecewiseFunction") -> "PiecewiseFunction":
+        return self._binary(other, lambda a, b: a * b)
+
+    def __neg__(self) -> "PiecewiseFunction":
+        return PiecewiseFunction([(iv, -p) for iv, p in self._pieces])
+
+    def scaled(self, factor: float) -> "PiecewiseFunction":
+        """Multiply by a scalar."""
+        return PiecewiseFunction([(iv, p.scaled(factor)) for iv, p in self._pieces])
+
+    def plus_constant(self, value: float) -> "PiecewiseFunction":
+        """Add a scalar."""
+        return PiecewiseFunction(
+            [(iv, p + Polynomial.constant(value)) for iv, p in self._pieces]
+        )
+
+    def derivative(self) -> "PiecewiseFunction":
+        """Piecewise derivative (undefined single instants at turns are
+        resolved in favor of the earlier piece, as with evaluation)."""
+        return PiecewiseFunction([(iv, p.derivative()) for iv, p in self._pieces])
+
+    def compose_polynomial(self, time_term: Polynomial, domain: Interval) -> "PiecewiseFunction":
+        """The composition ``self(time_term(t))`` on ``domain``.
+
+        Realizes query time terms that are polynomials in ``t`` (the
+        paper's multi-time-term extension): the result is again
+        piecewise polynomial.  ``domain`` must be chosen so that
+        ``time_term`` maps it into this function's domain.
+        """
+        if time_term.is_constant:
+            value = self(time_term(0.0))
+            return PiecewiseFunction.constant(value, domain)
+        cuts: List[float] = []
+        targets = [self.domain.lo, *self.breakpoints, self.domain.hi]
+        for target in targets:
+            if math.isinf(target):
+                continue
+            shifted = time_term - Polynomial.constant(target)
+            if not shifted.is_zero:
+                cuts.extend(r for r in real_roots(shifted) if domain.lo < r < domain.hi)
+        deriv = time_term.derivative()
+        if not deriv.is_zero and deriv.degree >= 1:
+            cuts.extend(r for r in real_roots(deriv) if domain.lo < r < domain.hi)
+        bounds = [domain.lo, *sorted(set(cuts)), domain.hi]
+        out: List[Piece] = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            probe = self._probe_point(lo, hi)
+            image = time_term(probe)
+            if not self.domain.contains(image, atol=DEFAULT_ATOL):
+                raise ValueError(
+                    f"time term maps {probe} to {image}, outside domain {self.domain}"
+                )
+            _, poly = self.piece_at(self.domain.clamp(image))
+            out.append((Interval(lo, hi), poly.compose(time_term)))
+        if not out:
+            out = [(domain, Polynomial.constant(self(time_term(domain.lo))))]
+        return PiecewiseFunction(out)
+
+    # -- sign analysis -----------------------------------------------------
+    def sign_segments(self, within: Optional[Interval] = None) -> List[Tuple[Interval, int]]:
+        """Maximal runs of constant sign (-1, 0, +1) over the domain.
+
+        Tangential zeros interior to a positive (negative) run do not
+        split the run; genuine zero *stretches* (pieces identically
+        zero, or isolated crossing points) appear as sign-0 segments.
+        Isolated crossings appear as degenerate point segments.
+        """
+        region = self.domain if within is None else self.domain.intersect(within)
+        if region is None:
+            return []
+        raw: List[Tuple[Interval, int]] = []
+        for iv, poly in self._pieces:
+            cap = iv.intersect(region)
+            if cap is None or (cap.is_point and raw):
+                continue
+            raw.extend(_poly_sign_segments(poly, cap))
+        return _merge_sign_runs(raw)
+
+    def crossings_with(self, other: "PiecewiseFunction", within: Optional[Interval] = None) -> List[float]:
+        """Times at which the strict order of two curves flips.
+
+        For a coincidence stretch followed by the opposite order, the
+        reported time is the end of the stretch — the instant at which
+        the new strict order first holds.
+        """
+        diff = self - other
+        segments = diff.sign_segments(within=within)
+        out: List[float] = []
+        last_sign = 0
+        for iv, sign in segments:
+            if sign == 0:
+                continue
+            if last_sign != 0 and sign != last_sign:
+                out.append(iv.lo)
+            last_sign = sign
+        return out
+
+    def approx_equals(self, other: "PiecewiseFunction", times: Optional[Sequence[float]] = None, atol: float = 1e-7) -> bool:
+        """Pointwise approximate equality on sample times."""
+        domain = self.domain.intersect(other.domain)
+        if domain is None:
+            return False
+        probe = list(times) if times is not None else domain.sample_points(17)
+        return all(abs(self(t) - other(t)) <= atol for t in probe)
+
+
+def _poly_sign_segments(poly: Polynomial, interval: Interval) -> List[Tuple[Interval, int]]:
+    """Sign runs of a single polynomial on an interval."""
+    if poly.is_zero:
+        return [(interval, 0)]
+    if interval.is_point:
+        v = poly(interval.lo)
+        return [(interval, 0 if abs(v) <= _SIGN_ATOL else (1 if v > 0 else -1))]
+    roots = [r for r in real_roots(poly) if interval.lo < r < interval.hi]
+    bounds = [interval.lo, *roots, interval.hi]
+    out: List[Tuple[Interval, int]] = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        probe = PiecewiseFunction._probe_point(lo, hi)
+        v = poly(probe)
+        sign = 0 if abs(v) <= _SIGN_ATOL else (1 if v > 0 else -1)
+        out.append((Interval(lo, hi), sign))
+    # Insert degenerate zero points at interior roots so crossings are
+    # visible as 0-sign point segments between opposite runs.
+    enriched: List[Tuple[Interval, int]] = []
+    for idx, seg in enumerate(out):
+        enriched.append(seg)
+        if idx < len(out) - 1:
+            boundary = seg[0].hi
+            enriched.append((Interval.point(boundary), 0))
+    return enriched
+
+
+def _merge_sign_runs(raw: List[Tuple[Interval, int]]) -> List[Tuple[Interval, int]]:
+    """Merge adjacent runs with equal sign; drop zero-width runs that
+    separate runs of the *same* sign (tangencies)."""
+    merged: List[Tuple[Interval, int]] = []
+    for iv, sign in raw:
+        if merged:
+            prev_iv, prev_sign = merged[-1]
+            if prev_sign == sign:
+                merged[-1] = (Interval(prev_iv.lo, max(prev_iv.hi, iv.hi)), sign)
+                continue
+        merged.append((iv, sign))
+    # Remove point-sized zero runs flanked by equal signs (tangency).
+    cleaned: List[Tuple[Interval, int]] = []
+    for idx, (iv, sign) in enumerate(merged):
+        if (
+            sign == 0
+            and iv.is_point
+            and 0 < idx < len(merged) - 1
+            and merged[idx - 1][1] == merged[idx + 1][1]
+            and merged[idx - 1][1] != 0
+        ):
+            continue
+        cleaned.append((iv, sign))
+    # Re-merge equal neighbors created by the removal.
+    out: List[Tuple[Interval, int]] = []
+    for iv, sign in cleaned:
+        if out and out[-1][1] == sign:
+            out[-1] = (Interval(out[-1][0].lo, max(out[-1][0].hi, iv.hi)), sign)
+        else:
+            out.append((iv, sign))
+    return out
+
+
+def first_order_flip_after(
+    f: PiecewiseFunction,
+    g: PiecewiseFunction,
+    t0: float,
+    horizon: float = math.inf,
+    min_gap: float = DEFAULT_ATOL,
+    assume_sign: Optional[int] = None,
+    allow_immediate: bool = False,
+) -> Optional[float]:
+    """Earliest time in ``(t0 + min_gap, horizon]`` where the strict
+    order of ``f`` and ``g`` flips.
+
+    This is the sweep engine's intersection-event primitive: it returns
+    the instant at which the opposite strict order *first holds*, which
+    for a transversal crossing is the crossing time itself and for a
+    coincidence stretch is the end of the stretch.  Returns None when
+    the order never flips in range (including identical curves).
+
+    ``assume_sign`` is the caller's belief about ``sign(f - g)`` just
+    after ``t0`` (the sweep passes -1: "f is below g in my list").
+    Without it, the baseline is the first nonzero sign observed — which
+    silently agrees with whatever the data says and therefore cannot
+    detect that the caller's order is contradicted at a tie stretch's
+    end.  With it, a first segment of the *opposite* sign triggers a
+    flip immediately (at the stretch end, or right after ``t0``).
+
+    ``allow_immediate`` admits a flip at ``t0`` itself (within the
+    ``min_gap`` guard band).  Pass it for pairs that have just become
+    adjacent — a contradiction at the adjacency instant is a genuine
+    inversion inherited from a tie stretch and must be corrected now.
+    Never pass it when rescheduling the pair a swap was just processed
+    for: the sliver of old-sign left by root rounding would re-fire the
+    same event forever.
+    """
+    domain = f.domain.intersect(g.domain)
+    if domain is None or domain.hi <= t0:
+        return None
+    lo = max(t0, domain.lo)
+    hi = min(horizon, domain.hi)
+    if lo > hi:
+        return None
+    window = domain.intersect(Interval(lo, hi))
+    if window is None:
+        return None
+    diff = (f - g).restrict(window)
+    segments = diff.sign_segments()
+    base_sign = 0 if assume_sign is None else assume_sign
+    for iv, sign in segments:
+        if sign == 0:
+            continue
+        if base_sign == 0:
+            base_sign = sign
+            continue
+        if sign != base_sign:
+            flip_at = iv.lo
+            if flip_at > t0 + min_gap:
+                return flip_at
+            if allow_immediate:
+                return max(flip_at, t0)
+            # The flip sits at/behind the guard band: keep scanning with
+            # the *new* sign as the baseline.
+            base_sign = sign
+    return None
+
+
+def minimum(f: PiecewiseFunction, g: PiecewiseFunction) -> PiecewiseFunction:
+    """Pointwise minimum (lower envelope of two curves)."""
+    return _envelope(f, g, lower=True)
+
+
+def maximum(f: PiecewiseFunction, g: PiecewiseFunction) -> PiecewiseFunction:
+    """Pointwise maximum (upper envelope of two curves)."""
+    return _envelope(f, g, lower=False)
+
+
+def _envelope(f: PiecewiseFunction, g: PiecewiseFunction, lower: bool) -> PiecewiseFunction:
+    diff = f - g
+    domain = diff.domain
+    segments = diff.sign_segments()
+    out: List[Piece] = []
+    for iv, sign in segments:
+        if iv.is_point and out:
+            continue
+        pick_f = (sign <= 0) if lower else (sign >= 0)
+        source = f if pick_f else g
+        probe = PiecewiseFunction._probe_point(iv.lo, iv.hi)
+        sub = source.restrict(iv) if not iv.is_point else None
+        if sub is None:
+            _, poly = source.piece_at(probe)
+            out.append((iv, poly))
+        else:
+            out.extend(sub.pieces)
+    if not out:
+        return f.restrict(domain)
+    return PiecewiseFunction(_coalesce(out))
+
+
+def lower_envelope(functions: Sequence[PiecewiseFunction]) -> PiecewiseFunction:
+    """Lower envelope of many curves (Example 6's 1-NN characterization).
+
+    Implemented as a balanced pairwise reduction; the sweep engine does
+    not use this (it maintains the full order), but tests cross-check
+    the engine's rank-0 answer against this independent construction.
+    """
+    if not functions:
+        raise ValueError("need at least one function")
+    work = list(functions)
+    while len(work) > 1:
+        nxt = [
+            minimum(work[i], work[i + 1]) if i + 1 < len(work) else work[i]
+            for i in range(0, len(work), 2)
+        ]
+        work = nxt
+    return work[0]
+
+
+def _coalesce(pieces: List[Piece]) -> List[Piece]:
+    """Merge adjacent pieces carrying the same polynomial."""
+    out: List[Piece] = []
+    for iv, poly in pieces:
+        if out:
+            prev_iv, prev_poly = out[-1]
+            if prev_poly == poly and approx_eq(prev_iv.hi, iv.lo):
+                out[-1] = (Interval(prev_iv.lo, iv.hi), poly)
+                continue
+            if iv.is_point:
+                continue
+        out.append((iv, poly))
+    return out

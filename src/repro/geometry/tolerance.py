@@ -1,0 +1,56 @@
+"""Numeric comparison policy.
+
+Every approximate comparison in the library funnels through this module
+so the tolerance story is auditable in one place.  The plane-sweep
+engine never trusts a root value blindly: order swaps are certified by
+evaluating sign just left and right of a candidate intersection (see
+:mod:`repro.geometry.roots`), so the tolerances here only affect event
+*bookkeeping*, never the consistency of the maintained order.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Absolute tolerance used when comparing times and function values.
+DEFAULT_ATOL = 1e-9
+
+#: Relative tolerance paired with :data:`DEFAULT_ATOL`.
+DEFAULT_RTOL = 1e-9
+
+
+def approx_eq(a: float, b: float, atol: float = DEFAULT_ATOL, rtol: float = DEFAULT_RTOL) -> bool:
+    """Return True if ``a`` and ``b`` are equal within tolerance.
+
+    Infinities compare equal only to themselves.
+    """
+    if a == b:
+        return True
+    if math.isinf(a) or math.isinf(b):
+        return False
+    return abs(a - b) <= atol + rtol * max(abs(a), abs(b))
+
+
+def approx_le(a: float, b: float, atol: float = DEFAULT_ATOL, rtol: float = DEFAULT_RTOL) -> bool:
+    """Return True if ``a <= b`` within tolerance."""
+    return a <= b or approx_eq(a, b, atol=atol, rtol=rtol)
+
+
+def approx_ge(a: float, b: float, atol: float = DEFAULT_ATOL, rtol: float = DEFAULT_RTOL) -> bool:
+    """Return True if ``a >= b`` within tolerance."""
+    return a >= b or approx_eq(a, b, atol=atol, rtol=rtol)
+
+
+def approx_lt(a: float, b: float, atol: float = DEFAULT_ATOL, rtol: float = DEFAULT_RTOL) -> bool:
+    """Return True if ``a < b`` and not within tolerance of equality."""
+    return a < b and not approx_eq(a, b, atol=atol, rtol=rtol)
+
+
+def approx_gt(a: float, b: float, atol: float = DEFAULT_ATOL, rtol: float = DEFAULT_RTOL) -> bool:
+    """Return True if ``a > b`` and not within tolerance of equality."""
+    return a > b and not approx_eq(a, b, atol=atol, rtol=rtol)
+
+
+def is_zero(a: float, atol: float = DEFAULT_ATOL) -> bool:
+    """Return True if ``a`` is within ``atol`` of zero."""
+    return abs(a) <= atol

@@ -1,0 +1,226 @@
+"""Serialization of MODs, trajectories, and update logs.
+
+Plain-JSON round-tripping so databases and recorded update streams can
+be stored, shared, and replayed.  The format mirrors the paper's
+representation directly: a trajectory is a list of linear pieces
+``x = A t + B`` with their intervals; a MOD is the triple
+``(O, T, tau)``; an update log is the chronological update list.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Union
+
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.geometry.vectors import Vector
+from repro.query.answers import SnapshotAnswer
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.log import UpdateLog
+from repro.mod.updates import ChangeDirection, New, Terminate, Update
+from repro.trajectory.linearpiece import LinearPiece
+from repro.trajectory.trajectory import Trajectory
+
+_INF = "inf"
+_NEG_INF = "-inf"
+
+
+def _bound_to_json(value: float) -> Union[float, str]:
+    if math.isinf(value):
+        return _INF if value > 0 else _NEG_INF
+    return value
+
+
+def _bound_from_json(value: Union[float, str]) -> float:
+    if value == _INF:
+        return math.inf
+    if value == _NEG_INF:
+        return -math.inf
+    return float(value)
+
+
+# ---------------------------------------------------------------------------
+# Trajectories
+# ---------------------------------------------------------------------------
+def trajectory_to_dict(trajectory: Trajectory) -> Dict[str, Any]:
+    """Serialize a trajectory to a JSON-compatible dict."""
+    return {
+        "pieces": [
+            {
+                "velocity": list(piece.velocity),
+                "offset": list(piece.offset),
+                "interval": [
+                    _bound_to_json(piece.interval.lo),
+                    _bound_to_json(piece.interval.hi),
+                ],
+            }
+            for piece in trajectory.pieces
+        ]
+    }
+
+
+def trajectory_from_dict(data: Dict[str, Any]) -> Trajectory:
+    """Deserialize a trajectory."""
+    pieces = [
+        LinearPiece(
+            Vector(raw["velocity"]),
+            Vector(raw["offset"]),
+            Interval(
+                _bound_from_json(raw["interval"][0]),
+                _bound_from_json(raw["interval"][1]),
+            ),
+        )
+        for raw in data["pieces"]
+    ]
+    return Trajectory(pieces)
+
+
+# ---------------------------------------------------------------------------
+# Updates
+# ---------------------------------------------------------------------------
+def update_to_dict(update: Update) -> Dict[str, Any]:
+    """Serialize one update record."""
+    if isinstance(update, New):
+        return {
+            "kind": "new",
+            "oid": update.oid,
+            "time": update.time,
+            "velocity": list(update.velocity),
+            "position": list(update.position),
+        }
+    if isinstance(update, Terminate):
+        return {"kind": "terminate", "oid": update.oid, "time": update.time}
+    if isinstance(update, ChangeDirection):
+        return {
+            "kind": "chdir",
+            "oid": update.oid,
+            "time": update.time,
+            "velocity": list(update.velocity),
+        }
+    raise TypeError(f"unknown update type: {update!r}")
+
+
+def update_from_dict(data: Dict[str, Any]) -> Update:
+    """Deserialize one update record."""
+    kind = data["kind"]
+    if kind == "new":
+        return New(
+            data["oid"],
+            float(data["time"]),
+            Vector(data["velocity"]),
+            Vector(data["position"]),
+        )
+    if kind == "terminate":
+        return Terminate(data["oid"], float(data["time"]))
+    if kind == "chdir":
+        return ChangeDirection(
+            data["oid"], float(data["time"]), Vector(data["velocity"])
+        )
+    raise ValueError(f"unknown update kind: {kind!r}")
+
+
+def log_to_dict(log: UpdateLog) -> Dict[str, Any]:
+    """Serialize an update log."""
+    return {"updates": [update_to_dict(u) for u in log]}
+
+
+def log_from_dict(data: Dict[str, Any]) -> UpdateLog:
+    """Deserialize an update log."""
+    return UpdateLog(update_from_dict(u) for u in data["updates"])
+
+
+# ---------------------------------------------------------------------------
+# Databases
+# ---------------------------------------------------------------------------
+def database_to_dict(db: MovingObjectDatabase) -> Dict[str, Any]:
+    """Serialize a MOD: the triple ``(O, T, tau)`` with live and
+    terminated objects kept apart."""
+    live: Dict[str, Any] = {}
+    terminated: Dict[str, Any] = {}
+    for oid, traj in db.all_items():
+        target = terminated if db.is_terminated(oid) else live
+        target[str(oid)] = trajectory_to_dict(traj)
+    return {
+        "tau": db.last_update_time,
+        "live": live,
+        "terminated": terminated,
+    }
+
+
+def database_from_dict(data: Dict[str, Any]) -> MovingObjectDatabase:
+    """Deserialize a MOD.
+
+    Object identifiers become strings (JSON keys); terminated objects
+    are installed via their (finite-domain) trajectories.
+    """
+    db = MovingObjectDatabase(initial_time=-math.inf)
+    for oid, raw in data["live"].items():
+        db.install(oid, trajectory_from_dict(raw))
+    for oid, raw in data["terminated"].items():
+        db.install(oid, trajectory_from_dict(raw))
+    db.advance_clock(float(data["tau"]))
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Snapshot answers
+# ---------------------------------------------------------------------------
+def answer_to_dict(answer: SnapshotAnswer) -> Dict[str, Any]:
+    """Serialize a snapshot answer (per-object membership intervals)."""
+    return {
+        "interval": [
+            _bound_to_json(answer.interval.lo),
+            _bound_to_json(answer.interval.hi),
+        ],
+        "memberships": {
+            str(oid): [
+                [_bound_to_json(iv.lo), _bound_to_json(iv.hi)]
+                for iv in answer.intervals_for(oid)
+            ]
+            for oid in sorted(answer.objects, key=str)
+        },
+    }
+
+
+def answer_from_dict(data: Dict[str, Any]) -> SnapshotAnswer:
+    """Deserialize a snapshot answer (object ids become strings)."""
+    interval = Interval(
+        _bound_from_json(data["interval"][0]),
+        _bound_from_json(data["interval"][1]),
+    )
+    memberships = {
+        oid: IntervalSet(
+            Interval(_bound_from_json(lo), _bound_from_json(hi))
+            for lo, hi in pairs
+        )
+        for oid, pairs in data["memberships"].items()
+    }
+    return SnapshotAnswer(memberships, interval)
+
+
+# ---------------------------------------------------------------------------
+# File helpers
+# ---------------------------------------------------------------------------
+def save_database(db: MovingObjectDatabase, path: str) -> None:
+    """Write a MOD to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(database_to_dict(db), handle, indent=2)
+
+
+def load_database(path: str) -> MovingObjectDatabase:
+    """Read a MOD from a JSON file."""
+    with open(path) as handle:
+        return database_from_dict(json.load(handle))
+
+
+def save_log(log: UpdateLog, path: str) -> None:
+    """Write an update log to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(log_to_dict(log), handle, indent=2)
+
+
+def load_log(path: str) -> UpdateLog:
+    """Read an update log from a JSON file."""
+    with open(path) as handle:
+        return log_from_dict(json.load(handle))

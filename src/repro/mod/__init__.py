@@ -1,0 +1,22 @@
+"""Moving object databases and their update model (Definitions 2-3).
+
+A MOD is a triple ``(O, T, tau)``: a finite set of object identifiers,
+a mapping from identifiers to trajectories, and the time of the last
+update.  Updates — :class:`~repro.mod.updates.New`,
+:class:`~repro.mod.updates.Terminate`,
+:class:`~repro.mod.updates.ChangeDirection` — arrive in chronological
+order and are the only external events of the system (Section 5).
+"""
+
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.log import UpdateLog
+from repro.mod.updates import ChangeDirection, New, Terminate, Update
+
+__all__ = [
+    "ChangeDirection",
+    "MovingObjectDatabase",
+    "New",
+    "Terminate",
+    "Update",
+    "UpdateLog",
+]

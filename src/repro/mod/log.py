@@ -1,0 +1,74 @@
+"""Update logs: recording, replay, and time travel.
+
+The valid-answer semantics of Definition 4 quantifies over *update
+sequences*; tests and baselines need to replay prefixes of an update
+stream against a fresh database to compare eager (sweep) evaluation
+with lazy re-evaluation.  :class:`UpdateLog` provides that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import Update
+
+
+class UpdateLog:
+    """An append-only chronological log of updates."""
+
+    def __init__(self, updates: Iterable[Update] = ()) -> None:
+        self._updates: List[Update] = []
+        for update in updates:
+            self.append(update)
+
+    def append(self, update: Update) -> None:
+        """Append an update; times must be strictly increasing."""
+        if self._updates and update.time <= self._updates[-1].time:
+            raise ValueError(
+                f"log must be chronological: {update.time} after "
+                f"{self._updates[-1].time}"
+            )
+        self._updates.append(update)
+
+    @property
+    def updates(self) -> List[Update]:
+        """All recorded updates in order."""
+        return list(self._updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._updates)
+
+    def updates_until(self, time: float) -> List[Update]:
+        """Updates with timestamp ``<= time``."""
+        return [u for u in self._updates if u.time <= time]
+
+    def updates_between(self, lo: float, hi: float) -> List[Update]:
+        """Updates with timestamp in ``(lo, hi]``."""
+        return [u for u in self._updates if lo < u.time <= hi]
+
+    def replay(
+        self,
+        initial_time: float = 0.0,
+        until: Optional[float] = None,
+    ) -> MovingObjectDatabase:
+        """Build a fresh database by replaying the log (optionally only
+        updates at or before ``until``)."""
+        db = MovingObjectDatabase(initial_time=initial_time)
+        for update in self._updates:
+            if until is not None and update.time > until:
+                break
+            db.apply(update)
+        return db
+
+
+class RecordingDatabase(MovingObjectDatabase):
+    """A database that records every applied update into a log."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        super().__init__(initial_time=initial_time)
+        self.log = UpdateLog()
+        self.subscribe(self.log.append)

@@ -1,0 +1,59 @@
+"""Update records (Definition 3).
+
+Three update kinds exist:
+
+- ``new(o, tau, A, B)`` — create object ``o`` at time ``tau`` with
+  trajectory ``x = A t + B`` for ``t >= tau`` (we take ``B`` to be the
+  *position at creation*, i.e. the anchored form ``x = A (t-tau) + B``,
+  which is the natural reading for applications and equivalent up to a
+  reparameterization of ``B``),
+- ``terminate(o, tau)`` — the object ceases to exist after ``tau``,
+- ``chdir(o, tau, A)`` — the object keeps its past trajectory up to
+  ``tau`` and moves with velocity ``A`` afterwards.
+
+Updates are immutable records; application logic lives in
+:class:`repro.mod.database.MovingObjectDatabase`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+from repro.geometry.vectors import Vector
+
+ObjectId = Hashable
+
+
+@dataclass(frozen=True)
+class New:
+    """Create object ``oid`` at ``time`` at ``position`` with ``velocity``."""
+
+    oid: ObjectId
+    time: float
+    velocity: Vector
+    position: Vector
+
+    def __post_init__(self) -> None:
+        if self.velocity.dimension != self.position.dimension:
+            raise ValueError("velocity/position dimension mismatch")
+
+
+@dataclass(frozen=True)
+class Terminate:
+    """Object ``oid`` ceases to exist after ``time``."""
+
+    oid: ObjectId
+    time: float
+
+
+@dataclass(frozen=True)
+class ChangeDirection:
+    """Object ``oid`` moves with ``velocity`` from ``time`` onwards."""
+
+    oid: ObjectId
+    time: float
+    velocity: Vector
+
+
+Update = Union[New, Terminate, ChangeDirection]

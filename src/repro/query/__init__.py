@@ -1,0 +1,55 @@
+"""The FO(f) query language (Section 4).
+
+A query is a quadruple ``(y, t, I, phi)``: an object variable, the time
+variable, a time interval, and a formula with only ``y`` and ``t``
+free.  Terms compare generalized distances ``f(y, timeterm)`` and real
+constants; formulas combine atoms with propositional connectives and
+quantifiers over object variables.
+
+Three answer semantics are provided (Section 4):
+
+- **snapshot** ``Q^s(D)`` — pairs ``(o, t)``, finitely represented as
+  one interval set per object;
+- **existential / accumulative** ``Q^E(D)`` — objects in the answer at
+  *some* time of ``I``;
+- **universal / persevering** ``Q^A(D)`` — objects in the answer at
+  *every* time of ``I``.
+"""
+
+from repro.query.answers import AnswerTimeline, SnapshotAnswer
+from repro.query.formula import (
+    And,
+    Atom,
+    Compare,
+    Const,
+    Dist,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    ObjEq,
+    Or,
+    RealTerm,
+)
+from repro.query.query import Query, knn_formula, knn_query, within_query
+
+__all__ = [
+    "And",
+    "AnswerTimeline",
+    "Atom",
+    "Compare",
+    "Const",
+    "Dist",
+    "Exists",
+    "ForAll",
+    "Formula",
+    "Not",
+    "ObjEq",
+    "Or",
+    "Query",
+    "RealTerm",
+    "SnapshotAnswer",
+    "knn_formula",
+    "knn_query",
+    "within_query",
+]

@@ -1,0 +1,338 @@
+"""The FO(f) formula language (Section 4).
+
+Real terms are either instantiable g-distance applications
+``f(y, timeterm)`` (:class:`Dist`) or real constants (:class:`Const`).
+Atoms compare two real terms with an order predicate; formulas are
+closed under the propositional connectives and quantification over
+object variables.  There are deliberately *no* real-number variables —
+all arithmetic is embedded in the g-distance, which is what makes the
+language order-determined (Lemma 8) and sweepable.
+
+Time terms are referenced by index into the owning query's time-term
+list; index 0 is the plain variable ``t``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Sequence, Set, Tuple
+
+from repro.mod.updates import ObjectId
+
+#: Order predicates allowed in atoms.
+PREDICATES = ("<", "<=", "=", ">=", ">")
+
+#: Tolerance for the equality predicate on curve values.
+EQ_ATOL = 1e-9
+
+ValueFn = Callable[[ObjectId, int], float]
+
+
+# ---------------------------------------------------------------------------
+# Real terms
+# ---------------------------------------------------------------------------
+class RealTerm(abc.ABC):
+    """A real-valued term: ``f(y, timeterm)`` or a constant."""
+
+    @abc.abstractmethod
+    def free_vars(self) -> FrozenSet[str]:
+        """Object variables occurring in the term."""
+
+    @abc.abstractmethod
+    def evaluate(self, env: Dict[str, ObjectId], values: ValueFn) -> float:
+        """Value under an object-variable environment at a fixed time."""
+
+
+@dataclass(frozen=True)
+class Dist(RealTerm):
+    """The g-distance of an object variable at a time term:
+    ``f(var, timeterm[index])``."""
+
+    var: str
+    time_term_index: int = 0
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.var})
+
+    def evaluate(self, env: Dict[str, ObjectId], values: ValueFn) -> float:
+        if self.var not in env:
+            raise KeyError(f"unbound object variable {self.var!r}")
+        return values(env[self.var], self.time_term_index)
+
+    def __repr__(self) -> str:
+        if self.time_term_index == 0:
+            return f"f({self.var}, t)"
+        return f"f({self.var}, tt{self.time_term_index})"
+
+
+@dataclass(frozen=True)
+class Const(RealTerm):
+    """A real constant."""
+
+    value: float
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, env: Dict[str, ObjectId], values: ValueFn) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"{self.value:g}"
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+class Formula(abc.ABC):
+    """An FO(f) formula."""
+
+    @abc.abstractmethod
+    def free_vars(self) -> FrozenSet[str]:
+        """Free object variables."""
+
+    @abc.abstractmethod
+    def constants(self) -> FrozenSet[float]:
+        """Real constants appearing in atoms (they become sentinels)."""
+
+    @abc.abstractmethod
+    def time_term_indices(self) -> FrozenSet[int]:
+        """Indices of time terms used."""
+
+    @abc.abstractmethod
+    def holds(
+        self,
+        env: Dict[str, ObjectId],
+        oids: Sequence[ObjectId],
+        values: ValueFn,
+    ) -> bool:
+        """Truth at a fixed time given curve values.
+
+        ``oids`` is the quantification universe (the live object set at
+        that time); ``values(oid, tt_index)`` yields instantiated real
+        term values.
+        """
+
+    # -- sugar ------------------------------------------------------------
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Compare(Formula):
+    """An atomic order comparison between two real terms."""
+
+    lhs: RealTerm
+    op: str
+    rhs: RealTerm
+
+    def __post_init__(self) -> None:
+        if self.op not in PREDICATES:
+            raise ValueError(f"unknown predicate {self.op!r}")
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.lhs.free_vars() | self.rhs.free_vars()
+
+    def constants(self) -> FrozenSet[float]:
+        out = set()
+        for term in (self.lhs, self.rhs):
+            if isinstance(term, Const):
+                out.add(term.value)
+        return frozenset(out)
+
+    def time_term_indices(self) -> FrozenSet[int]:
+        out = set()
+        for term in (self.lhs, self.rhs):
+            if isinstance(term, Dist):
+                out.add(term.time_term_index)
+        return frozenset(out)
+
+    def holds(self, env, oids, values) -> bool:
+        a = self.lhs.evaluate(env, values)
+        b = self.rhs.evaluate(env, values)
+        if self.op == "<":
+            return a < b
+        if self.op == "<=":
+            return a <= b + EQ_ATOL
+        if self.op == "=":
+            return abs(a - b) <= EQ_ATOL
+        if self.op == ">=":
+            return a >= b - EQ_ATOL
+        return a > b
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+#: Alias matching the paper's terminology.
+Atom = Compare
+
+
+@dataclass(frozen=True)
+class ObjEq(Formula):
+    """Equality of two object variables.
+
+    The paper's atomic formulas include equality over terms of the same
+    sort; object terms are variables, so ``z = w`` is an atom.  It is
+    what lets k-NN for ``k > 1`` be written in pure FO(f): "at most
+    ``k-1`` objects are strictly closer than ``y``"."""
+
+    left: str
+    right: str
+
+    def free_vars(self) -> FrozenSet[str]:
+        return frozenset({self.left, self.right})
+
+    def constants(self) -> FrozenSet[float]:
+        return frozenset()
+
+    def time_term_indices(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def holds(self, env, oids, values) -> bool:
+        try:
+            return env[self.left] == env[self.right]
+        except KeyError as exc:
+            raise KeyError(f"unbound object variable in {self!r}") from exc
+
+    def __repr__(self) -> str:
+        return f"({self.left} == {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    body: Formula
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.body.free_vars()
+
+    def constants(self) -> FrozenSet[float]:
+        return self.body.constants()
+
+    def time_term_indices(self) -> FrozenSet[int]:
+        return self.body.time_term_indices()
+
+    def holds(self, env, oids, values) -> bool:
+        return not self.body.holds(env, oids, values)
+
+    def __repr__(self) -> str:
+        return f"~{self.body!r}"
+
+
+class _NAry(Formula):
+    """Shared machinery for And/Or."""
+
+    def __init__(self, *children: Formula) -> None:
+        if not children:
+            raise ValueError("connectives need at least one operand")
+        self.children: Tuple[Formula, ...] = children
+
+    def free_vars(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for child in self.children:
+            out |= child.free_vars()
+        return frozenset(out)
+
+    def constants(self) -> FrozenSet[float]:
+        out: Set[float] = set()
+        for child in self.children:
+            out |= child.constants()
+        return frozenset(out)
+
+    def time_term_indices(self) -> FrozenSet[int]:
+        out: Set[int] = set()
+        for child in self.children:
+            out |= child.time_term_indices()
+        return frozenset(out)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.children))
+
+
+class And(_NAry):
+    """Conjunction."""
+
+    def holds(self, env, oids, values) -> bool:
+        return all(child.holds(env, oids, values) for child in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(c) for c in self.children) + ")"
+
+
+class Or(_NAry):
+    """Disjunction."""
+
+    def holds(self, env, oids, values) -> bool:
+        return any(child.holds(env, oids, values) for child in self.children)
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(c) for c in self.children) + ")"
+
+
+class _Quantifier(Formula):
+    """Shared machinery for quantifiers over object variables."""
+
+    def __init__(self, var: str, body: Formula) -> None:
+        self.var = var
+        self.body = body
+
+    def free_vars(self) -> FrozenSet[str]:
+        return self.body.free_vars() - {self.var}
+
+    def constants(self) -> FrozenSet[float]:
+        return self.body.constants()
+
+    def time_term_indices(self) -> FrozenSet[int]:
+        return self.body.time_term_indices()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.var == other.var
+            and self.body == other.body
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.var, self.body))
+
+
+class ForAll(_Quantifier):
+    """Universal quantification over the live object set."""
+
+    def holds(self, env, oids, values) -> bool:
+        for oid in oids:
+            child_env = dict(env)
+            child_env[self.var] = oid
+            if not self.body.holds(child_env, oids, values):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"forall {self.var}. {self.body!r}"
+
+
+class Exists(_Quantifier):
+    """Existential quantification over the live object set."""
+
+    def holds(self, env, oids, values) -> bool:
+        for oid in oids:
+            child_env = dict(env)
+            child_env[self.var] = oid
+            if self.body.holds(child_env, oids, values):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"exists {self.var}. {self.body!r}"

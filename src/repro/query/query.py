@@ -1,0 +1,107 @@
+"""FO(f) queries: the quadruple ``(y, t, I, phi)`` (Section 4).
+
+:class:`Query` bundles the answer variable, the query interval, the
+formula, and the polynomial time terms it references.  Constructors for
+the paper's flagship queries — k-NN (Examples 6/10) and within-range
+(Example 11) — are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.geometry.intervals import Interval
+from repro.geometry.poly import Polynomial
+from repro.query.formula import (
+    Compare,
+    Const,
+    Dist,
+    ForAll,
+    Formula,
+    ObjEq,
+    Or,
+)
+
+
+@dataclass(frozen=True)
+class Query:
+    """An FO(f) query ``(y, t, I, phi)``.
+
+    ``time_terms[0]`` must be the identity polynomial ``t``; further
+    entries are the extra polynomial time terms the formula may
+    reference by index (the paper's factor-of-k extension).
+    """
+
+    var: str
+    interval: Interval
+    formula: Formula
+    time_terms: Tuple[Polynomial, ...] = field(
+        default_factory=lambda: (Polynomial.identity(),)
+    )
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        free = self.formula.free_vars()
+        if free != {self.var}:
+            raise ValueError(
+                f"formula must have exactly {{{self.var!r}}} free, got {set(free)}"
+            )
+        if not self.time_terms or self.time_terms[0] != Polynomial.identity():
+            raise ValueError("time_terms[0] must be the identity term t")
+        used = self.formula.time_term_indices()
+        if used and max(used) >= len(self.time_terms):
+            raise ValueError(
+                f"formula references time term {max(used)} but only "
+                f"{len(self.time_terms)} are declared"
+            )
+
+    @property
+    def constants(self) -> List[float]:
+        """Real constants in the formula (sentinel curves for the sweep)."""
+        return sorted(self.formula.constants())
+
+    def __repr__(self) -> str:
+        name = self.description or "query"
+        return f"Query[{name}]({self.var}, I={self.interval!r}, {self.formula!r})"
+
+
+def knn_formula(k: int, var: str = "y") -> Formula:
+    """The k-NN property as a pure FO(f) formula.
+
+    For ``k = 1`` this is literally Example 10:
+    ``forall z. d(y, t) <= d(z, t)``.  For larger ``k`` it states "every
+    object is either no closer than ``y`` or one of ``k - 1``
+    exceptions":
+
+        exists z1 ... z_{k-1}. forall w.
+            d(y,t) <= d(w,t)  or  w = z1  or ... or  w = z_{k-1}
+
+    (Existential quantifiers are realized by the quantifier nesting of
+    the naive evaluator; the sweep engine answers k-NN through its rank
+    view instead, which is the whole point of Section 5.)
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if k == 1:
+        return ForAll("z", Compare(Dist(var), "<=", Dist("z")))
+    exception_vars = [f"z{i}" for i in range(1, k)]
+    disjuncts: List[Formula] = [Compare(Dist(var), "<=", Dist("w"))]
+    disjuncts.extend(ObjEq("w", z) for z in exception_vars)
+    body: Formula = ForAll("w", Or(*disjuncts))
+    from repro.query.formula import Exists
+
+    for z in reversed(exception_vars):
+        body = Exists(z, body)
+    return body
+
+
+def knn_query(interval: Interval, k: int = 1, var: str = "y") -> Query:
+    """The k-NN query of Examples 6 and 10."""
+    return Query(var, interval, knn_formula(k, var), description=f"knn:{k}")
+
+
+def within_query(interval: Interval, threshold: float, var: str = "y") -> Query:
+    """Example 11's range query: ``f(y, t) <= threshold``."""
+    formula = Compare(Dist(var), "<=", Const(float(threshold)))
+    return Query(var, interval, formula, description=f"within:{threshold:g}")

@@ -1,0 +1,574 @@
+"""The plane-sweep evaluation engine (Section 5).
+
+The engine sweeps a time line across the g-distance curves of all
+database objects (plus constant sentinels), maintaining
+
+- the **object list** ``L`` — the precedence relation
+  :class:`~repro.sweep.object_list.SweepOrder`, and
+- the **event queue** ``E`` — one pending intersection event per
+  currently-adjacent curve pair
+  (:class:`~repro.sweep.event_queue.IndexedEventQueue`).
+
+Intersection events perform adjacent transpositions; external updates
+(``new``/``terminate``/``chdir``) are applied at their timestamps after
+all earlier intersection events have been processed — exactly the
+two-step procedure of Section 5.  Views (k-NN, within-range, the
+generic FO(f) evaluator) subscribe as listeners and translate order
+changes into answer changes.
+
+Complexity accounting (for the Theorem 4/5 benchmarks) is collected in
+:class:`SweepStats`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.geometry.intervals import Interval
+from repro.geometry.piecewise import PiecewiseFunction, first_order_flip_after
+from repro.geometry.poly import Polynomial
+from repro.gdist.base import GDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ChangeDirection, New, ObjectId, Terminate, Update
+from repro.sweep.curves import IDENTITY_TIME_TERM, CurveEntry
+from repro.sweep.event_queue import IndexedEventQueue, IntersectionEvent, pair_key
+from repro.sweep.object_list import SweepOrder
+
+
+@dataclass
+class SweepStats:
+    """Operation counts for the complexity benchmarks."""
+
+    intersections_processed: int = 0
+    swaps: int = 0
+    insertions: int = 0
+    removals: int = 0
+    updates_applied: int = 0
+    flip_computations: int = 0
+    curve_replacements: int = 0
+    reinsertions: int = 0
+
+    @property
+    def support_changes(self) -> int:
+        """The paper's ``m``: total order changes processed."""
+        return self.swaps + self.insertions + self.removals + self.reinsertions
+
+
+_MEMBERSHIP_PRIORITY = {"birth": 0, "reinsert": 1, "death": 2}
+
+
+@dataclass(frozen=True)
+class _MembershipEvent:
+    """A birth, curve-discontinuity re-insertion, or death.
+
+    Births and deaths come from object lifetimes known in advance
+    (past-query mode); re-insertions realize the paper's relaxed
+    g-distance class (finitely many continuous pieces): at a value
+    jump the curve may leap over non-neighbors, so it is removed and
+    re-inserted at its right-limit value.
+    """
+
+    time: float
+    kind: str  # 'birth' | 'reinsert' | 'death'
+    entry: CurveEntry
+
+    @property
+    def sort_key(self) -> Tuple[float, int, int]:
+        # Births first, then re-insertions, then deaths at equal times.
+        return (self.time, _MEMBERSHIP_PRIORITY[self.kind], self.entry.seq)
+
+    def __lt__(self, other: "_MembershipEvent") -> bool:
+        return self.sort_key < other.sort_key
+
+
+class SweepEngine:
+    """Plane-sweep maintenance of the precedence relation over a MOD.
+
+    Parameters
+    ----------
+    db:
+        The moving object database.  For *past* queries the database
+        already contains the full history (all turns and terminations);
+        for *future* queries it holds the state as of the query start
+        and updates stream in through :meth:`on_update` (or by
+        subscribing the engine to the database).
+    gdistance:
+        A polynomial g-distance.
+    interval:
+        The query interval ``I``.  The sweep starts at ``I.lo``;
+        ``I.hi`` is the event horizon (may be ``+inf`` for open-ended
+        continuous queries).
+    constants:
+        Real constants appearing in the query formula; each becomes an
+        immortal sentinel curve so that all support changes are adjacent
+        transpositions in one total order.
+    time_terms:
+        Polynomial time terms used by the query.  Defaults to the plain
+        variable ``t``.  Each object contributes one curve per time
+        term (the paper's "factor of k").  Non-identity time terms
+        require a bounded interval.
+    """
+
+    def __init__(
+        self,
+        db: MovingObjectDatabase,
+        gdistance: GDistance,
+        interval: Interval,
+        constants: Sequence[float] = (),
+        time_terms: Optional[Sequence[Polynomial]] = None,
+    ) -> None:
+        if not gdistance.is_polynomial:
+            raise TypeError(
+                "the sweep engine requires a polynomial g-distance; wrap "
+                "non-polynomial distances in PolynomialApproximation"
+            )
+        self._db = db
+        self._gdistance = gdistance
+        self._interval = interval
+        self._horizon = interval.hi
+        self._time_terms: List[Polynomial] = (
+            list(time_terms) if time_terms is not None else [Polynomial.identity()]
+        )
+        if not self._time_terms:
+            raise ValueError("need at least one time term")
+        non_identity = any(
+            tt != Polynomial.identity() for tt in self._time_terms
+        )
+        if non_identity and not interval.is_bounded:
+            raise ValueError(
+                "non-identity time terms require a bounded query interval"
+            )
+        self.current_time = interval.lo
+        self.stats = SweepStats()
+        self._order = SweepOrder()
+        self._queue = IndexedEventQueue()
+        self._entries_by_seq: Dict[int, CurveEntry] = {}
+        self._object_entries: Dict[ObjectId, List[CurveEntry]] = {}
+        self._constant_entries: List[CurveEntry] = []
+        self._membership: List[_MembershipEvent] = []
+        self._listeners: List[object] = []
+        self._finalized = False
+        self._initialize(constants)
+
+    # -- initialization (Theorem 5 part 1: O(N log N)) ----------------------
+    def _initialize(self, constants: Sequence[float]) -> None:
+        t0 = self.current_time
+        births: List[_MembershipEvent] = []
+        for oid in self._all_oids():
+            traj = self._db.trajectory(oid)
+            if traj.domain.hi < t0 or traj.domain.lo > self._horizon:
+                continue
+            entries = self._build_entries(oid)
+            self._object_entries[oid] = entries
+            for entry in entries:
+                self._entries_by_seq[entry.seq] = entry
+                dom = entry.curve.domain
+                if dom.lo <= t0:
+                    self._order.insert(entry, t0)
+                else:
+                    births.append(_MembershipEvent(dom.lo, "birth", entry))
+                if math.isfinite(dom.hi) and dom.hi <= self._horizon:
+                    births.append(_MembershipEvent(dom.hi, "death", entry))
+                for jump in entry.curve.discontinuities():
+                    if t0 < jump <= self._horizon:
+                        births.append(_MembershipEvent(jump, "reinsert", entry))
+        for value in constants:
+            entry = CurveEntry.for_constant(float(value))
+            self._constant_entries.append(entry)
+            self._entries_by_seq[entry.seq] = entry
+            self._order.insert(entry, t0)
+        self._membership = births
+        heapq.heapify(self._membership)
+        for below, above in self._adjacent_pairs():
+            self._schedule_pair(below, above)
+
+    def _all_oids(self) -> List[ObjectId]:
+        live = set(self._db.object_ids)
+        oids = list(live)
+        # Terminated objects may still intersect the query interval.
+        for oid, _ in self._db.all_items():
+            if oid not in live:
+                oids.append(oid)
+        return oids
+
+    def _build_entries(self, oid: ObjectId) -> List[CurveEntry]:
+        base = self._gdistance(self._db.trajectory(oid))
+        return [
+            CurveEntry.for_object(oid, self._curve_for_term(base, j), j)
+            for j in range(len(self._time_terms))
+        ]
+
+    def _curve_for_term(self, base: PiecewiseFunction, index: int) -> PiecewiseFunction:
+        term = self._time_terms[index]
+        if term == Polynomial.identity():
+            return base
+        return base.compose_polynomial(term, self._interval)
+
+    # -- public inspection ----------------------------------------------------
+    @property
+    def interval(self) -> Interval:
+        """The query interval ``I``."""
+        return self._interval
+
+    @property
+    def gdistance(self) -> GDistance:
+        """The g-distance currently in force."""
+        return self._gdistance
+
+    @property
+    def order(self) -> SweepOrder:
+        """The live precedence relation (the object list ``L``)."""
+        return self._order
+
+    @property
+    def queue_length(self) -> int:
+        """Current event-queue length (bounded by Lemma 9)."""
+        return len(self._queue)
+
+    @property
+    def max_queue_length(self) -> int:
+        """High-water mark of the event queue."""
+        return self._queue.max_length
+
+    @property
+    def object_count(self) -> int:
+        """Number of object entries currently in the order."""
+        return len(self._order) - len(
+            [e for e in self._constant_entries if e.node is not None]
+        )
+
+    def all_entries(self) -> List[CurveEntry]:
+        """Every entry ever registered (including departed ones).
+
+        The generic evaluator replays answer segments after the sweep;
+        it needs the curves of objects that were removed mid-interval.
+        """
+        return list(self._entries_by_seq.values())
+
+    def entries_for(self, oid: ObjectId) -> List[CurveEntry]:
+        """All curve entries of one object (one per time term)."""
+        return list(self._object_entries.get(oid, []))
+
+    def entry_for(self, oid: ObjectId, time_term_index: int = IDENTITY_TIME_TERM) -> CurveEntry:
+        """The curve entry of one object for one time term."""
+        for entry in self._object_entries.get(oid, []):
+            if entry.time_term_index == time_term_index:
+                return entry
+        raise KeyError(f"no entry for {oid!r} / time term {time_term_index}")
+
+    def sentinel_for(self, value: float) -> CurveEntry:
+        """The sentinel entry for a query constant."""
+        for entry in self._constant_entries:
+            if entry.constant == value:
+                return entry
+        raise KeyError(f"no sentinel for constant {value}")
+
+    def order_labels(self) -> List[str]:
+        """Current precedence order as labels (tests and traces)."""
+        return [e.label for e in self._order]
+
+    def objects_in_order(self) -> List[ObjectId]:
+        """OIDs of object entries in precedence order."""
+        return [e.oid for e in self._order if e.is_object]
+
+    def rank_of(self, entry: CurveEntry) -> int:
+        """Rank of an entry in the full order."""
+        return self._order.rank(entry)
+
+    # -- listeners ------------------------------------------------------------
+    def add_listener(self, listener: object) -> None:
+        """Register a view; optional methods ``on_swap``, ``on_insert``,
+        ``on_remove``, ``on_curve_replaced``, ``on_finalize`` are called
+        as the sweep progresses."""
+        self._listeners.append(listener)
+
+    def _emit(self, method: str, *args) -> None:
+        for listener in self._listeners:
+            handler = getattr(listener, method, None)
+            if handler is not None:
+                handler(*args)
+
+    # -- the sweep --------------------------------------------------------------
+    def advance_to(self, t: float) -> None:
+        """Process all events with time ``<= t`` in chronological order
+        and move the sweep line to ``t``."""
+        if t < self.current_time:
+            raise ValueError(
+                f"cannot sweep backwards: {t} < {self.current_time}"
+            )
+        t = min(t, self._horizon)
+        while True:
+            queue_time = self._queue.peek_time()
+            membership = self._membership[0] if self._membership else None
+            has_intersection = queue_time is not None and queue_time <= t
+            has_membership = membership is not None and membership.time <= t
+            if not has_intersection and not has_membership:
+                break
+            if has_intersection and (
+                not has_membership or queue_time <= membership.time
+            ):
+                self._process_intersection(self._queue.pop())
+            else:
+                heapq.heappop(self._membership)
+                self._process_membership(membership)
+        self.current_time = t
+
+    def run_to_end(self) -> None:
+        """Sweep to the end of the query interval and finalize views."""
+        if not math.isfinite(self._horizon):
+            raise ValueError("cannot run an unbounded interval to its end")
+        self.advance_to(self._horizon)
+        self.finalize()
+
+    def finalize(self) -> None:
+        """Notify views that the sweep is complete."""
+        if not self._finalized:
+            self._finalized = True
+            self._emit("on_finalize", self.current_time)
+
+    # -- event processing ---------------------------------------------------------
+    def _process_intersection(self, event: IntersectionEvent) -> None:
+        seq_a, seq_b = event.key
+        a = self._entries_by_seq[seq_a]
+        b = self._entries_by_seq[seq_b]
+        if a.next is b:
+            below, above = a, b
+        elif b.next is a:
+            below, above = b, a
+        else:  # pragma: no cover - guarded by queue discipline
+            raise AssertionError(
+                f"stale intersection event for non-adjacent pair "
+                f"({a.label}, {b.label})"
+            )
+        self.current_time = event.time
+        self.stats.intersections_processed += 1
+        p = below.prev
+        s = above.next
+        if p is not None:
+            self._queue.remove(pair_key(p.seq, below.seq))
+        if s is not None:
+            self._queue.remove(pair_key(above.seq, s.seq))
+        self._order.swap_adjacent(below, above)
+        self.stats.swaps += 1
+        # New adjacencies: p, above, below, s.  The pair just swapped is
+        # rescheduled with the anti-refire guard; fresh adjacencies may
+        # fire immediately (inherited tie-stretch inversions).
+        if p is not None:
+            self._schedule_pair(p, above)
+        self._schedule_pair(above, below, just_swapped=True)
+        if s is not None:
+            self._schedule_pair(below, s)
+        self._emit("on_swap", event.time, above, below)
+
+    def _process_membership(self, event: _MembershipEvent) -> None:
+        self.current_time = max(self.current_time, event.time)
+        if event.kind == "birth":
+            self._insert_entry(event.entry, event.time)
+        elif event.kind == "death":
+            self._remove_entry(event.entry, event.time)
+        else:
+            self._reinsert_entry(event.entry, event.time)
+
+    def _reinsert_entry(self, entry: CurveEntry, t: float) -> None:
+        """Handle a curve value jump: the entry may leap over
+        non-neighbors, so remove it and re-insert at its right-limit
+        value (the paper's 'propagate changes to the support' for the
+        relaxed g-distance class)."""
+        if entry.node is None:
+            return  # already departed (terminated before the jump)
+        if abs(entry.curve.value_after(t) - entry.curve(t)) <= 1e-12:
+            # Stale event: a chdir replaced the curve and it no longer
+            # jumps here.  Nothing to propagate.
+            return
+        self._remove_entry(entry, t)
+        # Re-insertion keys on the forward Taylor expansion, which uses
+        # the post-jump piece automatically.
+        self._insert_entry(entry, t)
+        self.stats.reinsertions += 1
+        # The remove/insert pair already adjusted stats; rebalance so a
+        # reinsertion counts once overall.
+        self.stats.insertions -= 1
+        self.stats.removals -= 1
+
+    def _insert_entry(self, entry: CurveEntry, t: float) -> None:
+        self._order.insert(entry, t)
+        p, s = entry.prev, entry.next
+        if p is not None and s is not None:
+            self._queue.remove(pair_key(p.seq, s.seq))
+        if p is not None:
+            self._schedule_pair(p, entry)
+        if s is not None:
+            self._schedule_pair(entry, s)
+        self.stats.insertions += 1
+        self._emit("on_insert", t, entry)
+
+    def _remove_entry(self, entry: CurveEntry, t: float) -> None:
+        p, s = entry.prev, entry.next
+        if p is not None:
+            self._queue.remove(pair_key(p.seq, entry.seq))
+        if s is not None:
+            self._queue.remove(pair_key(entry.seq, s.seq))
+        self._order.delete(entry)
+        if p is not None and s is not None:
+            self._schedule_pair(p, s)
+        self.stats.removals += 1
+        self._emit("on_remove", t, entry)
+
+    def _schedule_pair(
+        self, below: CurveEntry, above: CurveEntry, just_swapped: bool = False
+    ) -> None:
+        self.stats.flip_computations += 1
+        flip = first_order_flip_after(
+            below.curve,
+            above.curve,
+            self.current_time,
+            horizon=self._horizon,
+            assume_sign=-1,
+            allow_immediate=not just_swapped,
+        )
+        if flip is not None:
+            self._queue.push(
+                IntersectionEvent(flip, pair_key(below.seq, above.seq))
+            )
+
+    def _adjacent_pairs(self):
+        entry = self._order.first
+        while entry is not None and entry.next is not None:
+            yield entry, entry.next
+            entry = entry.next
+
+    # -- external updates (future-query mode) -----------------------------------------
+    def on_update(self, update: Update) -> None:
+        """Apply a database update at its timestamp.
+
+        Per Section 5, all intersection events earlier than the update
+        are processed first; then the update's structural change is
+        applied and neighbor events are recomputed.  The database must
+        already reflect the update (subscribe the engine to the
+        database, or apply updates to the database first).
+        """
+        if update.time < self.current_time:
+            raise ValueError(
+                f"update at {update.time} is in the sweep's past "
+                f"(current time {self.current_time})"
+            )
+        if update.time > self._horizon:
+            # The update lies beyond the query interval: it cannot affect
+            # the answer.  Drain remaining in-interval events and stop.
+            self.advance_to(self._horizon)
+            return
+        self.advance_to(update.time)
+        self.stats.updates_applied += 1
+        if isinstance(update, New):
+            self._apply_new(update)
+        elif isinstance(update, Terminate):
+            self._apply_terminate(update)
+        elif isinstance(update, ChangeDirection):
+            self._apply_chdir(update)
+        else:  # pragma: no cover - exhaustive over the Update union
+            raise TypeError(f"unknown update: {update!r}")
+
+    def _apply_new(self, update: New) -> None:
+        if update.oid in self._object_entries:
+            raise ValueError(f"object {update.oid!r} already swept")
+        entries = self._build_entries(update.oid)
+        self._object_entries[update.oid] = entries
+        for entry in entries:
+            self._entries_by_seq[entry.seq] = entry
+            self._insert_entry(entry, update.time)
+
+    def _apply_terminate(self, update: Terminate) -> None:
+        entries = self._object_entries.get(update.oid)
+        if not entries:
+            raise KeyError(f"unknown object {update.oid!r}")
+        for entry in entries:
+            if entry.node is not None:
+                self._remove_entry(entry, update.time)
+
+    def _apply_chdir(self, update: ChangeDirection) -> None:
+        entries = self._object_entries.get(update.oid)
+        if not entries:
+            raise KeyError(f"unknown object {update.oid!r}")
+        base = self._gdistance(self._db.trajectory(update.oid))
+        for entry in entries:
+            old_value = (
+                entry.curve(update.time) if entry.node is not None else None
+            )
+            entry.curve = self._curve_for_term(base, entry.time_term_index)
+            if entry.node is None:
+                continue
+            new_value = entry.curve.value_after(update.time)
+            if old_value is not None and abs(new_value - old_value) > 1e-7:
+                # Discontinuous g-distance: the value jumps at the
+                # update, so the entry may leap over non-neighbors —
+                # propagate the change to the support by re-inserting
+                # (the paper's relaxed-continuity remark).
+                self._reinsert_entry(entry, update.time)
+            else:
+                # Continuous case: the precedence relation is unchanged
+                # at the update time; only the pending intersections
+                # with the neighbors must be redone.
+                p, s = entry.prev, entry.next
+                if p is not None:
+                    self._queue.remove(pair_key(p.seq, entry.seq))
+                    self._schedule_pair(p, entry)
+                if s is not None:
+                    self._queue.remove(pair_key(entry.seq, s.seq))
+                    self._schedule_pair(entry, s)
+            # Future discontinuities of the new curve need their own
+            # re-insertion events.
+            for jump in entry.curve.discontinuities():
+                if update.time < jump <= self._horizon:
+                    heapq.heappush(
+                        self._membership,
+                        _MembershipEvent(jump, "reinsert", entry),
+                    )
+            self.stats.curve_replacements += 1
+            self._emit("on_curve_replaced", update.time, entry)
+
+    # -- Theorem 10: chdir on the query trajectory --------------------------------------
+    def replace_gdistance(self, gdistance: GDistance) -> None:
+        """Swap in a new g-distance for *every* object at the current
+        time, without re-sorting.
+
+        This implements Theorem 10: when the query trajectory itself
+        performs a ``chdir``, all g-distances change, but the current
+        precedence relation remains correct (positions — hence current
+        distances — are continuous through the change).  The order is
+        kept as-is; every curve is recomputed and all neighbor-pair
+        events are rebuilt with one O(N) heapify.
+        """
+        if not gdistance.is_polynomial:
+            raise TypeError("replacement g-distance must be polynomial")
+        self._gdistance = gdistance
+        for oid, entries in self._object_entries.items():
+            base = gdistance(self._db.trajectory(oid))
+            for entry in entries:
+                entry.curve = self._curve_for_term(base, entry.time_term_index)
+                self.stats.curve_replacements += 1
+        events: List[IntersectionEvent] = []
+        for below, above in self._adjacent_pairs():
+            self.stats.flip_computations += 1
+            flip = first_order_flip_after(
+                below.curve,
+                above.curve,
+                self.current_time,
+                horizon=self._horizon,
+                assume_sign=-1,
+            )
+            if flip is not None:
+                events.append(
+                    IntersectionEvent(flip, pair_key(below.seq, above.seq))
+                )
+        self._queue.heapify(events)
+        self._emit("on_gdistance_replaced", self.current_time)
+
+    # -- convenience -------------------------------------------------------------
+    def subscribe_to(self, db: MovingObjectDatabase) -> None:
+        """Wire the engine to receive the database's future updates."""
+        if db is not self._db:
+            raise ValueError("engine can only subscribe to its own database")
+        db.subscribe(self.on_update)

@@ -1,0 +1,125 @@
+"""The continuous k-NN view (Example 6 / Example 12).
+
+The answer to k-NN at any instant is the set of objects whose curves
+are the ``k`` lowest — the first ``k`` entries of the precedence
+relation.  Because every order change is an adjacent transposition,
+membership changes only when the transposition straddles the rank-k
+boundary, detectable in O(1) via the current membership set; inserts
+and removals use one O(log N) ``at_rank`` probe to find the displaced
+or promoted entry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.mod.updates import ObjectId
+from repro.query.answers import AnswerTimeline, SnapshotAnswer
+from repro.sweep.curves import CurveEntry
+from repro.sweep.engine import SweepEngine
+
+
+class ContinuousKNN:
+    """Maintain the k nearest objects (by g-distance) over the sweep.
+
+    Requires an engine with no constant sentinels and a single time
+    term, so that full-order ranks coincide with object ranks.
+    """
+
+    def __init__(self, engine: SweepEngine, k: int) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        if any(e.is_constant for e in engine.order):
+            raise ValueError(
+                "ContinuousKNN requires an engine without constant "
+                "sentinels; use the generic evaluator for mixed queries"
+            )
+        self._engine = engine
+        self._k = k
+        self._members: Set[ObjectId] = set()
+        self._timeline = AnswerTimeline(engine.interval)
+        self._result: Optional[SnapshotAnswer] = None
+        engine.add_listener(self)
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        t = self._engine.current_time
+        for rank, entry in enumerate(self._engine.order):
+            if rank >= self._k:
+                break
+            self._enter(entry.oid, t)
+
+    # -- current answer ----------------------------------------------------
+    @property
+    def k(self) -> int:
+        """The k in k-NN."""
+        return self._k
+
+    @property
+    def members(self) -> Set[ObjectId]:
+        """The current k-NN answer set."""
+        return set(self._members)
+
+    def members_in_order(self) -> List[ObjectId]:
+        """The current answer, nearest first."""
+        out: List[ObjectId] = []
+        for entry in self._engine.order:
+            if entry.oid in self._members:
+                out.append(entry.oid)
+            if len(out) == len(self._members):
+                break
+        return out
+
+    # -- listener protocol -----------------------------------------------------
+    def on_swap(self, time: float, lower: CurveEntry, upper: CurveEntry) -> None:
+        # lower just moved below upper.  Membership changes only when
+        # the pair straddles the k boundary, i.e. exactly one is a member.
+        lower_in = lower.oid in self._members
+        upper_in = upper.oid in self._members
+        if lower_in == upper_in:
+            return
+        # The member of the pair was at rank k-1; they exchanged ranks.
+        if upper_in:
+            self._leave(upper.oid, time)
+            self._enter(lower.oid, time)
+
+    def on_insert(self, time: float, entry: CurveEntry) -> None:
+        rank = self._engine.rank_of(entry)
+        if rank >= self._k:
+            return
+        if len(self._engine.order) > self._k:
+            displaced = self._engine.order.at_rank(self._k)
+            if displaced.oid in self._members:
+                self._leave(displaced.oid, time)
+        self._enter(entry.oid, time)
+
+    def on_remove(self, time: float, entry: CurveEntry) -> None:
+        if entry.oid not in self._members:
+            return
+        self._leave(entry.oid, time)
+        if len(self._engine.order) >= self._k:
+            promoted = self._engine.order.at_rank(self._k - 1)
+            self._enter(promoted.oid, time)
+
+    def on_finalize(self, time: float) -> None:
+        self._timeline.finalize(time)
+        self._result = self._timeline.result()
+
+    # -- membership bookkeeping ---------------------------------------------------
+    def _enter(self, oid: ObjectId, time: float) -> None:
+        self._members.add(oid)
+        self._timeline.open(oid, time)
+
+    def _leave(self, oid: ObjectId, time: float) -> None:
+        self._members.discard(oid)
+        self._timeline.close(oid, time)
+
+    # -- results ---------------------------------------------------------------
+    def answer(self) -> SnapshotAnswer:
+        """The snapshot answer (after the engine has been finalized)."""
+        if self._result is None:
+            raise RuntimeError(
+                "the sweep has not been finalized; call engine.run_to_end()"
+                " or engine.finalize() first"
+            )
+        return self._result

@@ -1,0 +1,308 @@
+"""The object list ``L``: a treap over the current curve order.
+
+Lemma 9 asks for a balanced binary search tree over the objects sorted
+by the precedence relation, supporting O(log N) insertion and deletion.
+We use a treap (randomized balance) augmented with
+
+- *subtree sizes*, giving O(log N) ``rank`` and ``at_rank`` queries
+  (needed by the k-NN view to locate the answer boundary), and
+- *doubly-linked neighbor pointers* on the entries themselves, giving
+  O(1) access to the immediate neighbors that intersection detection
+  revolves around (Lemma 7).
+
+The tree is ordered by curve value at the *current sweep time*.  After
+the initial insertion the order is maintained purely structurally: an
+intersection event exchanges two adjacent entries by swapping node
+payloads in O(1), so the stored order always equals the precedence
+relation even while float values sit inside a crossing's tolerance
+window.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.sweep.curves import CurveEntry
+
+
+class _Node:
+    __slots__ = ("entry", "priority", "left", "right", "parent", "size")
+
+    def __init__(self, entry: CurveEntry, priority: float) -> None:
+        self.entry = entry
+        self.priority = priority
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.parent: Optional[_Node] = None
+        self.size = 1
+
+
+def _size(node: Optional[_Node]) -> int:
+    return node.size if node is not None else 0
+
+
+class SweepOrder:
+    """The ordered list of curve entries along the sweep line."""
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._root: Optional[_Node] = None
+        self._rng = random.Random(seed)
+        self._first: Optional[CurveEntry] = None
+        self._last: Optional[CurveEntry] = None
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return _size(self._root)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no entries are stored."""
+        return self._root is None
+
+    @property
+    def first(self) -> Optional[CurveEntry]:
+        """Lowest entry (rank 0), or None when empty."""
+        return self._first
+
+    @property
+    def last(self) -> Optional[CurveEntry]:
+        """Highest entry, or None when empty."""
+        return self._last
+
+    def __iter__(self) -> Iterator[CurveEntry]:
+        entry = self._first
+        while entry is not None:
+            yield entry
+            entry = entry.next
+
+    def __contains__(self, entry: CurveEntry) -> bool:
+        return entry.node is not None and self._owns(entry.node)
+
+    def _owns(self, node: _Node) -> bool:
+        while node.parent is not None:
+            node = node.parent
+        return node is self._root
+
+    def entries(self) -> List[CurveEntry]:
+        """All entries in precedence order."""
+        return list(self)
+
+    def rank(self, entry: CurveEntry) -> int:
+        """Zero-based rank of ``entry`` in the order, in O(log N)."""
+        node = entry.node
+        if node is None:
+            raise KeyError(f"{entry!r} is not in the order")
+        rank = _size(node.left)
+        while node.parent is not None:
+            if node.parent.right is node:
+                rank += _size(node.parent.left) + 1
+            node = node.parent
+        return rank
+
+    def at_rank(self, rank: int) -> CurveEntry:
+        """Entry at a zero-based rank, in O(log N)."""
+        if rank < 0 or rank >= len(self):
+            raise IndexError(f"rank {rank} out of range [0, {len(self)})")
+        node = self._root
+        while True:
+            left = _size(node.left)
+            if rank < left:
+                node = node.left
+            elif rank == left:
+                return node.entry
+            else:
+                rank -= left + 1
+                node = node.right
+
+    # -- mutation -------------------------------------------------------------
+    def insert(self, entry: CurveEntry, t: float) -> None:
+        """Insert ``entry`` at its order position at time ``t``.
+
+        The comparison key is the curve's *forward Taylor expansion* at
+        ``t`` (value, then successive right-derivatives): exact value
+        ties are broken by the order that holds immediately after ``t``,
+        which keeps the list consistent with the first-nonzero-sign
+        convention the intersection scheduler relies on.  (This also
+        makes re-insertion at curve discontinuities use the post-jump
+        value automatically.)  Full ties — curves identical near ``t``
+        — fall back to the entry sequence number; any order among those
+        is correct.
+        """
+        if entry.node is not None:
+            raise ValueError(f"{entry!r} already in an order")
+        node = _Node(entry, self._rng.random())
+        entry.node = node
+        key = (*entry.curve.forward_taylor(t), entry.seq)
+        if self._root is None:
+            self._root = node
+            self._first = self._last = entry
+            entry.prev = entry.next = None
+            return
+        current = self._root
+        pred: Optional[CurveEntry] = None
+        succ: Optional[CurveEntry] = None
+        while True:
+            other = current.entry
+            if key < (*other.curve.forward_taylor(t), other.seq):
+                succ = other
+                if current.left is None:
+                    current.left = node
+                    break
+                current = current.left
+            else:
+                pred = other
+                if current.right is None:
+                    current.right = node
+                    break
+                current = current.right
+        node.parent = current
+        walk = current
+        while walk is not None:
+            walk.size += 1
+            walk = walk.parent
+        self._bubble_up(node)
+        self._link(entry, pred, succ)
+
+    def delete(self, entry: CurveEntry) -> None:
+        """Remove ``entry`` from the order in O(log N)."""
+        node = entry.node
+        if node is None:
+            raise KeyError(f"{entry!r} is not in the order")
+        # Rotate the node down to a leaf, then detach.
+        while node.left is not None or node.right is not None:
+            if node.left is None:
+                child = node.right
+            elif node.right is None:
+                child = node.left
+            else:
+                child = (
+                    node.left
+                    if node.left.priority > node.right.priority
+                    else node.right
+                )
+            self._rotate_up(child)
+        parent = node.parent
+        if parent is None:
+            self._root = None
+        elif parent.left is node:
+            parent.left = None
+        else:
+            parent.right = None
+        walk = parent
+        while walk is not None:
+            walk.size -= 1
+            walk = walk.parent
+        entry.node = None
+        self._unlink(entry)
+
+    def swap_adjacent(self, below: CurveEntry, above: CurveEntry) -> None:
+        """Exchange two adjacent entries in O(1).
+
+        ``below`` must immediately precede ``above``; afterwards
+        ``above`` precedes ``below`` — the adjacent transposition an
+        intersection event performs.
+        """
+        if below.next is not above:
+            raise ValueError(
+                f"{below!r} does not immediately precede {above!r}"
+            )
+        node_b, node_a = below.node, above.node
+        node_b.entry, node_a.entry = above, below
+        below.node, above.node = node_a, node_b
+        # Relink the doubly-linked list: p, below, above, s -> p, above, below, s
+        p = below.prev
+        s = above.next
+        if p is not None:
+            p.next = above
+        else:
+            self._first = above
+        above.prev = p
+        above.next = below
+        below.prev = above
+        below.next = s
+        if s is not None:
+            s.prev = below
+        else:
+            self._last = below
+
+    # -- internals --------------------------------------------------------------
+    def _link(self, entry: CurveEntry, pred: Optional[CurveEntry], succ: Optional[CurveEntry]) -> None:
+        entry.prev = pred
+        entry.next = succ
+        if pred is not None:
+            pred.next = entry
+        else:
+            self._first = entry
+        if succ is not None:
+            succ.prev = entry
+        else:
+            self._last = entry
+
+    def _unlink(self, entry: CurveEntry) -> None:
+        if entry.prev is not None:
+            entry.prev.next = entry.next
+        else:
+            self._first = entry.next
+        if entry.next is not None:
+            entry.next.prev = entry.prev
+        else:
+            self._last = entry.prev
+        entry.prev = entry.next = None
+
+    def _bubble_up(self, node: _Node) -> None:
+        while node.parent is not None and node.priority > node.parent.priority:
+            self._rotate_up(node)
+
+    def _rotate_up(self, node: _Node) -> None:
+        parent = node.parent
+        grand = parent.parent
+        if parent.left is node:
+            parent.left = node.right
+            if node.right is not None:
+                node.right.parent = parent
+            node.right = parent
+        else:
+            parent.right = node.left
+            if node.left is not None:
+                node.left.parent = parent
+            node.left = parent
+        parent.parent = node
+        node.parent = grand
+        if grand is None:
+            self._root = node
+        elif grand.left is parent:
+            grand.left = node
+        else:
+            grand.right = node
+        parent.size = 1 + _size(parent.left) + _size(parent.right)
+        node.size = 1 + _size(node.left) + _size(node.right)
+
+    # -- test hooks ----------------------------------------------------------------
+    def _validate(self) -> None:
+        """Assert structural invariants (tests only)."""
+        seen: List[CurveEntry] = []
+
+        def walk(node: Optional[_Node], parent: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            assert node.parent is parent
+            if parent is not None:
+                assert node.priority <= parent.priority
+            left = walk(node.left, node)
+            seen.append(node.entry)
+            right = walk(node.right, node)
+            assert node.size == left + right + 1
+            assert node.entry.node is node
+            return node.size
+
+        walk(self._root, None)
+        assert seen == self.entries(), "in-order differs from linked list"
+        if seen:
+            assert self._first is seen[0] and self._last is seen[-1]
+            assert self._first.prev is None and self._last.next is None
+
+    def is_sorted_at(self, t: float, atol: float = 1e-7) -> bool:
+        """Check the order agrees with curve values at time ``t``."""
+        values = [e.value(t) for e in self if e.defined_at(t)]
+        return all(a <= b + atol for a, b in zip(values, values[1:]))

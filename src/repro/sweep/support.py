@@ -1,0 +1,85 @@
+"""Precedence-relation snapshots and support-change accounting.
+
+The *support* of a query (Section 5) is the minimal set of true order
+atoms over the instantiated real terms — equivalently, the total order
+of the curves (with constants as sentinel curves).  Its changes over
+time are exactly the engine's adjacent transpositions plus entry
+insertions/removals.  :class:`SupportTracker` records them, providing
+
+- the paper's ``m`` (number of support changes) for the Theorem 4/5
+  benchmarks, and
+- the event trace that the Example 12 / Figure 2 reproduction tests
+  assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sweep.curves import CurveEntry
+
+
+@dataclass(frozen=True)
+class SupportChange:
+    """One recorded change of the precedence relation."""
+
+    time: float
+    kind: str  # 'swap' | 'insert' | 'remove' | 'curve' | 'gdistance'
+    labels: Tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"{self.kind}@{self.time:g}({', '.join(self.labels)})"
+
+
+class SupportTracker:
+    """A sweep listener recording every support change."""
+
+    def __init__(self, record_orders: bool = False, engine=None) -> None:
+        self.changes: List[SupportChange] = []
+        self._record_orders = record_orders
+        self._engine = engine
+        #: Precedence order snapshots after each change, when enabled.
+        self.orders: List[Tuple[float, Tuple[str, ...]]] = []
+
+    # -- listener protocol ------------------------------------------------
+    def on_swap(self, time: float, lower: CurveEntry, upper: CurveEntry) -> None:
+        self._record(time, "swap", (lower.label, upper.label))
+
+    def on_insert(self, time: float, entry: CurveEntry) -> None:
+        self._record(time, "insert", (entry.label,))
+
+    def on_remove(self, time: float, entry: CurveEntry) -> None:
+        self._record(time, "remove", (entry.label,))
+
+    def on_curve_replaced(self, time: float, entry: CurveEntry) -> None:
+        self._record(time, "curve", (entry.label,))
+
+    def on_gdistance_replaced(self, time: float) -> None:
+        self._record(time, "gdistance", ())
+
+    def _record(self, time: float, kind: str, labels: Tuple[str, ...]) -> None:
+        self.changes.append(SupportChange(time, kind, labels))
+        if self._record_orders and self._engine is not None:
+            self.orders.append((time, tuple(self._engine.order_labels())))
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def support_change_count(self) -> int:
+        """The paper's ``m``: order-affecting changes (swaps, inserts,
+        removals) — curve replacements alone do not change the order."""
+        return sum(
+            1 for c in self.changes if c.kind in ("swap", "insert", "remove")
+        )
+
+    def swap_times(self) -> List[float]:
+        """Times of adjacent transpositions, in processing order."""
+        return [c.time for c in self.changes if c.kind == "swap"]
+
+    def changes_between(self, lo: float, hi: float) -> List[SupportChange]:
+        """Changes with time in ``(lo, hi]``."""
+        return [c for c in self.changes if lo < c.time <= hi]
+
+    def last_change_time(self) -> Optional[float]:
+        """Time of the most recent change, or None."""
+        return self.changes[-1].time if self.changes else None

@@ -1,0 +1,98 @@
+"""The continuous range view: objects with g-distance below a constant.
+
+Realizes queries like "all flights within 50 km of Flight 623 from tau1
+to tau2" (Example 11): with the squared Euclidean g-distance and the
+constant ``50**2``, membership is simply *being ordered below the
+constant's sentinel curve* in the precedence relation.  Every entry or
+exit is an adjacent transposition with the sentinel — the paper's
+extension of the precedence relation to real numbers doing real work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.mod.updates import ObjectId
+from repro.query.answers import AnswerTimeline, SnapshotAnswer
+from repro.sweep.curves import CurveEntry
+from repro.sweep.engine import SweepEngine
+
+
+class ContinuousWithin:
+    """Maintain ``{o : f_o(t) <= threshold}`` over the sweep.
+
+    The engine must have been constructed with ``threshold`` among its
+    constants (so the sentinel participates in the order from the
+    start) and a single identity time term.
+    """
+
+    def __init__(self, engine: SweepEngine, threshold: float) -> None:
+        self._engine = engine
+        self._sentinel = engine.sentinel_for(float(threshold))
+        self._members: Set[ObjectId] = set()
+        self._timeline = AnswerTimeline(engine.interval)
+        self._result: Optional[SnapshotAnswer] = None
+        engine.add_listener(self)
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        t = self._engine.current_time
+        for entry in self._engine.order:
+            if entry is self._sentinel:
+                break
+            if entry.is_object:
+                self._enter(entry.oid, t)
+
+    @property
+    def threshold(self) -> float:
+        """The range threshold (in g-distance units)."""
+        return self._sentinel.constant
+
+    @property
+    def members(self) -> Set[ObjectId]:
+        """The current within-range answer set."""
+        return set(self._members)
+
+    # -- listener protocol ----------------------------------------------
+    def on_swap(self, time: float, lower: CurveEntry, upper: CurveEntry) -> None:
+        if lower is self._sentinel and upper.is_object:
+            # The sentinel moved below the object: the object left range.
+            self._leave(upper.oid, time)
+        elif upper is self._sentinel and lower.is_object:
+            # The object moved below the sentinel: it entered range.
+            self._enter(lower.oid, time)
+
+    def on_insert(self, time: float, entry: CurveEntry) -> None:
+        if entry.is_object and self._is_below_sentinel(entry):
+            self._enter(entry.oid, time)
+
+    def on_remove(self, time: float, entry: CurveEntry) -> None:
+        if entry.is_object and entry.oid in self._members:
+            self._leave(entry.oid, time)
+
+    def on_finalize(self, time: float) -> None:
+        self._timeline.finalize(time)
+        self._result = self._timeline.result()
+
+    def _is_below_sentinel(self, entry: CurveEntry) -> bool:
+        return self._engine.rank_of(entry) < self._engine.rank_of(self._sentinel)
+
+    # -- membership bookkeeping ----------------------------------------------
+    def _enter(self, oid: ObjectId, time: float) -> None:
+        if oid not in self._members:
+            self._members.add(oid)
+            self._timeline.open(oid, time)
+
+    def _leave(self, oid: ObjectId, time: float) -> None:
+        if oid in self._members:
+            self._members.discard(oid)
+            self._timeline.close(oid, time)
+
+    def answer(self) -> SnapshotAnswer:
+        """The snapshot answer (after the engine has been finalized)."""
+        if self._result is None:
+            raise RuntimeError(
+                "the sweep has not been finalized; call engine.run_to_end()"
+                " or engine.finalize() first"
+            )
+        return self._result

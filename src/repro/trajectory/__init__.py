@@ -1,0 +1,27 @@
+"""The moving-object data model of Section 2.
+
+A *trajectory* is a continuous piecewise-linear function from time to
+``R^n`` (Definition 1).  Each linear piece has the form ``x = A t + B``
+on a closed or unbounded time interval; the instants where the velocity
+vector changes are the trajectory's *turns*.
+"""
+
+from repro.trajectory.builder import (
+    from_waypoints,
+    linear_from,
+    stationary,
+)
+from repro.trajectory.linearpiece import LinearPiece
+from repro.trajectory.simplify import max_deviation, resample, simplify
+from repro.trajectory.trajectory import Trajectory
+
+__all__ = [
+    "LinearPiece",
+    "Trajectory",
+    "from_waypoints",
+    "linear_from",
+    "max_deviation",
+    "resample",
+    "simplify",
+    "stationary",
+]

@@ -1,0 +1,68 @@
+"""Convenient trajectory constructors.
+
+The paper's examples specify trajectories either as explicit linear
+pieces (Example 1) or implicitly through positions at given times.
+These helpers cover both styles plus the stationary points that the
+model admits as degenerate moving objects (Section 2, last paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+from repro.geometry.intervals import Interval
+from repro.geometry.vectors import Vector, as_vector
+from repro.trajectory.linearpiece import LinearPiece
+from repro.trajectory.trajectory import Trajectory
+
+PointLike = Union[Vector, Sequence[float]]
+Waypoint = Tuple[float, PointLike]
+
+
+def stationary(position: PointLike, since: float = float("-inf")) -> Trajectory:
+    """A point that never moves (a stationary spatial object)."""
+    pos = as_vector(position)
+    piece = LinearPiece(
+        Vector.zero(pos.dimension), pos, Interval.at_least(since)
+    )
+    return Trajectory([piece])
+
+
+def linear_from(start_time: float, position: PointLike, velocity: PointLike) -> Trajectory:
+    """An object created at ``start_time`` moving with constant velocity.
+
+    This is exactly the trajectory installed by the ``new`` update:
+    ``x = A t + B' `` for ``t >= start_time`` with the object at
+    ``position`` when created.
+    """
+    vel = as_vector(velocity)
+    pos = as_vector(position)
+    piece = LinearPiece.anchored(vel, pos, start_time, Interval.at_least(start_time))
+    return Trajectory([piece])
+
+
+def from_waypoints(waypoints: Sequence[Waypoint], extend: bool = True) -> Trajectory:
+    """A trajectory visiting ``waypoints`` — ``(time, position)`` pairs —
+    with linear motion between consecutive pairs.
+
+    Times must be strictly increasing.  With ``extend=True`` the final
+    segment's velocity continues past the last waypoint (the object
+    keeps flying, matching the unbounded last piece of Example 1);
+    otherwise the trajectory ends at the last waypoint.
+    """
+    if len(waypoints) < 2:
+        raise ValueError("need at least two waypoints")
+    times = [t for t, _ in waypoints]
+    for a, b in zip(times, times[1:]):
+        if b <= a:
+            raise ValueError(f"waypoint times must increase: {a} then {b}")
+    points = [as_vector(p) for _, p in waypoints]
+    pieces = []
+    for (t0, p0), (t1, p1) in zip(
+        zip(times, points), zip(times[1:], points[1:])
+    ):
+        velocity = (p1 - p0) / (t1 - t0)
+        last = extend and t1 == times[-1]
+        interval = Interval(t0, float("inf")) if last else Interval(t0, t1)
+        pieces.append(LinearPiece.anchored(velocity, p0, t0, interval))
+    return Trajectory(pieces)

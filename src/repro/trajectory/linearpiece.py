@@ -1,0 +1,85 @@
+"""A single linear piece of a trajectory: ``x = A t + B`` on an interval.
+
+This is the representation the paper manipulates directly — each piece
+is "a conjunction of linear constraints using the time variable and
+coordinate variables" (Section 2), i.e. ``x_i = A_i t + B_i`` for each
+coordinate plus the interval bounds on ``t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.intervals import Interval
+from repro.geometry.poly import Polynomial
+from repro.geometry.vectors import Vector
+
+
+@dataclass(frozen=True)
+class LinearPiece:
+    """One linear piece ``x = velocity * t + offset`` on ``interval``.
+
+    ``velocity`` is the paper's ``A`` and ``offset`` its ``B``; both
+    live in ``R^n`` for the same ``n``.
+    """
+
+    velocity: Vector
+    offset: Vector
+    interval: Interval
+
+    def __post_init__(self) -> None:
+        if self.velocity.dimension != self.offset.dimension:
+            raise ValueError(
+                "velocity and offset must have the same dimension: "
+                f"{self.velocity.dimension} vs {self.offset.dimension}"
+            )
+
+    @staticmethod
+    def anchored(velocity: Vector, position: Vector, at_time: float, interval: Interval) -> "LinearPiece":
+        """Build a piece from a known position at a reference time.
+
+        Encodes the paper's ``x = A (t - tau) + B`` form used by the
+        ``chdir`` update: ``position`` is where the object is at
+        ``at_time``.
+        """
+        offset = position - velocity * at_time
+        return LinearPiece(velocity, offset, interval)
+
+    @property
+    def dimension(self) -> int:
+        """Spatial dimension ``n``."""
+        return self.velocity.dimension
+
+    @property
+    def speed(self) -> float:
+        """Scalar speed on this piece."""
+        return self.velocity.norm()
+
+    @property
+    def is_stationary(self) -> bool:
+        """True when the object does not move on this piece."""
+        return self.velocity.is_zero()
+
+    def position(self, t: float) -> Vector:
+        """Position at time ``t`` (must lie in the piece interval)."""
+        if not self.interval.contains(t, atol=1e-9):
+            raise ValueError(f"time {t} outside piece interval {self.interval}")
+        return self.velocity * t + self.offset
+
+    def position_unchecked(self, t: float) -> Vector:
+        """Position from the piece's linear law, ignoring the interval."""
+        return self.velocity * t + self.offset
+
+    def coordinate_polynomial(self, axis: int) -> Polynomial:
+        """The linear polynomial of one coordinate: ``A_i t + B_i``."""
+        return Polynomial.linear(self.velocity[axis], self.offset[axis])
+
+    def restricted(self, interval: Interval) -> "LinearPiece":
+        """Same law on a sub-interval."""
+        cap = self.interval.intersect(interval)
+        if cap is None:
+            raise ValueError(f"{interval} does not meet {self.interval}")
+        return LinearPiece(self.velocity, self.offset, cap)
+
+    def __repr__(self) -> str:
+        return f"x = {self.velocity!r} t + {self.offset!r} on {self.interval!r}"

@@ -1,0 +1,138 @@
+"""Trajectory simplification and resampling.
+
+Real position feeds produce trajectories with many short linear pieces;
+every piece multiplies the constant factors of curve construction and
+intersection detection (the piece count enters every g-distance).
+:func:`simplify` reduces pieces with a time-parametrized
+Douglas-Peucker pass: a waypoint is dropped only when the *moving*
+object's position at every dropped instant stays within ``tolerance``
+of the simplified motion — a stronger, time-aware criterion than
+geometric line simplification (an object slowing down on a straight
+segment is NOT simplifiable, because its position at interior times
+diverges from the constant-velocity interpolation).
+
+:func:`resample` converts a trajectory to fixed-cadence waypoints (a
+position-feed simulator, and the inverse ingestion path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry.intervals import Interval
+from repro.geometry.vectors import Vector
+from repro.trajectory.builder import from_waypoints
+from repro.trajectory.trajectory import Trajectory
+
+
+def _vertices(trajectory: Trajectory) -> List[Tuple[float, Vector]]:
+    """The trajectory's defining waypoints: piece starts plus the final
+    endpoint (requires a bounded final piece)."""
+    out: List[Tuple[float, Vector]] = []
+    for piece in trajectory.pieces:
+        out.append((piece.interval.lo, piece.position_unchecked(piece.interval.lo)))
+    last = trajectory.pieces[-1]
+    out.append((last.interval.hi, last.position_unchecked(last.interval.hi)))
+    return out
+
+
+def max_deviation(trajectory: Trajectory, simplified: Trajectory, samples_per_piece: int = 9) -> float:
+    """Largest position error of ``simplified`` against ``trajectory``,
+    sampled at the original piece boundaries and interior points."""
+    worst = 0.0
+    for piece in trajectory.pieces:
+        iv = piece.interval
+        probes = (
+            Interval(iv.lo, iv.hi).sample_points(samples_per_piece)
+            if iv.is_bounded
+            else [iv.lo]
+        )
+        for t in probes:
+            if simplified.defined_at(t):
+                error = trajectory.position(t).distance_to(simplified.position(t))
+                worst = max(worst, error)
+    return worst
+
+
+def simplify(trajectory: Trajectory, tolerance: float) -> Trajectory:
+    """Drop turns whose removal moves no interior position by more than
+    ``tolerance``.
+
+    Uses the Douglas-Peucker recursion on the (time, position)
+    waypoints with the *time-parametrized* error metric: the distance
+    between the original position at time ``t`` and the simplified
+    (constant-velocity) position at the same ``t``.  The trajectory
+    must end (a bounded final piece); unbounded tails cannot be
+    summarized by a chord.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be nonnegative")
+    if not trajectory.domain.is_bounded:
+        raise ValueError(
+            "simplify requires a bounded trajectory; restrict it first"
+        )
+    points = _vertices(trajectory)
+    if len(points) <= 2:
+        return trajectory
+    keep = [False] * len(points)
+    keep[0] = keep[-1] = True
+    _douglas_peucker(points, 0, len(points) - 1, tolerance, keep)
+    waypoints = [(t, p) for (t, p), kept in zip(points, keep) if kept]
+    return from_waypoints(waypoints, extend=False)
+
+
+def _douglas_peucker(
+    points: Sequence[Tuple[float, Vector]],
+    first: int,
+    last: int,
+    tolerance: float,
+    keep: List[bool],
+) -> None:
+    if last <= first + 1:
+        return
+    t0, p0 = points[first]
+    t1, p1 = points[last]
+    velocity = (p1 - p0) / (t1 - t0)
+    worst_index = -1
+    worst_error = tolerance
+    for idx in range(first + 1, last):
+        t, p = points[idx]
+        interpolated = p0 + velocity * (t - t0)
+        error = p.distance_to(interpolated)
+        if error > worst_error:
+            worst_error = error
+            worst_index = idx
+    if worst_index < 0:
+        return
+    keep[worst_index] = True
+    _douglas_peucker(points, first, worst_index, tolerance, keep)
+    _douglas_peucker(points, worst_index, last, tolerance, keep)
+
+
+def resample(trajectory: Trajectory, period: float) -> Trajectory:
+    """Rebuild the trajectory from fixed-cadence position fixes.
+
+    Simulates a position feed reporting every ``period`` time units
+    (plus the final instant).  The result interpolates linearly between
+    fixes; with a cadence finer than the original turn spacing it is
+    close to the original, and :func:`simplify` recovers a compact
+    representation.
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    domain = trajectory.domain
+    if not domain.is_bounded:
+        raise ValueError("resample requires a bounded trajectory")
+    times: List[float] = []
+    t = domain.lo
+    while t < domain.hi - 1e-12:
+        times.append(t)
+        t += period
+    times.append(domain.hi)
+    waypoints = [(t, trajectory.position(t)) for t in times]
+    if len(waypoints) < 2:
+        waypoints = [
+            (domain.lo, trajectory.position(domain.lo)),
+            (domain.hi, trajectory.position(domain.hi)),
+        ]
+    return from_waypoints(waypoints, extend=False)

@@ -1,0 +1,246 @@
+"""Continuous piecewise-linear trajectories (Definition 1).
+
+A :class:`Trajectory` is a finite list of contiguous
+:class:`~repro.trajectory.linearpiece.LinearPiece` objects forming a
+*continuous* function from a closed/unbounded time interval to ``R^n``.
+The update operations of Definition 3 are implemented as methods that
+return new trajectories (trajectories are immutable values; mutation
+lives in :class:`repro.mod.database.MovingObjectDatabase`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+from repro.geometry.intervals import Interval
+from repro.geometry.piecewise import PiecewiseFunction
+from repro.geometry.poly import Polynomial
+from repro.geometry.tolerance import DEFAULT_ATOL, approx_eq
+from repro.geometry.vectors import Vector
+from repro.trajectory.linearpiece import LinearPiece
+
+#: Positions of consecutive pieces may differ by at most this at their
+#: shared boundary; larger jumps violate Definition 1's continuity.
+_CONTINUITY_ATOL = 1e-6
+
+
+class Trajectory:
+    """A continuous piecewise-linear function from time to ``R^n``."""
+
+    __slots__ = ("_pieces",)
+
+    def __init__(self, pieces: Iterable[LinearPiece]) -> None:
+        items = list(pieces)
+        if not items:
+            raise ValueError("a trajectory needs at least one piece")
+        dim = items[0].dimension
+        for piece in items:
+            if piece.dimension != dim:
+                raise ValueError("all pieces must share one dimension")
+        for a, b in zip(items, items[1:]):
+            if not approx_eq(a.interval.hi, b.interval.lo):
+                raise ValueError(
+                    f"pieces must be contiguous: {a.interval} then {b.interval}"
+                )
+            boundary = a.interval.hi
+            pos_a = a.position_unchecked(boundary)
+            pos_b = b.position_unchecked(boundary)
+            if not pos_a.approx_equals(pos_b, atol=_CONTINUITY_ATOL):
+                raise ValueError(
+                    f"discontinuity at t={boundary}: {pos_a!r} vs {pos_b!r}"
+                )
+        self._pieces: Tuple[LinearPiece, ...] = tuple(items)
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def pieces(self) -> Tuple[LinearPiece, ...]:
+        """The linear pieces in time order."""
+        return self._pieces
+
+    @property
+    def dimension(self) -> int:
+        """Spatial dimension ``n``."""
+        return self._pieces[0].dimension
+
+    @property
+    def domain(self) -> Interval:
+        """Time interval on which the trajectory is defined."""
+        return Interval(self._pieces[0].interval.lo, self._pieces[-1].interval.hi)
+
+    @property
+    def turns(self) -> List[float]:
+        """Times where the velocity actually changes (Definition 1's
+        turns — piece boundaries with equal velocities do not count)."""
+        out: List[float] = []
+        for a, b in zip(self._pieces, self._pieces[1:]):
+            if a.velocity != b.velocity:
+                out.append(a.interval.hi)
+        return out
+
+    @property
+    def last_turn(self) -> Optional[float]:
+        """The latest turn, or None for a single-velocity trajectory."""
+        turns = self.turns
+        return turns[-1] if turns else None
+
+    @property
+    def is_stationary(self) -> bool:
+        """True when the object never moves."""
+        return all(p.is_stationary for p in self._pieces)
+
+    def defined_at(self, t: float) -> bool:
+        """Whether the trajectory is defined at time ``t``."""
+        return self.domain.contains(t, atol=DEFAULT_ATOL)
+
+    def piece_at(self, t: float) -> LinearPiece:
+        """The authoritative piece at time ``t`` (earlier piece on ties)."""
+        if not self.defined_at(t):
+            raise ValueError(f"time {t} outside trajectory domain {self.domain}")
+        lo, hi = 0, len(self._pieces) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._pieces[mid].interval.hi < t:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._pieces[lo]
+
+    def position(self, t: float) -> Vector:
+        """Position at time ``t``."""
+        return self.piece_at(t).position_unchecked(t)
+
+    def velocity(self, t: float) -> Vector:
+        """Velocity at time ``t`` (left-piece velocity at a turn).
+
+        This realizes the paper's ``vel`` function: the derivative of
+        each coordinate over time, with the turn instants (a measure-
+        zero set where the derivative is discontinuous) resolved to the
+        earlier piece.
+        """
+        return self.piece_at(t).velocity
+
+    def speed(self, t: float) -> float:
+        """Scalar speed at time ``t``."""
+        return self.velocity(t).norm()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trajectory):
+            return NotImplemented
+        return self._pieces == other._pieces
+
+    def __repr__(self) -> str:
+        body = " v ".join(repr(p) for p in self._pieces)
+        return f"Trajectory({body})"
+
+    # -- derived functions ------------------------------------------------
+    def coordinate_function(self, axis: int) -> PiecewiseFunction:
+        """Coordinate ``axis`` as a piecewise linear function of time."""
+        return PiecewiseFunction(
+            [(p.interval, p.coordinate_polynomial(axis)) for p in self._pieces]
+        )
+
+    def squared_distance_to(self, other: "Trajectory") -> PiecewiseFunction:
+        """Squared Euclidean distance to another trajectory over time.
+
+        On every common refinement cell both trajectories are linear, so
+        the squared distance is a quadratic polynomial — the canonical
+        "polynomial g-distance" of Example 8.  Domains must overlap; the
+        result lives on the intersection.
+        """
+        if other.dimension != self.dimension:
+            raise ValueError("trajectories must share a dimension")
+        domain = self.domain.intersect(other.domain)
+        if domain is None:
+            raise ValueError(
+                f"domains {self.domain} and {other.domain} do not overlap"
+            )
+        cuts = sorted(
+            {
+                b
+                for piece in (*self._pieces, *other._pieces)
+                for b in (piece.interval.lo, piece.interval.hi)
+                if domain.lo < b < domain.hi and math.isfinite(b)
+            }
+        )
+        bounds = [domain.lo, *cuts, domain.hi]
+        out: List[Tuple[Interval, Polynomial]] = []
+        if domain.is_point:
+            delta = self.position(domain.lo) - other.position(domain.lo)
+            return PiecewiseFunction.constant(delta.norm_squared(), domain)
+        for lo, hi in zip(bounds, bounds[1:]):
+            probe = _probe(lo, hi)
+            a = self.piece_at(probe)
+            b = other.piece_at(probe)
+            dv = a.velocity - b.velocity
+            dp = a.offset - b.offset
+            # |dv t + dp|^2 = (dv.dv) t^2 + 2 (dv.dp) t + dp.dp
+            poly = Polynomial(
+                [dp.norm_squared(), 2.0 * dv.dot(dp), dv.norm_squared()]
+            )
+            out.append((Interval(lo, hi), poly))
+        return PiecewiseFunction(out)
+
+    def distance_at(self, other: "Trajectory", t: float) -> float:
+        """Euclidean distance between the objects at one instant."""
+        return self.position(t).distance_to(other.position(t))
+
+    # -- update operations (functional) ----------------------------------------
+    def truncated_at(self, tau: float) -> "Trajectory":
+        """The trajectory restricted to ``t <= tau`` (Definition 3's
+        ``terminate``)."""
+        if not self.defined_at(tau):
+            raise ValueError(f"cannot truncate at {tau}: outside {self.domain}")
+        out: List[LinearPiece] = []
+        for piece in self._pieces:
+            if piece.interval.hi <= tau:
+                out.append(piece)
+            elif piece.interval.lo <= tau:
+                out.append(piece.restricted(Interval(piece.interval.lo, tau)))
+                break
+        if not out:
+            first = self._pieces[0]
+            out = [first.restricted(Interval.point(tau))]
+        return Trajectory(out)
+
+    def with_direction_change(self, tau: float, velocity: Vector) -> "Trajectory":
+        """Apply ``chdir(o, tau, A)``: keep the past, replace the future.
+
+        Per Definition 3, the result coincides with the old trajectory
+        up to ``tau`` and follows ``x = A (t - tau) + B`` afterwards,
+        where ``B`` is the position at ``tau``.
+        """
+        if not self.defined_at(tau):
+            raise ValueError(f"trajectory undefined at chdir time {tau}")
+        if velocity.dimension != self.dimension:
+            raise ValueError("velocity dimension mismatch")
+        position = self.position(tau)
+        past = self.truncated_at(tau)
+        future = LinearPiece.anchored(
+            velocity, position, tau, Interval.at_least(tau)
+        )
+        return Trajectory([*past.pieces, future])
+
+    def restricted(self, interval: Interval) -> "Trajectory":
+        """Restriction to a sub-interval of the domain."""
+        cap = self.domain.intersect(interval)
+        if cap is None:
+            raise ValueError(f"{interval} does not meet domain {self.domain}")
+        out: List[LinearPiece] = []
+        for piece in self._pieces:
+            sub = piece.interval.intersect(cap)
+            if sub is not None and (sub.length > 0 or cap.is_point):
+                out.append(piece.restricted(sub))
+        if not out:
+            out = [self.piece_at(cap.lo).restricted(Interval.point(cap.lo))]
+        return Trajectory(out)
+
+
+def _probe(lo: float, hi: float) -> float:
+    if math.isinf(lo) and math.isinf(hi):
+        return 0.0
+    if math.isinf(lo):
+        return hi - 1.0
+    if math.isinf(hi):
+        return lo + 1.0
+    return (lo + hi) / 2.0

@@ -1,0 +1,26 @@
+"""Synthetic workloads: random MODs, update streams, and the paper's
+worked scenarios (Figures 1-3, Examples 1, 2, 12)."""
+
+from repro.workloads.generator import (
+    UpdateStream,
+    banded_mod,
+    crossing_rich_mod,
+    random_linear_mod,
+    random_piecewise_mod,
+)
+from repro.workloads.paperfigures import (
+    example12_scenario,
+    figure1_configuration,
+    figure2_scenario,
+)
+
+__all__ = [
+    "UpdateStream",
+    "banded_mod",
+    "crossing_rich_mod",
+    "example12_scenario",
+    "figure1_configuration",
+    "figure2_scenario",
+    "random_linear_mod",
+    "random_piecewise_mod",
+]

@@ -1,0 +1,263 @@
+"""Random moving-object workloads.
+
+The complexity claims of Theorems 4 and 5 are parameterized by the
+number of objects ``N``, the number of support changes ``m``, and the
+update cadence.  These generators control all three:
+
+- :func:`random_linear_mod` — N straight-moving objects (m grows ~N for
+  fixed density);
+- :func:`random_piecewise_mod` — objects with historical turns (past
+  queries over curvy histories);
+- :func:`crossing_rich_mod` — an adversarial 1-D-style workload where
+  every pair crosses, driving m toward ``N^2`` (stress for Theorem 4's
+  ``(m+N) log N``);
+- :class:`UpdateStream` — a seeded chronological stream of
+  new/terminate/chdir updates against a live database (future-query
+  driver for Theorem 5 / Corollary 6).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from repro.geometry.vectors import Vector
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.log import RecordingDatabase
+from repro.mod.updates import ChangeDirection, New, Terminate, Update
+from repro.trajectory.builder import from_waypoints
+
+
+def _random_position(rng: random.Random, extent: float, dimension: int) -> List[float]:
+    return [rng.uniform(-extent, extent) for _ in range(dimension)]
+
+
+def _random_velocity(rng: random.Random, speed: float, dimension: int) -> List[float]:
+    while True:
+        raw = [rng.gauss(0.0, 1.0) for _ in range(dimension)]
+        norm = math.sqrt(sum(c * c for c in raw))
+        if norm > 1e-9:
+            break
+    magnitude = rng.uniform(0.3 * speed, speed)
+    return [c / norm * magnitude for c in raw]
+
+
+def random_linear_mod(
+    count: int,
+    seed: int = 0,
+    extent: float = 100.0,
+    speed: float = 5.0,
+    dimension: int = 2,
+    start_time: float = 0.0,
+) -> MovingObjectDatabase:
+    """``count`` objects at random positions with random velocities,
+    all created at ``start_time`` (via ``install`` so the database's
+    clock stays at ``start_time``)."""
+    rng = random.Random(seed)
+    db = MovingObjectDatabase(initial_time=start_time)
+    for i in range(count):
+        pos = _random_position(rng, extent, dimension)
+        vel = _random_velocity(rng, speed, dimension)
+        end = [p + v * 1.0 for p, v in zip(pos, vel)]
+        db.install(
+            f"o{i}",
+            from_waypoints([(start_time, pos), (start_time + 1.0, end)]),
+        )
+    return db
+
+
+def random_piecewise_mod(
+    count: int,
+    seed: int = 0,
+    extent: float = 100.0,
+    speed: float = 5.0,
+    dimension: int = 2,
+    start_time: float = 0.0,
+    end_time: float = 100.0,
+    turns: int = 3,
+) -> MovingObjectDatabase:
+    """Objects following random-waypoint trajectories with ``turns``
+    historical direction changes each (a past-query workload)."""
+    rng = random.Random(seed)
+    db = MovingObjectDatabase(initial_time=end_time)
+    span = end_time - start_time
+    for i in range(count):
+        times = sorted(
+            rng.uniform(start_time + 0.05 * span, end_time - 0.05 * span)
+            for _ in range(turns)
+        )
+        waypoint_times = [start_time, *times, end_time]
+        position = _random_position(rng, extent, dimension)
+        waypoints: List[Tuple[float, List[float]]] = [(waypoint_times[0], position)]
+        for t0, t1 in zip(waypoint_times, waypoint_times[1:]):
+            vel = _random_velocity(rng, speed, dimension)
+            position = [p + v * (t1 - t0) for p, v in zip(position, vel)]
+            waypoints.append((t1, position))
+        db.install(f"o{i}", from_waypoints(waypoints))
+    return db
+
+
+def crossing_rich_mod(
+    count: int,
+    seed: int = 0,
+    lane_gap: float = 1.0,
+    speed_step: float = 0.5,
+    start_time: float = 0.0,
+) -> MovingObjectDatabase:
+    """An adversarial workload where every object pair crosses once.
+
+    Objects start stacked by index along the x-axis and move with
+    strictly increasing x-velocities, so object ``j`` overtakes every
+    ``i < j`` exactly once — ``m = N(N-1)/2`` order changes relative to
+    a stationary query at the origin-side sentinel.
+    """
+    rng = random.Random(seed)
+    db = MovingObjectDatabase(initial_time=start_time)
+    for i in range(count):
+        x0 = 10.0 + (count - i) * lane_gap
+        vx = 1.0 + i * speed_step + rng.uniform(0, 0.1 * speed_step)
+        db.install(
+            f"o{i}",
+            from_waypoints(
+                [(start_time, [x0, 0.0]), (start_time + 1.0, [x0 + vx, 0.0])]
+            ),
+        )
+    return db
+
+
+def banded_mod(
+    count: int,
+    seed: int = 0,
+    band_gap: float = 5.0,
+    jitter_speed: float = 0.2,
+    start_time: float = 0.0,
+) -> MovingObjectDatabase:
+    """Objects in well-separated distance bands around the origin.
+
+    Object ``i`` sits at distance ``10 + i * band_gap`` and drifts
+    tangentially at most ``jitter_speed``, so distance ranks relative to
+    an origin query essentially never change: the *bounded support
+    changes* regime Corollary 6 assumes.  Updates drawn with a small
+    speed keep objects inside their bands.
+    """
+    rng = random.Random(seed)
+    db = MovingObjectDatabase(initial_time=start_time)
+    for i in range(count):
+        radius = 10.0 + i * band_gap
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        pos = [radius * math.cos(angle), radius * math.sin(angle)]
+        # Tangential drift: little radial motion, ranks stay put.
+        tangent = [-math.sin(angle), math.cos(angle)]
+        speed = rng.uniform(-jitter_speed, jitter_speed)
+        vel = [tangent[0] * speed, tangent[1] * speed]
+        end = [p + v for p, v in zip(pos, vel)]
+        db.install(
+            f"o{i}",
+            from_waypoints([(start_time, pos), (start_time + 1.0, end)]),
+        )
+    return db
+
+
+class UpdateStream:
+    """A seeded chronological update stream against a database.
+
+    Each call to :meth:`step` draws an update kind (weighted), applies
+    it to the database, and returns it.  Inter-update gaps are
+    exponential with the given mean (a Poisson arrival process), or
+    fixed for periodic-update experiments (Corollary 6's setting).
+    """
+
+    def __init__(
+        self,
+        db: MovingObjectDatabase,
+        seed: int = 0,
+        mean_gap: float = 1.0,
+        periodic: bool = False,
+        extent: float = 100.0,
+        speed: float = 5.0,
+        weights: Tuple[float, float, float] = (0.2, 0.1, 0.7),
+    ) -> None:
+        """``weights`` are the relative rates of (new, terminate, chdir)."""
+        self._db = db
+        self._rng = random.Random(seed)
+        self._mean_gap = mean_gap
+        self._periodic = periodic
+        self._extent = extent
+        self._speed = speed
+        self._weights = weights
+        self._fresh = 0
+
+    def _next_time(self) -> float:
+        gap = self._mean_gap if self._periodic else self._rng.expovariate(
+            1.0 / self._mean_gap
+        )
+        return self._db.last_update_time + max(gap, 1e-6)
+
+    def step(self) -> Update:
+        """Generate and apply one update."""
+        time = self._next_time()
+        dim = self._db.dimension or 2
+        live = self._db.object_ids
+        kinds: List[str] = []
+        weights: List[float] = []
+        if True:
+            kinds.append("new")
+            weights.append(self._weights[0])
+        if len(live) > 1:
+            kinds.append("terminate")
+            weights.append(self._weights[1])
+        if live:
+            kinds.append("chdir")
+            weights.append(self._weights[2])
+        kind = self._rng.choices(kinds, weights=weights)[0]
+        if kind == "new":
+            self._fresh += 1
+            oid = f"n{self._fresh}"
+            update: Update = New(
+                oid,
+                time,
+                Vector(_random_velocity(self._rng, self._speed, dim)),
+                Vector(_random_position(self._rng, self._extent, dim)),
+            )
+        elif kind == "terminate":
+            update = Terminate(self._rng.choice(live), time)
+        else:
+            update = ChangeDirection(
+                self._rng.choice(live),
+                time,
+                Vector(_random_velocity(self._rng, self._speed, dim)),
+            )
+        self._db.apply(update)
+        return update
+
+    def run(self, count: int) -> List[Update]:
+        """Generate and apply ``count`` updates."""
+        return [self.step() for _ in range(count)]
+
+
+def recorded_future_workload(
+    count: int,
+    updates: int,
+    seed: int = 0,
+    mean_gap: float = 1.0,
+    **stream_kwargs,
+) -> Tuple[RecordingDatabase, List[Update]]:
+    """A fresh database plus a recorded update stream applied to it.
+
+    Returns the database *after* all updates and the update list, so a
+    test can replay prefixes (lazy evaluation) and compare with eager
+    sweep maintenance.
+    """
+    db = RecordingDatabase(initial_time=0.0)
+    rng = random.Random(seed)
+    for i in range(count):
+        db.create(
+            f"o{i}",
+            (i + 1) * 1e-3,
+            position=_random_position(rng, stream_kwargs.get("extent", 100.0), 2),
+            velocity=_random_velocity(rng, stream_kwargs.get("speed", 5.0), 2),
+        )
+    stream = UpdateStream(db, seed=seed + 1, mean_gap=mean_gap, **stream_kwargs)
+    applied = stream.run(updates)
+    return db, applied

@@ -1,0 +1,215 @@
+"""Exact fixtures for the paper's figures and worked examples.
+
+- :func:`figure1_configuration` — the redirection geometry of Figure 1 /
+  Example 9 (query on a horizontal line, object below in the
+  perpendicular configuration, so ``t_D^2`` is exactly quadratic);
+- :func:`figure2_scenario` — the two-object scenario of Figure 2: a
+  crossing expected at time ``D`` is cancelled by a ``chdir`` at ``A``,
+  and a later ``chdir`` at ``B`` makes the objects cross at ``C < D``;
+- :func:`example12_scenario` — the four-object 2-NN walkthrough of
+  Example 12 / Figure 3, engineered so the g-distance curves intersect
+  at exactly the times the paper narrates: (o3,o4) at 8 and 17,
+  (o1,o2) at 10, (o2,o3) at 31, (o1,o3) at 24, with a ``chdir`` on o1
+  at time 20 that cancels the event at 24 and introduces an earlier
+  crossing at 22.
+
+All squared-distance curves here are realized by *actual 2-D
+trajectories* against a stationary query at the origin: a quadratic
+``a t^2 + b t + c`` with ``a > 0`` and nonnegative minimum equals
+``|A t + B|^2`` for ``A = (sqrt(a), 0)`` and
+``B = (b / (2 sqrt(a)), sqrt(c - b^2 / (4a)))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.geometry.intervals import Interval
+from repro.geometry.vectors import Vector
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ChangeDirection
+from repro.trajectory.builder import linear_from, stationary
+from repro.trajectory.linearpiece import LinearPiece
+from repro.trajectory.trajectory import Trajectory
+
+
+def trajectory_for_quadratic(a: float, b: float, c: float, since: float = 0.0) -> Trajectory:
+    """A straight 2-D trajectory whose squared distance to the origin is
+    ``a t^2 + b t + c``.
+
+    Requires ``a > 0`` and a nonnegative minimum (``c >= b^2 / 4a``),
+    which is exactly the realizability condition for squared distances.
+    """
+    if a <= 0:
+        raise ValueError("the leading coefficient must be positive")
+    residue = c - b * b / (4.0 * a)
+    if residue < 0:
+        raise ValueError(
+            f"not a squared distance: minimum {residue} is negative"
+        )
+    sqrt_a = math.sqrt(a)
+    velocity = Vector.of(sqrt_a, 0.0)
+    offset = Vector.of(b / (2.0 * sqrt_a), math.sqrt(residue))
+    piece = LinearPiece(velocity, offset, Interval.at_least(since))
+    return Trajectory([piece])
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 / Example 9
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure1Configuration:
+    """The Figure 1 geometry: query q on a horizontal line, object o in
+    the perpendicular configuration (see ``repro.gdist.arrival``)."""
+
+    query: Trajectory
+    object: Trajectory
+    #: Coefficients (c0, c1, c2) of Example 9's t_D^2 = c2 t^2 + c1 t + c0.
+    expected_coeffs: Tuple[float, float, float]
+
+
+def figure1_configuration(
+    query_speed: float = 1.0,
+    initial_gap: float = 4.0,
+    climb_rate: float = 1.0,
+) -> Figure1Configuration:
+    """Build the Figure 1 geometry.
+
+    ``q`` moves right along ``y = 0`` at ``query_speed``; ``o`` starts
+    ``initial_gap`` below and matches ``q``'s horizontal velocity while
+    climbing at ``climb_rate`` — the separation stays vertical, so the
+    interception quadratic's linear term vanishes and
+
+        t_D(t)^2 = (initial_gap - climb_rate * t)^2 / climb_rate^2.
+    """
+    if climb_rate <= 0:
+        raise ValueError("o must climb toward the line (climb_rate > 0)")
+    query = linear_from(0.0, [0.0, 0.0], [query_speed, 0.0])
+    obj = linear_from(0.0, [0.0, -initial_gap], [query_speed, climb_rate])
+    gap_sq = climb_rate * climb_rate
+    coeffs = (
+        initial_gap * initial_gap / gap_sq,
+        -2.0 * initial_gap * climb_rate / gap_sq,
+        climb_rate * climb_rate / gap_sq,
+    )
+    return Figure1Configuration(query, obj, coeffs)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Figure2Scenario:
+    """The two-object update scenario of Figure 2."""
+
+    db: MovingObjectDatabase
+    query: Trajectory
+    interval: Interval
+    update_a: ChangeDirection  #: o1's chdir at time A
+    update_b: ChangeDirection  #: o2's chdir at time B
+    expected_d: float  #: originally-expected crossing time D
+    expected_c: float  #: actual crossing time C after both updates
+
+
+def figure2_scenario() -> Figure2Scenario:
+    """Build Figure 2 with concrete numbers.
+
+    - o2 sits at distance 5 from the (stationary) query: f_{o2} = 25.
+    - o1 starts at distance 10 closing at speed 0.5: f_{o1} = (10-t/2)^2,
+      expected to cross f_{o2} at D = 10.
+    - At A = 4, o1 stops (chdir to zero velocity): f_{o1} = 64 forever;
+      the crossing at D disappears.
+    - At B = 6, o2 flees at speed 1.25: f_{o2} = (5 + 1.25 (t-6))^2,
+      crossing 64 at C = 8.4 < D — o1 becomes the nearest object
+      earlier than originally predicted, the paper's point that the
+      approach of [26] misses.
+    """
+    db = MovingObjectDatabase(initial_time=0.0)
+    db.install("o1", linear_from(0.0, [10.0, 0.0], [-0.5, 0.0]))
+    db.install("o2", stationary([5.0, 0.0], since=0.0))
+    query = stationary([0.0, 0.0])
+    update_a = ChangeDirection("o1", 4.0, Vector.of(0.0, 0.0))
+    update_b = ChangeDirection("o2", 6.0, Vector.of(1.25, 0.0))
+    return Figure2Scenario(
+        db=db,
+        query=query,
+        interval=Interval(0.0, 15.0),
+        update_a=update_a,
+        update_b=update_b,
+        expected_d=10.0,
+        expected_c=8.4,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Example 12 / Figure 3
+# ---------------------------------------------------------------------------
+#: Quadratic curve coefficients (a, b, c), engineered so that
+#:   f4 - f3 = -k1 (t-8)(t-17)        (crossings at 8 and 17)
+#:   f2 - f1 = -k2 (t-10)(t-50)       (crossing at 10 in [0, 40])
+#:   f3 - f2 =  k3 (t+5)(t-31)        (crossing at 31)
+#:   f3 - f1 has roots 24 and ~-40.9  (crossing at 24)
+#: with k1 = 0.8, k2 = 0.5, k3 = 182/203, and every curve realizable as
+#: a squared distance (positive leading coefficient, nonnegative min).
+_K1 = 0.8
+_K2 = 0.5
+_K3 = 182.0 / 203.0
+
+_F2 = (1.0, -60.0, 1200.0)
+_F1 = (_F2[0] + _K2, _F2[1] - 60.0 * _K2, _F2[2] + 500.0 * _K2)
+_F3 = (_F2[0] + _K3, _F2[1] - 26.0 * _K3, _F2[2] - 155.0 * _K3)
+_F4 = (_F3[0] - _K1, _F3[1] + 25.0 * _K1, _F3[2] - 136.0 * _K1)
+
+EXAMPLE12_CURVES: Dict[str, Tuple[float, float, float]] = {
+    "o1": _F1,
+    "o2": _F2,
+    "o3": _F3,
+    "o4": _F4,
+}
+
+#: The paper's narrated intersection times before the update.
+EXAMPLE12_EVENTS_BEFORE_UPDATE = [8.0, 10.0, 17.0]
+#: Crossing of (o1, o3) pending when the update arrives.
+EXAMPLE12_PENDING_CROSSING = 24.0
+#: Update time.
+EXAMPLE12_UPDATE_TIME = 20.0
+#: The earlier (o1, o3) crossing created by the update.
+EXAMPLE12_NEW_CROSSING = 22.0
+
+
+@dataclass(frozen=True)
+class Example12Scenario:
+    """The four-object 2-NN walkthrough."""
+
+    db: MovingObjectDatabase
+    query: Trajectory
+    interval: Interval
+    update: ChangeDirection  #: chdir of o1 at time 20
+
+
+def example12_scenario() -> Example12Scenario:
+    """Build Example 12 with curves crossing at the narrated times."""
+    db = MovingObjectDatabase(initial_time=0.0)
+    for oid, (a, b, c) in EXAMPLE12_CURVES.items():
+        db.install(oid, trajectory_for_quadratic(a, b, c))
+    query = stationary([0.0, 0.0])
+
+    # The chdir on o1 at time 20: head straight for the origin at the
+    # speed that makes the new curve cross f3 exactly at t = 22.
+    o1 = db.trajectory("o1")
+    p20 = o1.position(EXAMPLE12_UPDATE_TIME)
+    distance_at_20 = p20.norm()
+    a3, b3, c3 = _F3
+    f3_at_22 = a3 * 22.0 * 22.0 + b3 * 22.0 + c3
+    # (d20 - s * (22 - 20))^2 = f3(22)  ->  s = (d20 - sqrt(f3(22))) / 2
+    speed = (distance_at_20 - math.sqrt(f3_at_22)) / 2.0
+    velocity = p20.normalized() * (-speed)
+    update = ChangeDirection("o1", EXAMPLE12_UPDATE_TIME, velocity)
+    return Example12Scenario(
+        db=db,
+        query=query,
+        interval=Interval(0.0, 40.0),
+        update=update,
+    )

@@ -1,0 +1,114 @@
+"""Structured scenario generators: city grids and airway networks.
+
+Beyond the uniform random workloads of :mod:`repro.workloads.generator`,
+these build the *shaped* traffic the paper's applications describe:
+vehicles on a Manhattan street grid (right-angle turns, shared
+corridors, frequent rank changes) and aircraft on crossing airways
+(long straight legs, occasional conflicts).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Tuple
+
+from repro.mod.database import MovingObjectDatabase
+from repro.trajectory.builder import from_waypoints
+
+
+def manhattan_grid_mod(
+    count: int,
+    seed: int = 0,
+    block: float = 10.0,
+    blocks: int = 10,
+    speed: float = 5.0,
+    legs: int = 6,
+    start_time: float = 0.0,
+    speed_jitter: float = 0.0,
+) -> MovingObjectDatabase:
+    """Vehicles driving a Manhattan grid.
+
+    Each vehicle starts at a random intersection and repeatedly drives
+    a whole block north/south/east/west (no U-turns) at constant speed
+    — axis-aligned piecewise-linear trajectories with right-angle turns
+    at intersections, the canonical urban-traffic shape.
+
+    The grid's symmetry produces *exact* distance ties (mirror routes
+    are equidistant from central query points at all times); a nonzero
+    ``speed_jitter`` gives each vehicle a distinct speed in
+    ``speed * [1 - jitter, 1 + jitter]``, breaking ties for experiments
+    that assume general position.
+    """
+    if blocks < 1 or legs < 1:
+        raise ValueError("blocks and legs must be positive")
+    if not 0.0 <= speed_jitter < 1.0:
+        raise ValueError("speed_jitter must be in [0, 1)")
+    rng = random.Random(seed)
+    db = MovingObjectDatabase(initial_time=start_time)
+    moves = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+    for i in range(count):
+        vehicle_speed = speed * (
+            1.0 + rng.uniform(-speed_jitter, speed_jitter)
+        )
+        leg_duration = block / vehicle_speed
+        ix = rng.randrange(blocks + 1)
+        iy = rng.randrange(blocks + 1)
+        t = start_time
+        waypoints: List[Tuple[float, List[float]]] = [
+            (t, [ix * block, iy * block])
+        ]
+        previous: Optional[Tuple[int, int]] = None
+        for _ in range(legs):
+            options = [
+                (dx, dy)
+                for dx, dy in moves
+                if 0 <= ix + dx <= blocks
+                and 0 <= iy + dy <= blocks
+                and (previous is None or (dx, dy) != (-previous[0], -previous[1]))
+            ]
+            dx, dy = rng.choice(options)
+            ix += dx
+            iy += dy
+            t += leg_duration
+            waypoints.append((t, [ix * block, iy * block]))
+            previous = (dx, dy)
+        db.install(f"veh{i}", from_waypoints(waypoints, extend=False))
+    return db
+
+
+def airway_mod(
+    count: int,
+    seed: int = 0,
+    radius: float = 300.0,
+    speed: float = 8.0,
+    start_time: float = 0.0,
+) -> MovingObjectDatabase:
+    """Aircraft on straight airways through a circular sector.
+
+    Each aircraft enters at a random boundary point and flies a chord
+    through the sector at constant speed — many chords cross near the
+    middle, generating the conflict-rich geometry ATC scenarios need.
+    """
+    rng = random.Random(seed)
+    db = MovingObjectDatabase(initial_time=start_time)
+    for i in range(count):
+        entry_angle = rng.uniform(0.0, 2.0 * math.pi)
+        # Exit somewhere on the far half of the boundary.
+        exit_angle = entry_angle + math.pi + rng.uniform(-0.9, 0.9)
+        entry = [radius * math.cos(entry_angle), radius * math.sin(entry_angle)]
+        exit_point = [radius * math.cos(exit_angle), radius * math.sin(exit_angle)]
+        length = math.dist(entry, exit_point)
+        duration = length / speed
+        offset = rng.uniform(0.0, duration * 0.3)
+        db.install(
+            f"AC{i:03d}",
+            from_waypoints(
+                [
+                    (start_time + offset, entry),
+                    (start_time + offset + duration, exit_point),
+                ],
+                extend=False,
+            ),
+        )
+    return db

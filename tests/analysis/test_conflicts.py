@@ -1,0 +1,173 @@
+"""Tests for collision discovery and separation monitoring."""
+
+import math
+
+import pytest
+
+from repro.analysis.conflicts import (
+    ConflictMonitor,
+    closest_approach,
+    meetings,
+    separation_conflicts,
+)
+from repro.geometry.intervals import Interval
+from repro.mod.database import MovingObjectDatabase
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+
+
+class TestClosestApproach:
+    def test_head_on(self):
+        a = linear_from(0.0, [0.0, 0.0], [1.0, 0.0])
+        b = linear_from(0.0, [10.0, 0.0], [-1.0, 0.0])
+        result = closest_approach(a, b)
+        assert result.time == pytest.approx(5.0)
+        assert result.distance == pytest.approx(0.0)
+
+    def test_offset_passing(self):
+        a = linear_from(0.0, [0.0, 0.0], [1.0, 0.0])
+        b = linear_from(0.0, [10.0, 3.0], [-1.0, 0.0])
+        result = closest_approach(a, b)
+        assert result.time == pytest.approx(5.0)
+        assert result.distance == pytest.approx(3.0)
+
+    def test_constrained_interval(self):
+        a = linear_from(0.0, [0.0, 0.0], [1.0, 0.0])
+        b = linear_from(0.0, [10.0, 0.0], [-1.0, 0.0])
+        result = closest_approach(a, b, Interval(0.0, 2.0))
+        assert result.time == pytest.approx(2.0)
+        assert result.distance == pytest.approx(6.0)
+
+    def test_parallel_constant_distance(self):
+        a = linear_from(0.0, [0.0, 0.0], [1.0, 0.0])
+        b = linear_from(0.0, [0.0, 4.0], [1.0, 0.0])
+        result = closest_approach(a, b, Interval(0.0, 10.0))
+        assert result.distance == pytest.approx(4.0)
+
+    def test_piecewise_trajectories(self):
+        a = from_waypoints([(0, [0.0, 0.0]), (10, [10.0, 0.0]), (20, [10.0, 10.0])])
+        b = stationary([10.0, 5.0])
+        result = closest_approach(a, b, Interval(0.0, 20.0))
+        assert result.distance == pytest.approx(0.0)
+        assert result.time == pytest.approx(15.0)
+
+    def test_disjoint_domains_rejected(self):
+        a = from_waypoints([(0, [0.0, 0.0]), (1, [1.0, 0.0])], extend=False)
+        b = linear_from(10.0, [0.0, 0.0], [1.0, 0.0])
+        with pytest.raises(ValueError):
+            closest_approach(a, b)
+
+
+class TestSeparationConflicts:
+    def airspace(self):
+        db = MovingObjectDatabase()
+        db.install("east", linear_from(0.0, [-50.0, 0.0], [5.0, 0.0]))
+        db.install("west", linear_from(0.0, [50.0, 1.0], [-5.0, 0.0]))
+        db.install("high", stationary([0.0, 500.0]))
+        return db
+
+    def test_converging_pair_detected(self):
+        db = self.airspace()
+        conflicts = separation_conflicts(db, 5.0, Interval(0.0, 20.0))
+        assert len(conflicts) == 1
+        (conflict,) = conflicts
+        assert conflict.pair == frozenset({"east", "west"})
+        # Closest approach: y-offset 1 at t=10.
+        assert conflict.closest.distance == pytest.approx(1.0)
+        assert conflict.closest.time == pytest.approx(10.0)
+        assert conflict.intervals.contains(10.0)
+        assert conflict.duration > 0
+
+    def test_no_conflicts_with_tight_minimum(self):
+        db = self.airspace()
+        assert separation_conflicts(db, 0.5, Interval(0.0, 20.0)) == []
+
+    def test_violation_interval_exact(self):
+        db = MovingObjectDatabase()
+        db.install("a", linear_from(0.0, [0.0, 0.0], [1.0, 0.0]))
+        db.install("b", stationary([10.0, 0.0]))
+        (conflict,) = separation_conflicts(db, 2.0, Interval(0.0, 30.0))
+        # |10 - t| <= 2  ->  t in [8, 12].
+        (iv,) = conflict.intervals.intervals
+        assert iv.lo == pytest.approx(8.0)
+        assert iv.hi == pytest.approx(12.0)
+
+    def test_sorted_by_first_violation(self):
+        db = MovingObjectDatabase()
+        db.install("target", stationary([0.0, 0.0]))
+        db.install("soon", linear_from(0.0, [5.0, 0.0], [-1.0, 0.0]))
+        db.install("later", linear_from(0.0, [30.0, 0.0], [-1.0, 0.0]))
+        conflicts = separation_conflicts(db, 1.0, Interval(0.0, 60.0))
+        pairs = [sorted(c.pair, key=str) for c in conflicts]
+        assert pairs[0] == ["soon", "target"]
+
+    def test_negative_separation_rejected(self):
+        with pytest.raises(ValueError):
+            separation_conflicts(MovingObjectDatabase(), -1.0, Interval(0, 1))
+
+    def test_meetings(self):
+        db = MovingObjectDatabase()
+        db.install("c1404", from_waypoints([(0, [0.0, 0.0]), (60, [60.0, 0.0])]))
+        db.install("crosser", from_waypoints([(0, [30.0, -30.0]), (60, [30.0, 30.0])]))
+        db.install("parallel", from_waypoints([(0, [0.0, 5.0]), (60, [60.0, 5.0])]))
+        found = meetings(db, Interval(0.0, 60.0), tolerance=0.01)
+        assert len(found) == 1
+        assert found[0].pair == frozenset({"c1404", "crosser"})
+        assert found[0].closest.time == pytest.approx(30.0, abs=0.1)
+
+
+class TestConflictMonitor:
+    def test_initial_prediction(self):
+        db = MovingObjectDatabase()
+        db.create("a", 0.1, position=[0.0, 0.0], velocity=[1.0, 0.0])
+        db.create("b", 0.2, position=[20.0, 0.0], velocity=[-1.0, 0.0])
+        monitor = ConflictMonitor(db, separation=2.0, horizon=30.0)
+        upcoming = monitor.next_conflict_after(0.2)
+        assert upcoming is not None
+        start, pair = upcoming
+        assert pair == frozenset({"a", "b"})
+        # Gap 20 closing at 2: violation starts when gap = 2 -> t ~ 9.1.
+        assert start == pytest.approx(9.1, abs=0.2)
+
+    def test_chdir_resolves_conflict(self):
+        db = MovingObjectDatabase()
+        db.create("a", 0.1, position=[0.0, 0.0], velocity=[1.0, 0.0])
+        db.create("b", 0.2, position=[20.0, 0.0], velocity=[-1.0, 0.0])
+        monitor = ConflictMonitor(db, separation=2.0, horizon=30.0)
+        assert monitor.conflicts_at(10.0)
+        # Controller vectors b away before the loss of separation.
+        db.change_direction("b", 5.0, [0.0, 3.0])
+        assert monitor.conflicts_at(10.0) == []
+
+    def test_new_object_creates_conflict(self):
+        db = MovingObjectDatabase()
+        db.create("a", 0.1, position=[0.0, 0.0], velocity=[0.0, 0.0])
+        monitor = ConflictMonitor(db, separation=5.0, horizon=30.0)
+        assert monitor.next_conflict_after(0.0) is None
+        db.create("intruder", 1.0, position=[3.0, 0.0], velocity=[0.0, 0.0])
+        assert monitor.conflicts_at(2.0) == [frozenset({"a", "intruder"})]
+
+    def test_update_recomputes_only_touched_pairs(self):
+        db = MovingObjectDatabase()
+        for i in range(6):
+            db.create(f"o{i}", 0.01 * (i + 1), position=[10.0 * i, 0.0], velocity=[0.0, 0.0])
+        monitor = ConflictMonitor(db, separation=1.0, horizon=50.0)
+        baseline = monitor.recomputed_pairs
+        db.change_direction("o0", 1.0, [1.0, 0.0])
+        assert monitor.recomputed_pairs - baseline == 5  # N-1 pairs
+
+    def test_detach(self):
+        db = MovingObjectDatabase()
+        db.create("a", 0.1, position=[0.0, 0.0], velocity=[0.0, 0.0])
+        monitor = ConflictMonitor(db, separation=1.0, horizon=10.0)
+        monitor.detach()
+        before = monitor.recomputed_pairs
+        db.create("b", 1.0, position=[0.5, 0.0], velocity=[0.0, 0.0])
+        assert monitor.recomputed_pairs == before
+
+    def test_terminated_object_conflicts_clamped(self):
+        db = MovingObjectDatabase()
+        db.create("a", 0.1, position=[0.0, 0.0], velocity=[1.0, 0.0])
+        db.create("b", 0.2, position=[20.0, 0.0], velocity=[-1.0, 0.0])
+        monitor = ConflictMonitor(db, separation=2.0, horizon=30.0)
+        db.terminate("b", 5.0)  # b vanishes before the predicted loss
+        assert monitor.conflicts_at(10.0) == []

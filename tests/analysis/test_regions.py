@@ -1,0 +1,129 @@
+"""Tests for region residence analysis."""
+
+import pytest
+
+from repro.analysis.regions import (
+    entry_times,
+    occupancy,
+    peak_occupancy,
+    residence_set,
+    residence_time,
+)
+from repro.constraints.regions import box, polygon
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.mod.database import MovingObjectDatabase
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+
+
+STRIP = box([10.0, -5.0], [20.0, 5.0], name="strip")
+
+
+class TestResidenceSet:
+    def test_pass_through(self):
+        traj = linear_from(0.0, [0.0, 0.0], [1.0, 0.0])
+        inside = residence_set(traj, STRIP, Interval(0.0, 60.0))
+        assert inside.approx_equals(IntervalSet([Interval(10.0, 20.0)]))
+
+    def test_never_inside(self):
+        traj = linear_from(0.0, [0.0, 50.0], [1.0, 0.0])
+        assert residence_set(traj, STRIP, Interval(0.0, 60.0)).is_empty
+
+    def test_always_inside(self):
+        traj = stationary([15.0, 0.0])
+        inside = residence_set(traj, STRIP, Interval(0.0, 60.0))
+        assert inside.covers(Interval(0.0, 60.0))
+
+    def test_multiple_visits(self):
+        traj = from_waypoints(
+            [(0, [0.0, 0.0]), (30, [30.0, 0.0]), (60, [0.0, 0.0])],
+            extend=False,
+        )
+        inside = residence_set(traj, STRIP, Interval(0.0, 60.0))
+        assert len(inside) == 2
+        assert inside.contains(15.0)
+        assert not inside.contains(30.0)
+        assert inside.contains(45.0)
+
+    def test_triangle_region(self):
+        tri = polygon([(0, 0), (10, 0), (5, 10)])
+        traj = linear_from(0.0, [-5.0, 3.0], [1.0, 0.0])
+        inside = residence_set(traj, tri, Interval(0.0, 20.0))
+        (iv,) = inside.intervals
+        # At y=3 the triangle spans x in [1.5, 8.5]; x(t) = t - 5.
+        assert iv.lo == pytest.approx(6.5)
+        assert iv.hi == pytest.approx(13.5)
+
+    def test_dimension_mismatch_rejected(self):
+        traj = linear_from(0.0, [0.0, 0.0, 0.0], [1.0, 0.0, 0.0])
+        with pytest.raises(ValueError):
+            residence_set(traj, STRIP)
+
+    def test_outside_window_empty(self):
+        traj = from_waypoints([(0, [15.0, 0.0]), (1, [15.0, 0.0])], extend=False)
+        assert residence_set(traj, STRIP, Interval(10.0, 20.0)).is_empty
+
+
+class TestResidenceTime:
+    def test_duration(self):
+        traj = linear_from(0.0, [0.0, 0.0], [2.0, 0.0])
+        assert residence_time(traj, STRIP, Interval(0.0, 60.0)) == pytest.approx(5.0)
+
+    def test_unbounded_window_rejected(self):
+        traj = stationary([15.0, 0.0])
+        with pytest.raises(ValueError):
+            residence_time(traj, STRIP, Interval.at_least(0.0))
+
+
+class TestEntryTimes:
+    def test_single_entry(self):
+        traj = linear_from(0.0, [0.0, 0.0], [1.0, 0.0])
+        assert entry_times(traj, STRIP, Interval(0.0, 60.0)) == pytest.approx([10.0])
+
+    def test_starting_inside_is_not_an_entry(self):
+        traj = stationary([15.0, 0.0], since=0.0)
+        assert entry_times(traj, STRIP, Interval(0.0, 60.0)) == []
+
+    def test_reentry_counted(self):
+        traj = from_waypoints(
+            [(0, [0.0, 0.0]), (30, [30.0, 0.0]), (60, [0.0, 0.0])],
+            extend=False,
+        )
+        entries = entry_times(traj, STRIP, Interval(0.0, 60.0))
+        assert entries == pytest.approx([10.0, 40.0])
+
+
+class TestOccupancy:
+    def build(self):
+        db = MovingObjectDatabase()
+        db.install("through", linear_from(0.0, [0.0, 0.0], [1.0, 0.0]))
+        db.install("resident", stationary([15.0, 0.0]))
+        db.install("remote", stationary([100.0, 100.0]))
+        return db
+
+    def test_occupancy_map(self):
+        occ = occupancy(self.build(), STRIP, Interval(0.0, 60.0))
+        assert set(occ) == {"through", "resident"}
+        assert occ["resident"].covers(Interval(0.0, 60.0))
+
+    def test_peak_occupancy(self):
+        db = self.build()
+        assert peak_occupancy(db, STRIP, Interval(0.0, 60.0)) == 2
+        # Outside the pass-through window only the resident remains.
+        assert peak_occupancy(db, STRIP, Interval(30.0, 60.0)) == 1
+
+    def test_peak_empty_region(self):
+        db = self.build()
+        empty_far = box([1000.0, 1000.0], [1001.0, 1001.0])
+        assert peak_occupancy(db, empty_far, Interval(0.0, 60.0)) == 0
+
+    def test_agrees_with_folq_evaluator(self):
+        """Residence analysis and the Section 3 evaluator agree on who
+        is ever inside."""
+        from repro.constraints.evaluator import TimelineEvaluator
+        from repro.constraints.folq import ExistsTime, InRegion
+
+        db = self.build()
+        occ = set(occupancy(db, STRIP, Interval(0.0, 60.0)))
+        ev = TimelineEvaluator(db)
+        formula = ExistsTime("t", InRegion("y", "t", STRIP), within=(0.0, 60.0))
+        assert ev.answer(formula, "y") == occ

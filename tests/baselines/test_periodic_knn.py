@@ -1,0 +1,113 @@
+"""Tests for the Song-Roussopoulos-style periodic re-search baseline,
+including the Figure 2 staleness the paper criticizes."""
+
+import pytest
+
+from repro.baselines.periodic_knn import (
+    PeriodicKNNBaseline,
+    UniformGridIndex,
+    staleness,
+)
+from repro.core.api import evaluate_knn
+from repro.geometry.intervals import Interval
+from repro.geometry.vectors import Vector
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.trajectory.builder import stationary
+from repro.workloads.generator import random_linear_mod
+from repro.workloads.paperfigures import figure2_scenario
+
+
+class TestUniformGridIndex:
+    def test_knn_basic(self):
+        points = {
+            "a": Vector.of(1.0, 0.0),
+            "b": Vector.of(5.0, 0.0),
+            "c": Vector.of(30.0, 0.0),
+        }
+        index = UniformGridIndex(points, cell_size=4.0)
+        assert index.knn(Vector.of(0.0, 0.0), 2) == ["a", "b"]
+        assert len(index) == 3
+
+    def test_knn_more_than_population(self):
+        index = UniformGridIndex({"a": Vector.of(0.0, 0.0)}, cell_size=4.0)
+        assert index.knn(Vector.of(10.0, 10.0), 5) == ["a"]
+
+    def test_knn_empty(self):
+        index = UniformGridIndex({}, cell_size=4.0)
+        assert index.knn(Vector.of(0.0, 0.0), 1) == []
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            UniformGridIndex({}, cell_size=0.0)
+
+    def test_matches_brute_force(self):
+        import random
+
+        rng = random.Random(3)
+        points = {
+            f"p{i}": Vector.of(rng.uniform(-50, 50), rng.uniform(-50, 50))
+            for i in range(40)
+        }
+        index = UniformGridIndex(points, cell_size=7.0)
+        for _ in range(20):
+            center = Vector.of(rng.uniform(-50, 50), rng.uniform(-50, 50))
+            expected = sorted(
+                points, key=lambda o: (points[o].distance_to(center), o)
+            )[:5]
+            assert index.knn(center, 5) == expected
+
+
+class TestPeriodicBaseline:
+    def test_invalid_period(self):
+        db = MovingObjectDatabase()
+        with pytest.raises(ValueError):
+            PeriodicKNNBaseline(db, stationary([0.0, 0.0]), 1, period=0.0)
+
+    def test_correct_at_refresh_instants(self):
+        db = random_linear_mod(8, seed=2, extent=30.0, speed=5.0)
+        query = stationary([0.0, 0.0])
+        baseline = PeriodicKNNBaseline(db, query, k=1, period=2.0)
+        interval = Interval(0.0, 20.0)
+        answer = baseline.snapshot_answer(interval)
+        exact = evaluate_knn(db, query, interval, 1)
+        for t in baseline.refresh_times(interval):
+            if t >= interval.hi:
+                continue
+            # Just after a refresh the held answer is the exact answer
+            # computed *at* the refresh instant.
+            probe = t + 1e-6
+            assert answer.at(probe) <= exact.at(t) | exact.at(probe)
+
+    def test_figure2_staleness(self):
+        """The baseline holds o2 as nearest past the true exchange at
+        C = 8.4 — the exact failure mode Figure 2 illustrates."""
+        sc = figure2_scenario()
+        sc.db.apply(sc.update_a)
+        sc.db.apply(sc.update_b)
+        query = sc.query
+        exact = evaluate_knn(sc.db, query, sc.interval, 1)
+        # Refresh only at updates plus a coarse period: the swap at 8.4
+        # happens strictly between refreshes.
+        baseline = PeriodicKNNBaseline(sc.db, query, k=1, period=100.0)
+        stale = baseline.snapshot_answer(
+            sc.interval, update_times=[sc.update_a.time, sc.update_b.time]
+        )
+        # Just after C the baseline still reports o2; the truth is o1.
+        assert exact.at(9.0) == {"o1"}
+        assert stale.at(9.0) == {"o2"}
+        assert staleness(stale, exact, sc.interval) > 0.3
+
+    def test_staleness_decreases_with_refresh_rate(self):
+        db = random_linear_mod(10, seed=4, extent=30.0, speed=8.0)
+        query = stationary([0.0, 0.0])
+        interval = Interval(0.0, 20.0)
+        exact = evaluate_knn(db, query, interval, 1)
+        rates = []
+        for period in (10.0, 2.0, 0.25):
+            baseline = PeriodicKNNBaseline(db, query, k=1, period=period)
+            rates.append(
+                staleness(baseline.snapshot_answer(interval), exact, interval)
+            )
+        assert rates[0] >= rates[1] >= rates[2]
+        assert rates[2] < 0.05

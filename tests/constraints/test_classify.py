@@ -1,0 +1,124 @@
+"""Tests for past/continuing/future classification (Definitions 4-5,
+Theorem 2's boundary)."""
+
+import pytest
+
+from repro.constraints.classify import QueryClass, classify_interval_query
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.query.query import knn_query, within_query
+from repro.trajectory.builder import linear_from, stationary
+
+
+def make_db(tau=10.0):
+    """Two objects, last update at tau."""
+    db = MovingObjectDatabase(initial_time=0.0)
+    db.create("near", 0.5, position=[1.0, 0.0], velocity=[0.0, 0.0])
+    db.create("far", 1.0, position=[50.0, 0.0], velocity=[-1.0, 0.0])
+    db.advance_clock(tau)
+    return db
+
+
+def gd():
+    return SquaredEuclideanDistance([0.0, 0.0])
+
+
+class TestPast:
+    def test_interval_entirely_committed(self):
+        db = make_db(tau=10.0)
+        q = knn_query(Interval(2.0, 8.0), 1)
+        result = classify_interval_query(db, gd(), q)
+        assert result.query_class is QueryClass.PAST
+        assert result.predicted == result.valid == frozenset({"near"})
+        assert result.predicted_only == frozenset()
+
+    def test_future_interval_but_membership_already_witnessed(self):
+        """Even with interval.hi > tau, if the full-interval answer
+        equals the committed-part answer the query behaves as past."""
+        db = make_db(tau=10.0)
+        # far reaches distance 1 at t=49; horizon stops before that.
+        q = knn_query(Interval(2.0, 20.0), 1)
+        result = classify_interval_query(db, gd(), q)
+        assert result.query_class is QueryClass.PAST
+        assert result.valid == frozenset({"near"})
+
+
+class TestFuture:
+    def test_interval_entirely_ahead(self):
+        db = make_db(tau=10.0)
+        q = knn_query(Interval(15.0, 20.0), 1)
+        result = classify_interval_query(db, gd(), q)
+        assert result.query_class is QueryClass.FUTURE
+        assert result.valid == frozenset()
+        assert result.predicted == frozenset({"near"})
+
+    def test_prediction_can_be_revoked(self):
+        """The predicted-only member is exactly the object whose
+        membership depends on uncommitted motion: a future chdir
+        removes it, demonstrating Definition 4's validity notion."""
+        db = make_db(tau=10.0)
+        q = knn_query(Interval(15.0, 60.0), 1)
+        result = classify_interval_query(db, gd(), q)
+        assert "far" in result.predicted_only  # predicted to take over at t=49
+        # Now 'far' actually turns away before overtaking:
+        db.change_direction("far", 20.0, [1.0, 0.0])
+        after = classify_interval_query(db, gd(), q)
+        assert "far" not in after.predicted
+
+
+class TestContinuing:
+    def test_straddling_interval(self):
+        db = make_db(tau=10.0)
+        # Interval [2, 60]: 'near' already witnessed (valid); 'far'
+        # only predicted (overtakes at t=49 if nothing changes).
+        q = knn_query(Interval(2.0, 60.0), 1)
+        result = classify_interval_query(db, gd(), q)
+        assert result.query_class is QueryClass.CONTINUING
+        assert result.valid == frozenset({"near"})
+        assert result.predicted_only == frozenset({"far"})
+
+
+class TestWithinQueries:
+    def test_within_future(self):
+        db = make_db(tau=10.0)
+        q = within_query(Interval(40.0, 60.0), 25.0)  # dist <= 5
+        result = classify_interval_query(db, gd(), q)
+        # The interval is entirely ahead of tau: nothing is valid yet.
+        # 'near' sits at distance 1 (predicted to stay within range);
+        # 'far' is predicted to pass through range around t in [46, 56].
+        assert result.query_class is QueryClass.FUTURE
+        assert result.predicted == frozenset({"near", "far"})
+        assert result.valid == frozenset()
+
+    def test_within_continuing(self):
+        db = make_db(tau=10.0)
+        q = within_query(Interval(0.0, 60.0), 25.0)
+        result = classify_interval_query(db, gd(), q)
+        assert result.query_class is QueryClass.CONTINUING
+        assert result.valid == frozenset({"near"})
+
+
+class TestLimits:
+    def test_unbounded_interval_rejected(self):
+        db = make_db()
+        q = knn_query(Interval(0.0, 10.0), 1)
+        object.__setattr__(q, "interval", Interval.at_least(0.0))
+        with pytest.raises(ValueError):
+            classify_interval_query(db, gd(), q)
+
+    def test_theorem2_caveat_documented(self):
+        """Theorem 2: exact classification is undecidable in general —
+        the classifier handles interval-bounded FO(f) queries, whose
+        validity is determined by the committed/predicted split.  This
+        test documents the boundary: the classifier never inspects
+        update *sequences* (it cannot), only the committed history."""
+        db = make_db(tau=10.0)
+        q = knn_query(Interval(2.0, 8.0), 1)
+        result = classify_interval_query(db, gd(), q)
+        # Soundness: valid answers are genuinely immutable.  Apply an
+        # arbitrary adversarial update sequence; the valid set persists.
+        db.create("intruder", 11.0, position=[0.1, 0.0], velocity=[0.0, 0.0])
+        db.change_direction("near", 12.0, [100.0, 0.0])
+        after = classify_interval_query(db, gd(), q)
+        assert result.valid <= after.predicted

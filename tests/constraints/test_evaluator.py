@@ -1,0 +1,255 @@
+"""Tests for the Section 3 decision procedure, including Example 3."""
+
+import pytest
+
+from repro.baselines.naive import naive_knn_answer, naive_within_answer
+from repro.baselines.qe_eval import qe_one_nn, qe_within
+from repro.constraints.evaluator import TimelineEvaluator
+from repro.constraints.folq import (
+    DistCompare,
+    ExistsAt,
+    ExistsObject,
+    ExistsTime,
+    FOAnd,
+    FONot,
+    FOOr,
+    ForAllObject,
+    ForAllTime,
+    InRegion,
+    ObjectEquals,
+    TimeCompare,
+    VelCompare,
+)
+from repro.constraints.regions import box
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+from repro.workloads.generator import random_linear_mod
+
+
+def simple_db():
+    db = MovingObjectDatabase()
+    db.install("mover", linear_from(0.0, [0.0, 0.0], [1.0, 0.0]))
+    db.install("sitter", stationary([100.0, 100.0]))
+    return db
+
+
+class TestBasicAtoms:
+    def test_exists_at(self):
+        db = simple_db()
+        ev = TimelineEvaluator(db)
+        f = ExistsAt("y", 5.0)
+        assert ev.answer(f, "y") == {"mover", "sitter"}
+        f_before = ExistsAt("y", -5.0)
+        assert ev.answer(f_before, "y") == {"sitter"}
+
+    def test_in_region_at_constant_time(self):
+        db = simple_db()
+        ev = TimelineEvaluator(db)
+        strip = box([4.0, -1.0], [6.0, 1.0])
+        assert ev.answer(InRegion("y", 5.0, strip), "y") == {"mover"}
+        assert ev.answer(InRegion("y", 20.0, strip), "y") == set()
+
+    def test_dist_compare_against_constant(self):
+        db = simple_db()
+        ev = TimelineEvaluator(db)
+        ev.add_query_trajectory("q", stationary([0.0, 0.0]))
+        near = DistCompare("y", "q", "<=", 100.0, 5.0)  # within 10 at t=5
+        assert ev.answer(near, "y", env={"q": "q"}) == {"mover"}
+
+    def test_vel_compare(self):
+        db = simple_db()
+        ev = TimelineEvaluator(db)
+        moving_east = VelCompare("y", 0, ">", 0.5, 5.0)
+        assert ev.answer(moving_east, "y") == {"mover"}
+
+    def test_object_equals(self):
+        db = simple_db()
+        ev = TimelineEvaluator(db)
+        # exists z: z == y and z in region  <=>  y in region
+        strip = box([4.0, -1.0], [6.0, 1.0])
+        f = ExistsObject("z", FOAnd(ObjectEquals("z", "y"), InRegion("z", 5.0, strip)))
+        assert ev.answer(f, "y") == {"mover"}
+
+    def test_unbound_variable_rejected(self):
+        db = simple_db()
+        ev = TimelineEvaluator(db)
+        with pytest.raises(ValueError):
+            ev.truth(ExistsAt("y", 0.0))
+
+    def test_free_time_variable_rejected(self):
+        db = simple_db()
+        ev = TimelineEvaluator(db)
+        with pytest.raises(ValueError):
+            ev.truth(ExistsAt("y", "t"), env={"y": "mover"})
+
+    def test_duplicate_query_trajectory_rejected(self):
+        db = simple_db()
+        ev = TimelineEvaluator(db)
+        with pytest.raises(ValueError):
+            ev.add_query_trajectory("mover", stationary([0.0, 0.0]))
+
+
+class TestTimeQuantifiers:
+    def test_exists_time_window(self):
+        db = simple_db()
+        ev = TimelineEvaluator(db)
+        strip = box([40.0, -1.0], [60.0, 1.0])
+        inside_sometime = ExistsTime(
+            "t", InRegion("y", "t", strip), within=(0.0, 100.0)
+        )
+        assert ev.answer(inside_sometime, "y") == {"mover"}
+        inside_early = ExistsTime(
+            "t", InRegion("y", "t", strip), within=(0.0, 30.0)
+        )
+        assert ev.answer(inside_early, "y") == set()
+
+    def test_forall_time_window(self):
+        db = MovingObjectDatabase()
+        db.install("inside", stationary([5.0, 0.0]))
+        db.install("visitor", linear_from(0.0, [-100.0, 0.0], [10.0, 0.0]))
+        ev = TimelineEvaluator(db)
+        big = box([-20.0, -1.0], [20.0, 1.0])
+        always = ForAllTime("t", InRegion("y", "t", big), within=(0.0, 5.0))
+        assert ev.answer(always, "y") == {"inside"}
+
+    def test_nested_time_order(self):
+        """exists t1 < t2 with y inside at t1 and outside at t2."""
+        db = MovingObjectDatabase()
+        db.install("leaver", linear_from(0.0, [0.0, 0.0], [1.0, 0.0]))
+        db.install("stayer", stationary([0.0, 0.0]))
+        ev = TimelineEvaluator(db)
+        region = box([-5.0, -5.0], [5.0, 5.0])
+        f = ExistsTime(
+            "t1",
+            ExistsTime(
+                "t2",
+                FOAnd(
+                    TimeCompare("t1", "<", "t2"),
+                    InRegion("y", "t1", region),
+                    FONot(InRegion("y", "t2", region)),
+                ),
+                within=(0.0, 100.0),
+            ),
+            within=(0.0, 100.0),
+        )
+        assert ev.answer(f, "y") == {"leaver"}
+
+
+class TestExample3Entering:
+    """Example 3: find objects *entering* a region during [tau1, tau2].
+
+    An object enters at time t if it is in the region at t and not in
+    the region at every instant just before t:
+    exists t' < t, forall t'' in (t', t): not inside."""
+
+    def entering_formula(self, region, tau1, tau2):
+        not_inside_between = ForAllTime(
+            "ts",
+            FOOr(
+                FONot(
+                    FOAnd(
+                        TimeCompare("tp", "<", "ts"),
+                        TimeCompare("ts", "<", "t"),
+                    )
+                ),
+                FONot(InRegion("y", "ts", region)),
+            ),
+        )
+        return ExistsTime(
+            "t",
+            FOAnd(
+                InRegion("y", "t", region),
+                ExistsTime("tp", FOAnd(TimeCompare("tp", "<", "t"), not_inside_between)),
+            ),
+            within=(tau1, tau2),
+        )
+
+    def test_enterer_vs_resident_vs_outsider(self):
+        db = MovingObjectDatabase()
+        county = box([0.0, 0.0], [10.0, 10.0], name="SB County")
+        # Flies into the county at t=5.
+        db.install("arriving", linear_from(0.0, [-5.0, 5.0], [1.0, 0.0]))
+        # Has always been inside.
+        db.install("resident", stationary([5.0, 5.0]))
+        # Never gets near.
+        db.install("outsider", stationary([50.0, 50.0]))
+        ev = TimelineEvaluator(db)
+        f = self.entering_formula(county, 0.0, 20.0)
+        assert ev.answer(f, "y") == {"arriving"}
+
+    def test_reentry_counts(self):
+        db = MovingObjectDatabase()
+        county = box([0.0, -1.0], [10.0, 1.0])
+        # Crosses the region, leaves, comes back.
+        db.install(
+            "bouncer",
+            from_waypoints(
+                [(0, [-5.0, 0.0]), (10, [15.0, 0.0]), (20, [5.0, 0.0])]
+            ),
+        )
+        ev = TimelineEvaluator(db)
+        f = self.entering_formula(county, 12.0, 20.0)
+        # Within [12, 20] the object re-enters (it is outside at 12).
+        assert ev.answer(f, "y") == {"bouncer"}
+
+
+class TestAgainstSweepAnswers:
+    """The QE route and the sweep agree on accumulative answers."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_one_nn(self, seed):
+        db = random_linear_mod(6, seed=seed, extent=25.0, speed=5.0)
+        q = stationary([0.0, 0.0])
+        interval = Interval(0.0, 15.0)
+        qe = qe_one_nn(db, q, interval)
+        naive = naive_knn_answer(
+            db, SquaredEuclideanDistance(q), interval, 1
+        ).accumulative()
+        assert qe == naive
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_within(self, seed):
+        db = random_linear_mod(6, seed=seed, extent=25.0, speed=5.0)
+        q = stationary([0.0, 0.0])
+        interval = Interval(0.0, 15.0)
+        qe = qe_within(db, q, interval, 400.0)
+        naive = naive_within_answer(
+            db, SquaredEuclideanDistance(q), interval, 400.0
+        ).accumulative()
+        assert qe == naive
+
+    def test_moving_query_one_nn(self):
+        db = random_linear_mod(5, seed=9, extent=20.0, speed=4.0)
+        q = from_waypoints([(0, [-10.0, 0.0]), (15, [10.0, 0.0])])
+        interval = Interval(0.0, 15.0)
+        qe = qe_one_nn(db, q, interval)
+        naive = naive_knn_answer(
+            db, SquaredEuclideanDistance(q), interval, 1
+        ).accumulative()
+        assert qe == naive
+
+
+class TestObjectQuantifiers:
+    def test_forall_object(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        db.install("b", stationary([2.0, 0.0]))
+        ev = TimelineEvaluator(db)
+        ev.add_query_trajectory("q", stationary([0.0, 0.0]))
+        nearest = ForAllObject(
+            "z", DistCompare("y", "q", "<=", ("z", "q"), 0.0)
+        )
+        assert ev.answer(nearest, "y", env={"q": "q"}) == {"a"}
+
+    def test_exists_object_witness(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        db.install("b", stationary([2.0, 0.0]))
+        ev = TimelineEvaluator(db)
+        ev.add_query_trajectory("q", stationary([0.0, 0.0]))
+        someone_farther = ExistsObject(
+            "z", DistCompare("z", "q", ">", ("y", "q"), 0.0)
+        )
+        assert ev.answer(someone_farther, "y", env={"q": "q"}) == {"a"}

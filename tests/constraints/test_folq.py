@@ -1,0 +1,131 @@
+"""Unit tests for the Section 3 formula AST (metadata and validation)."""
+
+import pytest
+
+from repro.constraints.folq import (
+    DistCompare,
+    ExistsAt,
+    ExistsObject,
+    ExistsTime,
+    FOAnd,
+    FONot,
+    FOOr,
+    ForAllObject,
+    ForAllTime,
+    HeadingCompare,
+    InRegion,
+    ObjectEquals,
+    TimeCompare,
+    VelCompare,
+)
+from repro.constraints.regions import box
+
+
+REGION = box([0.0, 0.0], [1.0, 1.0])
+
+
+class TestAtomMetadata:
+    def test_exists_at(self):
+        atom = ExistsAt("y", "t")
+        assert atom.free_object_vars() == frozenset({"y"})
+        assert atom.free_time_vars() == frozenset({"t"})
+        assert atom.time_constants() == frozenset()
+
+    def test_exists_at_constant_time(self):
+        atom = ExistsAt("y", 5.0)
+        assert atom.free_time_vars() == frozenset()
+        assert atom.time_constants() == frozenset({5.0})
+
+    def test_in_region(self):
+        atom = InRegion("y", "t1", REGION)
+        assert atom.free_object_vars() == frozenset({"y"})
+        assert atom.free_time_vars() == frozenset({"t1"})
+
+    def test_dist_compare_pair_rhs(self):
+        atom = DistCompare("a", "b", "<=", ("c", "d"), "t")
+        assert atom.free_object_vars() == frozenset({"a", "b", "c", "d"})
+
+    def test_dist_compare_constant_rhs(self):
+        atom = DistCompare("a", "q", "<", 25.0, 3.0)
+        assert atom.free_object_vars() == frozenset({"a", "q"})
+        assert atom.time_constants() == frozenset({3.0})
+
+    def test_dist_compare_bad_predicate(self):
+        with pytest.raises(ValueError):
+            DistCompare("a", "b", "~", 1.0, "t")
+
+    def test_vel_compare(self):
+        atom = VelCompare("y", 0, ">", 2.0, "t")
+        assert atom.free_object_vars() == frozenset({"y"})
+        with pytest.raises(ValueError):
+            VelCompare("y", 0, "!!", 2.0, "t")
+
+    def test_heading_compare_metadata(self):
+        atom = HeadingCompare("y", (1.0, 0.0), ">=", 0.5, "t")
+        assert atom.free_object_vars() == frozenset({"y"})
+        assert atom.free_time_vars() == frozenset({"t"})
+
+    def test_time_compare(self):
+        atom = TimeCompare("t1", "<", "t2")
+        assert atom.free_time_vars() == frozenset({"t1", "t2"})
+        mixed = TimeCompare("t1", "<=", 7.0)
+        assert mixed.time_constants() == frozenset({7.0})
+        with pytest.raises(ValueError):
+            TimeCompare("t1", "<>", "t2")
+
+    def test_object_equals(self):
+        atom = ObjectEquals("y", "z")
+        assert atom.free_object_vars() == frozenset({"y", "z"})
+        assert atom.free_time_vars() == frozenset()
+
+
+class TestCompoundMetadata:
+    def test_connectives_union_vars(self):
+        f = FOAnd(ExistsAt("y", "t"), InRegion("z", "u", REGION))
+        assert f.free_object_vars() == frozenset({"y", "z"})
+        assert f.free_time_vars() == frozenset({"t", "u"})
+
+    def test_not_passthrough(self):
+        f = FONot(ExistsAt("y", "t"))
+        assert f.free_object_vars() == frozenset({"y"})
+
+    def test_empty_connective_rejected(self):
+        with pytest.raises(ValueError):
+            FOAnd()
+        with pytest.raises(ValueError):
+            FOOr()
+
+    def test_operator_sugar(self):
+        a = ExistsAt("y", "t")
+        b = InRegion("y", "t", REGION)
+        assert isinstance(a & b, FOAnd)
+        assert isinstance(a | b, FOOr)
+        assert isinstance(~a, FONot)
+
+
+class TestQuantifierMetadata:
+    def test_time_quantifier_binds(self):
+        f = ExistsTime("t", ExistsAt("y", "t"))
+        assert f.free_time_vars() == frozenset()
+        assert f.free_object_vars() == frozenset({"y"})
+
+    def test_time_quantifier_within_adds_constants(self):
+        f = ForAllTime("t", ExistsAt("y", "t"), within=(2.0, 9.0))
+        assert f.time_constants() >= {2.0, 9.0}
+
+    def test_object_quantifier_binds(self):
+        f = ForAllObject("z", DistCompare("y", "q", "<=", ("z", "q"), "t"))
+        assert f.free_object_vars() == frozenset({"y", "q"})
+
+    def test_nested_binding(self):
+        inner = FOAnd(
+            TimeCompare("t1", "<", "t2"),
+            InRegion("y", "t2", REGION),
+        )
+        f = ExistsTime("t1", ExistsTime("t2", inner))
+        assert f.free_time_vars() == frozenset()
+
+    def test_partial_binding_leaves_frees(self):
+        inner = TimeCompare("t1", "<", "t2")
+        f = ExistsTime("t1", inner)
+        assert f.free_time_vars() == frozenset({"t2"})

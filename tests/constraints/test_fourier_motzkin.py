@@ -1,0 +1,193 @@
+"""Tests for Fourier-Motzkin elimination."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.fourier_motzkin import (
+    eliminate_variable,
+    eliminate_variables,
+    is_satisfiable,
+    solution_interval_for,
+)
+from repro.constraints.linear import LinearConstraint, LinearExpr
+
+
+def le(coeffs, const):
+    return LinearConstraint.make(LinearExpr.build(coeffs, const), "<=")
+
+
+def lt(coeffs, const):
+    return LinearConstraint.make(LinearExpr.build(coeffs, const), "<")
+
+
+def eq(coeffs, const):
+    return LinearConstraint.make(LinearExpr.build(coeffs, const), "=")
+
+
+class TestEliminateVariable:
+    def test_simple_projection(self):
+        # 1 <= x <= y  projects onto  1 <= y.
+        constraints = [
+            le({"x": -1.0}, 1.0),  # 1 - x <= 0
+            le({"x": 1.0, "y": -1.0}, 0.0),  # x - y <= 0
+        ]
+        projected = eliminate_variable(constraints, "x")
+        assert len(projected) == 1
+        assert projected[0].holds({"y": 2.0})
+        assert not projected[0].holds({"y": 0.5})
+
+    def test_strictness_propagates(self):
+        # 1 < x and x <= y  ->  1 < y.
+        constraints = [
+            lt({"x": -1.0}, 1.0),
+            le({"x": 1.0, "y": -1.0}, 0.0),
+        ]
+        (projected,) = eliminate_variable(constraints, "x")
+        assert projected.predicate == "<"
+
+    def test_equality_substitution(self):
+        # x = 2y + 1 and x <= 5  ->  2y + 1 <= 5.
+        constraints = [
+            eq({"x": 1.0, "y": -2.0}, -1.0),  # x - 2y - 1 = 0
+            le({"x": 1.0}, -5.0),  # x - 5 <= 0
+        ]
+        (projected,) = eliminate_variable(constraints, "x")
+        assert projected.holds({"y": 1.0})  # x = 3 <= 5
+        assert not projected.holds({"y": 3.0})  # x = 7 > 5
+
+    def test_no_bound_side_drops_constraints(self):
+        # Only a lower bound on x: projection is unconstrained.
+        constraints = [le({"x": -1.0}, 0.0)]
+        assert eliminate_variable(constraints, "x") == []
+
+    def test_variable_absent(self):
+        constraints = [le({"y": 1.0}, -1.0)]
+        assert eliminate_variable(constraints, "x") == constraints
+
+
+class TestSatisfiability:
+    def test_satisfiable_box(self):
+        constraints = [
+            le({"x": 1.0}, -5.0),
+            le({"x": -1.0}, 1.0),
+            le({"y": 1.0}, -5.0),
+            le({"y": -1.0}, 1.0),
+        ]
+        assert is_satisfiable(constraints)
+
+    def test_unsatisfiable(self):
+        constraints = [
+            le({"x": 1.0}, -1.0),  # x <= 1
+            le({"x": -1.0}, 2.0),  # x >= 2
+        ]
+        assert not is_satisfiable(constraints)
+
+    def test_strict_boundary_unsatisfiable(self):
+        constraints = [
+            lt({"x": 1.0}, -1.0),  # x < 1
+            le({"x": -1.0}, 1.0),  # x >= 1
+        ]
+        assert not is_satisfiable(constraints)
+
+    def test_chained_elimination(self):
+        # x <= y, y <= z, z <= x - 1: a cycle with slack -1: unsat.
+        constraints = [
+            le({"x": 1.0, "y": -1.0}, 0.0),
+            le({"y": 1.0, "z": -1.0}, 0.0),
+            le({"z": 1.0, "x": -1.0}, 1.0),
+        ]
+        assert not is_satisfiable(constraints)
+
+    def test_empty_conjunction_satisfiable(self):
+        assert is_satisfiable([])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-5, 5, allow_nan=False).map(lambda v: round(v, 2)),
+                st.floats(-5, 5, allow_nan=False).map(lambda v: round(v, 2)),
+                st.floats(-10, 10, allow_nan=False).map(lambda v: round(v, 2)),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50)
+    def test_projection_preserves_satisfiability_witnesses(self, rows):
+        """If a point satisfies the system with slack, the projection is
+        satisfied by the same point (soundness direction of FM).
+
+        Coefficients with magnitude below 0.01 are dropped to keep the
+        combined bounds numerically well-conditioned (FM divides by the
+        eliminated variable's coefficient), and the witness must satisfy
+        each constraint with real slack.
+        """
+        rows = [
+            (a if abs(a) >= 0.01 else 0.0, b if abs(b) >= 0.01 else 0.0, c)
+            for a, b, c in rows
+        ]
+        constraints = [le({"x": a, "y": b}, c) for a, b, c in rows]
+        witness = {"x": 1.3, "y": -0.7}
+        slack_ok = all(c.expr.evaluate(witness) <= -1e-6 for c in constraints)
+        if slack_ok:
+            projected = eliminate_variable(constraints, "x")
+            assert all(c.holds(witness) for c in projected)
+
+    def test_random_systems_against_sampling(self):
+        rng = random.Random(5)
+        for trial in range(60):
+            constraints = [
+                le(
+                    {"x": rng.uniform(-3, 3), "y": rng.uniform(-3, 3)},
+                    rng.uniform(-5, 5),
+                )
+                for _ in range(rng.randint(1, 6))
+            ]
+            fm = is_satisfiable(constraints)
+            hit = False
+            for _ in range(3000):
+                point = {"x": rng.uniform(-50, 50), "y": rng.uniform(-50, 50)}
+                if all(c.holds(point) for c in constraints):
+                    hit = True
+                    break
+            # Sampling finding a point implies FM must agree.
+            if hit:
+                assert fm
+
+
+class TestSolutionInterval:
+    def test_bounds_reported(self):
+        constraints = [
+            le({"x": 1.0}, -5.0),  # x <= 5
+            le({"x": -1.0}, 1.0),  # x >= 1
+        ]
+        assert solution_interval_for(constraints, "x") == (1.0, 5.0)
+
+    def test_after_eliminating_others(self):
+        # x <= y <= 3 and x >= 0: x in [0, 3].
+        constraints = [
+            le({"x": 1.0, "y": -1.0}, 0.0),
+            le({"y": 1.0}, -3.0),
+            le({"x": -1.0}, 0.0),
+        ]
+        lo, hi = solution_interval_for(constraints, "x")
+        assert (lo, hi) == (0.0, 3.0)
+
+    def test_unsatisfiable_returns_none(self):
+        constraints = [
+            le({"x": 1.0}, -1.0),
+            le({"x": -1.0}, 2.0),
+        ]
+        assert solution_interval_for(constraints, "x") is None
+
+    def test_eliminate_variables_sequence(self):
+        constraints = [
+            le({"x": 1.0, "y": 1.0, "z": 1.0}, -3.0),
+            le({"x": -1.0}, 0.0),
+            le({"y": -1.0}, 0.0),
+            le({"z": -1.0}, 0.0),
+        ]
+        remaining = eliminate_variables(constraints, ["x", "y", "z"])
+        assert all(not c.variables for c in remaining)

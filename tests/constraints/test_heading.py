@@ -1,0 +1,125 @@
+"""Tests for the heading (unit-vector) atoms of the Section 3 language."""
+
+import math
+
+import pytest
+
+from repro.constraints.evaluator import TimelineEvaluator
+from repro.constraints.folq import ExistsTime, FOAnd, ForAllTime, HeadingCompare
+from repro.mod.database import MovingObjectDatabase
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+
+EAST = (1.0, 0.0)
+NORTH = (0.0, 1.0)
+
+
+def compass_db():
+    db = MovingObjectDatabase()
+    db.install("eastbound", linear_from(0.0, [0, 0], [3.0, 0.0]))
+    db.install("northeast", linear_from(0.0, [0, 0], [1.0, 1.0]))
+    db.install("westbound", linear_from(0.0, [0, 0], [-2.0, 0.0]))
+    db.install("parked", stationary([5.0, 5.0]))
+    return db
+
+
+class TestHeadingCompare:
+    def test_heading_east(self):
+        ev = TimelineEvaluator(compass_db())
+        f = ExistsTime(
+            "t",
+            HeadingCompare("y", EAST, ">=", math.cos(math.radians(30)), "t"),
+            within=(0.0, 10.0),
+        )
+        assert ev.answer(f, "y") == {"eastbound"}
+
+    def test_wider_cone_includes_diagonal(self):
+        ev = TimelineEvaluator(compass_db())
+        f = ExistsTime(
+            "t",
+            HeadingCompare("y", EAST, ">=", math.cos(math.radians(50)), "t"),
+            within=(0.0, 10.0),
+        )
+        assert ev.answer(f, "y") == {"eastbound", "northeast"}
+
+    def test_heading_away(self):
+        ev = TimelineEvaluator(compass_db())
+        f = ExistsTime(
+            "t", HeadingCompare("y", EAST, "<", 0.0, "t"), within=(0.0, 10.0)
+        )
+        assert ev.answer(f, "y") == {"westbound"}
+
+    def test_stationary_has_no_heading(self):
+        ev = TimelineEvaluator(compass_db())
+        # parked satisfies no heading atom, not even the trivial cone.
+        f = ExistsTime(
+            "t", HeadingCompare("y", EAST, ">=", -1.0, "t"), within=(0.0, 10.0)
+        )
+        assert "parked" not in ev.answer(f, "y")
+
+    def test_direction_normalized(self):
+        """Scaling the direction vector must not change the answer."""
+        ev = TimelineEvaluator(compass_db())
+        threshold = math.cos(math.radians(30))
+        small = ExistsTime(
+            "t", HeadingCompare("y", (0.001, 0.0), ">=", threshold, "t"),
+            within=(0.0, 10.0),
+        )
+        big = ExistsTime(
+            "t", HeadingCompare("y", (1000.0, 0.0), ">=", threshold, "t"),
+            within=(0.0, 10.0),
+        )
+        assert ev.answer(small, "y") == ev.answer(big, "y")
+
+    def test_turning_object_changes_heading(self):
+        db = MovingObjectDatabase()
+        db.install(
+            "turner",
+            from_waypoints([(0, [0, 0]), (5, [5, 0]), (10, [5, 5])]),
+        )
+        ev = TimelineEvaluator(db)
+        heading_north = HeadingCompare("y", NORTH, ">=", 0.9, "t")
+        early = ExistsTime("t", heading_north, within=(0.0, 4.0))
+        late = ExistsTime("t", heading_north, within=(6.0, 9.0))
+        assert ev.answer(early, "y") == set()
+        assert ev.answer(late, "y") == {"turner"}
+
+    def test_always_heading_east(self):
+        db = MovingObjectDatabase()
+        db.install("steady", linear_from(0.0, [0, 0], [2.0, 0.0]))
+        db.install(
+            "wobbler",
+            from_waypoints([(0, [0, 0]), (5, [5, 0]), (10, [5, 5])]),
+        )
+        ev = TimelineEvaluator(db)
+        f = ForAllTime(
+            "t", HeadingCompare("y", EAST, ">=", 0.99, "t"), within=(1.0, 9.0)
+        )
+        assert ev.answer(f, "y") == {"steady"}
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            HeadingCompare("y", (0.0, 0.0), ">=", 0.5, "t")
+
+    def test_bad_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            HeadingCompare("y", EAST, "!=", 0.5, "t")
+
+    def test_combined_with_region_atoms(self):
+        """Objects heading east while inside a corridor."""
+        from repro.constraints.regions import box
+        from repro.constraints.folq import InRegion
+
+        db = MovingObjectDatabase()
+        db.install("through", linear_from(0.0, [-10.0, 0.0], [2.0, 0.0]))
+        db.install("crossing", linear_from(0.0, [0.0, -10.0], [0.0, 2.0]))
+        ev = TimelineEvaluator(db)
+        corridor = box([-5.0, -5.0], [5.0, 5.0])
+        f = ExistsTime(
+            "t",
+            FOAnd(
+                InRegion("y", "t", corridor),
+                HeadingCompare("y", EAST, ">=", 0.9, "t"),
+            ),
+            within=(0.0, 20.0),
+        )
+        assert ev.answer(f, "y") == {"through"}

@@ -1,0 +1,87 @@
+"""Tests for linear expressions and constraints."""
+
+import pytest
+
+from repro.constraints.linear import (
+    LinearConstraint,
+    LinearExpr,
+    conjunction_holds,
+)
+
+
+class TestLinearExpr:
+    def test_build_drops_zero_coeffs(self):
+        e = LinearExpr.build({"x": 0.0, "y": 2.0})
+        assert e.variables == ["y"]
+
+    def test_variable_and_const(self):
+        assert LinearExpr.variable("x").evaluate({"x": 3.0}) == 3.0
+        assert LinearExpr.const(5.0).evaluate({}) == 5.0
+        assert LinearExpr.const(5.0).is_constant
+
+    def test_evaluate(self):
+        e = LinearExpr.build({"x": 2.0, "y": -1.0}, 3.0)
+        assert e.evaluate({"x": 1.0, "y": 4.0}) == 1.0
+
+    def test_add_sub(self):
+        a = LinearExpr.build({"x": 1.0}, 1.0)
+        b = LinearExpr.build({"x": 2.0, "y": 1.0}, -1.0)
+        assert (a + b).evaluate({"x": 1.0, "y": 1.0}) == 4.0
+        assert (a - b).coefficient("x") == -1.0
+
+    def test_add_cancels(self):
+        a = LinearExpr.build({"x": 1.0})
+        b = LinearExpr.build({"x": -1.0})
+        assert (a + b).is_constant
+
+    def test_scaled(self):
+        e = LinearExpr.build({"x": 2.0}, 1.0).scaled(3.0)
+        assert e.coefficient("x") == 6.0
+        assert e.constant == 3.0
+
+    def test_substitute(self):
+        # x + 2y with x := 3z - 1  ->  3z + 2y - 1
+        e = LinearExpr.build({"x": 1.0, "y": 2.0})
+        sub = LinearExpr.build({"z": 3.0}, -1.0)
+        result = e.substitute("x", sub)
+        assert result.coefficient("z") == 3.0
+        assert result.coefficient("y") == 2.0
+        assert result.constant == -1.0
+
+    def test_substitute_absent_var_is_noop(self):
+        e = LinearExpr.build({"y": 2.0})
+        assert e.substitute("x", LinearExpr.const(1.0)) is e
+
+
+class TestLinearConstraint:
+    def test_normalization_of_ge(self):
+        c = LinearConstraint.make(LinearExpr.build({"x": 1.0}, -5.0), ">=")
+        # x - 5 >= 0  ->  -(x - 5) <= 0
+        assert c.predicate == "<="
+        assert c.holds({"x": 6.0})
+        assert not c.holds({"x": 4.0})
+
+    def test_normalization_of_gt(self):
+        c = LinearConstraint.make(LinearExpr.build({"x": 1.0}), ">")
+        assert c.predicate == "<"
+        assert c.holds({"x": 1.0})
+        assert not c.holds({"x": -1.0})
+
+    def test_equality(self):
+        c = LinearConstraint.make(LinearExpr.build({"x": 1.0}, -2.0), "=")
+        assert c.holds({"x": 2.0})
+        assert not c.holds({"x": 2.1})
+
+    def test_invalid_predicate(self):
+        with pytest.raises(ValueError):
+            LinearConstraint.make(LinearExpr.const(0.0), "!=")
+        with pytest.raises(ValueError):
+            LinearConstraint(LinearExpr.const(0.0), ">")
+
+    def test_conjunction_holds(self):
+        cs = [
+            LinearConstraint.make(LinearExpr.build({"x": 1.0}, -5.0), "<="),
+            LinearConstraint.make(LinearExpr.build({"x": -1.0}, 1.0), "<="),
+        ]
+        assert conjunction_holds(cs, {"x": 3.0})  # 1 <= x <= 5
+        assert not conjunction_holds(cs, {"x": 0.0})

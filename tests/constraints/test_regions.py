@@ -1,0 +1,89 @@
+"""Tests for convex regions."""
+
+import pytest
+
+from repro.constraints.regions import HalfPlane, Region, box, halfplane_region, polygon
+
+
+class TestHalfPlane:
+    def test_contains(self):
+        h = HalfPlane((1.0, 0.0), 5.0)  # x <= 5
+        assert h.contains([4.0, 100.0])
+        assert h.contains([5.0, 0.0])
+        assert not h.contains([6.0, 0.0])
+
+    def test_boundary_value(self):
+        h = HalfPlane((1.0, 0.0), 5.0)
+        assert h.boundary_value([3.0, 0.0]) == -2.0
+
+    def test_as_constraint(self):
+        h = HalfPlane((2.0, -1.0), 4.0)
+        c = h.as_constraint(["x0", "x1"])
+        assert c.holds({"x0": 1.0, "x1": 0.0})
+        assert not c.holds({"x0": 3.0, "x1": 0.0})
+
+
+class TestBox:
+    def test_membership(self):
+        b = box([0.0, 0.0], [10.0, 5.0])
+        assert b.contains([5.0, 2.5])
+        assert b.contains([0.0, 0.0])
+        assert b.contains([10.0, 5.0])
+        assert not b.contains([11.0, 2.0])
+        assert not b.contains([5.0, -0.1])
+
+    def test_degenerate_box(self):
+        b = box([1.0, 1.0], [1.0, 1.0])
+        assert b.contains([1.0, 1.0])
+        assert not b.is_empty()
+
+    def test_invalid_box(self):
+        with pytest.raises(ValueError):
+            box([5.0], [1.0])
+        with pytest.raises(ValueError):
+            box([0.0], [1.0, 2.0])
+
+    def test_3d_box(self):
+        b = box([0, 0, 0], [1, 1, 1])
+        assert b.contains([0.5, 0.5, 0.5])
+        assert b.dimension == 3
+
+
+class TestPolygon:
+    def test_triangle(self):
+        t = polygon([(0, 0), (10, 0), (5, 10)])
+        assert t.contains([5.0, 3.0])
+        assert t.contains([0.0, 0.0])
+        assert not t.contains([0.0, 5.0])
+
+    def test_clockwise_rejected(self):
+        with pytest.raises(ValueError):
+            polygon([(0, 0), (5, 10), (10, 0)])
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            polygon([(0, 0), (1, 1)])
+
+    def test_non_planar_rejected(self):
+        with pytest.raises(ValueError):
+            polygon([(0, 0, 0), (1, 0, 0), (0, 1, 0)])
+
+
+class TestEmptiness:
+    def test_nonempty_box(self):
+        assert not box([0.0], [1.0]).is_empty()
+
+    def test_empty_intersection(self):
+        region = Region(
+            (
+                HalfPlane((1.0,), 0.0),  # x <= 0
+                HalfPlane((-1.0,), -1.0),  # x >= 1
+            )
+        )
+        assert region.is_empty()
+
+    def test_halfplane_region(self):
+        r = halfplane_region([1.0, 1.0], 2.0, name="diag")
+        assert r.contains([1.0, 1.0])
+        assert not r.contains([2.0, 1.0])
+        assert "diag" in repr(r)

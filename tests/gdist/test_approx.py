@@ -1,0 +1,112 @@
+"""Tests for Chebyshev polynomialization of g-distances."""
+
+import math
+
+import pytest
+
+from repro.geometry.intervals import Interval
+from repro.geometry.piecewise import PiecewiseFunction
+from repro.gdist.approx import PolynomialApproximation, approximate_on
+from repro.gdist.base import CallableGDistance, GDistance
+from repro.trajectory.builder import linear_from
+
+
+class TestApproximateOn:
+    def test_polynomial_is_reproduced_exactly(self):
+        # Degree-3 fit of a cubic is exact up to conditioning.
+        fn = lambda t: t**3 - 2 * t + 1
+        f = approximate_on(fn, Interval(0, 4), degree=3, num_pieces=1)
+        for t in (0.0, 1.3, 2.7, 4.0):
+            assert f(t) == pytest.approx(fn(t), abs=1e-9)
+
+    def test_transcendental_error_decays_with_degree(self):
+        fn = math.sin
+        dom = Interval(0, 6)
+        errors = []
+        for degree in (2, 5, 9):
+            f = approximate_on(fn, dom, degree=degree, num_pieces=2)
+            errors.append(
+                max(abs(f(t) - fn(t)) for t in dom.sample_points(101))
+            )
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] < 1e-5
+
+    def test_more_pieces_reduce_error(self):
+        fn = lambda t: math.sqrt(1.0 + t * t)
+        dom = Interval(0, 10)
+        coarse = approximate_on(fn, dom, degree=3, num_pieces=1)
+        fine = approximate_on(fn, dom, degree=3, num_pieces=10)
+        err = lambda f: max(abs(f(t) - fn(t)) for t in dom.sample_points(101))
+        assert err(fine) < err(coarse)
+
+    def test_unbounded_domain_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_on(math.sin, Interval.at_least(0.0))
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_on(math.sin, Interval(0, 1), degree=0)
+        with pytest.raises(ValueError):
+            approximate_on(math.sin, Interval(0, 1), num_pieces=0)
+
+    def test_nonfinite_function_rejected(self):
+        fn = lambda t: math.inf if t > 0.5 else 0.0
+        with pytest.raises(ValueError):
+            approximate_on(fn, Interval(0, 1))
+
+
+class _ExactDistance:
+    """A toy exact (non-polynomial) g-distance: true Euclidean distance."""
+
+    def evaluate_at(self, trajectory, t):
+        return math.sqrt(trajectory.position(t).norm_squared())
+
+
+class TestPolynomialApproximation:
+    def test_wraps_exact_distance(self):
+        o = linear_from(0.0, [3, 4], [1, 0])
+        approx = PolynomialApproximation(_ExactDistance(), Interval(0, 10))
+        assert approx.max_error(o) < 1e-6
+
+    def test_requires_evaluate_at(self):
+        with pytest.raises(TypeError):
+            PolynomialApproximation(object(), Interval(0, 1))
+
+    def test_requires_bounded_domain(self):
+        with pytest.raises(ValueError):
+            PolynomialApproximation(_ExactDistance(), Interval.at_least(0.0))
+
+    def test_domain_intersected_with_trajectory(self):
+        o = linear_from(5.0, [1, 1], [0, 0])
+        approx = PolynomialApproximation(_ExactDistance(), Interval(0, 10))
+        curve = approx(o)
+        assert curve.domain == Interval(5.0, 10.0)
+
+    def test_disjoint_domain_rejected(self):
+        o = linear_from(50.0, [1, 1], [0, 0])
+        approx = PolynomialApproximation(_ExactDistance(), Interval(0, 10))
+        with pytest.raises(ValueError):
+            approx(o)
+
+    def test_inner_accessor(self):
+        inner = _ExactDistance()
+        approx = PolynomialApproximation(inner, Interval(0, 1))
+        assert approx.inner is inner
+
+
+class TestCallableGDistance:
+    def test_adapts_function(self):
+        fn = lambda traj: PiecewiseFunction.constant(7.0, traj.domain)
+        g = CallableGDistance(fn, name="seven")
+        o = linear_from(0.0, [0], [1])
+        assert g(o)(3.0) == 7.0
+        assert g.is_polynomial
+        assert "seven" in repr(g)
+
+    def test_non_polynomial_flag(self):
+        g = CallableGDistance(lambda t: None, polynomial=False)
+        assert not g.is_polynomial
+
+    def test_is_a_gdistance(self):
+        g = CallableGDistance(lambda t: None)
+        assert isinstance(g, GDistance)

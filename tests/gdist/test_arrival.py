@@ -1,0 +1,159 @@
+"""Tests for the fastest-arrival g-distance (Example 9 / Figure 1)."""
+
+import math
+
+import pytest
+
+from repro.geometry.intervals import Interval
+from repro.geometry.vectors import Vector
+from repro.gdist.approx import PolynomialApproximation
+from repro.gdist.arrival import (
+    ArrivalTimeGDistance,
+    SquaredArrivalTimeGDistance,
+    interception_time,
+)
+from repro.trajectory.builder import linear_from
+
+
+class TestInterceptionTime:
+    def test_already_there(self):
+        assert interception_time(Vector.of(0, 0), Vector.of(1, 0), 2.0) == 0.0
+
+    def test_stationary_target(self):
+        # Target 10 away, not moving; chaser speed 2 -> 5 time units.
+        t = interception_time(Vector.of(10, 0), Vector.of(0, 0), 2.0)
+        assert t == pytest.approx(5.0)
+
+    def test_head_on(self):
+        # Target approaching at speed 1, chaser speed 1, separation 10:
+        # closing speed 2 -> 5 time units.
+        t = interception_time(Vector.of(10, 0), Vector.of(-1, 0), 1.0)
+        assert t == pytest.approx(5.0)
+
+    def test_stern_chase_faster(self):
+        # Target fleeing at 1, chaser at 2, separation 10: closing 1 -> 10.
+        t = interception_time(Vector.of(10, 0), Vector.of(1, 0), 2.0)
+        assert t == pytest.approx(10.0)
+
+    def test_stern_chase_slower_unreachable(self):
+        t = interception_time(Vector.of(10, 0), Vector.of(2, 0), 1.0)
+        assert math.isinf(t)
+
+    def test_equal_speeds_receding_unreachable(self):
+        t = interception_time(Vector.of(10, 0), Vector.of(1, 0), 1.0)
+        assert math.isinf(t)
+
+    def test_perpendicular_faster(self):
+        # Figure 1 geometry: q crosses ahead at speed 1, chaser speed 2,
+        # perpendicular separation 3.  |w + vq tD| = 2 tD
+        # -> 9 + tD^2 = 4 tD^2 -> tD = sqrt(3).
+        t = interception_time(Vector.of(0, 3), Vector.of(1, 0), 2.0)
+        assert t == pytest.approx(math.sqrt(3.0))
+
+    def test_interception_point_consistency(self):
+        # The point A = q + vq*tD must be at distance speed*tD.
+        w = Vector.of(4, 7)
+        vq = Vector.of(1.5, -0.5)
+        speed = 3.0
+        t = interception_time(w, vq, speed)
+        target = w + vq * t
+        assert target.norm() == pytest.approx(speed * t)
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            interception_time(Vector.of(1), Vector.of(0), -1.0)
+
+
+class TestArrivalTimeGDistance:
+    def test_pointwise_evaluation(self):
+        q = linear_from(0.0, [0, 0], [1, 0])
+        o = linear_from(0.0, [0, -3], [1, 1])  # matches q horizontally
+        g = ArrivalTimeGDistance(q)
+        # At t=0: w=(0,3), vq=(1,0), speed=sqrt(2).
+        expected = interception_time(Vector.of(0, 3), Vector.of(1, 0), math.sqrt(2.0))
+        assert g.evaluate_at(o, 0.0) == pytest.approx(expected)
+
+    def test_not_polynomial(self):
+        q = linear_from(0.0, [0, 0], [1, 0])
+        g = ArrivalTimeGDistance(q)
+        assert not g.is_polynomial
+        with pytest.raises(TypeError):
+            g(linear_from(0.0, [5, 5], [1, 0]))
+
+    def test_reachable_throughout(self):
+        q = linear_from(0.0, [0, 0], [1, 0])
+        fast = linear_from(0.0, [10, 10], [2, 0])
+        slow = linear_from(0.0, [10, 10], [0.5, 0])
+        g = ArrivalTimeGDistance(q)
+        assert g.reachable_throughout(fast, Interval(0, 10))
+        assert not g.reachable_throughout(slow, Interval(0, 10))
+
+
+class TestSquaredArrivalTime:
+    def make_perpendicular(self, y0=-3.0, vy=0.5):
+        """q moves horizontally at speed 1; o matches the horizontal
+        velocity and additionally climbs at vy: w(t) stays vertical."""
+        q = linear_from(0.0, [0, 0], [1, 0])
+        o = linear_from(0.0, [0, y0], [1, vy])
+        return q, o
+
+    def test_exact_quadratic_in_perpendicular_configuration(self):
+        q, o = self.make_perpendicular()
+        g = SquaredArrivalTimeGDistance(q)
+        f = g(o)
+        assert f.max_degree == 2
+        # Cross-check against the exact pointwise arrival time.
+        exact = ArrivalTimeGDistance(q)
+        for t in (0.0, 1.0, 3.0, 5.9):
+            td = exact.evaluate_at(o, t)
+            assert f(t) == pytest.approx(td * td, rel=1e-9)
+
+    def test_example9_claim_t_delta_squared_is_quadratic(self):
+        """Example 9: t_D^2 = c2 t^2 + c1 t + c0."""
+        q, o = self.make_perpendicular(y0=-4.0, vy=1.0)
+        f = SquaredArrivalTimeGDistance(q)(o)
+        (piece,) = f.pieces
+        # w(t) = (0, 4 - t), s_o^2 - v_q^2 = (1+1) - 1 = 1
+        # -> tD^2 = (4-t)^2 = t^2 - 8t + 16.
+        assert piece[1].coeffs == pytest.approx((16.0, -8.0, 1.0))
+
+    def test_non_perpendicular_rejected(self):
+        q = linear_from(0.0, [0, 0], [1, 0])
+        o = linear_from(0.0, [10, -3], [0, 2])  # w has a horizontal part
+        with pytest.raises(ValueError):
+            SquaredArrivalTimeGDistance(q)(o)
+
+    def test_slower_object_rejected(self):
+        q = linear_from(0.0, [0, 0], [2, 0])
+        o = linear_from(0.0, [0, -3], [2, 0.1])
+        # o is faster here (sqrt(4.01) > 2) -> fine; make it slower:
+        o_slow = linear_from(0.0, [0, -3], [2, 0])
+        with pytest.raises(ValueError):
+            SquaredArrivalTimeGDistance(q)(o_slow)
+        assert SquaredArrivalTimeGDistance(q)(o) is not None
+
+    def test_disjoint_domains_rejected(self):
+        q = linear_from(0.0, [0, 0], [1, 0]).truncated_at(1.0)
+        o = linear_from(5.0, [5, -3], [1, 1])
+        with pytest.raises(ValueError):
+            SquaredArrivalTimeGDistance(q)(o)
+
+
+class TestApproximatedArrival:
+    def test_approximation_matches_exact(self):
+        q = linear_from(0.0, [0, 0], [1, 0])
+        o = linear_from(0.0, [10, 5], [0, -1.8])  # general position, faster
+        exact = ArrivalTimeGDistance(q)
+        approx = PolynomialApproximation(exact, Interval(0.0, 10.0), degree=8, num_pieces=8)
+        err = approx.max_error(o)
+        assert err < 1e-4
+
+    def test_usable_as_polynomial_gdistance(self):
+        q = linear_from(0.0, [0, 0], [1, 0])
+        o = linear_from(0.0, [10, 5], [0, -1.8])
+        approx = PolynomialApproximation(
+            ArrivalTimeGDistance(q), Interval(0.0, 10.0)
+        )
+        assert approx.is_polynomial
+        curve = approx(o)
+        assert curve.domain == Interval(0.0, 10.0)

@@ -1,0 +1,84 @@
+"""Tests for coordinate-based g-distances."""
+
+import pytest
+
+from repro.gdist.coordinate import (
+    CoordinateDifference,
+    CoordinateValue,
+    WeightedSquaredDistance,
+)
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.trajectory.builder import from_waypoints, linear_from
+
+
+class TestCoordinateValue:
+    def test_altitude_over_time(self):
+        o = linear_from(0.0, [0, 0, 100], [0, 0, -2])
+        altitude = CoordinateValue(2)
+        f = altitude(o)
+        assert f(10.0) == pytest.approx(80.0)
+        assert f.max_degree == 1
+
+    def test_negative_axis_rejected(self):
+        with pytest.raises(ValueError):
+            CoordinateValue(-1)
+
+    def test_axis_property(self):
+        assert CoordinateValue(1).axis == 1
+
+
+class TestCoordinateDifference:
+    def test_signed_difference(self):
+        q = linear_from(0.0, [0, 0], [1, 0])
+        o = linear_from(0.0, [10, 0], [0, 0])
+        f = CoordinateDifference(q, 0)(o)
+        assert f(0.0) == pytest.approx(10.0)
+        assert f(10.0) == pytest.approx(0.0)
+        assert f(20.0) == pytest.approx(-10.0)
+
+    def test_point_query(self):
+        o = linear_from(0.0, [3, 7], [0, 0])
+        f = CoordinateDifference([1.0, 1.0], 1)(o)
+        assert f(5.0) == pytest.approx(6.0)
+
+    def test_negative_axis_rejected(self):
+        with pytest.raises(ValueError):
+            CoordinateDifference([0.0], -2)
+
+
+class TestWeightedSquaredDistance:
+    def test_unit_weights_match_euclidean(self):
+        q = linear_from(0.0, [0, 0], [1, 1])
+        o = from_waypoints([(0, [5, 0]), (10, [0, 5])])
+        w = WeightedSquaredDistance(q, [1.0, 1.0])
+        e = SquaredEuclideanDistance(q)
+        fw, fe = w(o), e(o)
+        for t in (0.0, 3.0, 7.0, 10.0):
+            assert fw(t) == pytest.approx(fe(t))
+
+    def test_anisotropic(self):
+        q = linear_from(0.0, [0, 0], [0, 0])
+        o = linear_from(0.0, [1, 1], [0, 0])
+        f = WeightedSquaredDistance(q, [4.0, 1.0])(o)
+        assert f(0.0) == pytest.approx(5.0)
+
+    def test_zero_weight_drops_axis(self):
+        q = linear_from(0.0, [0, 0], [0, 0])
+        o = linear_from(0.0, [100, 3], [0, 0])
+        f = WeightedSquaredDistance(q, [0.0, 1.0])(o)
+        assert f(0.0) == pytest.approx(9.0)
+
+    def test_all_zero_weights_constant_zero(self):
+        q = linear_from(0.0, [0, 0], [0, 0])
+        o = linear_from(0.0, [100, 3], [1, 1])
+        f = WeightedSquaredDistance(q, [0.0, 0.0])(o)
+        assert f(5.0) == 0.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedSquaredDistance([0.0], [-1.0])
+
+    def test_dimension_mismatch_rejected(self):
+        w = WeightedSquaredDistance([0.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            w(linear_from(0.0, [0, 0, 0], [0, 0, 0]))

@@ -1,0 +1,107 @@
+"""Tests for derived g-distances (approach rate, linear combinations)."""
+
+import pytest
+
+from repro.baselines.naive import naive_knn_answer
+from repro.core.api import evaluate_knn, evaluate_within
+from repro.geometry.intervals import Interval
+from repro.gdist.arrival import ArrivalTimeGDistance
+from repro.gdist.derived import ApproachRate, LinearCombination
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+from repro.workloads.generator import random_linear_mod
+
+
+class TestApproachRate:
+    def test_sign_semantics(self):
+        rate = ApproachRate([0.0, 0.0])
+        closing = linear_from(0.0, [10.0, 0.0], [-1.0, 0.0])
+        fleeing = linear_from(0.0, [10.0, 0.0], [1.0, 0.0])
+        assert rate(closing)(2.0) < 0
+        assert rate(fleeing)(2.0) > 0
+
+    def test_is_derivative_of_squared_distance(self):
+        rate = ApproachRate([0.0, 0.0])
+        sq = SquaredEuclideanDistance([0.0, 0.0])
+        o = linear_from(0.0, [10.0, 3.0], [-2.0, 0.5])
+        f, df = sq(o), rate(o)
+        eps = 1e-6
+        for t in (1.0, 4.0, 9.0):
+            numeric = (f(t + eps) - f(t - eps)) / (2 * eps)
+            assert df(t) == pytest.approx(numeric, rel=1e-4)
+
+    def test_piecewise_linear(self):
+        rate = ApproachRate([0.0, 0.0])
+        o = from_waypoints([(0, [10.0, 0.0]), (5, [5.0, 0.0]), (10, [5.0, 5.0])])
+        assert rate(o).max_degree <= 1
+
+    def test_jumps_at_turns_allowed(self):
+        """The derivative is discontinuous at turns — the relaxed
+        'finitely many continuous pieces' case the paper permits."""
+        rate = ApproachRate([0.0, 0.0])
+        o = from_waypoints([(0, [10.0, 0.0]), (5, [5.0, 0.0]), (10, [10.0, 0.0])])
+        f = rate(o)
+        assert not f.is_continuous()
+
+    def test_fastest_approacher_query(self):
+        db = MovingObjectDatabase()
+        db.install("diving", linear_from(0.0, [20.0, 0.0], [-3.0, 0.0]))
+        db.install("drifting", linear_from(0.0, [10.0, 0.0], [-0.5, 0.0]))
+        db.install("fleeing", linear_from(0.0, [5.0, 0.0], [2.0, 0.0]))
+        answer = evaluate_knn(db, ApproachRate([0.0, 0.0]), Interval(0.0, 4.0), 1)
+        assert answer.at(1.0) == {"diving"}
+
+    def test_who_is_approaching_via_threshold(self):
+        db = MovingObjectDatabase()
+        db.install("closing", linear_from(0.0, [20.0, 0.0], [-1.0, 0.0]))
+        db.install("receding", linear_from(0.0, [5.0, 0.0], [1.0, 0.0]))
+        answer = evaluate_within(
+            db, ApproachRate([0.0, 0.0]), Interval(0.0, 5.0), 0.0
+        )
+        assert answer.objects == {"closing"}
+
+    def test_sweep_matches_naive_on_jumpy_curves(self):
+        """The engine stays exact with discontinuous (piecewise-
+        continuous) g-distance curves."""
+        from repro.workloads.generator import random_piecewise_mod
+
+        db = random_piecewise_mod(8, seed=31, end_time=30.0, turns=3)
+        gd = ApproachRate([0.0, 0.0])
+        sweep = evaluate_knn(db, gd, Interval(0.0, 30.0), 2)
+        naive = naive_knn_answer(db, gd, Interval(0.0, 30.0), 2)
+        assert sweep.approx_equals(naive, atol=1e-6)
+
+
+class TestLinearCombination:
+    def test_blend(self):
+        sq = SquaredEuclideanDistance([0.0, 0.0])
+        rate = ApproachRate([0.0, 0.0])
+        threat = LinearCombination([(1.0, sq), (10.0, rate)])
+        o = linear_from(0.0, [10.0, 0.0], [-1.0, 0.0])
+        expected = sq(o)(2.0) + 10.0 * rate(o)(2.0)
+        assert threat(o)(2.0) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCombination([])
+
+    def test_non_polynomial_rejected(self):
+        q = linear_from(0.0, [0.0, 0.0], [1.0, 0.0])
+        with pytest.raises(TypeError):
+            LinearCombination([(1.0, ArrivalTimeGDistance(q))])
+
+    def test_single_term_identity(self):
+        sq = SquaredEuclideanDistance([0.0, 0.0])
+        doubled = LinearCombination([(2.0, sq)])
+        o = linear_from(0.0, [3.0, 4.0], [0.0, 0.0])
+        assert doubled(o)(1.0) == pytest.approx(50.0)
+
+    def test_usable_in_sweep(self):
+        db = random_linear_mod(6, seed=33, extent=25.0, speed=5.0)
+        sq = SquaredEuclideanDistance([0.0, 0.0])
+        rate = ApproachRate([0.0, 0.0])
+        threat = LinearCombination([(1.0, sq), (5.0, rate)])
+        sweep = evaluate_knn(db, threat, Interval(0.0, 10.0), 1)
+        naive = naive_knn_answer(db, threat, Interval(0.0, 10.0), 1)
+        assert sweep.approx_equals(naive, atol=1e-6)

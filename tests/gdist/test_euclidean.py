@@ -1,0 +1,67 @@
+"""Tests for the squared Euclidean g-distance (Example 8)."""
+
+import pytest
+
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+
+
+class TestSquaredEuclidean:
+    def test_to_stationary_point(self):
+        d = SquaredEuclideanDistance([0.0, 0.0])
+        o = linear_from(0.0, [3, 4], [0, 0])
+        f = d(o)
+        assert f(10.0) == pytest.approx(25.0)
+
+    def test_point_query_wrapped_as_stationary(self):
+        d = SquaredEuclideanDistance([1.0, 1.0])
+        assert d.query_trajectory.is_stationary
+
+    def test_moving_query(self):
+        q = linear_from(0.0, [0, 0], [1, 0])
+        d = SquaredEuclideanDistance(q)
+        o = linear_from(0.0, [10, 0], [-1, 0])
+        f = d(o)
+        assert f(0.0) == pytest.approx(100.0)
+        assert f(5.0) == pytest.approx(0.0)
+        assert f.max_degree == 2
+
+    def test_quadratic_coefficients(self):
+        # Relative velocity (2, 0), initial separation (10, 0):
+        # d(t) = (10 - 2t)^2 = 4t^2 - 40t + 100.
+        q = linear_from(0.0, [0, 0], [1, 0])
+        d = SquaredEuclideanDistance(q)
+        o = linear_from(0.0, [10, 0], [-1, 0])
+        (piece,) = d(o).pieces
+        assert piece[1].coeffs == pytest.approx((100.0, -40.0, 4.0))
+
+    def test_respects_turns_of_both(self):
+        q = from_waypoints([(0, [0, 0]), (10, [10, 0])])
+        o = from_waypoints([(0, [0, 5]), (5, [5, 5]), (10, [5, 0])])
+        f = SquaredEuclideanDistance(q)(o)
+        assert 5.0 in f.breakpoints
+        for t in (2.0, 7.0, 9.0):
+            expected = (q.position(t) - o.position(t)).norm_squared()
+            assert f(t) == pytest.approx(expected)
+
+    def test_extend_to_mod(self):
+        db = MovingObjectDatabase()
+        db.create("a", 1.0, position=[0, 0], velocity=[1, 0])
+        db.create("b", 2.0, position=[5, 0], velocity=[0, 0])
+        d = SquaredEuclideanDistance([0.0, 0.0])
+        curves = d.extend_to_mod(db)
+        assert set(curves) == {"a", "b"}
+        assert curves["b"](3.0) == pytest.approx(25.0)
+
+    def test_with_query(self):
+        d = SquaredEuclideanDistance([0.0, 0.0])
+        q2 = stationary([100.0, 0.0])
+        d2 = d.with_query(q2)
+        o = linear_from(0.0, [0, 0], [0, 0])
+        assert d2(o)(0.0) == pytest.approx(10000.0)
+
+    def test_value_helper(self):
+        d = SquaredEuclideanDistance([0.0])
+        o = linear_from(0.0, [2.0], [1.0])
+        assert d.value(o, 3.0) == pytest.approx(25.0)

@@ -1,0 +1,372 @@
+"""Tests for piecewise polynomial functions and order-flip detection."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.intervals import Interval
+from repro.geometry.piecewise import (
+    PiecewiseFunction,
+    first_order_flip_after,
+    lower_envelope,
+    maximum,
+    minimum,
+)
+from repro.geometry.poly import Polynomial
+
+
+def line(slope, intercept, lo=-math.inf, hi=math.inf):
+    return PiecewiseFunction.from_polynomial(
+        Polynomial.linear(slope, intercept), Interval(lo, hi)
+    )
+
+
+def two_piece_v(vertex_t=0.0, lo=-10.0, hi=10.0):
+    """|t - vertex_t| as a 2-piece linear function."""
+    return PiecewiseFunction(
+        [
+            (Interval(lo, vertex_t), Polynomial.linear(-1.0, vertex_t)),
+            (Interval(vertex_t, hi), Polynomial.linear(1.0, -vertex_t)),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseFunction([])
+
+    def test_gap_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseFunction(
+                [
+                    (Interval(0, 1), Polynomial.zero()),
+                    (Interval(2, 3), Polynomial.zero()),
+                ]
+            )
+
+    def test_domain(self):
+        f = two_piece_v()
+        assert f.domain == Interval(-10.0, 10.0)
+
+    def test_breakpoints(self):
+        assert two_piece_v(1.0).breakpoints == [1.0]
+
+    def test_max_degree(self):
+        f = PiecewiseFunction(
+            [
+                (Interval(0, 1), Polynomial([0, 1])),
+                (Interval(1, 2), Polynomial([0, 0, 1])),
+            ]
+        )
+        assert f.max_degree == 2
+
+
+class TestEvaluation:
+    def test_single_piece(self):
+        f = line(2.0, 1.0)
+        assert f(3.0) == 7.0
+
+    def test_v_shape(self):
+        f = two_piece_v()
+        assert f(-3.0) == 3.0
+        assert f(0.0) == 0.0
+        assert f(4.0) == 4.0
+
+    def test_boundary_uses_earlier_piece(self):
+        f = PiecewiseFunction(
+            [
+                (Interval(0, 1), Polynomial.constant(1.0)),
+                (Interval(1, 2), Polynomial.constant(2.0)),
+            ]
+        )
+        assert f(1.0) == 1.0
+
+    def test_outside_domain_rejected(self):
+        with pytest.raises(ValueError):
+            two_piece_v()(100.0)
+
+    def test_piece_at_binary_search(self):
+        pieces = [
+            (Interval(float(i), float(i + 1)), Polynomial.constant(float(i)))
+            for i in range(20)
+        ]
+        f = PiecewiseFunction(pieces)
+        for i in range(20):
+            assert f(i + 0.5) == float(i)
+
+    def test_is_continuous(self):
+        assert two_piece_v().is_continuous()
+        jump = PiecewiseFunction(
+            [
+                (Interval(0, 1), Polynomial.constant(0.0)),
+                (Interval(1, 2), Polynomial.constant(5.0)),
+            ]
+        )
+        assert not jump.is_continuous()
+
+
+class TestRestrictExtend:
+    def test_restrict_inside_one_piece(self):
+        f = two_piece_v()
+        g = f.restrict(Interval(1.0, 5.0))
+        assert g.domain == Interval(1.0, 5.0)
+        assert g(3.0) == 3.0
+
+    def test_restrict_across_breakpoint(self):
+        g = two_piece_v().restrict(Interval(-2.0, 2.0))
+        assert g.piece_count == 2
+        assert g(-1.0) == 1.0 and g(1.0) == 1.0
+
+    def test_restrict_disjoint_rejected(self):
+        with pytest.raises(ValueError):
+            two_piece_v().restrict(Interval(50.0, 60.0))
+
+    def test_restrict_to_point(self):
+        g = two_piece_v().restrict(Interval.point(3.0))
+        assert g.domain.is_point
+        assert g(3.0) == 3.0
+
+    def test_extend_hold(self):
+        f = line(1.0, 0.0, lo=0.0, hi=1.0)
+        g = f.extend_to(Interval(-5.0, 5.0), mode="hold")
+        assert g(-5.0) == -5.0 and g(5.0) == 5.0
+
+    def test_extend_freeze(self):
+        f = line(1.0, 0.0, lo=0.0, hi=1.0)
+        g = f.extend_to(Interval(-5.0, 5.0), mode="freeze")
+        assert g(-5.0) == 0.0 and g(5.0) == 1.0
+
+    def test_extend_bad_mode(self):
+        with pytest.raises(ValueError):
+            two_piece_v().extend_to(Interval(-20, 20), mode="wrap")
+
+
+class TestAlgebra:
+    def test_add_refines_partitions(self):
+        f = two_piece_v(0.0)
+        g = two_piece_v(2.0)
+        h = f + g
+        assert set(h.breakpoints) == {0.0, 2.0}
+        for t in (-1.0, 0.5, 1.5, 3.0):
+            assert h(t) == pytest.approx(f(t) + g(t))
+
+    def test_sub_self_is_zero(self):
+        f = two_piece_v()
+        diff = f - f
+        assert all(p.is_zero for _, p in diff.pieces)
+
+    def test_mul(self):
+        f = line(1.0, 0.0, 0.0, 5.0)
+        g = line(1.0, 1.0, 0.0, 5.0)
+        h = f * g
+        assert h(2.0) == pytest.approx(6.0)
+
+    def test_disjoint_domains_rejected(self):
+        f = line(1.0, 0.0, 0.0, 1.0)
+        g = line(1.0, 0.0, 5.0, 6.0)
+        with pytest.raises(ValueError):
+            f + g
+
+    def test_neg_scaled_plus_constant(self):
+        f = two_piece_v()
+        assert (-f)(3.0) == -3.0
+        assert f.scaled(2.0)(3.0) == 6.0
+        assert f.plus_constant(1.0)(3.0) == 4.0
+
+    def test_derivative(self):
+        f = two_piece_v()
+        d = f.derivative()
+        assert d(-5.0) == -1.0
+        assert d(5.0) == 1.0
+
+    def test_sample(self):
+        f = line(2.0, 0.0, 0.0, 10.0)
+        assert f.sample([1.0, 2.0]) == [2.0, 4.0]
+
+
+class TestComposePolynomial:
+    def test_identity_composition(self):
+        f = two_piece_v()
+        g = f.compose_polynomial(Polynomial.identity(), Interval(-10.0, 10.0))
+        for t in (-3.0, 0.0, 4.0):
+            assert g(t) == pytest.approx(f(t))
+
+    def test_affine_composition(self):
+        f = line(1.0, 0.0)  # f(u) = u
+        # u = 2t + 1
+        g = f.compose_polynomial(Polynomial([1.0, 2.0]), Interval(0.0, 5.0))
+        assert g(2.0) == pytest.approx(5.0)
+
+    def test_composition_crossing_breakpoint(self):
+        f = two_piece_v(0.0, lo=-100.0, hi=100.0)
+        # u = t - 5 crosses f's breakpoint (u=0) at t=5.
+        g = f.compose_polynomial(Polynomial([-5.0, 1.0]), Interval(0.0, 10.0))
+        assert g(3.0) == pytest.approx(2.0)  # |3-5|
+        assert g(8.0) == pytest.approx(3.0)
+
+    def test_quadratic_time_term(self):
+        f = line(1.0, 0.0, -100.0, 100.0)  # f(u) = u
+        g = f.compose_polynomial(Polynomial([0, 0, 1.0]), Interval(-5.0, 5.0))
+        assert g(3.0) == pytest.approx(9.0)
+        assert g(-2.0) == pytest.approx(4.0)
+
+    def test_constant_time_term(self):
+        f = two_piece_v()
+        g = f.compose_polynomial(Polynomial.constant(4.0), Interval(0.0, 1.0))
+        assert g(0.5) == pytest.approx(4.0)
+
+    def test_image_outside_domain_rejected(self):
+        f = line(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            f.compose_polynomial(Polynomial.constant(50.0), Interval(0.0, 1.0))
+
+
+class TestSignSegments:
+    def test_constant_positive(self):
+        f = PiecewiseFunction.constant(2.0, Interval(0, 10))
+        assert f.sign_segments() == [(Interval(0, 10), 1)]
+
+    def test_crossing_splits(self):
+        f = line(1.0, -5.0, 0.0, 10.0)  # t - 5
+        segs = f.sign_segments()
+        signs = [s for _, s in segs]
+        assert signs == [-1, 0, 1]
+        assert segs[1][0].is_point and segs[1][0].lo == pytest.approx(5.0)
+
+    def test_tangency_does_not_split(self):
+        # (t-5)^2 on [0, 10]: positive throughout except a touch at 5.
+        f = PiecewiseFunction.from_polynomial(
+            Polynomial.from_roots([5.0, 5.0]), Interval(0, 10)
+        )
+        segs = f.sign_segments()
+        assert [s for _, s in segs] == [1]
+
+    def test_zero_piece_run(self):
+        f = PiecewiseFunction(
+            [
+                (Interval(0, 2), Polynomial.linear(1.0, -2.0)),  # t-2: negative
+                (Interval(2, 5), Polynomial.zero()),
+                (Interval(5, 8), Polynomial.linear(1.0, -5.0)),  # positive
+            ]
+        )
+        segs = f.sign_segments()
+        assert [s for _, s in segs] == [-1, 0, 1]
+        assert segs[1][0] == Interval(2, 5)
+
+    def test_within_window(self):
+        f = line(1.0, -5.0, 0.0, 10.0)
+        segs = f.sign_segments(within=Interval(6.0, 9.0))
+        assert [s for _, s in segs] == [1]
+
+
+class TestCrossingsAndFlips:
+    def test_two_lines_cross_once(self):
+        f = line(1.0, 0.0, 0.0, 10.0)
+        g = line(-1.0, 6.0, 0.0, 10.0)
+        assert f.crossings_with(g) == pytest.approx([3.0])
+
+    def test_flip_after_start(self):
+        f = line(1.0, 0.0, 0.0, 10.0)
+        g = line(-1.0, 6.0, 0.0, 10.0)
+        assert first_order_flip_after(f, g, 0.0) == pytest.approx(3.0)
+
+    def test_flip_respects_t0(self):
+        f = line(1.0, 0.0, 0.0, 10.0)
+        g = line(-1.0, 6.0, 0.0, 10.0)
+        assert first_order_flip_after(f, g, 3.5) is None
+
+    def test_tangency_is_not_a_flip(self):
+        f = PiecewiseFunction.from_polynomial(
+            Polynomial.from_roots([4.0, 4.0]), Interval(0, 10)
+        )
+        g = PiecewiseFunction.constant(0.0, Interval(0, 10))
+        assert first_order_flip_after(f, g, 0.0) is None
+
+    def test_quadratic_crosses_twice(self):
+        # t^2 - 4 vs 0: crossings at -2 and 2.
+        f = PiecewiseFunction.from_polynomial(Polynomial([-4, 0, 1]), Interval(-5, 5))
+        g = PiecewiseFunction.constant(0.0, Interval(-5, 5))
+        assert first_order_flip_after(f, g, -5.0) == pytest.approx(-2.0)
+        assert first_order_flip_after(f, g, 0.0) == pytest.approx(2.0)
+
+    def test_coincidence_stretch_flip_reported_at_stretch_end(self):
+        f = PiecewiseFunction(
+            [
+                (Interval(0, 2), Polynomial.linear(1.0, -2.0)),  # below
+                (Interval(2, 5), Polynomial.zero()),  # coincide
+                (Interval(5, 8), Polynomial.linear(1.0, -5.0)),  # above
+            ]
+        )
+        g = PiecewiseFunction.constant(0.0, Interval(0, 8))
+        assert first_order_flip_after(f, g, 0.0) == pytest.approx(5.0)
+
+    def test_identical_curves_never_flip(self):
+        f = line(1.0, 0.0, 0.0, 10.0)
+        assert first_order_flip_after(f, f, 0.0) is None
+
+    def test_disjoint_domains(self):
+        f = line(1.0, 0.0, 0.0, 1.0)
+        g = line(1.0, 0.0, 5.0, 6.0)
+        assert first_order_flip_after(f, g, 0.0) is None
+
+    def test_horizon_cuts_off(self):
+        f = line(1.0, 0.0, 0.0, 10.0)
+        g = line(-1.0, 6.0, 0.0, 10.0)
+        assert first_order_flip_after(f, g, 0.0, horizon=2.0) is None
+
+    def test_piecewise_crossing_in_later_piece(self):
+        f = two_piece_v(0.0, lo=0.0, hi=10.0)  # rises from 0
+        g = PiecewiseFunction.constant(4.0, Interval(0.0, 10.0))
+        assert first_order_flip_after(f, g, 0.0) == pytest.approx(4.0)
+
+
+class TestEnvelopes:
+    def test_minimum_of_crossing_lines(self):
+        f = line(1.0, 0.0, 0.0, 10.0)
+        g = line(-1.0, 6.0, 0.0, 10.0)
+        m = minimum(f, g)
+        assert m(1.0) == pytest.approx(1.0)  # f below
+        assert m(5.0) == pytest.approx(1.0)  # g below
+        assert m(3.0) == pytest.approx(3.0)  # crossing point
+
+    def test_maximum(self):
+        f = line(1.0, 0.0, 0.0, 10.0)
+        g = line(-1.0, 6.0, 0.0, 10.0)
+        m = maximum(f, g)
+        assert m(1.0) == pytest.approx(5.0)
+        assert m(5.0) == pytest.approx(5.0)
+
+    def test_lower_envelope_many(self):
+        curves = [
+            line(0.0, 5.0, 0.0, 10.0),
+            line(1.0, 0.0, 0.0, 10.0),
+            line(-1.0, 8.0, 0.0, 10.0),
+        ]
+        env = lower_envelope(curves)
+        for t in [0.0, 2.5, 5.0, 7.5, 10.0]:
+            assert env(t) == pytest.approx(min(c(t) for c in curves))
+
+    def test_lower_envelope_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lower_envelope([])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+                st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40)
+    def test_lower_envelope_matches_pointwise_min(self, params):
+        curves = [line(a, b, -5.0, 5.0) for a, b in params]
+        env = lower_envelope(curves)
+        for t in [-5.0, -2.0, 0.1, 3.3, 5.0]:
+            expected = min(c(t) for c in curves)
+            assert env(t) == pytest.approx(expected, abs=1e-6)

@@ -1,0 +1,131 @@
+"""Tests for forward-looking piecewise accessors (jump handling)."""
+
+import pytest
+
+from repro.geometry.intervals import Interval
+from repro.geometry.piecewise import PiecewiseFunction, first_order_flip_after
+from repro.geometry.poly import Polynomial
+
+
+def jumpy():
+    """0 on [0,5], then 10 + t on [5,10] (jump at 5)."""
+    return PiecewiseFunction(
+        [
+            (Interval(0, 5), Polynomial.constant(0.0)),
+            (Interval(5, 10), Polynomial([10.0, 1.0])),
+        ]
+    )
+
+
+class TestDiscontinuities:
+    def test_jump_detected(self):
+        assert jumpy().discontinuities() == [5.0]
+
+    def test_continuous_has_none(self):
+        f = PiecewiseFunction(
+            [
+                (Interval(0, 5), Polynomial([0.0, 1.0])),
+                (Interval(5, 10), Polynomial([5.0, 0.0])),
+            ]
+        )
+        # 5 at boundary on both sides: continuous.
+        assert f.discontinuities() == []
+
+    def test_single_piece(self):
+        f = PiecewiseFunction.from_polynomial(Polynomial([1.0]), Interval(0, 1))
+        assert f.discontinuities() == []
+
+
+class TestValueAfter:
+    def test_at_jump(self):
+        f = jumpy()
+        assert f(5.0) == 0.0  # left-authoritative
+        assert f.value_after(5.0) == 15.0  # right limit
+
+    def test_away_from_jump(self):
+        f = jumpy()
+        assert f.value_after(2.0) == f(2.0)
+        assert f.value_after(7.0) == f(7.0)
+
+    def test_at_domain_end(self):
+        f = jumpy()
+        assert f.value_after(10.0) == pytest.approx(20.0)
+
+
+class TestForwardTaylor:
+    def test_linear(self):
+        f = PiecewiseFunction.from_polynomial(
+            Polynomial([3.0, 2.0]), Interval(0, 10)
+        )
+        key = f.forward_taylor(1.0, terms=4)
+        assert key == pytest.approx((5.0, 2.0, 0.0, 0.0))
+
+    def test_uses_post_jump_piece(self):
+        key = jumpy().forward_taylor(5.0, terms=3)
+        assert key == pytest.approx((15.0, 1.0, 0.0))
+
+    def test_tie_broken_by_derivative(self):
+        flat = PiecewiseFunction.from_polynomial(
+            Polynomial.constant(1.0), Interval(0, 10)
+        )
+        rising = PiecewiseFunction.from_polynomial(
+            Polynomial([1.0, 1.0]), Interval(0, 10)
+        )
+        falling = PiecewiseFunction.from_polynomial(
+            Polynomial([1.0, -1.0]), Interval(0, 10)
+        )
+        # All equal 1.0 at t=0; forward keys order by what happens next.
+        keys = sorted(
+            [
+                ("flat", flat.forward_taylor(0.0)),
+                ("rising", rising.forward_taylor(0.0)),
+                ("falling", falling.forward_taylor(0.0)),
+            ],
+            key=lambda kv: kv[1],
+        )
+        assert [name for name, _ in keys] == ["falling", "flat", "rising"]
+
+    def test_quadratic_tiebreak_beyond_first_derivative(self):
+        base = PiecewiseFunction.from_polynomial(
+            Polynomial([0.0, 1.0]), Interval(0, 10)
+        )
+        curving = PiecewiseFunction.from_polynomial(
+            Polynomial([0.0, 1.0, -0.5]), Interval(0, 10)
+        )
+        # Equal value and first derivative at 0; second derivative decides.
+        assert curving.forward_taylor(0.0) < base.forward_taylor(0.0)
+
+
+class TestAssumeSignScheduling:
+    def test_tie_stretch_contradiction_detected(self):
+        """Curves equal on [0, 5], diverging with f above g after:
+        a caller believing f < g must get a flip at 5."""
+        f = PiecewiseFunction(
+            [
+                (Interval(0, 5), Polynomial.constant(1.0)),
+                (Interval(5, 10), Polynomial([-4.0, 1.0])),  # t - 4: above 1
+            ]
+        )
+        g = PiecewiseFunction.constant(1.0, Interval(0, 10))
+        assert first_order_flip_after(f, g, 0.0, assume_sign=-1) == pytest.approx(5.0)
+        # The data-driven baseline cannot see the contradiction.
+        assert first_order_flip_after(f, g, 0.0) is None
+
+    def test_consistent_belief_matches_default(self):
+        f = PiecewiseFunction.from_polynomial(Polynomial([0.0, 1.0]), Interval(0, 10))
+        g = PiecewiseFunction.constant(5.0, Interval(0, 10))
+        assert first_order_flip_after(f, g, 0.0, assume_sign=-1) == pytest.approx(5.0)
+        assert first_order_flip_after(f, g, 0.0) == pytest.approx(5.0)
+
+    def test_allow_immediate_fires_at_window_start(self):
+        """A pair already inverted at t0 (inherited from a tie stretch)
+        corrects immediately when allowed."""
+        f = PiecewiseFunction.from_polynomial(Polynomial.constant(2.0), Interval(0, 10))
+        g = PiecewiseFunction.constant(1.0, Interval(0, 10))
+        # Believing f < g contradicts reality from the start.
+        assert (
+            first_order_flip_after(f, g, 3.0, assume_sign=-1, allow_immediate=True)
+            == pytest.approx(3.0)
+        )
+        # Without allow_immediate the guard band suppresses it.
+        assert first_order_flip_after(f, g, 3.0, assume_sign=-1) is None

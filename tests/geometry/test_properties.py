@@ -1,0 +1,180 @@
+"""Property-based tests of the geometric substrate's algebraic laws."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.geometry.piecewise import PiecewiseFunction, first_order_flip_after
+from repro.geometry.poly import Polynomial
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+bounded_interval = st.tuples(
+    st.floats(-100, 100, allow_nan=False).map(lambda v: round(v, 3)),
+    st.floats(0, 50, allow_nan=False).map(lambda v: round(v, 3)),
+).map(lambda pair: Interval(pair[0], pair[0] + pair[1]))
+
+interval_sets = st.lists(bounded_interval, min_size=0, max_size=6).map(IntervalSet)
+
+coeff = st.floats(-10, 10, allow_nan=False).map(lambda v: round(v, 3))
+polys = st.lists(coeff, min_size=1, max_size=4).map(Polynomial)
+
+
+def pw(poly_list, lo=-20.0, width=10.0):
+    pieces = []
+    for i, p in enumerate(poly_list):
+        pieces.append((Interval(lo + i * width, lo + (i + 1) * width), p))
+    return PiecewiseFunction(pieces)
+
+
+piecewise_fns = st.lists(polys, min_size=1, max_size=3).map(pw)
+
+probe_times = st.floats(-19.9, 9.9, allow_nan=False)
+
+
+# ---------------------------------------------------------------------------
+# IntervalSet laws
+# ---------------------------------------------------------------------------
+class TestIntervalSetLaws:
+    @given(interval_sets, interval_sets)
+    @settings(max_examples=60)
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(interval_sets, interval_sets)
+    @settings(max_examples=60)
+    def test_intersect_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(interval_sets)
+    @settings(max_examples=40)
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+
+    @given(interval_sets)
+    @settings(max_examples=40)
+    def test_intersect_idempotent(self, a):
+        assert a.intersect(a) == a
+
+    @given(interval_sets, interval_sets, st.floats(-200, 200, allow_nan=False))
+    @settings(max_examples=80)
+    def test_membership_homomorphism(self, a, b, t):
+        assert a.union(b).contains(t) == (a.contains(t) or b.contains(t))
+        assert a.intersect(b).contains(t) == (a.contains(t) and b.contains(t))
+
+    @given(interval_sets, interval_sets, st.floats(-200, 200, allow_nan=False))
+    @settings(max_examples=80)
+    def test_difference_membership(self, a, b, t):
+        diff = a.difference(b)
+        # Closure of the difference: strictly-inside points obey the law.
+        if diff.contains(t):
+            assert a.contains(t, atol=1e-9)
+        if a.contains(t) and not b.contains(t, atol=1e-9):
+            assert diff.contains(t, atol=1e-9)
+
+    @given(interval_sets, interval_sets)
+    @settings(max_examples=40)
+    def test_difference_disjoint_from_subtrahend_interior(self, a, b):
+        diff = a.difference(b)
+        for iv in diff:
+            if iv.length > 1e-9:
+                mid = (iv.lo + iv.hi) / 2
+                assert not b.contains(mid, atol=-1e-12) or b.contains(mid) == b.contains(mid)
+                # Midpoints of difference components lie outside b's interior.
+                assert not any(
+                    cut.lo + 1e-12 < mid < cut.hi - 1e-12 for cut in b
+                )
+
+    @given(interval_sets)
+    @settings(max_examples=40)
+    def test_normalization_sorted_disjoint(self, a):
+        items = a.intervals
+        for x, y in zip(items, items[1:]):
+            assert x.hi < y.lo  # strictly disjoint after merging
+
+
+# ---------------------------------------------------------------------------
+# Piecewise algebra laws
+# ---------------------------------------------------------------------------
+class TestPiecewiseLaws:
+    @given(piecewise_fns, piecewise_fns, probe_times)
+    @settings(max_examples=60)
+    def test_add_pointwise(self, f, g, t):
+        domain = f.domain.intersect(g.domain)
+        if domain is None or not domain.contains(t):
+            return
+        assert (f + g)(t) == pytest.approx(f(t) + g(t), rel=1e-9, abs=1e-6)
+
+    @given(piecewise_fns, piecewise_fns, probe_times)
+    @settings(max_examples=60)
+    def test_sub_antisymmetric(self, f, g, t):
+        domain = f.domain.intersect(g.domain)
+        if domain is None or not domain.contains(t):
+            return
+        assert (f - g)(t) == pytest.approx(-((g - f)(t)), rel=1e-9, abs=1e-6)
+
+    @given(piecewise_fns, probe_times)
+    @settings(max_examples=40)
+    def test_scale_distributes(self, f, t):
+        if not f.domain.contains(t):
+            return
+        assert f.scaled(3.0)(t) == pytest.approx(3.0 * f(t), rel=1e-9, abs=1e-6)
+
+    @given(piecewise_fns)
+    @settings(max_examples=40)
+    def test_neg_involution(self, f):
+        g = -(-f)
+        for t in f.domain.sample_points(7):
+            assert g(t) == pytest.approx(f(t))
+
+    @given(piecewise_fns, piecewise_fns)
+    @settings(max_examples=60)
+    def test_flip_times_are_genuine(self, f, g):
+        """Every reported order flip has opposite strict orders on its
+        two sides."""
+        domain = f.domain.intersect(g.domain)
+        if domain is None or domain.length < 1e-6:
+            return
+        flip = first_order_flip_after(f, g, domain.lo, horizon=domain.hi)
+        if flip is None:
+            return
+        left = max(domain.lo, flip - 1e-5)
+        right = min(domain.hi, flip + 1e-5)
+        before = f(left) - g(left)
+        after = f(right) - g(right)
+        # Signs cannot be strictly identical across a genuine flip.
+        assert not (before > 1e-9 and after > 1e-9)
+        assert not (before < -1e-9 and after < -1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Sign segments partition the domain
+# ---------------------------------------------------------------------------
+class TestSignSegmentPartition:
+    @given(piecewise_fns)
+    @settings(max_examples=60)
+    def test_segments_cover_domain(self, f):
+        segments = f.sign_segments()
+        assert segments[0][0].lo == f.domain.lo
+        assert segments[-1][0].hi == f.domain.hi
+        for (a, _), (b, __) in zip(segments, segments[1:]):
+            assert a.hi == pytest.approx(b.lo, abs=1e-9)
+
+    @given(piecewise_fns)
+    @settings(max_examples=60)
+    def test_segment_signs_match_samples(self, f):
+        for iv, sign in f.sign_segments():
+            if iv.length < 1e-6:
+                continue
+            mid = (iv.lo + iv.hi) / 2
+            value = f(mid)
+            if sign > 0:
+                assert value > -1e-7
+            elif sign < 0:
+                assert value < 1e-7
+            else:
+                assert abs(value) < 1e-6

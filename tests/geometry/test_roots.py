@@ -1,0 +1,225 @@
+"""Tests for certified real-root isolation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.intervals import Interval
+from repro.geometry.poly import Polynomial
+from repro.geometry.roots import (
+    first_crossing_after,
+    first_root_after,
+    real_roots,
+    roots_in_interval,
+    sign_change_at,
+    sign_on_interval,
+    solution_intervals,
+)
+
+root_values = st.lists(
+    st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestRealRoots:
+    def test_zero_poly_rejected(self):
+        with pytest.raises(ValueError):
+            real_roots(Polynomial.zero())
+
+    def test_nonzero_constant_has_no_roots(self):
+        assert real_roots(Polynomial.constant(3.0)) == []
+
+    def test_linear(self):
+        assert real_roots(Polynomial([-6, 2])) == [3.0]
+
+    def test_quadratic_two_roots(self):
+        roots = real_roots(Polynomial.from_roots([1.0, 4.0]))
+        assert roots == pytest.approx([1.0, 4.0])
+
+    def test_quadratic_no_real_roots(self):
+        assert real_roots(Polynomial([1, 0, 1])) == []
+
+    def test_quadratic_double_root(self):
+        roots = real_roots(Polynomial([4, -4, 1]))  # (t-2)^2
+        assert roots == pytest.approx([2.0])
+
+    def test_quadratic_cancellation_stability(self):
+        # Roots of very different magnitudes: naive formula loses the
+        # small root to cancellation.
+        p = Polynomial.from_roots([1e-8, 1e8])
+        roots = real_roots(p)
+        assert len(roots) == 2
+        assert roots[0] == pytest.approx(1e-8, rel=1e-6)
+        assert roots[1] == pytest.approx(1e8, rel=1e-6)
+
+    def test_cubic(self):
+        roots = real_roots(Polynomial.from_roots([-1.0, 2.0, 5.0]))
+        assert roots == pytest.approx([-1.0, 2.0, 5.0], abs=1e-6)
+
+    def test_quartic_mixed_real_complex(self):
+        # (t^2+1)(t-1)(t-3): real roots at 1, 3 only.
+        p = Polynomial([1, 0, 1]) * Polynomial.from_roots([1.0, 3.0])
+        roots = real_roots(p)
+        assert roots == pytest.approx([1.0, 3.0], abs=1e-6)
+
+    @given(root_values)
+    @settings(max_examples=60)
+    def test_recovers_constructed_roots(self, values):
+        spaced = sorted(set(round(v, 3) for v in values))
+        if len(spaced) > 1:
+            gaps = [b - a for a, b in zip(spaced, spaced[1:])]
+            if min(gaps) < 1e-2:
+                return
+        p = Polynomial.from_roots(spaced)
+        found = real_roots(p)
+        assert len(found) == len(spaced)
+        for expected, got in zip(spaced, found):
+            assert got == pytest.approx(expected, abs=1e-5)
+
+
+class TestRootsInInterval:
+    def test_filters_by_interval(self):
+        p = Polynomial.from_roots([1.0, 5.0, 9.0])
+        assert roots_in_interval(p, Interval(2.0, 8.0)) == pytest.approx([5.0])
+
+    def test_endpoint_root_included(self):
+        p = Polynomial.from_roots([2.0])
+        assert roots_in_interval(p, Interval(2.0, 3.0)) == pytest.approx([2.0])
+
+
+class TestSignChange:
+    def test_simple_root_changes_sign(self):
+        p = Polynomial.from_roots([3.0])
+        assert sign_change_at(p, 3.0)
+
+    def test_double_root_does_not_change_sign(self):
+        p = Polynomial.from_roots([3.0, 3.0])
+        assert not sign_change_at(p, 3.0)
+
+    def test_triple_root_changes_sign(self):
+        p = Polynomial.from_roots([3.0, 3.0, 3.0])
+        assert sign_change_at(p, 3.0)
+
+    def test_probe_respects_neighbor_roots(self):
+        # Roots at 0 and 1e-7: probing 0 must not cross 1e-7.
+        p = Polynomial.from_roots([0.0, 1e-7])
+        assert sign_change_at(p, 0.0)
+
+
+class TestFirstRootAfter:
+    def test_skips_past_roots(self):
+        p = Polynomial.from_roots([1.0, 5.0])
+        assert first_root_after(p, 2.0) == pytest.approx(5.0)
+
+    def test_none_when_exhausted(self):
+        p = Polynomial.from_roots([1.0])
+        assert first_root_after(p, 2.0) is None
+
+    def test_horizon(self):
+        p = Polynomial.from_roots([5.0])
+        assert first_root_after(p, 0.0, horizon=4.0) is None
+        assert first_root_after(p, 0.0, horizon=6.0) == pytest.approx(5.0)
+
+    def test_min_gap_guard(self):
+        p = Polynomial.from_roots([1.0])
+        assert first_root_after(p, 1.0) is None
+        assert first_root_after(p, 1.0 - 1e-12) is None
+
+    def test_zero_poly_returns_none(self):
+        assert first_root_after(Polynomial.zero(), 0.0) is None
+
+
+class TestFirstCrossingAfter:
+    def test_skips_tangency(self):
+        # (t-2)^2 * (t-5): tangency at 2, crossing at 5.
+        p = Polynomial.from_roots([2.0, 2.0, 5.0])
+        assert first_crossing_after(p, 0.0) == pytest.approx(5.0)
+
+    def test_transversal(self):
+        p = Polynomial.from_roots([3.0])
+        assert first_crossing_after(p, 0.0) == pytest.approx(3.0)
+
+    def test_none_for_always_positive(self):
+        assert first_crossing_after(Polynomial([1, 0, 1]), 0.0) is None
+
+
+class TestSignOnInterval:
+    def test_positive(self):
+        assert sign_on_interval(Polynomial.constant(2.0), Interval(0, 1)) == 1
+
+    def test_negative_on_ray(self):
+        p = Polynomial([0, -1])  # -t
+        assert sign_on_interval(p, Interval.at_least(1.0)) == -1
+
+    def test_whole_line(self):
+        assert sign_on_interval(Polynomial([1, 0, 1]), Interval.all_time()) == 1
+
+
+class TestSolutionIntervals:
+    def test_le_quadratic(self):
+        p = Polynomial.from_roots([1.0, 2.0])
+        (iv,) = solution_intervals(p, Interval(0, 10), "<=")
+        assert iv.approx_equals(Interval(1.0, 2.0))
+
+    def test_lt_reports_closure(self):
+        p = Polynomial.from_roots([1.0, 2.0])
+        (iv,) = solution_intervals(p, Interval(0, 10), "<")
+        assert iv.approx_equals(Interval(1.0, 2.0))
+
+    def test_ge_two_components(self):
+        p = Polynomial.from_roots([1.0, 2.0])
+        ivs = solution_intervals(p, Interval(0, 10), ">=")
+        assert len(ivs) == 2
+        assert ivs[0].approx_equals(Interval(0.0, 1.0))
+        assert ivs[1].approx_equals(Interval(2.0, 10.0))
+
+    def test_eq_returns_points(self):
+        p = Polynomial.from_roots([3.0, 7.0])
+        ivs = solution_intervals(p, Interval(0, 10), "=")
+        assert [iv.lo for iv in ivs] == pytest.approx([3.0, 7.0])
+
+    def test_zero_poly_weak_predicates(self):
+        dom = Interval(0, 1)
+        assert solution_intervals(Polynomial.zero(), dom, "<=") == [dom]
+        assert solution_intervals(Polynomial.zero(), dom, "<") == []
+
+    def test_unbounded_domain(self):
+        p = Polynomial.from_roots([0.0])  # t
+        ivs = solution_intervals(p, Interval.all_time(), ">=")
+        assert len(ivs) == 1
+        assert ivs[0].lo == pytest.approx(0.0)
+        assert math.isinf(ivs[0].hi)
+
+    def test_no_solutions(self):
+        p = Polynomial([1, 0, 1])  # t^2 + 1 > 0 always
+        assert solution_intervals(p, Interval(0, 10), "<=") == []
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            solution_intervals(Polynomial([1]), Interval(0, 1), "!=")
+
+    @given(root_values, st.sampled_from(["<", "<=", ">=", ">"]))
+    @settings(max_examples=40)
+    def test_solutions_verified_by_sampling(self, values, predicate):
+        spaced = sorted(set(round(v, 2) for v in values))
+        if len(spaced) > 1 and min(
+            b - a for a, b in zip(spaced, spaced[1:])
+        ) < 0.5:
+            return
+        p = Polynomial.from_roots(spaced)
+        domain = Interval(-60.0, 60.0)
+        ivs = solution_intervals(p, domain, predicate)
+        # Strictly interior points of solution intervals must satisfy
+        # the predicate; points far from any solution must not.
+        for iv in ivs:
+            if iv.length > 1e-3:
+                mid = (iv.lo + iv.hi) / 2
+                value = p(mid)
+                if predicate in ("<", "<="):
+                    assert value <= 1e-6
+                else:
+                    assert value >= -1e-6

@@ -1,0 +1,77 @@
+"""Tests for the numeric comparison policy."""
+
+import math
+
+from repro.geometry.tolerance import (
+    approx_eq,
+    approx_ge,
+    approx_gt,
+    approx_le,
+    approx_lt,
+    is_zero,
+)
+
+
+class TestApproxEq:
+    def test_exact_equality(self):
+        assert approx_eq(1.5, 1.5)
+
+    def test_within_absolute_tolerance(self):
+        assert approx_eq(1.0, 1.0 + 1e-12)
+
+    def test_outside_tolerance(self):
+        assert not approx_eq(1.0, 1.001)
+
+    def test_relative_tolerance_scales_with_magnitude(self):
+        assert approx_eq(1e12, 1e12 + 1.0)
+
+    def test_infinities_equal_to_themselves(self):
+        assert approx_eq(math.inf, math.inf)
+        assert approx_eq(-math.inf, -math.inf)
+
+    def test_infinity_not_equal_to_finite(self):
+        assert not approx_eq(math.inf, 1e300)
+
+    def test_opposite_infinities(self):
+        assert not approx_eq(math.inf, -math.inf)
+
+    def test_zero_vs_tiny(self):
+        assert approx_eq(0.0, 1e-15)
+
+
+class TestOrderedComparisons:
+    def test_le_strict(self):
+        assert approx_le(1.0, 2.0)
+
+    def test_le_within_tolerance(self):
+        assert approx_le(1.0 + 1e-12, 1.0)
+
+    def test_le_fails(self):
+        assert not approx_le(2.0, 1.0)
+
+    def test_ge(self):
+        assert approx_ge(2.0, 1.0)
+        assert approx_ge(1.0, 1.0 + 1e-13)
+        assert not approx_ge(1.0, 2.0)
+
+    def test_lt_excludes_near_equal(self):
+        assert approx_lt(1.0, 2.0)
+        assert not approx_lt(1.0, 1.0 + 1e-13)
+
+    def test_gt_excludes_near_equal(self):
+        assert approx_gt(2.0, 1.0)
+        assert not approx_gt(1.0 + 1e-13, 1.0)
+
+
+class TestIsZero:
+    def test_zero(self):
+        assert is_zero(0.0)
+
+    def test_tiny(self):
+        assert is_zero(1e-12)
+
+    def test_not_zero(self):
+        assert not is_zero(1e-3)
+
+    def test_custom_tolerance(self):
+        assert is_zero(0.5, atol=1.0)

@@ -1,0 +1,101 @@
+"""Tests for the small vector type."""
+
+import math
+
+import pytest
+
+from repro.geometry.vectors import Vector, as_vector
+
+
+class TestConstruction:
+    def test_from_iterable(self):
+        v = Vector([1, 2, 3])
+        assert v.components == (1.0, 2.0, 3.0)
+
+    def test_variadic(self):
+        assert Vector.of(1, 2) == Vector([1, 2])
+
+    def test_zero(self):
+        assert Vector.zero(3) == Vector([0, 0, 0])
+
+    def test_unit(self):
+        assert Vector.unit(3, 1) == Vector([0, 1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Vector([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Vector([math.nan])
+
+    def test_as_vector_passthrough(self):
+        v = Vector([1, 2])
+        assert as_vector(v) is v
+        assert as_vector((1, 2)) == v
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Vector.of(1, 2) + Vector.of(3, 4) == Vector.of(4, 6)
+
+    def test_sub(self):
+        assert Vector.of(5, 5) - Vector.of(2, 3) == Vector.of(3, 2)
+
+    def test_neg(self):
+        assert -Vector.of(1, -2) == Vector.of(-1, 2)
+
+    def test_scalar_mul_both_sides(self):
+        assert 2 * Vector.of(1, 2) == Vector.of(2, 4)
+        assert Vector.of(1, 2) * 2 == Vector.of(2, 4)
+
+    def test_div(self):
+        assert Vector.of(2, 4) / 2 == Vector.of(1, 2)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Vector.of(1, 2) + Vector.of(1, 2, 3)
+
+
+class TestMetrics:
+    def test_dot(self):
+        assert Vector.of(1, 2, 3).dot(Vector.of(4, 5, 6)) == 32.0
+
+    def test_norm_squared(self):
+        assert Vector.of(3, 4).norm_squared() == 25.0
+
+    def test_norm(self):
+        assert Vector.of(3, 4).norm() == 5.0
+
+    def test_distance_to(self):
+        assert Vector.of(0, 0).distance_to(Vector.of(3, 4)) == 5.0
+
+    def test_normalized(self):
+        u = Vector.of(3, 4).normalized()
+        assert u.approx_equals(Vector.of(0.6, 0.8))
+
+    def test_normalize_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Vector.zero(2).normalized()
+
+    def test_is_zero(self):
+        assert Vector.zero(2).is_zero()
+        assert Vector.of(1e-12, 0).is_zero(atol=1e-9)
+        assert not Vector.of(1, 0).is_zero()
+
+
+class TestProtocol:
+    def test_len_iter_getitem(self):
+        v = Vector.of(7, 8, 9)
+        assert len(v) == 3
+        assert list(v) == [7.0, 8.0, 9.0]
+        assert v[1] == 8.0
+
+    def test_hashable(self):
+        assert len({Vector.of(1, 2), Vector.of(1, 2), Vector.of(2, 1)}) == 2
+
+    def test_repr(self):
+        assert repr(Vector.of(1, 2)) == "(1, 2)"
+
+    def test_approx_equals_dim_mismatch(self):
+        assert not Vector.of(1, 2).approx_equals(Vector.of(1, 2, 3))

@@ -1,0 +1,203 @@
+"""Tests for the MOD triple and Definition 3's update semantics."""
+
+import pytest
+
+from repro.geometry.vectors import Vector
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ChangeDirection, New, Terminate
+from repro.trajectory.builder import from_waypoints
+
+
+def make_db():
+    db = MovingObjectDatabase(initial_time=0.0)
+    db.create("a", 1.0, position=[0, 0], velocity=[1, 0])
+    db.create("b", 2.0, position=[10, 0], velocity=[-1, 0])
+    return db
+
+
+class TestTriple:
+    def test_object_set(self):
+        db = make_db()
+        assert sorted(db.object_ids) == ["a", "b"]
+        assert db.object_count == 2
+        assert "a" in db and "c" not in db
+
+    def test_last_update_time(self):
+        db = make_db()
+        assert db.last_update_time == 2.0
+
+    def test_dimension(self):
+        assert make_db().dimension == 2
+
+    def test_iteration(self):
+        db = make_db()
+        assert {oid for oid, _ in db} == {"a", "b"}
+        assert len(db) == 2
+
+    def test_trajectory_lookup(self):
+        db = make_db()
+        assert db.trajectory("a").position(3.0) == Vector.of(2, 0)
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(KeyError):
+            make_db().trajectory("zzz")
+
+
+class TestNew:
+    def test_creates_anchored_trajectory(self):
+        db = make_db()
+        assert db.position("a", 1.0) == Vector.of(0, 0)
+        assert db.position("a", 5.0) == Vector.of(4, 0)
+
+    def test_undefined_before_creation(self):
+        db = make_db()
+        assert not db.trajectory("a").defined_at(0.5)
+
+    def test_duplicate_oid_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.create("a", 3.0, position=[0, 0], velocity=[0, 0])
+
+    def test_reuse_of_terminated_oid_rejected(self):
+        db = make_db()
+        db.terminate("a", 3.0)
+        with pytest.raises(ValueError):
+            db.create("a", 4.0, position=[0, 0], velocity=[0, 0])
+
+    def test_dimension_mismatch_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.create("c", 3.0, position=[0, 0, 0], velocity=[0, 0, 0])
+
+    def test_velocity_position_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            New("x", 1.0, Vector.of(1), Vector.of(1, 2))
+
+
+class TestTerminate:
+    def test_removes_from_live_set(self):
+        db = make_db()
+        db.terminate("a", 5.0)
+        assert "a" not in db
+        assert db.is_terminated("a")
+
+    def test_trajectory_truncated(self):
+        db = make_db()
+        db.terminate("a", 5.0)
+        traj = db.trajectory("a")
+        assert traj.domain.hi == 5.0
+        assert traj.position(5.0) == Vector.of(4, 0)
+
+    def test_unknown_object_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.terminate("zzz", 5.0)
+
+    def test_double_terminate_rejected(self):
+        db = make_db()
+        db.terminate("a", 5.0)
+        with pytest.raises(ValueError):
+            db.terminate("a", 6.0)
+
+
+class TestChangeDirection:
+    def test_future_replaced_past_kept(self):
+        db = make_db()
+        db.change_direction("a", 5.0, [0, 1])
+        assert db.position("a", 3.0) == Vector.of(2, 0)
+        assert db.position("a", 7.0).approx_equals(Vector.of(4, 2))
+
+    def test_turn_recorded(self):
+        db = make_db()
+        db.change_direction("a", 5.0, [0, 1])
+        assert db.trajectory("a").turns == [5.0]
+
+    def test_unknown_object_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.change_direction("zzz", 5.0, [0, 0])
+
+    def test_after_terminate_rejected(self):
+        db = make_db()
+        db.terminate("a", 5.0)
+        with pytest.raises(ValueError):
+            db.change_direction("a", 6.0, [0, 0])
+
+
+class TestChronology:
+    def test_non_monotonic_update_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.create("c", 1.5, position=[0, 0], velocity=[0, 0])
+
+    def test_equal_time_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.terminate("a", 2.0)
+
+    def test_invariant_all_turns_before_tau(self):
+        db = make_db()
+        db.change_direction("a", 5.0, [0, 1])
+        db.check_invariants()
+
+    def test_advance_clock(self):
+        db = make_db()
+        db.advance_clock(10.0)
+        assert db.last_update_time == 10.0
+        with pytest.raises(ValueError):
+            db.advance_clock(5.0)
+
+
+class TestSnapshotAndListeners:
+    def test_snapshot_excludes_not_yet_created(self):
+        db = MovingObjectDatabase()
+        db.create("a", 1.0, position=[0], velocity=[1])
+        db.create("b", 5.0, position=[0], velocity=[1])
+        snap = db.snapshot(3.0)
+        assert set(snap) == {"a"}
+
+    def test_snapshot_includes_terminated_during_life(self):
+        db = make_db()
+        db.terminate("a", 5.0)
+        assert "a" in db.snapshot(3.0)
+        assert "a" not in db.snapshot(6.0)
+
+    def test_listener_receives_updates(self):
+        db = make_db()
+        seen = []
+        db.subscribe(seen.append)
+        db.change_direction("a", 3.0, [0, 1])
+        db.terminate("b", 4.0)
+        assert len(seen) == 2
+        assert isinstance(seen[0], ChangeDirection)
+        assert isinstance(seen[1], Terminate)
+
+    def test_unsubscribe(self):
+        db = make_db()
+        seen = []
+        db.subscribe(seen.append)
+        db.unsubscribe(seen.append)
+        db.change_direction("a", 3.0, [0, 1])
+        assert seen == []
+
+
+class TestInstall:
+    def test_install_historical_trajectory(self):
+        db = MovingObjectDatabase()
+        traj = from_waypoints([(0, [0, 0]), (5, [5, 0])])
+        db.install("hist", traj)
+        assert "hist" in db
+        assert db.position("hist", 2.0) == Vector.of(2, 0)
+
+    def test_install_finite_trajectory_counts_as_terminated(self):
+        db = MovingObjectDatabase()
+        traj = from_waypoints([(0, [0]), (5, [5])], extend=False)
+        db.install("gone", traj)
+        assert db.is_terminated("gone")
+
+    def test_install_duplicate_rejected(self):
+        db = MovingObjectDatabase()
+        traj = from_waypoints([(0, [0]), (5, [5])])
+        db.install("x", traj)
+        with pytest.raises(ValueError):
+            db.install("x", traj)

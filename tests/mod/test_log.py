@@ -1,0 +1,66 @@
+"""Tests for update logs, replay, and time travel."""
+
+import pytest
+
+from repro.geometry.vectors import Vector
+from repro.mod.log import RecordingDatabase, UpdateLog
+from repro.mod.updates import ChangeDirection, New, Terminate
+
+
+def sample_updates():
+    return [
+        New("a", 1.0, Vector.of(1, 0), Vector.of(0, 0)),
+        New("b", 2.0, Vector.of(-1, 0), Vector.of(10, 0)),
+        ChangeDirection("a", 3.0, Vector.of(0, 1)),
+        Terminate("b", 4.0),
+    ]
+
+
+class TestUpdateLog:
+    def test_append_and_iterate(self):
+        log = UpdateLog(sample_updates())
+        assert len(log) == 4
+        assert [u.time for u in log] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_non_chronological_rejected(self):
+        log = UpdateLog(sample_updates())
+        with pytest.raises(ValueError):
+            log.append(Terminate("a", 3.5))
+
+    def test_updates_until(self):
+        log = UpdateLog(sample_updates())
+        assert [u.time for u in log.updates_until(2.5)] == [1.0, 2.0]
+
+    def test_updates_between(self):
+        log = UpdateLog(sample_updates())
+        assert [u.time for u in log.updates_between(1.0, 3.0)] == [2.0, 3.0]
+
+    def test_replay_full(self):
+        log = UpdateLog(sample_updates())
+        db = log.replay()
+        assert db.object_ids == ["a"]
+        assert db.is_terminated("b")
+        assert db.last_update_time == 4.0
+
+    def test_replay_prefix(self):
+        log = UpdateLog(sample_updates())
+        db = log.replay(until=2.0)
+        assert sorted(db.object_ids) == ["a", "b"]
+        assert db.last_update_time == 2.0
+        # chdir not yet applied
+        assert db.trajectory("a").turns == []
+
+
+class TestRecordingDatabase:
+    def test_records_applied_updates(self):
+        db = RecordingDatabase()
+        db.create("x", 1.0, position=[0], velocity=[1])
+        db.change_direction("x", 2.0, [0])
+        assert len(db.log) == 2
+
+    def test_replay_reproduces_state(self):
+        db = RecordingDatabase()
+        db.create("x", 1.0, position=[0], velocity=[1])
+        db.change_direction("x", 2.0, [2])
+        clone = db.log.replay()
+        assert clone.position("x", 4.0) == db.position("x", 4.0)

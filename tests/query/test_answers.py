@@ -1,0 +1,124 @@
+"""Unit tests for snapshot answers and the answer timeline."""
+
+import pytest
+
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.query.answers import (
+    AnswerTimeline,
+    SnapshotAnswer,
+    snapshot_from_segments,
+)
+
+
+def sample_answer():
+    return snapshot_from_segments(
+        [("a", 0.0, 10.0), ("b", 2.0, 5.0), ("b", 7.0, 9.0)],
+        Interval(0.0, 10.0),
+    )
+
+
+class TestSnapshotAnswer:
+    def test_objects(self):
+        assert sample_answer().objects == {"a", "b"}
+
+    def test_intervals_for(self):
+        answer = sample_answer()
+        assert answer.intervals_for("b") == IntervalSet(
+            [Interval(2.0, 5.0), Interval(7.0, 9.0)]
+        )
+        assert answer.intervals_for("zzz").is_empty
+
+    def test_holds_at_and_at(self):
+        answer = sample_answer()
+        assert answer.holds_at("b", 3.0)
+        assert not answer.holds_at("b", 6.0)
+        assert answer.at(3.0) == {"a", "b"}
+        assert answer.at(6.0) == {"a"}
+
+    def test_accumulative(self):
+        assert sample_answer().accumulative() == {"a", "b"}
+
+    def test_persevering(self):
+        assert sample_answer().persevering() == {"a"}
+
+    def test_empty_memberships_dropped(self):
+        answer = SnapshotAnswer({"x": IntervalSet()}, Interval(0, 1))
+        assert answer.objects == set()
+
+    def test_equality(self):
+        assert sample_answer() == sample_answer()
+        other = snapshot_from_segments([("a", 0.0, 10.0)], Interval(0.0, 10.0))
+        assert sample_answer() != other
+
+    def test_approx_equals(self):
+        a = sample_answer()
+        b = snapshot_from_segments(
+            [("a", 0.0, 10.0), ("b", 2.0 + 1e-9, 5.0), ("b", 7.0, 9.0)],
+            Interval(0.0, 10.0),
+        )
+        assert a.approx_equals(b)
+        c = snapshot_from_segments(
+            [("a", 0.0, 10.0), ("b", 2.5, 5.0), ("b", 7.0, 9.0)],
+            Interval(0.0, 10.0),
+        )
+        assert not a.approx_equals(c)
+
+    def test_approx_equals_different_objects(self):
+        a = sample_answer()
+        b = snapshot_from_segments([("a", 0.0, 10.0)], Interval(0.0, 10.0))
+        assert not a.approx_equals(b)
+
+    def test_repr_is_deterministic(self):
+        assert repr(sample_answer()) == repr(sample_answer())
+
+
+class TestAnswerTimeline:
+    def test_open_close_cycle(self):
+        tl = AnswerTimeline(Interval(0.0, 10.0))
+        tl.open("a", 1.0)
+        assert tl.is_open("a")
+        assert tl.open_objects == {"a"}
+        tl.close("a", 4.0)
+        tl.finalize(10.0)
+        answer = tl.result()
+        assert answer.intervals_for("a") == IntervalSet([Interval(1.0, 4.0)])
+
+    def test_double_open_rejected(self):
+        tl = AnswerTimeline(Interval(0.0, 10.0))
+        tl.open("a", 1.0)
+        with pytest.raises(ValueError):
+            tl.open("a", 2.0)
+
+    def test_close_unopened_rejected(self):
+        tl = AnswerTimeline(Interval(0.0, 10.0))
+        with pytest.raises(ValueError):
+            tl.close("a", 2.0)
+
+    def test_result_requires_finalize(self):
+        tl = AnswerTimeline(Interval(0.0, 10.0))
+        with pytest.raises(RuntimeError):
+            tl.result()
+
+    def test_finalize_closes_open_segments(self):
+        tl = AnswerTimeline(Interval(0.0, 10.0))
+        tl.open("a", 3.0)
+        tl.finalize(10.0)
+        assert tl.result().intervals_for("a") == IntervalSet(
+            [Interval(3.0, 10.0)]
+        )
+
+    def test_times_clamped_to_interval(self):
+        tl = AnswerTimeline(Interval(0.0, 10.0))
+        tl.open("a", -5.0)
+        tl.close("a", 50.0)
+        tl.finalize(10.0)
+        assert tl.result().intervals_for("a") == IntervalSet(
+            [Interval(0.0, 10.0)]
+        )
+
+    def test_instantaneous_membership_kept_as_point(self):
+        tl = AnswerTimeline(Interval(0.0, 10.0))
+        tl.open("a", 5.0)
+        tl.close("a", 5.0)
+        tl.finalize(10.0)
+        assert tl.result().holds_at("a", 5.0)

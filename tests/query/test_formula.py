@@ -1,0 +1,156 @@
+"""Unit tests for the FO(f) formula AST."""
+
+import pytest
+
+from repro.query.formula import (
+    And,
+    Compare,
+    Const,
+    Dist,
+    Exists,
+    ForAll,
+    Not,
+    ObjEq,
+    Or,
+)
+
+
+def values_from(table):
+    """values(oid, tt) from {oid: value} (single time term)."""
+
+    def fn(oid, tt_index):
+        assert tt_index == 0
+        return table[oid]
+
+    return fn
+
+
+class TestRealTerms:
+    def test_dist_evaluate(self):
+        v = values_from({"a": 3.0})
+        assert Dist("y").evaluate({"y": "a"}, v) == 3.0
+
+    def test_dist_unbound_raises(self):
+        v = values_from({})
+        with pytest.raises(KeyError):
+            Dist("y").evaluate({}, v)
+
+    def test_const(self):
+        assert Const(5.0).evaluate({}, values_from({})) == 5.0
+        assert Const(5.0).free_vars() == frozenset()
+
+    def test_dist_free_vars(self):
+        assert Dist("z").free_vars() == frozenset({"z"})
+
+
+class TestCompare:
+    def test_predicates(self):
+        v = values_from({"a": 1.0, "b": 2.0})
+        env = {"y": "a", "z": "b"}
+        oids = ["a", "b"]
+        assert Compare(Dist("y"), "<", Dist("z")).holds(env, oids, v)
+        assert Compare(Dist("y"), "<=", Dist("z")).holds(env, oids, v)
+        assert not Compare(Dist("y"), "=", Dist("z")).holds(env, oids, v)
+        assert not Compare(Dist("y"), ">=", Dist("z")).holds(env, oids, v)
+        assert Compare(Dist("z"), ">", Dist("y")).holds(env, oids, v)
+
+    def test_equality_tolerance(self):
+        v = values_from({"a": 1.0, "b": 1.0 + 1e-12})
+        assert Compare(Dist("y"), "=", Dist("z")).holds(
+            {"y": "a", "z": "b"}, ["a", "b"], v
+        )
+
+    def test_constants_collected(self):
+        f = Compare(Dist("y"), "<=", Const(42.0))
+        assert f.constants() == frozenset({42.0})
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Compare(Dist("y"), "!=", Const(0.0))
+
+    def test_time_term_indices(self):
+        f = Compare(Dist("y", 2), "<", Dist("y", 0))
+        assert f.time_term_indices() == frozenset({0, 2})
+
+
+class TestConnectives:
+    def setup_method(self):
+        self.v = values_from({"a": 1.0, "b": 2.0})
+        self.oids = ["a", "b"]
+        self.low = Compare(Dist("y"), "<=", Const(1.5))
+        self.high = Compare(Dist("y"), ">", Const(1.5))
+
+    def test_not(self):
+        env = {"y": "a"}
+        assert Not(self.high).holds(env, self.oids, self.v)
+
+    def test_and_or(self):
+        env = {"y": "a"}
+        assert And(self.low, Not(self.high)).holds(env, self.oids, self.v)
+        assert Or(self.high, self.low).holds(env, self.oids, self.v)
+        assert not And(self.low, self.high).holds(env, self.oids, self.v)
+
+    def test_operator_sugar(self):
+        env = {"y": "a"}
+        assert (self.low & ~self.high).holds(env, self.oids, self.v)
+        assert (self.high | self.low).holds(env, self.oids, self.v)
+
+    def test_empty_connective_rejected(self):
+        with pytest.raises(ValueError):
+            And()
+
+    def test_equality_and_hash(self):
+        assert And(self.low, self.high) == And(self.low, self.high)
+        assert And(self.low) != Or(self.low)
+        assert hash(And(self.low)) != hash(Or(self.low))
+
+    def test_free_vars_union(self):
+        f = And(Compare(Dist("y"), "<", Dist("z")), self.low)
+        assert f.free_vars() == frozenset({"y", "z"})
+
+
+class TestQuantifiers:
+    def test_forall(self):
+        v = values_from({"a": 1.0, "b": 2.0})
+        nearest = ForAll("z", Compare(Dist("y"), "<=", Dist("z")))
+        assert nearest.holds({"y": "a"}, ["a", "b"], v)
+        assert not nearest.holds({"y": "b"}, ["a", "b"], v)
+
+    def test_exists(self):
+        v = values_from({"a": 1.0, "b": 2.0})
+        farther = Exists("z", Compare(Dist("z"), ">", Dist("y")))
+        assert farther.holds({"y": "a"}, ["a", "b"], v)
+        assert not farther.holds({"y": "b"}, ["a", "b"], v)
+
+    def test_free_vars_bound(self):
+        f = ForAll("z", Compare(Dist("y"), "<=", Dist("z")))
+        assert f.free_vars() == frozenset({"y"})
+
+    def test_quantifier_equality(self):
+        body = Compare(Dist("y"), "<=", Dist("z"))
+        assert ForAll("z", body) == ForAll("z", body)
+        assert ForAll("z", body) != Exists("z", body)
+
+    def test_nested_shadowing(self):
+        v = values_from({"a": 1.0, "b": 2.0})
+        inner = Exists("z", Compare(Dist("z"), "=", Dist("z")))
+        f = ForAll("z", And(Compare(Dist("z"), "<=", Const(10.0)), inner))
+        assert f.holds({}, ["a", "b"], v)
+        assert f.free_vars() == frozenset()
+
+
+class TestObjEq:
+    def test_equality(self):
+        v = values_from({"a": 1.0, "b": 2.0})
+        assert ObjEq("y", "z").holds({"y": "a", "z": "a"}, ["a", "b"], v)
+        assert not ObjEq("y", "z").holds({"y": "a", "z": "b"}, ["a", "b"], v)
+
+    def test_unbound_raises(self):
+        with pytest.raises(KeyError):
+            ObjEq("y", "z").holds({"y": "a"}, ["a"], values_from({}))
+
+    def test_metadata(self):
+        f = ObjEq("y", "z")
+        assert f.free_vars() == frozenset({"y", "z"})
+        assert f.constants() == frozenset()
+        assert f.time_term_indices() == frozenset()

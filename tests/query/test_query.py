@@ -1,0 +1,87 @@
+"""Unit tests for Query construction and the standard query builders."""
+
+import pytest
+
+from repro.geometry.intervals import Interval
+from repro.geometry.poly import Polynomial
+from repro.query.formula import Compare, Const, Dist, ForAll
+from repro.query.query import Query, knn_formula, knn_query, within_query
+
+
+class TestQueryValidation:
+    def test_basic(self):
+        q = Query("y", Interval(0, 10), Compare(Dist("y"), "<=", Const(5.0)))
+        assert q.constants == [5.0]
+
+    def test_wrong_free_vars_rejected(self):
+        with pytest.raises(ValueError):
+            Query("y", Interval(0, 10), Compare(Dist("x"), "<=", Const(5.0)))
+
+    def test_extra_free_vars_rejected(self):
+        formula = Compare(Dist("y"), "<=", Dist("z"))
+        with pytest.raises(ValueError):
+            Query("y", Interval(0, 10), formula)
+
+    def test_first_time_term_must_be_identity(self):
+        with pytest.raises(ValueError):
+            Query(
+                "y",
+                Interval(0, 10),
+                Compare(Dist("y"), "<=", Const(5.0)),
+                time_terms=(Polynomial([1.0, 2.0]),),
+            )
+
+    def test_undeclared_time_term_rejected(self):
+        formula = Compare(Dist("y", 3), "<=", Const(5.0))
+        with pytest.raises(ValueError):
+            Query("y", Interval(0, 10), formula)
+
+    def test_repr_mentions_description(self):
+        q = within_query(Interval(0, 10), 25.0)
+        assert "within" in repr(q)
+
+
+class TestKnnFormula:
+    def test_k1_is_example_10(self):
+        f = knn_formula(1)
+        assert isinstance(f, ForAll)
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            knn_formula(0)
+
+    def test_k2_semantics(self):
+        """k=2: an object is in the answer iff at most one other object
+        is strictly closer."""
+        f = knn_formula(2)
+        values = {"a": 1.0, "b": 2.0, "c": 3.0}
+
+        def v(oid, tt):
+            return values[oid]
+
+        oids = ["a", "b", "c"]
+        assert f.holds({"y": "a"}, oids, v)
+        assert f.holds({"y": "b"}, oids, v)
+        assert not f.holds({"y": "c"}, oids, v)
+
+    def test_k3_semantics(self):
+        f = knn_formula(3)
+        values = {"a": 1.0, "b": 2.0, "c": 3.0, "d": 4.0}
+
+        def v(oid, tt):
+            return values[oid]
+
+        oids = list(values)
+        assert f.holds({"y": "c"}, oids, v)
+        assert not f.holds({"y": "d"}, oids, v)
+
+
+class TestBuilders:
+    def test_knn_query(self):
+        q = knn_query(Interval(0, 5), 2)
+        assert q.description == "knn:2"
+        assert q.interval == Interval(0, 5)
+
+    def test_within_query(self):
+        q = within_query(Interval(0, 5), 49.0)
+        assert q.constants == [49.0]

@@ -1,0 +1,60 @@
+"""Unit tests for curve entries."""
+
+import pytest
+
+from repro.geometry.intervals import Interval
+from repro.geometry.piecewise import PiecewiseFunction
+from repro.geometry.poly import Polynomial
+from repro.sweep.curves import IDENTITY_TIME_TERM, CurveEntry
+
+
+def linear_curve(slope=1.0, intercept=0.0, lo=0.0, hi=10.0):
+    return PiecewiseFunction.from_polynomial(
+        Polynomial.linear(slope, intercept), Interval(lo, hi)
+    )
+
+
+class TestConstruction:
+    def test_object_entry(self):
+        e = CurveEntry.for_object("obj-1", linear_curve())
+        assert e.is_object and not e.is_constant
+        assert e.oid == "obj-1"
+        assert e.time_term_index == IDENTITY_TIME_TERM
+
+    def test_constant_entry(self):
+        e = CurveEntry.for_constant(7.0)
+        assert e.is_constant and not e.is_object
+        assert e.constant == 7.0
+        assert e.value(-1e9) == 7.0 and e.value(1e9) == 7.0
+
+    def test_must_be_exactly_one_kind(self):
+        with pytest.raises(ValueError):
+            CurveEntry(linear_curve())
+        with pytest.raises(ValueError):
+            CurveEntry(linear_curve(), oid="x", constant=1.0)
+
+    def test_unique_monotone_seq(self):
+        a = CurveEntry.for_object("a", linear_curve())
+        b = CurveEntry.for_object("b", linear_curve())
+        assert b.seq > a.seq
+
+
+class TestBehaviour:
+    def test_value_and_defined_at(self):
+        e = CurveEntry.for_object("a", linear_curve(2.0, 1.0))
+        assert e.value(3.0) == 7.0
+        assert e.defined_at(5.0)
+        assert not e.defined_at(50.0)
+
+    def test_labels(self):
+        assert CurveEntry.for_object("a", linear_curve()).label == "a"
+        assert CurveEntry.for_constant(2.5).label == "const(2.5)"
+        tagged = CurveEntry.for_object("a", linear_curve(), time_term_index=2)
+        assert tagged.label == "a@tt2"
+
+    def test_repr(self):
+        assert "const(3)" in repr(CurveEntry.for_constant(3.0))
+
+    def test_links_start_clear(self):
+        e = CurveEntry.for_object("a", linear_curve())
+        assert e.prev is None and e.next is None and e.node is None

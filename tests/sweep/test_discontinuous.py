@@ -1,0 +1,122 @@
+"""Tests for the relaxed g-distance class: finitely many continuous
+pieces (the paper's first closing remark).
+
+A discontinuous curve can leap over non-neighbors at a jump, violating
+Lemma 7's adjacency premise; the engine handles jumps by removing and
+re-inserting the curve at its right-limit value — "propagate changes to
+the support upon each chdir update" in the paper's words, generalized
+to any known discontinuity.
+"""
+
+import pytest
+
+from repro.baselines.naive import naive_knn_answer
+from repro.core.api import evaluate_knn
+from repro.geometry.intervals import Interval
+from repro.gdist.derived import ApproachRate
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import ContinuousKNN
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+from repro.workloads.generator import UpdateStream, random_piecewise_mod
+
+
+class TestHistoricalJumps:
+    def test_leap_over_nonneighbor_detected(self):
+        """A curve jumping across several others at a turn."""
+        db = MovingObjectDatabase()
+        # Approach rates: slow (-1), medium (-2)...; jumper goes from
+        # receding (+) to diving steeply (very negative) at t=5, leaping
+        # from last place to first in the approach-rate order.
+        db.install("slow", linear_from(0.0, [100.0, 0.0], [-0.005, 0.0]))
+        db.install("medium", linear_from(0.0, [100.0, 0.0], [-0.01, 0.0]))
+        db.install(
+            "jumper",
+            from_waypoints([(0, [100.0, 0.0]), (5, [102.0, 0.0]), (6, [97.0, 0.0])]),
+        )
+        gd = ApproachRate([0.0, 0.0])
+        interval = Interval(0.0, 10.0)
+        sweep = evaluate_knn(db, gd, interval, 1)
+        naive = naive_knn_answer(db, gd, interval, 1)
+        assert sweep.approx_equals(naive, atol=1e-6)
+        assert not sweep.holds_at("jumper", 4.0)
+        assert sweep.holds_at("jumper", 6.0)
+
+    def test_reinsertions_counted(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([50.0, 0.0]))
+        db.install(
+            "b",
+            from_waypoints([(0, [60.0, 0.0]), (5, [55.0, 0.0]), (10, [60.0, 0.0])]),
+        )
+        gd = ApproachRate([0.0, 0.0])
+        engine = SweepEngine(db, gd, Interval(0.0, 10.0))
+        engine.run_to_end()
+        assert engine.stats.reinsertions >= 1
+
+    @pytest.mark.parametrize("seed", [40, 41, 42, 43])
+    def test_random_piecewise_matches_naive(self, seed):
+        db = random_piecewise_mod(7, seed=seed, end_time=25.0, turns=3)
+        gd = ApproachRate([0.0, 0.0])
+        interval = Interval(0.0, 25.0)
+        sweep = evaluate_knn(db, gd, interval, 2)
+        naive = naive_knn_answer(db, gd, interval, 2)
+        assert sweep.approx_equals(naive, atol=1e-6)
+
+
+class TestJumpsFromUpdates:
+    def test_chdir_jump_reorders_support(self):
+        """A chdir changes the approach rate discontinuously: the
+        engine must propagate the support change at the update itself."""
+        db = MovingObjectDatabase()
+        db.create("steady", 0.1, position=[50.0, 0.0], velocity=[-1.0, 0.0])
+        db.create("fickle", 0.2, position=[60.0, 0.0], velocity=[-2.0, 0.0])
+        gd = ApproachRate([0.0, 0.0])
+        engine = SweepEngine(db, gd, Interval(0.5, 20.0))
+        view = ContinuousKNN(engine, 1)
+        engine.subscribe_to(db)
+        assert view.members == {"fickle"}  # diving fastest
+        db.change_direction("fickle", 5.0, [3.0, 0.0])  # now receding
+        assert view.members == {"steady"}
+        assert engine.stats.reinsertions >= 1
+
+    def test_chdir_jump_answers_match_lazy(self):
+        import random
+
+        rng = random.Random(50)
+        from repro.mod.log import RecordingDatabase
+
+        db = RecordingDatabase()
+        for i in range(6):
+            db.create(
+                f"o{i}",
+                0.01 * (i + 1),
+                position=[rng.uniform(-30, 30), rng.uniform(-30, 30)],
+                velocity=[rng.uniform(-4, 4), rng.uniform(-4, 4)],
+            )
+        gd = ApproachRate([0.0, 0.0])
+        engine = SweepEngine(db, gd, Interval(0.1, 40.0))
+        view = ContinuousKNN(engine, 2)
+        db.subscribe(engine.on_update)
+        UpdateStream(
+            db, seed=51, mean_gap=2.0, extent=30.0, speed=4.0,
+            weights=(0.2, 0.1, 0.7),
+        ).run(12)
+        engine.advance_to(40.0)
+        engine.finalize()
+        lazy = naive_knn_answer(db.log.replay(), gd, Interval(0.1, 40.0), 2)
+        assert view.answer().approx_equals(lazy, atol=1e-6)
+
+    def test_continuous_gdistance_unaffected(self):
+        """The continuous path (no reinsertion) still taken for the
+        squared Euclidean distance."""
+        db = MovingObjectDatabase()
+        db.create("a", 0.1, position=[10.0, 0.0], velocity=[-1.0, 0.0])
+        db.create("b", 0.2, position=[20.0, 0.0], velocity=[0.0, 0.0])
+        engine = SweepEngine(
+            db, SquaredEuclideanDistance([0.0, 0.0]), Interval(0.5, 20.0)
+        )
+        engine.subscribe_to(db)
+        db.change_direction("a", 2.0, [1.0, 0.0])
+        assert engine.stats.reinsertions == 0

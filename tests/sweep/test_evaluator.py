@@ -1,0 +1,185 @@
+"""Tests for the generic FO(f) evaluator (Lemma 8 in action)."""
+
+import pytest
+
+from repro.baselines.naive import naive_knn_answer, naive_query_answer
+from repro.geometry.intervals import Interval
+from repro.geometry.poly import Polynomial
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.query.formula import And, Compare, Const, Dist, Exists, ForAll, Not, Or
+from repro.query.query import Query, knn_query, within_query
+from repro.sweep.engine import SweepEngine
+from repro.sweep.evaluator import GenericFOEvaluator
+from repro.sweep.knn import ContinuousKNN
+from repro.trajectory.builder import linear_from, stationary
+from repro.workloads.generator import UpdateStream, random_linear_mod
+
+
+def origin_distance():
+    return SquaredEuclideanDistance([0.0, 0.0])
+
+
+def run_generic(db, gdist, query):
+    eng = SweepEngine(
+        db,
+        gdist,
+        query.interval,
+        constants=query.constants,
+        time_terms=query.time_terms,
+    )
+    view = GenericFOEvaluator(eng, query)
+    eng.run_to_end()
+    return view.answer()
+
+
+class TestBasics:
+    def test_unbounded_interval_rejected(self):
+        db = random_linear_mod(3)
+        q = knn_query(Interval.at_least(0.0), 1)
+        eng = SweepEngine(db, origin_distance(), Interval.at_least(0.0))
+        with pytest.raises(ValueError):
+            GenericFOEvaluator(eng, q)
+
+    def test_answer_before_finalize_rejected(self):
+        db = random_linear_mod(3)
+        q = knn_query(Interval(0.0, 10.0), 1)
+        eng = SweepEngine(db, origin_distance(), q.interval)
+        view = GenericFOEvaluator(eng, q)
+        with pytest.raises(RuntimeError):
+            view.answer()
+
+    def test_gdistance_replacement_poisons_evaluator(self):
+        db = random_linear_mod(3)
+        q = knn_query(Interval(0.0, 10.0), 1)
+        eng = SweepEngine(db, origin_distance(), q.interval)
+        view = GenericFOEvaluator(eng, q)
+        eng.replace_gdistance(SquaredEuclideanDistance([1.0, 1.0]))
+        with pytest.raises(RuntimeError):
+            eng.run_to_end()
+
+
+class TestOneNN:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_knn_view(self, seed):
+        db = random_linear_mod(7, seed=seed, extent=30.0, speed=6.0)
+        gd = origin_distance()
+        q = knn_query(Interval(0.0, 20.0), 1)
+        generic = run_generic(db, gd, q)
+        eng = SweepEngine(db, gd, q.interval)
+        view = ContinuousKNN(eng, 1)
+        eng.run_to_end()
+        assert generic.approx_equals(view.answer(), atol=1e-6)
+
+    def test_example10_formula_shape(self):
+        q = knn_query(Interval(0.0, 1.0), 1)
+        assert repr(q.formula) == "forall z. ((f(y, t) <= f(z, t)))" or isinstance(
+            q.formula, ForAll
+        )
+
+
+class TestKNNFormulaWithExceptions:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_matches_rank_view(self, k):
+        db = random_linear_mod(6, seed=4, extent=25.0, speed=5.0)
+        gd = origin_distance()
+        q = knn_query(Interval(0.0, 12.0), k)
+        generic = run_generic(db, gd, q)
+        naive = naive_knn_answer(db, gd, q.interval, k)
+        assert generic.approx_equals(naive, atol=1e-6)
+
+
+class TestWithinFormula:
+    def test_matches_within_view(self):
+        db = random_linear_mod(8, seed=6, extent=40.0, speed=6.0)
+        gd = origin_distance()
+        q = within_query(Interval(0.0, 15.0), 900.0)
+        generic = run_generic(db, gd, q)
+        naive = naive_query_answer(db, gd, q)
+        assert generic.approx_equals(naive, atol=1e-6)
+
+
+class TestCompoundFormulas:
+    def test_annulus(self):
+        """Objects between squared distances 100 and 900 of the origin."""
+        db = MovingObjectDatabase()
+        db.install("inner", stationary([5.0, 0.0]))  # d2=25: too close
+        db.install("band", stationary([20.0, 0.0]))  # d2=400: in band
+        db.install("outer", stationary([40.0, 0.0]))  # d2=1600: too far
+        formula = And(
+            Compare(Dist("y"), ">=", Const(100.0)),
+            Compare(Dist("y"), "<=", Const(900.0)),
+        )
+        q = Query("y", Interval(0.0, 10.0), formula)
+        answer = run_generic(db, origin_distance(), q)
+        assert answer.objects == {"band"}
+
+    def test_not_nearest(self):
+        """Objects that are NOT the nearest at some time."""
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        db.install("b", stationary([2.0, 0.0]))
+        formula = Not(ForAll("z", Compare(Dist("y"), "<=", Dist("z"))))
+        q = Query("y", Interval(0.0, 5.0), formula)
+        answer = run_generic(db, origin_distance(), q)
+        assert answer.objects == {"b"}
+
+    def test_exists_someone_farther(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([1.0, 0.0]))
+        db.install("b", stationary([2.0, 0.0]))
+        formula = Exists("z", Compare(Dist("z"), ">", Dist("y")))
+        q = Query("y", Interval(0.0, 5.0), formula)
+        answer = run_generic(db, origin_distance(), q)
+        assert answer.objects == {"a"}
+
+    def test_disjunction_with_updates(self):
+        db = random_linear_mod(6, seed=8, extent=30.0, speed=5.0)
+        gd = origin_distance()
+        formula = Or(
+            ForAll("z", Compare(Dist("y"), "<=", Dist("z"))),
+            Compare(Dist("y"), "<=", Const(50.0)),
+        )
+        q = Query("y", Interval(0.0, 40.0), formula)
+        eng = SweepEngine(db, gd, q.interval, constants=q.constants)
+        view = GenericFOEvaluator(eng, q)
+        eng.subscribe_to(db)
+        UpdateStream(db, seed=9, mean_gap=5.0, extent=30.0, speed=5.0).run(6)
+        eng.run_to_end()
+        naive = naive_query_answer(db, gd, q)
+        assert view.answer().approx_equals(naive, atol=1e-6)
+
+
+class TestTimeTerms:
+    def test_lookahead_comparison(self):
+        """Objects closer 'five seconds from now' than they are now:
+        f(y, t+5) < f(y, t)."""
+        db = MovingObjectDatabase()
+        db.install("approaching", linear_from(0.0, [100.0, 0.0], [-1.0, 0.0]))
+        db.install("fleeing", linear_from(0.0, [10.0, 0.0], [1.0, 0.0]))
+        lookahead = Polynomial([5.0, 1.0])  # t + 5
+        formula = Compare(Dist("y", 1), "<", Dist("y", 0))
+        q = Query(
+            "y",
+            Interval(0.0, 20.0),
+            formula,
+            time_terms=(Polynomial.identity(), lookahead),
+        )
+        answer = run_generic(db, origin_distance(), q)
+        assert answer.objects == {"approaching"}
+        assert answer.intervals_for("approaching").covers(Interval(0, 20))
+
+    def test_time_term_answer_matches_naive(self):
+        db = random_linear_mod(5, seed=12, extent=30.0, speed=4.0)
+        gd = origin_distance()
+        lookahead = Polynomial([3.0, 1.0])
+        formula = Compare(Dist("y", 1), "<", Dist("y", 0))
+        q = Query(
+            "y",
+            Interval(0.0, 15.0),
+            formula,
+            time_terms=(Polynomial.identity(), lookahead),
+        )
+        generic = run_generic(db, gd, q)
+        naive = naive_query_answer(db, gd, q)
+        assert generic.approx_equals(naive, atol=1e-6)

@@ -1,0 +1,236 @@
+"""Tests for the treap-backed object list (the paper's list L)."""
+
+import random
+
+import pytest
+
+from repro.geometry.intervals import Interval
+from repro.geometry.piecewise import PiecewiseFunction
+from repro.sweep.curves import CurveEntry
+from repro.sweep.object_list import SweepOrder
+
+
+def const_entry(value, oid=None):
+    return CurveEntry(
+        PiecewiseFunction.constant(value, Interval.all_time()),
+        oid=oid if oid is not None else f"v{value}",
+    )
+
+
+class TestInsertOrdering:
+    def test_insert_sorted_by_value(self):
+        order = SweepOrder()
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            order.insert(const_entry(v), t=0.0)
+        assert [e.value(0.0) for e in order] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        order._validate()
+
+    def test_first_last(self):
+        order = SweepOrder()
+        assert order.first is None and order.last is None
+        a, b = const_entry(2.0), const_entry(1.0)
+        order.insert(a, 0.0)
+        order.insert(b, 0.0)
+        assert order.first is b and order.last is a
+
+    def test_neighbor_links(self):
+        order = SweepOrder()
+        entries = [const_entry(float(v)) for v in (3, 1, 2)]
+        for e in entries:
+            order.insert(e, 0.0)
+        lo, mid, hi = order.entries()
+        assert lo.next is mid and mid.next is hi
+        assert hi.prev is mid and mid.prev is lo
+        assert lo.prev is None and hi.next is None
+
+    def test_double_insert_rejected(self):
+        order = SweepOrder()
+        e = const_entry(1.0)
+        order.insert(e, 0.0)
+        with pytest.raises(ValueError):
+            order.insert(e, 0.0)
+
+    def test_insert_by_time_varying_values(self):
+        # Curves ordered differently at t=0 and t=10; insertion at t=10
+        # must use values at t=10.
+        from repro.geometry.poly import Polynomial
+
+        rising = CurveEntry(
+            PiecewiseFunction.from_polynomial(Polynomial.linear(1.0, 0.0)),
+            oid="rising",
+        )
+        flat = CurveEntry(
+            PiecewiseFunction.constant(5.0, Interval.all_time()), oid="flat"
+        )
+        order = SweepOrder()
+        order.insert(rising, 10.0)  # value 10
+        order.insert(flat, 10.0)  # value 5 -> below
+        assert order.entries()[0] is flat
+
+
+class TestRankQueries:
+    def test_rank_and_at_rank(self):
+        order = SweepOrder()
+        entries = [const_entry(float(v)) for v in range(10)]
+        shuffled = entries[:]
+        random.Random(7).shuffle(shuffled)
+        for e in shuffled:
+            order.insert(e, 0.0)
+        for expected, e in enumerate(entries):
+            assert order.rank(e) == expected
+            assert order.at_rank(expected) is e
+
+    def test_at_rank_out_of_range(self):
+        order = SweepOrder()
+        order.insert(const_entry(1.0), 0.0)
+        with pytest.raises(IndexError):
+            order.at_rank(1)
+        with pytest.raises(IndexError):
+            order.at_rank(-1)
+
+    def test_rank_of_missing(self):
+        order = SweepOrder()
+        with pytest.raises(KeyError):
+            order.rank(const_entry(1.0))
+
+
+class TestDelete:
+    def test_delete_middle(self):
+        order = SweepOrder()
+        entries = [const_entry(float(v)) for v in range(5)]
+        for e in entries:
+            order.insert(e, 0.0)
+        order.delete(entries[2])
+        assert [e.value(0.0) for e in order] == [0.0, 1.0, 3.0, 4.0]
+        assert entries[1].next is entries[3]
+        assert entries[3].prev is entries[1]
+        order._validate()
+
+    def test_delete_first_and_last(self):
+        order = SweepOrder()
+        entries = [const_entry(float(v)) for v in range(3)]
+        for e in entries:
+            order.insert(e, 0.0)
+        order.delete(entries[0])
+        assert order.first is entries[1]
+        order.delete(entries[2])
+        assert order.last is entries[1]
+        order._validate()
+
+    def test_delete_only(self):
+        order = SweepOrder()
+        e = const_entry(1.0)
+        order.insert(e, 0.0)
+        order.delete(e)
+        assert order.is_empty
+        assert e.node is None
+
+    def test_delete_missing_rejected(self):
+        with pytest.raises(KeyError):
+            SweepOrder().delete(const_entry(1.0))
+
+    def test_reinsert_after_delete(self):
+        order = SweepOrder()
+        e = const_entry(1.0)
+        order.insert(e, 0.0)
+        order.delete(e)
+        order.insert(e, 0.0)
+        assert len(order) == 1
+
+
+class TestSwapAdjacent:
+    def test_swap(self):
+        order = SweepOrder()
+        a, b, c = (const_entry(float(v)) for v in (1, 2, 3))
+        for e in (a, b, c):
+            order.insert(e, 0.0)
+        order.swap_adjacent(a, b)
+        assert order.entries() == [b, a, c]
+        assert order.rank(b) == 0 and order.rank(a) == 1
+        order._validate()
+
+    def test_swap_non_adjacent_rejected(self):
+        order = SweepOrder()
+        a, b, c = (const_entry(float(v)) for v in (1, 2, 3))
+        for e in (a, b, c):
+            order.insert(e, 0.0)
+        with pytest.raises(ValueError):
+            order.swap_adjacent(a, c)
+
+    def test_swap_wrong_direction_rejected(self):
+        order = SweepOrder()
+        a, b = const_entry(1.0), const_entry(2.0)
+        order.insert(a, 0.0)
+        order.insert(b, 0.0)
+        with pytest.raises(ValueError):
+            order.swap_adjacent(b, a)
+
+    def test_swap_at_ends_updates_first_last(self):
+        order = SweepOrder()
+        a, b = const_entry(1.0), const_entry(2.0)
+        order.insert(a, 0.0)
+        order.insert(b, 0.0)
+        order.swap_adjacent(a, b)
+        assert order.first is b and order.last is a
+        order._validate()
+
+
+class TestRandomizedModel:
+    def test_insert_delete_against_sorted_model(self):
+        """Inserts and deletes keep the order value-sorted, matching the
+        engine's invariant that insertion only happens while the list is
+        sorted at the current sweep time."""
+        rng = random.Random(1234)
+        order = SweepOrder(seed=99)
+        model = []
+
+        def fresh():
+            value = rng.uniform(0.0, 1000.0)
+            return const_entry(value, oid=f"e{value:.9f}-{rng.random():.9f}")
+
+        for step in range(1200):
+            if rng.random() < 0.6 or len(model) < 2:
+                e = fresh()
+                order.insert(e, 0.0)
+                idx = 0
+                while idx < len(model) and model[idx].value(0.0) <= e.value(0.0):
+                    idx += 1
+                model.insert(idx, e)
+            else:
+                victim = rng.choice(model)
+                order.delete(victim)
+                model.remove(victim)
+            if step % 150 == 0:
+                order._validate()
+                assert order.entries() == model
+                for i, e in enumerate(model):
+                    assert order.rank(e) == i
+        order._validate()
+        assert order.entries() == model
+
+    def test_swaps_and_deletes_against_permuted_model(self):
+        """After the build phase, random adjacent swaps and deletes keep
+        the structure consistent with a plain list model."""
+        rng = random.Random(77)
+        order = SweepOrder(seed=5)
+        model = [const_entry(float(v)) for v in range(60)]
+        build = model[:]
+        rng.shuffle(build)
+        for e in build:
+            order.insert(e, 0.0)
+        for step in range(800):
+            if rng.random() < 0.7 and len(model) >= 2:
+                idx = rng.randrange(len(model) - 1)
+                order.swap_adjacent(model[idx], model[idx + 1])
+                model[idx], model[idx + 1] = model[idx + 1], model[idx]
+            elif model:
+                victim = rng.choice(model)
+                order.delete(victim)
+                model.remove(victim)
+            if step % 100 == 0 and model:
+                order._validate()
+                assert order.entries() == model
+                assert order.at_rank(0) is model[0]
+                assert order.rank(model[-1]) == len(model) - 1
+        order._validate()
+        assert order.entries() == model

@@ -1,0 +1,200 @@
+"""Reproduction tests for the paper's Figures 1-3 and Example 12.
+
+These assert the *narrated* discrete behaviour: initial event queue
+contents, the order swaps, the event cancelled by each update, and the
+earlier crossing that replaces it.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines.naive import naive_knn_answer
+from repro.gdist.arrival import ArrivalTimeGDistance, SquaredArrivalTimeGDistance
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import ContinuousKNN
+from repro.sweep.support import SupportTracker
+from repro.workloads.paperfigures import (
+    EXAMPLE12_EVENTS_BEFORE_UPDATE,
+    EXAMPLE12_NEW_CROSSING,
+    EXAMPLE12_PENDING_CROSSING,
+    EXAMPLE12_UPDATE_TIME,
+    example12_scenario,
+    figure1_configuration,
+    figure2_scenario,
+    trajectory_for_quadratic,
+)
+
+
+class TestTrajectoryForQuadratic:
+    def test_realizes_quadratic(self):
+        traj = trajectory_for_quadratic(2.0, -8.0, 10.0)
+        d = SquaredEuclideanDistance([0.0, 0.0])(traj)
+        for t in (0.0, 1.0, 2.0, 5.0):
+            assert d(t) == pytest.approx(2 * t * t - 8 * t + 10)
+
+    def test_rejects_nonpositive_leading(self):
+        with pytest.raises(ValueError):
+            trajectory_for_quadratic(0.0, 0.0, 1.0)
+
+    def test_rejects_negative_minimum(self):
+        with pytest.raises(ValueError):
+            trajectory_for_quadratic(1.0, 0.0, -1.0)
+
+
+class TestFigure1:
+    def test_squared_arrival_time_is_quadratic(self):
+        config = figure1_configuration(initial_gap=4.0, climb_rate=1.0)
+        g = SquaredArrivalTimeGDistance(config.query)
+        curve = g(config.object)
+        (piece,) = curve.pieces
+        assert piece[1].coeffs == pytest.approx(config.expected_coeffs)
+
+    def test_matches_exact_interception(self):
+        config = figure1_configuration(initial_gap=3.0, climb_rate=0.75)
+        g2 = SquaredArrivalTimeGDistance(config.query)(config.object)
+        exact = ArrivalTimeGDistance(config.query)
+        for t in (0.0, 1.0, 2.5, 3.9):
+            td = exact.evaluate_at(config.object, t)
+            assert g2(t) == pytest.approx(td * td, rel=1e-9)
+
+    def test_interception_point_reached_simultaneously(self):
+        """Figure 1's defining property: redirecting o at the computed
+        angle reaches point A at the same time as q."""
+        config = figure1_configuration(initial_gap=4.0, climb_rate=2.0)
+        exact = ArrivalTimeGDistance(config.query)
+        t = 1.0
+        td = exact.evaluate_at(config.object, t)
+        meeting_point = config.query.position(t + td)
+        o_pos = config.object.position(t)
+        o_speed = config.object.speed(t)
+        assert (meeting_point - o_pos).norm() == pytest.approx(o_speed * td)
+
+    def test_invalid_climb_rate_rejected(self):
+        with pytest.raises(ValueError):
+            figure1_configuration(climb_rate=0.0)
+
+
+class TestFigure2:
+    def test_narrative(self):
+        sc = figure2_scenario()
+        gd = SquaredEuclideanDistance(sc.query)
+        eng = SweepEngine(sc.db, gd, sc.interval)
+        view = ContinuousKNN(eng, 1)
+        tracker = SupportTracker()
+        eng.add_listener(tracker)
+        eng.subscribe_to(sc.db)
+
+        # Initially o2 is closer; the crossing at D=10 is scheduled.
+        assert eng.objects_in_order() == ["o2", "o1"]
+        assert eng._queue.peek_time() == pytest.approx(sc.expected_d)
+
+        # Update at A: o1 stops; the expected crossing at D disappears.
+        sc.db.apply(sc.update_a)
+        assert eng.queue_length == 0
+
+        # Update at B: o2 flees; they now cross earlier, at C < D.
+        sc.db.apply(sc.update_b)
+        assert eng._queue.peek_time() == pytest.approx(sc.expected_c)
+        assert sc.expected_c < sc.expected_d
+
+        eng.run_to_end()
+        assert tracker.swap_times() == pytest.approx([sc.expected_c])
+
+        # o1 becomes the nearest from C on — the change [26] would miss.
+        answer = view.answer()
+        assert answer.intervals_for("o2").approx_equals(
+            IntervalSet([Interval(sc.interval.lo, sc.expected_c)])
+        )
+        assert answer.intervals_for("o1").approx_equals(
+            IntervalSet([Interval(sc.expected_c, sc.interval.hi)])
+        )
+
+    def test_answer_matches_naive(self):
+        sc = figure2_scenario()
+        gd = SquaredEuclideanDistance(sc.query)
+        eng = SweepEngine(sc.db, gd, sc.interval)
+        view = ContinuousKNN(eng, 1)
+        eng.subscribe_to(sc.db)
+        sc.db.apply(sc.update_a)
+        sc.db.apply(sc.update_b)
+        eng.run_to_end()
+        naive = naive_knn_answer(sc.db, gd, sc.interval, 1)
+        assert view.answer().approx_equals(naive, atol=1e-6)
+
+
+class TestExample12:
+    def build(self):
+        sc = example12_scenario()
+        gd = SquaredEuclideanDistance(sc.query)
+        eng = SweepEngine(sc.db, gd, sc.interval)
+        view = ContinuousKNN(eng, 2)
+        tracker = SupportTracker()
+        eng.add_listener(tracker)
+        return sc, gd, eng, view, tracker
+
+    def test_initial_state(self):
+        sc, gd, eng, view, tracker = self.build()
+        # "the ordering is o4 < o3 < o2 < o1"
+        assert eng.order_labels() == ["o4", "o3", "o2", "o1"]
+        # "The answer up to time 3 is o3 and o4."
+        assert view.members == {"o3", "o4"}
+        # "three future intersection points at times 8 (o3,o4),
+        #  10 (o1,o2), and 31 (o2,o3)"
+        times = sorted(e.time for e in eng._queue._heap)
+        assert times == pytest.approx([8.0, 10.0, 31.0], abs=1e-6)
+        # "the second intersection point at time 17 of o3, o4 is
+        #  ignored for the moment" — only one event per pair.
+        assert eng.queue_length == 3
+
+    def test_swaps_before_update(self):
+        sc, gd, eng, view, tracker = self.build()
+        eng.advance_to(EXAMPLE12_UPDATE_TIME)
+        # Swaps at 8, 10, and (re-examined after 8) 17.
+        assert tracker.swap_times() == pytest.approx(
+            EXAMPLE12_EVENTS_BEFORE_UPDATE, abs=1e-6
+        )
+        # After 17 "the intersection at 24 is found since o1 and o3 are
+        # neighbors".
+        assert eng.order_labels() == ["o4", "o3", "o1", "o2"]
+        pending = sorted(e.time for e in eng._queue._heap)
+        assert any(
+            abs(t - EXAMPLE12_PENDING_CROSSING) < 1e-6 for t in pending
+        )
+        # The 2-NN answer has not changed through these swaps.
+        assert view.members == {"o3", "o4"}
+
+    def test_update_cancels_24_and_inserts_22(self):
+        sc, gd, eng, view, tracker = self.build()
+        sc.db.apply(sc.update)
+        eng.on_update(sc.update)
+        times = sorted(e.time for e in eng._queue._heap)
+        # "delete from the event queue the intersection event at 24"
+        assert not any(abs(t - EXAMPLE12_PENDING_CROSSING) < 1e-6 for t in times)
+        # "insert a new intersection point that is earlier"
+        assert any(abs(t - EXAMPLE12_NEW_CROSSING) < 1e-6 for t in times)
+        # "the support for the query is unchanged since the ordering is
+        # not" — the chdir leaves the order alone.
+        assert eng.order_labels() == ["o4", "o3", "o1", "o2"]
+        assert view.members == {"o3", "o4"}
+
+    def test_full_run_matches_naive(self):
+        sc, gd, eng, view, tracker = self.build()
+        sc.db.apply(sc.update)
+        eng.on_update(sc.update)
+        eng.run_to_end()
+        naive = naive_knn_answer(sc.db, gd, sc.interval, 2)
+        assert view.answer().approx_equals(naive, atol=1e-5)
+        # o1 displaces o3 in the 2-NN at the new crossing time 22.
+        assert view.answer().holds_at("o3", 21.0)
+        assert view.answer().holds_at("o1", 23.0)
+        assert not view.answer().holds_at("o3", 23.0)
+
+    def test_queue_stays_within_lemma9_bound(self):
+        sc, gd, eng, view, tracker = self.build()
+        sc.db.apply(sc.update)
+        eng.on_update(sc.update)
+        eng.run_to_end()
+        assert eng.max_queue_length <= 4

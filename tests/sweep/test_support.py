@@ -1,0 +1,80 @@
+"""Tests for support-change tracking."""
+
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.sweep.engine import SweepEngine
+from repro.sweep.support import SupportTracker
+from repro.trajectory.builder import linear_from, stationary
+from repro.workloads.generator import random_linear_mod
+
+
+def origin_distance():
+    return SquaredEuclideanDistance([0.0, 0.0])
+
+
+class TestSupportTracker:
+    def test_records_swaps(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([5.0, 0.0]))
+        db.install("b", linear_from(0.0, [1.0, 0.0], [1.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 10.0))
+        tracker = SupportTracker()
+        eng.add_listener(tracker)
+        eng.run_to_end()
+        assert tracker.support_change_count == 1
+        (change,) = tracker.changes
+        assert change.kind == "swap"
+        assert set(change.labels) == {"a", "b"}
+        assert tracker.swap_times() == [4.0]
+
+    def test_records_membership_changes(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([5.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 30.0))
+        tracker = SupportTracker()
+        eng.add_listener(tracker)
+        eng.subscribe_to(db)
+        db.create("b", 5.0, position=[50.0, 0.0], velocity=[0.0, 0.0])
+        db.terminate("b", 9.0)
+        eng.run_to_end()
+        kinds = [c.kind for c in tracker.changes]
+        assert kinds == ["insert", "remove"]
+        assert tracker.support_change_count == 2
+
+    def test_curve_changes_not_counted_as_support(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([5.0, 0.0]))
+        db.install("b", stationary([1.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 30.0))
+        tracker = SupportTracker()
+        eng.add_listener(tracker)
+        eng.subscribe_to(db)
+        db.change_direction("b", 2.0, [0.0, 0.1])
+        assert [c.kind for c in tracker.changes] == ["curve"]
+        assert tracker.support_change_count == 0
+
+    def test_changes_between(self):
+        db = random_linear_mod(10, seed=2, extent=20.0, speed=10.0)
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 20.0))
+        tracker = SupportTracker()
+        eng.add_listener(tracker)
+        eng.run_to_end()
+        window = tracker.changes_between(5.0, 10.0)
+        assert all(5.0 < c.time <= 10.0 for c in window)
+
+    def test_order_snapshots(self):
+        db = MovingObjectDatabase()
+        db.install("a", stationary([5.0, 0.0]))
+        db.install("b", linear_from(0.0, [1.0, 0.0], [1.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 10.0))
+        tracker = SupportTracker(record_orders=True, engine=eng)
+        eng.add_listener(tracker)
+        eng.run_to_end()
+        ((time, order),) = tracker.orders
+        assert time == 4.0
+        assert order == ("a", "b")
+
+    def test_last_change_time(self):
+        tracker = SupportTracker()
+        assert tracker.last_change_time() is None

@@ -1,0 +1,100 @@
+"""Multiple views sharing one sweep engine.
+
+The engine broadcasts every support change to all listeners, so
+independent views (within-range, generic FO(f), support tracking) can
+share a single pass over the events — the same amortization MultiKNN
+exploits for rank queries.
+"""
+
+import pytest
+
+from repro.baselines.naive import naive_query_answer, naive_within_answer
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.query.query import within_query
+from repro.sweep.engine import SweepEngine
+from repro.sweep.evaluator import GenericFOEvaluator
+from repro.sweep.support import SupportTracker
+from repro.sweep.within import ContinuousWithin
+from repro.workloads.generator import UpdateStream, random_linear_mod
+
+
+def gd():
+    return SquaredEuclideanDistance([0.0, 0.0])
+
+
+class TestSharedEngine:
+    def test_within_and_generic_agree(self):
+        db = random_linear_mod(8, seed=17, extent=30.0, speed=6.0)
+        threshold = 400.0
+        query = within_query(Interval(0.0, 20.0), threshold)
+        engine = SweepEngine(
+            db, gd(), query.interval, constants=query.constants
+        )
+        within_view = ContinuousWithin(engine, threshold)
+        generic_view = GenericFOEvaluator(engine, query)
+        tracker = SupportTracker()
+        engine.add_listener(tracker)
+        engine.run_to_end()
+        # One pass, three consumers.
+        within_answer = within_view.answer()
+        generic_answer = generic_view.answer()
+        assert within_answer.approx_equals(generic_answer, atol=1e-6)
+        assert within_answer.approx_equals(
+            naive_within_answer(db, gd(), query.interval, threshold), atol=1e-6
+        )
+        assert tracker.support_change_count == engine.stats.support_changes
+
+    def test_two_thresholds_one_engine(self):
+        db = random_linear_mod(8, seed=19, extent=30.0, speed=6.0)
+        near_t, far_t = 100.0, 900.0
+        interval = Interval(0.0, 15.0)
+        engine = SweepEngine(db, gd(), interval, constants=[near_t, far_t])
+        near = ContinuousWithin(engine, near_t)
+        far = ContinuousWithin(engine, far_t)
+        engine.run_to_end()
+        near_answer, far_answer = near.answer(), far.answer()
+        assert near_answer.approx_equals(
+            naive_within_answer(db, gd(), interval, near_t), atol=1e-6
+        )
+        assert far_answer.approx_equals(
+            naive_within_answer(db, gd(), interval, far_t), atol=1e-6
+        )
+        # Range nesting at every instant.
+        for t in interval.sample_points(21):
+            assert near_answer.at(t) <= far_answer.at(t)
+
+    def test_shared_engine_with_updates(self):
+        db = random_linear_mod(6, seed=23, extent=30.0, speed=5.0)
+        threshold = 625.0
+        query = within_query(Interval(0.0, 40.0), threshold)
+        engine = SweepEngine(db, gd(), query.interval, constants=query.constants)
+        within_view = ContinuousWithin(engine, threshold)
+        generic_view = GenericFOEvaluator(engine, query)
+        engine.subscribe_to(db)
+        UpdateStream(db, seed=24, mean_gap=4.0, extent=30.0, speed=5.0).run(8)
+        engine.run_to_end()
+        truth = naive_query_answer(db, gd(), query)
+        assert within_view.answer().approx_equals(truth, atol=1e-6)
+        assert generic_view.answer().approx_equals(truth, atol=1e-6)
+
+
+class TestAnswerSerialization:
+    def test_round_trip(self):
+        from repro.io import answer_from_dict, answer_to_dict
+        import json
+
+        db = random_linear_mod(6, seed=29, extent=25.0, speed=5.0)
+        interval = Interval(0.0, 12.0)
+        engine = SweepEngine(db, gd(), interval, constants=[400.0])
+        view = ContinuousWithin(engine, 400.0)
+        engine.run_to_end()
+        answer = view.answer()
+        payload = json.dumps(answer_to_dict(answer))
+        restored = answer_from_dict(json.loads(payload))
+        assert restored.interval == answer.interval
+        assert {str(o) for o in answer.objects} == restored.objects
+        for oid in answer.objects:
+            assert restored.intervals_for(str(oid)).approx_equals(
+                answer.intervals_for(oid)
+            )

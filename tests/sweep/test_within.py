@@ -1,0 +1,152 @@
+"""Tests for the continuous within-range view."""
+
+import pytest
+
+from repro.baselines.naive import naive_within_answer
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.sweep.engine import SweepEngine
+from repro.sweep.within import ContinuousWithin
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+from repro.workloads.generator import UpdateStream, random_linear_mod
+
+
+def origin_distance():
+    return SquaredEuclideanDistance([0.0, 0.0])
+
+
+def run_within(db, gdist, interval, threshold):
+    eng = SweepEngine(db, gdist, interval, constants=[threshold])
+    view = ContinuousWithin(eng, threshold)
+    eng.run_to_end()
+    return view.answer()
+
+
+class TestBasics:
+    def test_requires_registered_sentinel(self):
+        db = random_linear_mod(3)
+        eng = SweepEngine(db, origin_distance(), Interval(0, 10))
+        with pytest.raises(KeyError):
+            ContinuousWithin(eng, 25.0)
+
+    def test_initial_membership(self):
+        db = MovingObjectDatabase()
+        db.install("in", stationary([3.0, 0.0]))
+        db.install("out", stationary([9.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0, 10), constants=[25.0])
+        view = ContinuousWithin(eng, 25.0)
+        assert view.members == {"in"}
+        assert view.threshold == 25.0
+
+    def test_answer_before_finalize_rejected(self):
+        db = random_linear_mod(2)
+        eng = SweepEngine(db, origin_distance(), Interval(0, 10), constants=[25.0])
+        view = ContinuousWithin(eng, 25.0)
+        with pytest.raises(RuntimeError):
+            view.answer()
+
+
+class TestCrossings:
+    def test_object_entering_range(self):
+        db = MovingObjectDatabase()
+        db.install("mover", linear_from(0.0, [10.0, 0.0], [-1.0, 0.0]))
+        answer = run_within(db, origin_distance(), Interval(0.0, 10.0), 25.0)
+        # distance 5 reached at t=5.
+        assert answer.intervals_for("mover").approx_equals(
+            IntervalSet([Interval(5.0, 10.0)])
+        )
+
+    def test_object_passing_through_range(self):
+        db = MovingObjectDatabase()
+        db.install("fly_by", linear_from(0.0, [-10.0, 3.0], [1.0, 0.0]))
+        answer = run_within(db, origin_distance(), Interval(0.0, 20.0), 25.0)
+        # |(-10+t, 3)|^2 <= 25 -> (t-10)^2 <= 16 -> t in [6, 14].
+        assert answer.intervals_for("fly_by").approx_equals(
+            IntervalSet([Interval(6.0, 14.0)])
+        )
+
+    def test_updates_affect_membership(self):
+        db = MovingObjectDatabase()
+        db.install("car", stationary([3.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 20.0), constants=[25.0])
+        view = ContinuousWithin(eng, 25.0)
+        eng.subscribe_to(db)
+        db.change_direction("car", 4.0, [1.0, 0.0])  # flees; exits at t=6
+        eng.run_to_end()
+        answer = view.answer()
+        assert answer.intervals_for("car").approx_equals(
+            IntervalSet([Interval(0.0, 6.0)])
+        )
+
+    def test_birth_inside_range(self):
+        db = MovingObjectDatabase()
+        db.install("anchor", stationary([100.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 20.0), constants=[25.0])
+        view = ContinuousWithin(eng, 25.0)
+        eng.subscribe_to(db)
+        db.create("born", 7.0, position=[1.0, 0.0], velocity=[0.0, 0.0])
+        eng.run_to_end()
+        assert view.answer().intervals_for("born").approx_equals(
+            IntervalSet([Interval(7.0, 20.0)])
+        )
+
+    def test_termination_inside_range(self):
+        db = MovingObjectDatabase()
+        db.install("brief", stationary([1.0, 0.0]))
+        eng = SweepEngine(db, origin_distance(), Interval(0.0, 20.0), constants=[25.0])
+        view = ContinuousWithin(eng, 25.0)
+        eng.subscribe_to(db)
+        db.terminate("brief", 12.0)
+        eng.run_to_end()
+        assert view.answer().intervals_for("brief").approx_equals(
+            IntervalSet([Interval(0.0, 12.0)])
+        )
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("threshold", [100.0, 900.0, 2500.0])
+    def test_random_workloads(self, seed, threshold):
+        db = random_linear_mod(10, seed=seed, extent=60.0, speed=8.0)
+        gd = origin_distance()
+        sweep = run_within(db, gd, Interval(0.0, 20.0), threshold)
+        naive = naive_within_answer(db, gd, Interval(0.0, 20.0), threshold)
+        assert sweep.approx_equals(naive, atol=1e-6)
+
+    def test_moving_query_with_updates(self):
+        db = random_linear_mod(8, seed=5, extent=40.0, speed=5.0)
+        q = from_waypoints([(0, [0.0, 0.0]), (30, [30.0, 0.0])])
+        gd = SquaredEuclideanDistance(q)
+        eng = SweepEngine(db, gd, Interval(0.0, 30.0), constants=[400.0])
+        view = ContinuousWithin(eng, 400.0)
+        eng.subscribe_to(db)
+        UpdateStream(db, seed=6, mean_gap=4.0, extent=40.0, speed=5.0).run(8)
+        eng.run_to_end()
+        naive = naive_within_answer(db, gd, Interval(0.0, 30.0), 400.0)
+        assert view.answer().approx_equals(naive, atol=1e-6)
+
+
+class TestFlightScenario:
+    def test_example11_within_50km(self):
+        """Example 11: flights within 50 km of Flight 623."""
+        flight_623 = from_waypoints([(0, [0.0, 0.0]), (60, [600.0, 0.0])])
+        db = MovingObjectDatabase()
+        # Escort flies parallel 30 km away: always within 50.
+        db.install("escort", from_waypoints([(0, [0.0, 30.0]), (60, [600.0, 30.0])]))
+        # Crosser passes perpendicular through the corridor.
+        db.install(
+            "crosser",
+            from_waypoints([(0, [300.0, -300.0]), (60, [300.0, 300.0])]),
+        )
+        # Distant cruiser never gets close.
+        db.install("distant", stationary([0.0, 500.0]))
+        gd = SquaredEuclideanDistance(flight_623)
+        answer = run_within(db, gd, Interval(0.0, 60.0), 50.0**2)
+        assert answer.intervals_for("escort").covers(Interval(0, 60))
+        assert "distant" not in answer.objects
+        crosser = answer.intervals_for("crosser")
+        assert len(crosser) == 1
+        assert not crosser.covers(Interval(0, 60))
+        naive = naive_within_answer(db, gd, Interval(0.0, 60.0), 50.0**2)
+        assert answer.approx_equals(naive, atol=1e-6)

@@ -1,0 +1,107 @@
+"""Tests exercising the full pipeline in three dimensions.
+
+The model is dimension-generic (``R^n``); aircraft scenarios are 3-D.
+These tests ensure nothing in the stack silently assumes the plane.
+"""
+
+import pytest
+
+from repro.baselines.naive import naive_knn_answer, naive_within_answer
+from repro.core.api import evaluate_knn, evaluate_within
+from repro.geometry.intervals import Interval
+from repro.gdist.coordinate import CoordinateValue, WeightedSquaredDistance
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.trajectory.builder import from_waypoints, linear_from
+from repro.workloads.generator import UpdateStream, random_linear_mod
+
+
+class TestThreeDimensionalKNN:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_naive(self, seed):
+        db = random_linear_mod(8, seed=seed, dimension=3, extent=30.0, speed=5.0)
+        gd = SquaredEuclideanDistance([0.0, 0.0, 0.0])
+        interval = Interval(0.0, 15.0)
+        sweep = evaluate_knn(db, gd, interval, 2)
+        naive = naive_knn_answer(db, gd, interval, 2)
+        assert sweep.approx_equals(naive, atol=1e-6)
+
+    def test_moving_3d_query(self):
+        db = random_linear_mod(6, seed=7, dimension=3, extent=25.0, speed=4.0)
+        climb = from_waypoints(
+            [(0, [0.0, 0.0, 0.0]), (20, [20.0, 0.0, 100.0])]
+        )
+        gd = SquaredEuclideanDistance(climb)
+        interval = Interval(0.0, 20.0)
+        sweep = evaluate_knn(db, gd, interval, 1)
+        naive = naive_knn_answer(db, gd, interval, 1)
+        assert sweep.approx_equals(naive, atol=1e-6)
+
+    def test_with_updates(self):
+        db = random_linear_mod(6, seed=9, dimension=3, extent=30.0, speed=5.0)
+        gd = SquaredEuclideanDistance([0.0, 0.0, 0.0])
+        from repro.sweep.engine import SweepEngine
+        from repro.sweep.knn import ContinuousKNN
+
+        engine = SweepEngine(db, gd, Interval(0.0, 40.0))
+        view = ContinuousKNN(engine, 2)
+        engine.subscribe_to(db)
+        UpdateStream(db, seed=10, mean_gap=3.0, extent=30.0, speed=5.0).run(10)
+        engine.run_to_end()
+        naive = naive_knn_answer(db, gd, Interval(0.0, 40.0), 2)
+        assert view.answer().approx_equals(naive, atol=1e-6)
+
+
+class TestAltitudeQueries:
+    def build_airspace(self):
+        db = MovingObjectDatabase()
+        db.install("low", linear_from(0.0, [0, 0, 1000.0], [50.0, 0.0, 0.0]))
+        db.install("climbing", linear_from(0.0, [0, 10, 500.0], [50.0, 0.0, 200.0]))
+        db.install("cruise", linear_from(0.0, [0, -10, 10000.0], [60.0, 0.0, 0.0]))
+        return db
+
+    def test_rank_by_altitude(self):
+        db = self.build_airspace()
+        answer = evaluate_knn(db, CoordinateValue(2), Interval(0.0, 30.0), 1)
+        # 'climbing' starts lowest, overtakes 'low' at t=2.5.
+        assert answer.at(1.0) == {"climbing"}
+        assert answer.at(5.0) == {"low"}
+
+    def test_below_flight_level(self):
+        db = self.build_airspace()
+        below_8000 = evaluate_within(
+            db, CoordinateValue(2), Interval(0.0, 30.0), 8000.0
+        )
+        assert "cruise" not in below_8000.objects
+        assert below_8000.intervals_for("low").covers(Interval(0.0, 30.0))
+        climbing = below_8000.intervals_for("climbing")
+        # Crosses 8000 ft at t = 37.5 -> inside the window it stays below.
+        assert climbing.covers(Interval(0.0, 30.0))
+
+    def test_ground_distance_ignoring_altitude(self):
+        db = self.build_airspace()
+        gd = WeightedSquaredDistance([0.0, 0.0, 0.0], [1.0, 1.0, 0.0])
+        interval = Interval(0.0, 10.0)
+        sweep = evaluate_knn(db, gd, interval, 1)
+        naive = naive_knn_answer(db, gd, interval, 1)
+        assert sweep.approx_equals(naive, atol=1e-6)
+
+
+class TestWithin3D:
+    def test_sphere_membership(self):
+        db = MovingObjectDatabase()
+        db.install("passer", linear_from(0.0, [-100.0, 0.0, 50.0], [10.0, 0.0, 0.0]))
+        db.install("outside", linear_from(0.0, [0.0, 500.0, 0.0], [0.0, 0.0, 0.0]))
+        answer = evaluate_within(
+            db, [0.0, 0.0, 0.0], Interval(0.0, 20.0), distance=120.0
+        )
+        assert "outside" not in answer.objects
+        passer = answer.intervals_for("passer")
+        assert not passer.is_empty
+        naive = naive_within_answer(
+            db,
+            SquaredEuclideanDistance([0.0, 0.0, 0.0]),
+            Interval(0.0, 20.0),
+            120.0**2,
+        )
+        assert answer.approx_equals(naive, atol=1e-6)

@@ -1,0 +1,83 @@
+"""Tests for the benchmark report collector."""
+
+import pathlib
+
+import pytest
+
+from repro.bench.report import (
+    PREFERRED_ORDER,
+    collect_results,
+    main,
+    ordered_names,
+    render_report,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "theorem4_past.txt").write_text("T4 TABLE\nrow\n")
+    (d / "fig2_scenario.txt").write_text("FIG2 TABLE\nrow\n")
+    (d / "custom_extra.txt").write_text("EXTRA TABLE\n")
+    return d
+
+
+class TestCollect:
+    def test_reads_all_tables(self, results_dir):
+        tables = collect_results(results_dir)
+        assert set(tables) == {"theorem4_past", "fig2_scenario", "custom_extra"}
+        assert tables["theorem4_past"].startswith("T4 TABLE")
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            collect_results(tmp_path / "nope")
+
+
+class TestOrdering:
+    def test_index_order_respected(self, results_dir):
+        names = ordered_names(collect_results(results_dir))
+        assert names.index("fig2_scenario") < names.index("theorem4_past")
+        assert names[-1] == "custom_extra"
+
+    def test_preferred_order_covers_experiment_index(self):
+        # Every table the benchmark suite writes has a slot.
+        assert "lemma9_queue" in PREFERRED_ORDER
+        assert "multiquery_amortization" in PREFERRED_ORDER
+
+
+class TestRender:
+    def test_render_contains_all_tables(self, results_dir):
+        text = render_report(results_dir)
+        assert "T4 TABLE" in text
+        assert "FIG2 TABLE" in text
+        assert "EXTRA TABLE" in text
+
+    def test_render_empty_dir(self, tmp_path):
+        d = tmp_path / "results"
+        d.mkdir()
+        assert "no benchmark results" in render_report(d)
+
+    def test_custom_title(self, results_dir):
+        text = render_report(results_dir, title="My Title")
+        assert text.startswith("My Title")
+
+
+class TestCli:
+    def test_main_prints_report(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "T4 TABLE" in out
+
+    def test_main_missing_dir(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 1
+
+    def test_main_against_repo_results(self, capsys):
+        """The repo's own results directory renders (benchmarks have
+        been run at least once in this workspace)."""
+        repo_results = (
+            pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+        )
+        if not repo_results.is_dir():
+            pytest.skip("benchmarks not yet run")
+        assert main([str(repo_results)]) == 0

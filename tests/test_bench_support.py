@@ -1,0 +1,100 @@
+"""Tests for the benchmark support package (fits and tables)."""
+
+import math
+
+import pytest
+
+from repro.bench.fits import ComplexityFit, best_model, fit_model, growth_ratio
+from repro.bench.harness import format_table, time_callable
+
+
+class TestFitModel:
+    def test_perfect_linear(self):
+        sizes = [10, 20, 40, 80]
+        costs = [3.0 * n + 1.0 for n in sizes]
+        fit = fit_model(sizes, costs, "n")
+        assert fit.scale == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_perfect_nlogn(self):
+        sizes = [16, 64, 256, 1024]
+        costs = [2.0 * n * math.log(n) for n in sizes]
+        fit = fit_model(sizes, costs, "n log n")
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(512) == pytest.approx(2.0 * 512 * math.log(512), rel=1e-6)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            fit_model([1, 2], [1, 2], "n^3")
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_model([1], [1], "n")
+
+    def test_constant_costs(self):
+        fit = fit_model([1, 2, 3], [5.0, 5.0, 5.0], "1")
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(100) == pytest.approx(5.0)
+
+
+class TestBestModel:
+    def test_identifies_linear(self):
+        sizes = [32, 64, 128, 256, 512]
+        costs = [0.5 * n + 3 for n in sizes]
+        ranked = best_model(sizes, costs)
+        assert ranked[0].model == "n"
+
+    def test_identifies_logarithmic(self):
+        sizes = [2**k for k in range(4, 14)]
+        costs = [7.0 * math.log(n) + 0.1 for n in sizes]
+        ranked = best_model(sizes, costs)
+        assert ranked[0].model == "log n"
+
+    def test_identifies_quadratic(self):
+        sizes = [10, 20, 40, 80, 160]
+        costs = [0.01 * n * n for n in sizes]
+        ranked = best_model(sizes, costs)
+        assert ranked[0].model == "n^2"
+
+    def test_negative_scale_demoted(self):
+        sizes = [10, 20, 40, 80]
+        costs = [100.0, 80.0, 60.0, 40.0]  # decreasing
+        ranked = best_model(sizes, costs)
+        # A decreasing trend must not be "explained" by a growth model.
+        assert ranked[0].model == "1" or ranked[0].scale >= 0
+
+
+class TestGrowthRatio:
+    def test_ratios(self):
+        size_ratio, cost_ratio = growth_ratio([10, 100], [2.0, 4.0])
+        assert size_ratio == pytest.approx(10.0)
+        assert cost_ratio == pytest.approx(2.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            growth_ratio([1], [1])
+
+
+class TestHarness:
+    def test_time_callable_positive(self):
+        elapsed = time_callable(lambda: sum(range(1000)), repeats=2, warmup=1)
+        assert elapsed > 0.0
+
+    def test_format_table(self):
+        text = format_table(
+            ["N", "cost"],
+            [[10, 1.5], [100, 12.25]],
+            title="demo",
+        )
+        assert "demo" in text
+        assert "N" in text and "cost" in text
+        assert "12.25" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+    def test_format_small_floats_scientific(self):
+        text = format_table(["v"], [[0.0000001]])
+        assert "e-07" in text

@@ -1,0 +1,157 @@
+"""Every query of Example 11, end to end through the public API.
+
+Example 11 lists the queries FO(f) expresses; this suite builds one
+air-traffic / police scenario per bullet and answers it:
+
+1. "List the k-nearest flights to Flight 623 at time tau"
+2. "List all flights that were within 50 km from Flight 623 from tau1
+   to tau2"
+3. "If Flight 744 changes its motion to x = A't + B', which is the
+   nearest flight at some future time tau?"  (hypothetical update)
+4. "In the last hour what police cars were at the same positions as
+   the car #1404?"  (distance-zero query)
+5. "List all flights that can reach Flight 623 within 30 minutes"
+   (fastest arrival with hypothetical redirection)
+6. "For the police car #1404 (moving) list other police cars that can
+   reach it in 5 minutes"
+"""
+
+import pytest
+
+from repro.core.api import evaluate_knn, evaluate_within
+from repro.geometry.intervals import Interval
+from repro.gdist.approx import PolynomialApproximation
+from repro.gdist.arrival import ArrivalTimeGDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+
+
+def flights_db():
+    db = MovingObjectDatabase()
+    flight_623 = from_waypoints([(0, [0.0, 0.0]), (60, [600.0, 0.0])])
+    db.install("F623", flight_623)
+    db.install("F100", from_waypoints([(0, [0.0, 20.0]), (60, [600.0, 20.0])]))
+    db.install("F200", from_waypoints([(0, [300.0, -300.0]), (60, [300.0, 300.0])]))
+    db.install("F744", from_waypoints([(0, [0.0, 300.0]), (60, [600.0, 300.0])]))
+    return db, flight_623
+
+
+class TestBullet1KNearestAtInstant:
+    def test_k_nearest_at_time_tau(self):
+        db, f623 = flights_db()
+        tau = 40.0  # (at t=30 the crosser F200 is exactly at F623)
+        # A snapshot query is an interval query over the point [tau, tau].
+        answer = evaluate_knn(db, f623, Interval.point(tau), k=2)
+        at_tau = answer.at(tau)
+        # F623 itself is nearest (distance 0); F100 flies 20 away.
+        assert "F623" in at_tau and "F100" in at_tau
+
+    def test_snapshot_agrees_with_interval_query(self):
+        db, f623 = flights_db()
+        tau = 40.0
+        snapshot = evaluate_knn(db, f623, Interval.point(tau), k=2).at(tau)
+        windowed = evaluate_knn(db, f623, Interval(0.0, 60.0), k=2).at(tau)
+        assert snapshot == windowed
+
+
+class TestBullet2WithinRange:
+    def test_within_50_between_tau1_tau2(self):
+        db, f623 = flights_db()
+        answer = evaluate_within(db, f623, Interval(10.0, 50.0), distance=50.0)
+        assert "F100" in answer.objects  # parallel escort, 20 away
+        assert "F744" not in answer.objects  # 300 away throughout
+        # The crosser is within 50 only around t=30.
+        crosser = answer.intervals_for("F200")
+        assert not crosser.is_empty
+        assert not crosser.covers(Interval(10.0, 50.0))
+
+
+class TestBullet3HypotheticalMotionChange:
+    def test_if_flight_744_dives(self):
+        db, f623 = flights_db()
+        tau = 40.0
+        # Current prediction: F744 stays 300 away — not nearest at tau.
+        current = evaluate_knn(db, f623, Interval.point(tau), k=2).at(tau)
+        assert "F744" not in current
+        # Hypothetically F744 turns straight at Flight 623's path now.
+        scenario = db.clone()
+        scenario.advance_clock(20.0)
+        scenario.change_direction("F744", 20.0 + 1e-9, [10.0, -14.5])
+        hypothetical = evaluate_knn(scenario, f623, Interval.point(tau), k=2).at(tau)
+        assert "F744" in hypothetical
+        # The real database is untouched.
+        assert db.trajectory("F744").turns == []
+
+    def test_clone_isolation(self):
+        db, _ = flights_db()
+        clone = db.clone()
+        clone.advance_clock(5.0)
+        clone.terminate("F100", 6.0)
+        assert "F100" in db
+        assert clone.is_terminated("F100")
+
+
+class TestBullet4SamePositionInLastHour:
+    def test_cars_meeting_car_1404(self):
+        db = MovingObjectDatabase()
+        car_1404 = from_waypoints([(0, [0.0, 0.0]), (60, [60.0, 0.0])])
+        db.install("c1404", car_1404)
+        # Crosses car 1404's position exactly at t = 30, (30, 0).
+        db.install("c7", from_waypoints([(0, [30.0, -30.0]), (60, [30.0, 30.0])]))
+        # Runs parallel, never meets.
+        db.install("c9", from_waypoints([(0, [0.0, 5.0]), (60, [60.0, 5.0])]))
+        last_hour = Interval(0.0, 60.0)
+        # "Same position" = squared distance <= 0 (a zero-threshold
+        # range query; the sentinel catches the tangential touch).
+        meeting = evaluate_within(db, car_1404, last_hour, distance=0.5)
+        assert "c7" in meeting.objects
+        assert "c9" not in meeting.objects
+        assert meeting.intervals_for("c7").contains(30.0, atol=1.0)
+
+
+class TestBullet5ReachWithin30Minutes:
+    def test_flights_reaching_623(self):
+        db = MovingObjectDatabase()
+        f623 = linear_from(0.0, [0.0, 0.0], [8.0, 0.0])
+        # Fast interceptor nearby.
+        db.install("fast", linear_from(0.0, [100.0, 100.0], [10.0, -2.0]))
+        # Fast but very far away (arrival ~400 time units).
+        db.install("far", linear_from(0.0, [4000.0, 4000.0], [10.0, 0.0]))
+        window = Interval(0.0, 20.0)
+        arrival = PolynomialApproximation(
+            ArrivalTimeGDistance(f623), window, degree=8, num_pieces=6
+        )
+        # "Can reach within 30 minutes" = arrival time <= 30 (the
+        # g-distance is the arrival time itself, so the threshold is
+        # used verbatim).
+        reachable = evaluate_within(db, arrival, window, distance=30.0)
+        assert "fast" in reachable.objects
+        assert "far" not in reachable.objects
+
+    def test_slow_pursuer_unreachable_is_rejected_by_approximation(self):
+        """A pursuer that can never reach the target has an infinite
+        arrival time: polynomialization must refuse, not fabricate."""
+        db = MovingObjectDatabase()
+        f623 = linear_from(0.0, [0.0, 0.0], [8.0, 0.0])
+        db.install("slow", linear_from(0.0, [-200.0, 0.0], [2.0, 0.0]))
+        window = Interval(0.0, 20.0)
+        arrival = PolynomialApproximation(
+            ArrivalTimeGDistance(f623), window, degree=6, num_pieces=4
+        )
+        with pytest.raises(ValueError):
+            arrival(db.trajectory("slow"))
+
+
+class TestBullet6PoliceCarsReachIn5Minutes:
+    def test_cars_reaching_moving_1404(self):
+        db = MovingObjectDatabase()
+        car_1404 = linear_from(0.0, [0.0, 0.0], [1.0, 0.0])
+        db.install("u12", linear_from(0.0, [0.0, -20.0], [1.0, 5.0]))
+        db.install("u31", linear_from(0.0, [0.0, 400.0], [1.0, -2.0]))
+        window = Interval(0.0, 10.0)
+        arrival = PolynomialApproximation(
+            ArrivalTimeGDistance(car_1404), window, degree=8, num_pieces=6
+        )
+        within_5 = evaluate_within(db, arrival, window, distance=5.0)
+        assert "u12" in within_5.objects  # 20 away at closing speed ~5
+        assert "u31" not in within_5.objects  # 400 away at closing ~2

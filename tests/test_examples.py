@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each is run in-process with ``runpy`` so import errors,
+API drift, and scenario regressions fail loudly.
+"""
+
+import io
+import pathlib
+import runpy
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = buffer.getvalue()
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 4
+
+
+class TestExampleContent:
+    def test_quickstart_mentions_answers(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        out = buffer.getvalue()
+        assert "Nearest van" in out
+        assert "van-1" in out
+
+    def test_air_traffic_reproduces_example1(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES_DIR / "air_traffic.py"), run_name="__main__")
+        out = buffer.getvalue()
+        # The paper's narrated turn positions and landing point.
+        assert "(2, 2, 30)" in out
+        assert "(2, 1, 25)" in out
+        assert "(14.5, 1, 0)" in out
+
+    def test_live_tracking_shows_figure2(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES_DIR / "live_tracking.py"), run_name="__main__")
+        out = buffer.getvalue()
+        assert "C=8.4" in out
+        assert "naive recomputation: True" in out

@@ -1,0 +1,125 @@
+"""Tests for JSON serialization of trajectories, updates, logs, MODs."""
+
+import math
+
+import pytest
+
+from repro.geometry.intervals import Interval
+from repro.geometry.vectors import Vector
+from repro.io import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    load_log,
+    log_from_dict,
+    log_to_dict,
+    save_database,
+    save_log,
+    trajectory_from_dict,
+    trajectory_to_dict,
+    update_from_dict,
+    update_to_dict,
+)
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.log import RecordingDatabase
+from repro.mod.updates import ChangeDirection, New, Terminate
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+from repro.workloads.generator import UpdateStream, random_piecewise_mod
+
+
+class TestTrajectoryRoundTrip:
+    def test_multi_piece(self):
+        traj = from_waypoints([(0, [0, 0]), (5, [5, 0]), (10, [5, 5])])
+        clone = trajectory_from_dict(trajectory_to_dict(traj))
+        assert clone == traj
+
+    def test_unbounded_pieces(self):
+        traj = stationary([1.0, 2.0])
+        clone = trajectory_from_dict(trajectory_to_dict(traj))
+        assert math.isinf(clone.domain.length)
+        assert clone.position(100.0) == Vector.of(1.0, 2.0)
+
+    def test_json_compatible(self):
+        import json
+
+        traj = linear_from(0.0, [1, 2], [3, 4])
+        text = json.dumps(trajectory_to_dict(traj))
+        assert trajectory_from_dict(json.loads(text)) == traj
+
+
+class TestUpdateRoundTrip:
+    @pytest.mark.parametrize(
+        "update",
+        [
+            New("a", 1.0, Vector.of(1, 0), Vector.of(0, 0)),
+            Terminate("b", 2.0),
+            ChangeDirection("c", 3.0, Vector.of(0, -1)),
+        ],
+    )
+    def test_round_trip(self, update):
+        assert update_from_dict(update_to_dict(update)) == update
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            update_from_dict({"kind": "teleport"})
+
+
+class TestLogRoundTrip:
+    def test_round_trip(self):
+        db = RecordingDatabase()
+        db.create("x", 1.0, position=[0, 0], velocity=[1, 0])
+        db.change_direction("x", 2.0, [0, 1])
+        db.terminate("x", 3.0)
+        clone = log_from_dict(log_to_dict(db.log))
+        assert clone.updates == db.log.updates
+
+    def test_file_round_trip(self, tmp_path):
+        db = RecordingDatabase()
+        db.create("x", 1.0, position=[0], velocity=[1])
+        path = str(tmp_path / "log.json")
+        save_log(db.log, path)
+        assert load_log(path).updates == db.log.updates
+
+
+class TestDatabaseRoundTrip:
+    def test_live_and_terminated(self):
+        db = MovingObjectDatabase()
+        db.create("alive", 1.0, position=[0, 0], velocity=[1, 0])
+        db.create("gone", 2.0, position=[5, 5], velocity=[0, 0])
+        db.terminate("gone", 4.0)
+        clone = database_from_dict(database_to_dict(db))
+        assert set(clone.object_ids) == {"alive"}
+        assert clone.is_terminated("gone")
+        assert clone.last_update_time == db.last_update_time
+        assert clone.position("alive", 10.0) == db.position("alive", 10.0)
+        assert clone.position("gone", 3.0) == db.position("gone", 3.0)
+
+    def test_piecewise_histories_survive(self):
+        db = random_piecewise_mod(5, seed=1, end_time=30.0)
+        clone = database_from_dict(database_to_dict(db))
+        for oid in db.object_ids:
+            for t in (5.0, 15.0, 25.0):
+                assert clone.position(str(oid), t) == db.position(oid, t)
+
+    def test_file_round_trip(self, tmp_path):
+        db = MovingObjectDatabase()
+        db.create("x", 1.0, position=[1, 2], velocity=[3, 4])
+        path = str(tmp_path / "mod.json")
+        save_database(db, path)
+        clone = load_database(path)
+        assert clone.position("x", 2.0) == db.position("x", 2.0)
+
+    def test_queries_agree_after_round_trip(self):
+        from repro.core.api import evaluate_knn
+
+        db = RecordingDatabase()
+        for i in range(5):
+            db.create(
+                f"o{i}", 0.1 * (i + 1), position=[float(i), 0.0], velocity=[0.5 - 0.2 * i, 0.0]
+            )
+        UpdateStream(db, seed=3, mean_gap=1.0).run(5)
+        clone = database_from_dict(database_to_dict(db))
+        interval = Interval(1.0, 10.0)
+        original = evaluate_knn(db, [0.0, 0.0], interval, 2)
+        restored = evaluate_knn(clone, [0.0, 0.0], interval, 2)
+        assert {str(o) for o in original.objects} == restored.objects

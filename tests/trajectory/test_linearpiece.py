@@ -1,0 +1,66 @@
+"""Tests for single linear trajectory pieces."""
+
+import pytest
+
+from repro.geometry.intervals import Interval
+from repro.geometry.vectors import Vector
+from repro.trajectory.linearpiece import LinearPiece
+
+
+class TestConstruction:
+    def test_basic(self):
+        p = LinearPiece(Vector.of(1, 0), Vector.of(0, 5), Interval(0, 10))
+        assert p.dimension == 2
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LinearPiece(Vector.of(1), Vector.of(0, 5), Interval(0, 10))
+
+    def test_anchored(self):
+        # At t=2 the object is at (10, 10), moving with (1, 0).
+        p = LinearPiece.anchored(
+            Vector.of(1, 0), Vector.of(10, 10), 2.0, Interval(2, 10)
+        )
+        assert p.position(2.0) == Vector.of(10, 10)
+        assert p.position(5.0) == Vector.of(13, 10)
+
+
+class TestKinematics:
+    def test_position(self):
+        p = LinearPiece(Vector.of(2, -1), Vector.of(0, 3), Interval(0, 10))
+        assert p.position(4.0) == Vector.of(8, -1)
+
+    def test_position_outside_interval_rejected(self):
+        p = LinearPiece(Vector.of(1), Vector.of(0), Interval(0, 1))
+        with pytest.raises(ValueError):
+            p.position(5.0)
+
+    def test_position_unchecked(self):
+        p = LinearPiece(Vector.of(1), Vector.of(0), Interval(0, 1))
+        assert p.position_unchecked(5.0) == Vector.of(5)
+
+    def test_speed(self):
+        p = LinearPiece(Vector.of(3, 4), Vector.of(0, 0), Interval(0, 1))
+        assert p.speed == 5.0
+
+    def test_is_stationary(self):
+        assert LinearPiece(Vector.zero(2), Vector.of(1, 1), Interval(0, 1)).is_stationary
+        assert not LinearPiece(Vector.of(1, 0), Vector.of(1, 1), Interval(0, 1)).is_stationary
+
+
+class TestDerived:
+    def test_coordinate_polynomial(self):
+        p = LinearPiece(Vector.of(2, -1), Vector.of(5, 3), Interval(0, 10))
+        assert p.coordinate_polynomial(0)(2.0) == 9.0
+        assert p.coordinate_polynomial(1)(2.0) == 1.0
+
+    def test_restricted(self):
+        p = LinearPiece(Vector.of(1), Vector.of(0), Interval(0, 10))
+        q = p.restricted(Interval(2, 4))
+        assert q.interval == Interval(2, 4)
+        assert q.velocity == p.velocity
+
+    def test_restricted_disjoint_rejected(self):
+        p = LinearPiece(Vector.of(1), Vector.of(0), Interval(0, 1))
+        with pytest.raises(ValueError):
+            p.restricted(Interval(5, 6))

@@ -1,0 +1,265 @@
+"""Tests for trajectories, including the paper's Examples 1 and 2."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.intervals import Interval
+from repro.geometry.vectors import Vector
+from repro.trajectory.builder import from_waypoints, linear_from, stationary
+from repro.trajectory.linearpiece import LinearPiece
+from repro.trajectory.trajectory import Trajectory
+
+
+def example1_airplane() -> Trajectory:
+    """The 3-piece airplane trajectory of Example 1.
+
+    x = (2,-1,0) t + (-40,23,30)   for 0  <= t <= 21
+    x = (0,-1,-5) t + (2,23,135)   for 21 <= t <= 22
+    x = (0.5,0,-1) t + (-9,1,47)   for 22 <= t
+    """
+    return Trajectory(
+        [
+            LinearPiece(Vector.of(2, -1, 0), Vector.of(-40, 23, 30), Interval(0, 21)),
+            LinearPiece(Vector.of(0, -1, -5), Vector.of(2, 23, 135), Interval(21, 22)),
+            LinearPiece(Vector.of(0.5, 0, -1), Vector.of(-9, 1, 47), Interval.at_least(22)),
+        ]
+    )
+
+
+class TestExample1:
+    def test_pieces_are_continuous(self):
+        traj = example1_airplane()
+        assert traj.pieces  # construction itself validates continuity
+
+    def test_turn_positions_match_paper(self):
+        traj = example1_airplane()
+        # "turned at time 21 (and at position (2, 2, 30))"
+        assert traj.position(21.0).approx_equals(Vector.of(2, 2, 30))
+        # "made another turn at time 22 (and at position (2, 1, 25))"
+        assert traj.position(22.0).approx_equals(Vector.of(2, 1, 25))
+
+    def test_turns(self):
+        assert example1_airplane().turns == [21.0, 22.0]
+
+    def test_descending_after_first_turn(self):
+        traj = example1_airplane()
+        assert traj.velocity(21.5)[2] == -5.0
+
+    def test_domain(self):
+        traj = example1_airplane()
+        assert traj.domain.lo == 0.0
+        assert math.isinf(traj.domain.hi)
+
+
+class TestExample2:
+    def test_chdir_at_47_lands_airplane(self):
+        """Example 2: chdir(o, 47, (0,0,0)) lands the plane at
+        (14.5, 1, 0) and it stays there."""
+        traj = example1_airplane()
+        updated = traj.with_direction_change(47.0, Vector.zero(3))
+        # Landing position from the paper.
+        assert updated.position(47.0).approx_equals(Vector.of(14.5, 1, 0))
+        assert updated.position(100.0).approx_equals(Vector.of(14.5, 1, 0))
+        # Past is unchanged.
+        assert updated.position(10.0).approx_equals(traj.position(10.0))
+        assert updated.turns == [21.0, 22.0, 47.0]
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory([])
+
+    def test_discontinuous_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(
+                [
+                    LinearPiece(Vector.of(0), Vector.of(0), Interval(0, 1)),
+                    LinearPiece(Vector.of(0), Vector.of(5), Interval(1, 2)),
+                ]
+            )
+
+    def test_gap_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(
+                [
+                    LinearPiece(Vector.of(0), Vector.of(0), Interval(0, 1)),
+                    LinearPiece(Vector.of(0), Vector.of(0), Interval(2, 3)),
+                ]
+            )
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Trajectory(
+                [
+                    LinearPiece(Vector.of(0), Vector.of(0), Interval(0, 1)),
+                    LinearPiece(Vector.of(0, 0), Vector.of(0, 0), Interval(1, 2)),
+                ]
+            )
+
+
+class TestBuilders:
+    def test_stationary(self):
+        traj = stationary([3, 4])
+        assert traj.is_stationary
+        assert traj.position(-100.0) == Vector.of(3, 4)
+        assert traj.position(100.0) == Vector.of(3, 4)
+
+    def test_linear_from(self):
+        traj = linear_from(5.0, [0, 0], [1, 2])
+        assert traj.position(5.0) == Vector.of(0, 0)
+        assert traj.position(7.0) == Vector.of(2, 4)
+        assert not traj.defined_at(4.0)
+
+    def test_from_waypoints(self):
+        traj = from_waypoints([(0, [0, 0]), (10, [10, 0]), (20, [10, 10])])
+        assert traj.position(5.0).approx_equals(Vector.of(5, 0))
+        assert traj.position(15.0).approx_equals(Vector.of(10, 5))
+        # extend=True continues the last leg.
+        assert traj.position(30.0).approx_equals(Vector.of(10, 20))
+
+    def test_from_waypoints_no_extend(self):
+        traj = from_waypoints([(0, [0]), (10, [10])], extend=False)
+        assert not traj.defined_at(11.0)
+        assert traj.position(10.0) == Vector.of(10)
+
+    def test_from_waypoints_needs_two(self):
+        with pytest.raises(ValueError):
+            from_waypoints([(0, [0])])
+
+    def test_from_waypoints_strictly_increasing_times(self):
+        with pytest.raises(ValueError):
+            from_waypoints([(0, [0]), (0, [1])])
+
+
+class TestKinematics:
+    def test_velocity_at_turn_uses_left_piece(self):
+        traj = example1_airplane()
+        assert traj.velocity(21.0) == Vector.of(2, -1, 0)
+
+    def test_speed(self):
+        traj = linear_from(0.0, [0, 0], [3, 4])
+        assert traj.speed(1.0) == 5.0
+
+    def test_position_outside_domain_rejected(self):
+        traj = linear_from(5.0, [0], [1])
+        with pytest.raises(ValueError):
+            traj.position(0.0)
+
+    def test_coordinate_function(self):
+        traj = example1_airplane()
+        z = traj.coordinate_function(2)
+        assert z(0.0) == pytest.approx(30.0)
+        assert z(21.5) == pytest.approx(135 - 5 * 21.5)
+        assert z(25.0) == pytest.approx(47 - 25.0)
+
+
+class TestSquaredDistance:
+    def test_between_parallel_lines(self):
+        a = linear_from(0.0, [0, 0], [1, 0])
+        b = linear_from(0.0, [0, 3], [1, 0])
+        d = a.squared_distance_to(b)
+        for t in (0.0, 5.0, 50.0):
+            assert d(t) == pytest.approx(9.0)
+
+    def test_crossing_objects(self):
+        a = linear_from(0.0, [0, 0], [1, 0])
+        b = linear_from(0.0, [10, 0], [-1, 0])
+        d = a.squared_distance_to(b)
+        assert d(5.0) == pytest.approx(0.0)
+        assert d(0.0) == pytest.approx(100.0)
+
+    def test_is_quadratic(self):
+        a = linear_from(0.0, [0, 0], [1, 1])
+        b = linear_from(0.0, [5, 0], [0, 1])
+        d = a.squared_distance_to(b)
+        assert d.max_degree == 2
+
+    def test_refines_piece_boundaries(self):
+        a = from_waypoints([(0, [0, 0]), (10, [10, 0])])
+        b = from_waypoints([(0, [0, 5]), (5, [5, 5]), (10, [5, 10])])
+        d = a.squared_distance_to(b)
+        assert 5.0 in d.breakpoints
+        for t in (2.0, 7.0):
+            expected = (a.position(t) - b.position(t)).norm_squared()
+            assert d(t) == pytest.approx(expected)
+
+    def test_domain_is_intersection(self):
+        a = linear_from(0.0, [0], [1])
+        b = linear_from(5.0, [0], [1])
+        d = a.squared_distance_to(b)
+        assert d.domain.lo == 5.0
+
+    def test_disjoint_domains_rejected(self):
+        a = from_waypoints([(0, [0]), (1, [1])], extend=False)
+        b = linear_from(10.0, [0], [1])
+        with pytest.raises(ValueError):
+            a.squared_distance_to(b)
+
+    def test_dimension_mismatch_rejected(self):
+        a = linear_from(0.0, [0], [1])
+        b = linear_from(0.0, [0, 0], [1, 1])
+        with pytest.raises(ValueError):
+            a.squared_distance_to(b)
+
+    def test_distance_at(self):
+        a = linear_from(0.0, [0, 0], [0, 0])
+        b = linear_from(0.0, [3, 4], [0, 0])
+        assert a.distance_at(b, 1.0) == pytest.approx(5.0)
+
+    @given(
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        st.floats(min_value=-5, max_value=5, allow_nan=False),
+        st.floats(min_value=0.0, max_value=20.0, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_matches_pointwise(self, vx, vy, px, py, t):
+        a = linear_from(0.0, [px, py], [vx, vy])
+        b = linear_from(0.0, [0, 0], [1, -1])
+        d = a.squared_distance_to(b)
+        expected = (a.position(t) - b.position(t)).norm_squared()
+        assert d(t) == pytest.approx(expected, abs=1e-6)
+
+
+class TestUpdatesOnTrajectories:
+    def test_truncated_at(self):
+        traj = example1_airplane()
+        cut = traj.truncated_at(10.0)
+        assert cut.domain == Interval(0.0, 10.0)
+        assert cut.position(10.0).approx_equals(traj.position(10.0))
+
+    def test_truncated_at_turn_boundary(self):
+        traj = example1_airplane()
+        cut = traj.truncated_at(21.0)
+        assert cut.domain.hi == 21.0
+
+    def test_truncate_outside_domain_rejected(self):
+        with pytest.raises(ValueError):
+            linear_from(5.0, [0], [1]).truncated_at(0.0)
+
+    def test_chdir_preserves_past(self):
+        traj = linear_from(0.0, [0, 0], [1, 0])
+        new = traj.with_direction_change(10.0, Vector.of(0, 1))
+        assert new.position(5.0).approx_equals(traj.position(5.0))
+        assert new.position(12.0).approx_equals(Vector.of(10, 2))
+
+    def test_chdir_velocity_dim_mismatch_rejected(self):
+        traj = linear_from(0.0, [0, 0], [1, 0])
+        with pytest.raises(ValueError):
+            traj.with_direction_change(1.0, Vector.of(1))
+
+    def test_chdir_undefined_time_rejected(self):
+        traj = linear_from(5.0, [0], [1])
+        with pytest.raises(ValueError):
+            traj.with_direction_change(1.0, Vector.of(0))
+
+    def test_restricted(self):
+        traj = example1_airplane()
+        sub = traj.restricted(Interval(10.0, 30.0))
+        assert sub.domain == Interval(10.0, 30.0)
+        assert sub.position(21.5).approx_equals(traj.position(21.5))

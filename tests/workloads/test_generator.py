@@ -1,0 +1,124 @@
+"""Tests for the synthetic workload generators."""
+
+import math
+
+import pytest
+
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.updates import ChangeDirection, New, Terminate
+from repro.sweep.engine import SweepEngine
+from repro.workloads.generator import (
+    UpdateStream,
+    crossing_rich_mod,
+    random_linear_mod,
+    random_piecewise_mod,
+    recorded_future_workload,
+)
+
+
+class TestRandomLinearMod:
+    def test_count_and_dimension(self):
+        db = random_linear_mod(25, seed=1, dimension=3)
+        assert db.object_count == 25
+        assert db.dimension == 3
+
+    def test_deterministic_by_seed(self):
+        a = random_linear_mod(5, seed=7)
+        b = random_linear_mod(5, seed=7)
+        for oid in a.object_ids:
+            assert a.position(oid, 1.0) == b.position(oid, 1.0)
+
+    def test_different_seeds_differ(self):
+        a = random_linear_mod(5, seed=1)
+        b = random_linear_mod(5, seed=2)
+        assert any(
+            a.position(oid, 1.0) != b.position(oid, 1.0)
+            for oid in a.object_ids
+        )
+
+    def test_positions_within_extent(self):
+        db = random_linear_mod(30, seed=3, extent=10.0, start_time=5.0)
+        for oid in db.object_ids:
+            for c in db.position(oid, 5.0):
+                assert abs(c) <= 10.0
+
+    def test_speeds_bounded(self):
+        db = random_linear_mod(30, seed=4, speed=3.0)
+        for oid in db.object_ids:
+            assert db.trajectory(oid).speed(1.0) <= 3.0 + 1e-9
+
+
+class TestRandomPiecewiseMod:
+    def test_turn_counts(self):
+        db = random_piecewise_mod(10, seed=5, turns=4, end_time=50.0)
+        for oid in db.object_ids:
+            assert len(db.trajectory(oid).turns) <= 4 + 1  # end waypoint may add one
+            assert len(db.trajectory(oid).pieces) >= 2
+
+    def test_turns_before_tau(self):
+        db = random_piecewise_mod(10, seed=6, end_time=50.0)
+        db.check_invariants()
+
+
+class TestCrossingRichMod:
+    def test_every_pair_crosses(self):
+        db = crossing_rich_mod(6, seed=7)
+        gd = SquaredEuclideanDistance([0.0, 0.0])
+        eng = SweepEngine(db, gd, Interval(0.0, 500.0))
+        eng.run_to_end()
+        n = 6
+        assert eng.stats.swaps >= n * (n - 1) // 2
+
+
+class TestUpdateStream:
+    def test_applies_chronologically(self):
+        db = random_linear_mod(5, seed=8)
+        stream = UpdateStream(db, seed=9, mean_gap=1.0)
+        updates = stream.run(30)
+        times = [u.time for u in updates]
+        assert times == sorted(times)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_periodic_gaps(self):
+        db = random_linear_mod(5, seed=10)
+        stream = UpdateStream(db, seed=11, mean_gap=2.0, periodic=True)
+        updates = stream.run(10)
+        gaps = [b.time - a.time for a, b in zip(updates, updates[1:])]
+        assert all(g == pytest.approx(2.0) for g in gaps)
+
+    def test_update_mix(self):
+        db = random_linear_mod(10, seed=12)
+        stream = UpdateStream(
+            db, seed=13, mean_gap=0.5, weights=(0.3, 0.2, 0.5)
+        )
+        updates = stream.run(200)
+        kinds = {type(u) for u in updates}
+        assert kinds == {New, Terminate, ChangeDirection}
+
+    def test_terminate_only_live_objects(self):
+        db = random_linear_mod(4, seed=14)
+        stream = UpdateStream(db, seed=15, mean_gap=0.5, weights=(0.1, 0.8, 0.1))
+        for u in stream.run(100):
+            if isinstance(u, Terminate):
+                assert db.is_terminated(u.oid)
+
+    def test_deterministic(self):
+        a_db = random_linear_mod(5, seed=16)
+        b_db = random_linear_mod(5, seed=16)
+        a = UpdateStream(a_db, seed=17).run(20)
+        b = UpdateStream(b_db, seed=17).run(20)
+        assert [(type(x), x.time) for x in a] == [(type(y), y.time) for y in b]
+
+
+class TestRecordedFutureWorkload:
+    def test_replay_matches(self):
+        db, updates = recorded_future_workload(6, 15, seed=18)
+        assert len(updates) == 15
+        clone = db.log.replay()
+        assert sorted(map(str, clone.object_ids)) == sorted(
+            map(str, db.object_ids)
+        )
+        t = db.last_update_time
+        for oid in db.object_ids:
+            assert clone.position(oid, t) == db.position(oid, t)

@@ -1,0 +1,108 @@
+"""Tests for the structured scenario generators."""
+
+import math
+
+import pytest
+
+from repro.analysis.conflicts import separation_conflicts
+from repro.baselines.naive import naive_knn_answer
+from repro.core.api import evaluate_knn
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.workloads.scenarios import airway_mod, manhattan_grid_mod
+
+
+class TestManhattanGrid:
+    def test_count_and_shape(self):
+        db = manhattan_grid_mod(12, seed=1, block=10.0, blocks=8, legs=5)
+        items = dict(db.all_items())
+        # Bounded trajectories count as already-ended objects: they are
+        # reachable via all_items(), not the live set.
+        assert len(items) == 12
+        for oid, traj in items.items():
+            assert len(traj.pieces) == 5
+            # Axis-aligned motion: one velocity component is zero.
+            for piece in traj.pieces:
+                vx, vy = piece.velocity
+                assert vx == pytest.approx(0.0) or vy == pytest.approx(0.0)
+                assert piece.speed == pytest.approx(5.0)
+
+    def test_positions_stay_on_grid_lines(self):
+        db = manhattan_grid_mod(10, seed=2, block=10.0, blocks=6, legs=6)
+        for oid, traj in db.all_items():
+            for piece in traj.pieces:
+                start = piece.position(piece.interval.lo)
+                # At an intersection both coordinates are multiples of
+                # the block size.
+                for c in start:
+                    assert c / 10.0 == pytest.approx(round(c / 10.0), abs=1e-9)
+
+    def test_stays_inside_grid(self):
+        db = manhattan_grid_mod(15, seed=3, block=10.0, blocks=5, legs=8)
+        for oid, traj in db.all_items():
+            for t in traj.domain.sample_points(17):
+                for c in traj.position(t):
+                    assert -1e-9 <= c <= 50.0 + 1e-9
+
+    def test_deterministic(self):
+        a = manhattan_grid_mod(5, seed=9)
+        b = manhattan_grid_mod(5, seed=9)
+        for oid, _ in a.all_items():
+            assert a.position(oid, 2.0) == b.position(oid, 2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            manhattan_grid_mod(1, blocks=0)
+        with pytest.raises(ValueError):
+            manhattan_grid_mod(1, legs=0)
+
+    def test_queryable(self):
+        # speed_jitter breaks the grid's exact mirror-route ties, where
+        # 2-NN answers are legitimately ambiguous (any member of a tied
+        # equivalence class may fill the boundary slot).
+        db = manhattan_grid_mod(8, seed=4, legs=5, speed_jitter=0.1)
+        gd = SquaredEuclideanDistance([25.0, 25.0])
+        interval = Interval(0.0, 8.0)
+        sweep = evaluate_knn(db, gd, interval, 2)
+        naive = naive_knn_answer(db, gd, interval, 2)
+        assert sweep.approx_equals(naive, atol=1e-6)
+
+    def test_tied_routes_answers_equivalent_up_to_ties(self):
+        """Without jitter, the sweep and the baseline may break exact
+        ties differently; the answers agree wherever the boundary pair
+        is untied, and tied substitutes have equal g-distance."""
+        db = manhattan_grid_mod(8, seed=4, legs=5)
+        gd = SquaredEuclideanDistance([25.0, 25.0])
+        interval = Interval(0.0, 8.0)
+        sweep = evaluate_knn(db, gd, interval, 2)
+        naive = naive_knn_answer(db, gd, interval, 2)
+        curves = {oid: gd(traj) for oid, traj in db.all_items()}
+        for t in interval.sample_points(33):
+            a, b = sweep.at(t), naive.at(t)
+            if a == b:
+                continue
+            # Substituted members must have identical distance values.
+            for left, right in zip(sorted(a - b, key=str), sorted(b - a, key=str)):
+                assert curves[left](t) == pytest.approx(curves[right](t), abs=1e-6)
+
+
+class TestAirways:
+    def test_chords_inside_sector(self):
+        db = airway_mod(10, seed=5, radius=300.0)
+        for oid, traj in db.all_items():
+            for t in traj.domain.sample_points(9):
+                assert traj.position(t).norm() <= 300.0 + 1e-6
+
+    def test_constant_speed(self):
+        db = airway_mod(10, seed=6, speed=8.0)
+        for oid, traj in db.all_items():
+            probe = traj.domain.lo + 0.1
+            assert traj.speed(probe) == pytest.approx(8.0)
+
+    def test_conflicts_exist_in_dense_sector(self):
+        db = airway_mod(14, seed=7, radius=200.0)
+        domains = [traj.domain for _, traj in db.all_items()]
+        lo = min(d.lo for d in domains)
+        hi = max(d.hi for d in domains)
+        conflicts = separation_conflicts(db, 15.0, Interval(lo, hi))
+        assert conflicts, "a dense sector should produce conflicts"
