@@ -60,7 +60,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # Example 1 + 2: the airplane and its landing update.
     # ------------------------------------------------------------------
-    db = MovingObjectDatabase(initial_time=-1.0)
+    db = MovingObjectDatabase(initial_time=22.0)  # past Example 1's last turn
     db.install("N4071K", example1_airplane())
     print("Example 1 airplane:")
     print(f"  turn at t=21 at position {db.position('N4071K', 21.0)}")

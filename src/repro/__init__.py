@@ -49,6 +49,9 @@ from repro.mod.log import RecordingDatabase, UpdateLog
 from repro.mod.updates import ChangeDirection, New, Terminate
 from repro.query.answers import SnapshotAnswer
 from repro.query.query import Query, knn_query, within_query
+from repro.resilience.ingest import IngestPipeline, IngestStats, RejectedUpdate
+from repro.resilience.supervisor import SupervisedQuerySession, SupervisorStats
+from repro.resilience.wal import WriteAheadLog, recover
 from repro.sweep.engine import SweepEngine
 from repro.trajectory.builder import from_waypoints, linear_from, stationary
 from repro.trajectory.trajectory import Trajectory
@@ -61,6 +64,8 @@ __all__ = [
     "ContinuousQuerySession",
     "CoordinateValue",
     "GDistance",
+    "IngestPipeline",
+    "IngestStats",
     "Interval",
     "IntervalSet",
     "MovingObjectDatabase",
@@ -69,21 +74,26 @@ __all__ = [
     "PolynomialApproximation",
     "Query",
     "RecordingDatabase",
+    "RejectedUpdate",
     "SnapshotAnswer",
     "SquaredArrivalTimeGDistance",
     "SquaredEuclideanDistance",
+    "SupervisedQuerySession",
+    "SupervisorStats",
     "SweepEngine",
     "Terminate",
     "Trajectory",
     "UpdateLog",
     "Vector",
     "WeightedSquaredDistance",
+    "WriteAheadLog",
     "evaluate_knn",
     "evaluate_query",
     "evaluate_within",
     "from_waypoints",
     "knn_query",
     "linear_from",
+    "recover",
     "stationary",
     "within_query",
 ]

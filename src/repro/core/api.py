@@ -185,12 +185,20 @@ class ContinuousQuerySession:
     def close(self, at: Optional[float] = None) -> SnapshotAnswer:
         """Detach from the database and return the snapshot answer
         accumulated from the session start to ``at`` (default: the
-        current sweep time)."""
+        current sweep time).
+
+        The session is guaranteed to be detached from the database when
+        this returns or raises — even when advancing the sweep or
+        finalizing the engine fails — so a broken engine can never keep
+        receiving (and re-raising on) future updates.
+        """
         if self._closed:
             raise RuntimeError("session already closed")
         self._closed = True
-        self._db.unsubscribe(self._engine.on_update)
-        if at is not None:
-            self._engine.advance_to(at)
-        self._engine.finalize()
+        try:
+            if at is not None:
+                self._engine.advance_to(at)
+            self._engine.finalize()
+        finally:
+            self._db.unsubscribe(self._engine.on_update)
         return self._view.answer()

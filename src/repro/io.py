@@ -41,6 +41,52 @@ def _bound_from_json(value: Union[float, str]) -> float:
 
 
 # ---------------------------------------------------------------------------
+# Object identifiers
+#
+# JSON object keys are strings, so a naive ``str(oid)`` key loses the
+# oid's type on the way back (integer oids reload as strings and no
+# longer match the originals).  Keys therefore carry a one-letter type
+# tag; tuple oids (e.g. composite fleet/vehicle ids) nest via JSON.
+# Untagged keys from files written before the tag existed fall back to
+# plain strings.
+# ---------------------------------------------------------------------------
+def oid_to_key(oid: Any) -> str:
+    """Encode an object id as a type-preserving JSON object key."""
+    if isinstance(oid, str):
+        return "s:" + oid
+    if isinstance(oid, bool):  # bool before int: bool is an int subclass
+        return "b:" + ("1" if oid else "0")
+    if isinstance(oid, int):
+        return "i:" + str(oid)
+    if isinstance(oid, float):
+        return "f:" + repr(oid)
+    if isinstance(oid, tuple):
+        return "t:" + json.dumps([oid_to_key(item) for item in oid])
+    raise TypeError(f"cannot encode object id of type {type(oid).__name__}: {oid!r}")
+
+
+def oid_from_key(key: str) -> Any:
+    """Decode an object id key written by :func:`oid_to_key`.
+
+    Untagged keys (legacy files) decode as plain strings.
+    """
+    tag, sep, body = key.partition(":")
+    if not sep:
+        return key
+    if tag == "s":
+        return body
+    if tag == "b":
+        return body == "1"
+    if tag == "i":
+        return int(body)
+    if tag == "f":
+        return float(body)
+    if tag == "t":
+        return tuple(oid_from_key(item) for item in json.loads(body))
+    return key  # unrecognized prefix: treat as a legacy plain-string oid
+
+
+# ---------------------------------------------------------------------------
 # Trajectories
 # ---------------------------------------------------------------------------
 def trajectory_to_dict(trajectory: Trajectory) -> Dict[str, Any]:
@@ -140,7 +186,7 @@ def database_to_dict(db: MovingObjectDatabase) -> Dict[str, Any]:
     terminated: Dict[str, Any] = {}
     for oid, traj in db.all_items():
         target = terminated if db.is_terminated(oid) else live
-        target[str(oid)] = trajectory_to_dict(traj)
+        target[oid_to_key(oid)] = trajectory_to_dict(traj)
     return {
         "tau": db.last_update_time,
         "live": live,
@@ -151,15 +197,17 @@ def database_to_dict(db: MovingObjectDatabase) -> Dict[str, Any]:
 def database_from_dict(data: Dict[str, Any]) -> MovingObjectDatabase:
     """Deserialize a MOD.
 
-    Object identifiers become strings (JSON keys); terminated objects
-    are installed via their (finite-domain) trajectories.
+    Object identifiers round-trip through the tagged keys of
+    :func:`oid_to_key` (legacy untagged keys decode as strings);
+    terminated objects are installed via their (finite-domain)
+    trajectories.  The clock is set to ``tau`` before installing so
+    historical turns satisfy Definition 2's invariant throughout.
     """
-    db = MovingObjectDatabase(initial_time=-math.inf)
-    for oid, raw in data["live"].items():
-        db.install(oid, trajectory_from_dict(raw))
-    for oid, raw in data["terminated"].items():
-        db.install(oid, trajectory_from_dict(raw))
-    db.advance_clock(float(data["tau"]))
+    db = MovingObjectDatabase(initial_time=float(data["tau"]))
+    for key, raw in data["live"].items():
+        db.install(oid_from_key(key), trajectory_from_dict(raw))
+    for key, raw in data["terminated"].items():
+        db.install(oid_from_key(key), trajectory_from_dict(raw))
     return db
 
 

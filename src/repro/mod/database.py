@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.geometry.tolerance import DEFAULT_ATOL
 from repro.geometry.vectors import Vector
 from repro.mod.updates import ChangeDirection, New, ObjectId, Terminate, Update
 from repro.trajectory.builder import linear_from
@@ -107,7 +108,7 @@ class MovingObjectDatabase:
         """Assert Definition 2's invariant: all turns are ``<= tau``."""
         for oid, traj in self.all_items():
             last = traj.last_turn
-            if last is not None and last > self._last_update_time + 1e-9:
+            if last is not None and last > self._last_update_time + DEFAULT_ATOL:
                 raise AssertionError(
                     f"object {oid!r} has a turn at {last} after tau="
                     f"{self._last_update_time}"
@@ -119,8 +120,16 @@ class MovingObjectDatabase:
         self._listeners.append(listener)
 
     def unsubscribe(self, listener: UpdateListener) -> None:
-        """Remove a previously registered callback."""
-        self._listeners.remove(listener)
+        """Remove a previously registered callback.
+
+        Detaching a listener that is not subscribed is a no-op, so
+        teardown paths (session close, supervisor rebuilds) can always
+        unsubscribe defensively.
+        """
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def apply(self, update: Update) -> None:
         """Apply one update, enforcing chronological order and validity."""
@@ -210,6 +219,13 @@ class MovingObjectDatabase:
             self._dimension = trajectory.dimension
         elif trajectory.dimension != self._dimension:
             raise ValueError("dimension mismatch")
+        last = trajectory.last_turn
+        if last is not None and last > self._last_update_time + DEFAULT_ATOL:
+            raise ValueError(
+                f"cannot install {oid!r}: turn at {last} is after "
+                f"tau={self._last_update_time} (Definition 2 requires all "
+                f"turns at or before tau)"
+            )
         if math.isfinite(trajectory.domain.hi):
             self._terminated[oid] = trajectory
         else:

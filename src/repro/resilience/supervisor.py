@@ -1,0 +1,240 @@
+"""Self-healing continuous query sessions.
+
+A :class:`~repro.core.api.ContinuousQuerySession` subscribes its sweep
+engine directly to the database: one exception out of
+:meth:`SweepEngine.on_update` propagates through
+:meth:`MovingObjectDatabase.apply` and leaves a permanently wedged
+engine attached to the listener list.  The canonical trigger is a
+probe/update race: the caller advances the session to inspect the
+answer "now", then an update arrives with a timestamp behind the
+advanced sweep line — valid for the database, in the past for the
+engine.
+
+:class:`SupervisedQuerySession` interposes a guard listener instead.
+When the engine throws, the supervisor detaches it, salvages the
+answer accumulated up to the last database timestamp (everything after
+it is unreliable — the engine advanced without the update), and builds
+a fresh engine and view from current database state.  That rebuild is
+exactly the paper's Theorem 5 initialization step — ``O(N log N)`` —
+so a continuous query degrades to a re-initialization instead of
+dying.  Segment answers are stitched back together at :meth:`close`,
+so the session's final :class:`SnapshotAnswer` covers the whole
+session interval as if nothing had failed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.api import QueryLike, _as_gdistance
+from repro.gdist.base import GDistance
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ObjectId, Update
+from repro.query.answers import SnapshotAnswer
+from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import ContinuousKNN
+from repro.sweep.within import ContinuousWithin
+
+EngineFactory = Callable[[float], Tuple[SweepEngine, object]]
+
+
+@dataclass
+class SupervisorStats:
+    """Failure and recovery counters for one supervised session."""
+
+    failures: int = 0
+    rebuilds: int = 0
+    salvage_losses: int = 0  # views too broken to contribute a segment
+
+
+def _clip(answer: SnapshotAnswer, lo: float, hi: float) -> SnapshotAnswer:
+    """Restrict an answer to ``[lo, hi]``."""
+    window = IntervalSet([Interval(lo, hi)])
+    return SnapshotAnswer(
+        {
+            oid: answer.intervals_for(oid).intersect(window)
+            for oid in answer.objects
+        },
+        Interval(lo, hi),
+    )
+
+
+class SupervisedQuerySession:
+    """A continuous k-NN / within-range session that survives engine
+    failures by rebuilding from database state.
+
+    Construct with :meth:`knn` or :meth:`within` (mirroring
+    :class:`~repro.core.api.ContinuousQuerySession`).  The supervisor —
+    not the engine — subscribes to the database; engine exceptions are
+    caught, counted in :attr:`stats`, and answered with a rebuild.
+    """
+
+    def __init__(
+        self,
+        db: MovingObjectDatabase,
+        factory: EngineFactory,
+        until: float = math.inf,
+        start: Optional[float] = None,
+    ) -> None:
+        self._db = db
+        self._factory = factory
+        self._until = until
+        t0 = db.last_update_time if start is None else start
+        self._origin = t0
+        self._segments: List[SnapshotAnswer] = []
+        self.stats = SupervisorStats()
+        self._engine, self._view = factory(t0)
+        self._segment_start = t0
+        self._closed = False
+        db.subscribe(self._guard)
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def knn(
+        cls,
+        db: MovingObjectDatabase,
+        query: QueryLike,
+        k: int = 1,
+        until: float = math.inf,
+        start: Optional[float] = None,
+    ) -> "SupervisedQuerySession":
+        """A supervised continuous k-NN session."""
+        gdistance = _as_gdistance(query)
+
+        def factory(t: float) -> Tuple[SweepEngine, object]:
+            engine = SweepEngine(db, gdistance, Interval(t, until))
+            return engine, ContinuousKNN(engine, k)
+
+        return cls(db, factory, until=until, start=start)
+
+    @classmethod
+    def within(
+        cls,
+        db: MovingObjectDatabase,
+        query: QueryLike,
+        distance: float,
+        until: float = math.inf,
+        start: Optional[float] = None,
+    ) -> "SupervisedQuerySession":
+        """A supervised continuous within-range session."""
+        gdistance = _as_gdistance(query)
+        threshold = (
+            distance * distance
+            if not isinstance(query, GDistance)
+            else float(distance)
+        )
+
+        def factory(t: float) -> Tuple[SweepEngine, object]:
+            engine = SweepEngine(
+                db, gdistance, Interval(t, until), constants=[threshold]
+            )
+            return engine, ContinuousWithin(engine, threshold)
+
+        return cls(db, factory, until=until, start=start)
+
+    # -- live inspection ----------------------------------------------------
+    @property
+    def engine(self) -> SweepEngine:
+        """The engine currently in force (changes across rebuilds)."""
+        return self._engine
+
+    @property
+    def current_time(self) -> float:
+        """The current sweep position."""
+        return self._engine.current_time
+
+    @property
+    def members(self) -> Set[ObjectId]:
+        """The current answer set."""
+        return self._view.members
+
+    # -- the guard ----------------------------------------------------------
+    def _guard(self, update: Update) -> None:
+        if self._closed:  # pragma: no cover - defensive; close() detaches
+            return
+        try:
+            self._engine.on_update(update)
+        except Exception:
+            self.stats.failures += 1
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Detach the broken engine, salvage its answer, start fresh.
+
+        The salvaged segment ends at the database's ``tau``: the failed
+        engine may have swept past it (a probe/update race), but its
+        answer beyond the last applied update is unreliable.  The new
+        engine re-initializes from current database state — the
+        Theorem 5 ``O(N log N)`` step.
+        """
+        now = self._db.last_update_time
+        self._salvage(upto=now)
+        self._engine, self._view = self._factory(now)
+        self._segment_start = now
+        self.stats.rebuilds += 1
+
+    def _salvage(self, upto: float) -> None:
+        try:
+            self._engine.finalize()
+            answer = self._view.answer()
+        except Exception:
+            # The view is broken beyond salvage; the segment is lost
+            # but the session survives — the rebuild re-reads database
+            # state, which is authoritative.
+            self.stats.salvage_losses += 1
+            return
+        self._segments.append(_clip(answer, self._segment_start, upto))
+
+    # -- probing ------------------------------------------------------------
+    def advance_to(self, t: float) -> Set[ObjectId]:
+        """Advance the sweep (never backwards) and return the answer.
+
+        A failure during event processing triggers the same salvage and
+        rebuild as an update failure; the rebuilt engine is advanced to
+        ``t`` before returning.
+        """
+        try:
+            self._engine.advance_to(max(t, self._engine.current_time))
+        except Exception:
+            self.stats.failures += 1
+            self._rebuild()
+            self._engine.advance_to(max(t, self._engine.current_time))
+        return self.members
+
+    # -- teardown -----------------------------------------------------------
+    def close(self, at: Optional[float] = None) -> SnapshotAnswer:
+        """Detach and return the stitched whole-session answer.
+
+        The result covers ``[session start, end]`` across every rebuild:
+        per object, the union of the membership intervals of all
+        salvaged segments plus the live one.  The session is always
+        detached from the database on return, even if finalization
+        fails.
+        """
+        if self._closed:
+            raise RuntimeError("session already closed")
+        self._closed = True
+        try:
+            if at is not None:
+                self._engine.advance_to(max(at, self._engine.current_time))
+            end = self._engine.current_time
+            self._engine.finalize()
+            self._segments.append(
+                _clip(self._view.answer(), self._segment_start, end)
+            )
+        finally:
+            self._db.unsubscribe(self._guard)
+        return self._merged(end)
+
+    def _merged(self, end: float) -> SnapshotAnswer:
+        memberships: Dict[ObjectId, IntervalSet] = {}
+        for segment in self._segments:
+            for oid in segment.objects:
+                ivs = segment.intervals_for(oid)
+                memberships[oid] = (
+                    memberships[oid].union(ivs) if oid in memberships else ivs
+                )
+        return SnapshotAnswer(memberships, Interval(self._origin, end))

@@ -1,0 +1,181 @@
+"""Write-ahead logging and crash recovery for a MOD.
+
+Durability layout (one directory per database):
+
+- ``wal.jsonl`` — one JSON line per accepted update, appended in apply
+  order via the :mod:`repro.io` update codecs and flushed (optionally
+  fsynced) per line;
+- ``checkpoint.json`` — the latest database snapshot
+  (:func:`repro.io.database_to_dict`), written atomically via a
+  temporary file and ``os.replace``.
+
+:func:`recover` rebuilds the database after a crash: load the
+checkpoint (if any), then replay the WAL tail — every logged update
+with a timestamp after the checkpoint's ``tau``.  A process killed
+mid-``append`` leaves a truncated final line; recovery detects it,
+skips it, and (by default) truncates the file back to the last intact
+line so subsequent appends produce a clean log.  Corruption anywhere
+*before* the final line is not a crash artifact and raises
+:class:`WalCorruptionError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Tuple
+
+from repro.io import database_to_dict, database_from_dict, update_from_dict, update_to_dict
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.log import UpdateLog
+from repro.mod.updates import Update
+
+WAL_FILENAME = "wal.jsonl"
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+
+class WalCorruptionError(RuntimeError):
+    """The WAL is damaged beyond what a crash can explain."""
+
+
+class WriteAheadLog:
+    """Append-only durable log of accepted updates, plus checkpoints.
+
+    ``fsync=True`` (the default) forces every appended line to stable
+    storage before returning — the strongest guarantee and the honest
+    configuration for crash-recovery claims; ``fsync=False`` flushes to
+    the OS only, trading the durability of the last few updates for
+    throughput.
+    """
+
+    def __init__(self, directory: str, fsync: bool = True) -> None:
+        self._directory = str(directory)
+        os.makedirs(self._directory, exist_ok=True)
+        self._fsync = fsync
+        self._handle = open(self.wal_path, "a", encoding="utf-8")
+        self._appended = 0
+        self._closed = False
+
+    # -- paths --------------------------------------------------------------
+    @property
+    def directory(self) -> str:
+        """The durability directory."""
+        return self._directory
+
+    @property
+    def wal_path(self) -> str:
+        """Path of the JSONL update log."""
+        return os.path.join(self._directory, WAL_FILENAME)
+
+    @property
+    def checkpoint_path(self) -> str:
+        """Path of the snapshot file."""
+        return os.path.join(self._directory, CHECKPOINT_FILENAME)
+
+    @property
+    def appended(self) -> int:
+        """Updates appended through this handle."""
+        return self._appended
+
+    # -- writing ------------------------------------------------------------
+    def append(self, update: Update) -> None:
+        """Durably append one update as a JSON line."""
+        if self._closed:
+            raise RuntimeError("write-ahead log is closed")
+        line = json.dumps(update_to_dict(update), separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+        self._appended += 1
+
+    def checkpoint(self, db: MovingObjectDatabase) -> None:
+        """Atomically snapshot the database next to the WAL.
+
+        The snapshot lands via a temporary file and ``os.replace`` so a
+        crash mid-checkpoint leaves the previous checkpoint intact.
+        """
+        tmp_path = self.checkpoint_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(database_to_dict(db), handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.checkpoint_path)
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _read_wal(path: str, repair: bool) -> List[Update]:
+    """Parse the WAL, handling a crash-truncated final line."""
+    updates: List[Update] = []
+    good_offset = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            good_offset += len(line.encode("utf-8"))
+            continue
+        try:
+            updates.append(update_from_dict(json.loads(stripped)))
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
+            if index == len(lines) - 1:
+                # A process killed mid-append leaves exactly this:
+                # a truncated (or garbled) final line.  Skip it.
+                if repair:
+                    _truncate_file(path, good_offset)
+                return updates
+            raise WalCorruptionError(
+                f"{path}: line {index + 1} is corrupt but is not the "
+                f"final line — not a crash artifact ({exc})"
+            ) from exc
+        good_offset += len(line.encode("utf-8"))
+    return updates
+
+
+def _truncate_file(path: str, offset: int) -> None:
+    with open(path, "r+b") as handle:
+        handle.truncate(offset)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def recover(
+    directory: str, repair: bool = True
+) -> Tuple[MovingObjectDatabase, UpdateLog]:
+    """Rebuild ``(database, update log)`` from a durability directory.
+
+    Loads the checkpoint when present (otherwise starts from an empty
+    database), then replays every WAL update with a timestamp after the
+    checkpoint's ``tau``.  The returned :class:`UpdateLog` holds *all*
+    intact WAL entries — including those the checkpoint already covers
+    — so callers can re-derive any prefix state.
+
+    With ``repair=True`` (default) a crash-truncated final WAL line is
+    removed from the file so the recovered process can keep appending
+    to a clean log.
+    """
+    checkpoint_path = os.path.join(str(directory), CHECKPOINT_FILENAME)
+    wal_path = os.path.join(str(directory), WAL_FILENAME)
+    if os.path.exists(checkpoint_path):
+        with open(checkpoint_path, "r", encoding="utf-8") as handle:
+            db = database_from_dict(json.load(handle))
+    else:
+        db = MovingObjectDatabase(initial_time=float("-inf"))
+    updates: List[Update] = []
+    if os.path.exists(wal_path):
+        updates = _read_wal(wal_path, repair=repair)
+    for update in updates:
+        if update.time > db.last_update_time:
+            db.apply(update)
+    return db, UpdateLog(updates)

@@ -1,6 +1,8 @@
-"""Synthetic workloads: random MODs, update streams, and the paper's
-worked scenarios (Figures 1-3, Examples 1, 2, 12)."""
+"""Synthetic workloads: random MODs, update streams, fault-injected
+streams, and the paper's worked scenarios (Figures 1-3, Examples 1, 2,
+12)."""
 
+from repro.workloads.faults import FaultInjector, FaultReport, inject_faults
 from repro.workloads.generator import (
     UpdateStream,
     banded_mod,
@@ -15,12 +17,15 @@ from repro.workloads.paperfigures import (
 )
 
 __all__ = [
+    "FaultInjector",
+    "FaultReport",
     "UpdateStream",
     "banded_mod",
     "crossing_rich_mod",
     "example12_scenario",
     "figure1_configuration",
     "figure2_scenario",
+    "inject_faults",
     "random_linear_mod",
     "random_piecewise_mod",
 ]

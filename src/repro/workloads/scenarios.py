@@ -45,8 +45,8 @@ def manhattan_grid_mod(
     if not 0.0 <= speed_jitter < 1.0:
         raise ValueError("speed_jitter must be in [0, 1)")
     rng = random.Random(seed)
-    db = MovingObjectDatabase(initial_time=start_time)
     moves = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+    routes = []
     for i in range(count):
         vehicle_speed = speed * (
             1.0 + rng.uniform(-speed_jitter, speed_jitter)
@@ -73,7 +73,13 @@ def manhattan_grid_mod(
             t += leg_duration
             waypoints.append((t, [ix * block, iy * block]))
             previous = (dx, dy)
-        db.install(f"veh{i}", from_waypoints(waypoints, extend=False))
+        routes.append((f"veh{i}", from_waypoints(waypoints, extend=False)))
+    # A past-history workload: the clock sits at the end of the driven
+    # routes so every turn respects Definition 2 (turns <= tau).
+    horizon = max(traj.domain.hi for _, traj in routes)
+    db = MovingObjectDatabase(initial_time=max(start_time, horizon))
+    for oid, traj in routes:
+        db.install(oid, traj)
     return db
 
 

@@ -64,7 +64,8 @@ class TestViolationIntervalsProperty:
     @settings(max_examples=25, deadline=None)
     def test_sampling_agrees_with_intervals(self, seed, separation):
         rng = random.Random(seed)
-        db = MovingObjectDatabase()
+        # Histories are fully known: the clock sits past every turn.
+        db = MovingObjectDatabase(initial_time=WINDOW.hi + 1.0)
         db.install("a", random_trajectory(rng))
         db.install("b", random_trajectory(rng))
         conflicts = separation_conflicts(db, separation, WINDOW)

@@ -180,7 +180,7 @@ class TestExample3Entering:
         assert ev.answer(f, "y") == {"arriving"}
 
     def test_reentry_counts(self):
-        db = MovingObjectDatabase()
+        db = MovingObjectDatabase(initial_time=20.0)
         county = box([0.0, -1.0], [10.0, 1.0])
         # Crosses the region, leaves, comes back.
         db.install(

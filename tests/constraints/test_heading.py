@@ -71,7 +71,7 @@ class TestHeadingCompare:
         assert ev.answer(small, "y") == ev.answer(big, "y")
 
     def test_turning_object_changes_heading(self):
-        db = MovingObjectDatabase()
+        db = MovingObjectDatabase(initial_time=10.0)
         db.install(
             "turner",
             from_waypoints([(0, [0, 0]), (5, [5, 0]), (10, [5, 5])]),
@@ -84,7 +84,7 @@ class TestHeadingCompare:
         assert ev.answer(late, "y") == {"turner"}
 
     def test_always_heading_east(self):
-        db = MovingObjectDatabase()
+        db = MovingObjectDatabase(initial_time=10.0)
         db.install("steady", linear_from(0.0, [0, 0], [2.0, 0.0]))
         db.install(
             "wobbler",

@@ -201,3 +201,42 @@ class TestInstall:
         db.install("x", traj)
         with pytest.raises(ValueError):
             db.install("x", traj)
+
+    def test_install_future_turn_rejected(self):
+        # Definition 2: every turn must be at or before tau.  A clock at
+        # 0 cannot accept a history that turns at 5.
+        db = MovingObjectDatabase(initial_time=0.0)
+        traj = from_waypoints([(0, [0, 0]), (5, [5, 0]), (10, [5, 5])])
+        with pytest.raises(ValueError):
+            db.install("early", traj)
+
+    def test_install_turn_at_tau_accepted(self):
+        db = MovingObjectDatabase(initial_time=5.0)
+        traj = from_waypoints([(0, [0, 0]), (5, [5, 0]), (10, [5, 5])])
+        db.install("ok", traj)
+        db.check_invariants()
+
+    def test_install_turn_within_tolerance_accepted(self):
+        from repro.geometry.tolerance import DEFAULT_ATOL
+
+        db = MovingObjectDatabase(initial_time=5.0)
+        traj = from_waypoints(
+            [(0, [0, 0]), (5.0 + DEFAULT_ATOL / 2, [5, 0]), (10, [5, 5])]
+        )
+        db.install("edge", traj)
+        db.check_invariants()
+
+
+class TestUnsubscribe:
+    def test_unknown_listener_is_noop(self):
+        db = make_db()
+        db.unsubscribe(lambda u: None)  # never subscribed: no error
+
+    def test_double_unsubscribe_is_noop(self):
+        db = make_db()
+        seen = []
+        db.subscribe(seen.append)
+        db.unsubscribe(seen.append)
+        db.unsubscribe(seen.append)
+        db.change_direction("a", 3.0, [0, 1])
+        assert seen == []

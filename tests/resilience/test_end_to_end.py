@@ -1,0 +1,130 @@
+"""The full resilience acceptance scenario.
+
+A seeded faulty stream (duplicates, bounded reordering, spurious
+garbage) is ingested under the repair policy with a write-ahead log.
+Mid-stream the process "crashes", leaving a truncated WAL tail.
+Recovery rebuilds the database, ingestion resumes (the producer resends
+from the start — at-least-once delivery), and a supervised continuous
+k-NN session runs over the recovered MOD while a probe/update race
+forces an engine rebuild.  The stitched final answer must equal a clean
+uninterrupted run over the same interval, and the quarantine / dedup /
+rebuild counters must all have fired.
+"""
+
+import math
+import os
+
+from repro.core.api import ContinuousQuerySession
+from repro.io import database_to_dict
+from repro.mod.database import MovingObjectDatabase
+from repro.resilience.ingest import IngestPipeline
+from repro.resilience.supervisor import SupervisedQuerySession
+from repro.resilience.wal import WAL_FILENAME, WriteAheadLog, recover
+from repro.workloads.faults import FaultInjector
+from repro.workloads.generator import recorded_future_workload
+
+ORIGIN = [0.0, 0.0]
+
+
+def test_crash_recover_supervise_equivalence(tmp_path):
+    wal_dir = str(tmp_path)
+
+    # -- the clean truth and its faulty arrival order ----------------------
+    clean_db, _ = recorded_future_workload(8, 40, seed=5)
+    clean = clean_db.log.updates
+    faulty, report = FaultInjector(
+        seed=7,
+        duplicate_rate=0.15,
+        reorder_rate=0.25,
+        reorder_depth=3,
+        spurious_rate=0.1,
+    ).perturb(clean)
+    assert report.duplicated > 0
+    assert report.reordered > 0
+    assert report.spurious > 0
+    window = report.max_time_displacement + 1.0
+
+    # -- phase 1: ingest, then crash mid-stream ----------------------------
+    wal1 = WriteAheadLog(wal_dir)
+    db1 = MovingObjectDatabase(initial_time=-math.inf)
+    pipe1 = IngestPipeline(
+        db1, policy="repair", window=window, wal=wal1, checkpoint_every=8
+    )
+    cut = int(len(faulty) * 0.6)
+    pipe1.submit_all(faulty[:cut])
+    assert pipe1.stats.accepted > 0
+    wal1.close()
+    # The crash: no flush, no final checkpoint, and the last WAL append
+    # was cut short mid-line.
+    wal_path = os.path.join(wal_dir, WAL_FILENAME)
+    with open(wal_path, "ab") as handle:
+        handle.write(b'{"kind": "chdir", "oid": "n')
+    del pipe1, db1
+
+    # -- phase 2: recover and resume ---------------------------------------
+    db2, recovered_log = recover(wal_dir)
+    tau = db2.last_update_time
+    assert recovered_log.updates, "recovery found no intact WAL entries"
+    assert math.isfinite(tau)
+
+    # The recovered state is exactly the clean history up to its tau.
+    reference = MovingObjectDatabase(initial_time=-math.inf)
+    for update in clean:
+        if update.time <= tau:
+            reference.apply(update)
+    assert database_to_dict(db2) == database_to_dict(reference)
+
+    # Clean comparison run: an uninterrupted session over the same
+    # suffix of the clean stream.
+    clean_session = ContinuousQuerySession.knn(reference, ORIGIN, k=2)
+
+    supervised = SupervisedQuerySession.knn(db2, ORIGIN, k=2)
+
+    wal2 = WriteAheadLog(wal_dir)
+    pipe2 = IngestPipeline(db2, policy="repair", window=window, wal=wal2)
+
+    # At-least-once delivery: the producer resends the whole faulty
+    # stream.  Everything at or before tau is already durable and gets
+    # quarantined as late (or deduped); the suffix is repaired and
+    # applied.  Mid-resend, a probe far ahead of the stream forces the
+    # supervised engine into a rebuild.
+    probe_at = cut + (len(faulty) - cut) // 2
+    probe_time = None
+    clean_iter = iter([u for u in clean if u.time > tau])
+    applied_before = 0
+    for i, update in enumerate(faulty):
+        pipe2.submit(update)
+        # Keep the clean session fed in lockstep with what the repair
+        # pipeline has actually applied.
+        while applied_before < pipe2.stats.accepted:
+            reference.apply(next(clean_iter))
+            applied_before += 1
+        if i == probe_at:
+            probe_time = db2.last_update_time + 50.0
+            supervised.advance_to(probe_time)
+    pipe2.flush()
+    while applied_before < pipe2.stats.accepted:
+        reference.apply(next(clean_iter))
+        applied_before += 1
+    pipe2.close(checkpoint=True)
+    wal2.close()
+
+    # -- the acceptance assertions -----------------------------------------
+    assert pipe2.stats.quarantined > 0, "spurious/late updates must quarantine"
+    assert pipe2.stats.deduped > 0
+    assert supervised.stats.failures >= 1
+    assert supervised.stats.rebuilds >= 1
+
+    # Both databases hold the full clean history now.
+    assert database_to_dict(db2) == database_to_dict(reference)
+    assert db2.last_update_time == clean_db.last_update_time
+
+    end = max(reference.last_update_time + 5.0, probe_time + 1.0)
+    answer_clean = clean_session.close(at=end)
+    answer_supervised = supervised.close(at=end)
+    assert answer_supervised.approx_equals(answer_clean, atol=1e-6)
+
+    # And the durability directory is still coherent: one more recovery
+    # reproduces the final state.
+    db3, _ = recover(wal_dir)
+    assert database_to_dict(db3) == database_to_dict(db2)

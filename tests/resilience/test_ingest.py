@@ -1,0 +1,279 @@
+"""Tests for policy-driven ingest (strict / repair / quarantine)."""
+
+import math
+
+import pytest
+
+from repro.geometry.vectors import Vector
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ChangeDirection, New, Terminate
+from repro.resilience.ingest import (
+    APPLIED,
+    BUFFERED,
+    DEDUPED,
+    QUARANTINED,
+    REASON_ALREADY_EXISTS,
+    REASON_DIMENSION_MISMATCH,
+    REASON_LATE,
+    REASON_MALFORMED,
+    REASON_OUT_OF_ORDER,
+    REASON_UNDEFINED_AT_TIME,
+    REASON_UNKNOWN_OBJECT,
+    IngestPipeline,
+    validation_error,
+)
+from repro.resilience.wal import WriteAheadLog, recover
+from repro.trajectory.builder import linear_from
+from repro.workloads.faults import FaultInjector
+from repro.workloads.generator import recorded_future_workload
+
+
+def new(oid, t, pos=(0.0, 0.0), vel=(1.0, 0.0)):
+    return New(oid, t, Vector(list(vel)), Vector(list(pos)))
+
+
+class TestConstruction:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            IngestPipeline(MovingObjectDatabase(), policy="yolo")
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            IngestPipeline(MovingObjectDatabase(), policy="repair", window=-1.0)
+
+    def test_negative_checkpoint_every_rejected(self):
+        with pytest.raises(ValueError):
+            IngestPipeline(MovingObjectDatabase(), checkpoint_every=-1)
+
+
+class TestValidationError:
+    def test_valid_update_passes(self):
+        db = MovingObjectDatabase()
+        assert validation_error(db, new("a", 1.0)) is None
+
+    def test_out_of_order(self):
+        db = MovingObjectDatabase()
+        db.apply(new("a", 5.0))
+        reason, _ = validation_error(db, new("b", 5.0))
+        assert reason == REASON_OUT_OF_ORDER
+
+    def test_already_exists(self):
+        db = MovingObjectDatabase()
+        db.apply(new("a", 1.0))
+        reason, _ = validation_error(db, new("a", 2.0))
+        assert reason == REASON_ALREADY_EXISTS
+
+    def test_terminated_oid_cannot_be_recreated(self):
+        db = MovingObjectDatabase()
+        db.apply(new("a", 1.0))
+        db.apply(Terminate("a", 2.0))
+        reason, _ = validation_error(db, new("a", 3.0))
+        assert reason == REASON_ALREADY_EXISTS
+
+    def test_unknown_object(self):
+        db = MovingObjectDatabase()
+        db.apply(new("a", 1.0))
+        reason, _ = validation_error(db, Terminate("ghost", 2.0))
+        assert reason == REASON_UNKNOWN_OBJECT
+
+    def test_dimension_mismatch(self):
+        db = MovingObjectDatabase()
+        db.apply(new("a", 1.0))
+        bad = New("b", 2.0, Vector([1.0, 0.0, 0.0]), Vector([0.0, 0.0, 0.0]))
+        reason, _ = validation_error(db, bad)
+        assert reason == REASON_DIMENSION_MISMATCH
+
+    def test_undefined_at_time(self):
+        db = MovingObjectDatabase(initial_time=0.0)
+        # Live object whose trajectory only starts at t=5: a chdir in
+        # (tau, 5) is chronologically fine but hits undefined history.
+        db.install("late", linear_from(5.0, [0.0, 0.0], [1.0, 0.0]))
+        bad = ChangeDirection("late", 2.0, Vector([0.0, 1.0]))
+        reason, _ = validation_error(db, bad)
+        assert reason == REASON_UNDEFINED_AT_TIME
+
+    def test_malformed_not_an_update(self):
+        reason, _ = validation_error(MovingObjectDatabase(), {"kind": "new"})
+        assert reason == REASON_MALFORMED
+
+    def test_malformed_non_finite_time(self):
+        reason, _ = validation_error(
+            MovingObjectDatabase(), Terminate("a", math.nan)
+        )
+        assert reason == REASON_MALFORMED
+
+
+class TestStrictPolicy:
+    def test_valid_stream_applies(self):
+        db = MovingObjectDatabase()
+        pipe = IngestPipeline(db, policy="strict")
+        assert pipe.submit(new("a", 1.0)) == APPLIED
+        assert pipe.submit(ChangeDirection("a", 2.0, Vector([0.0, 1.0]))) == APPLIED
+        assert pipe.stats.accepted == 2
+        assert db.last_update_time == 2.0
+
+    def test_invalid_update_raises_with_reason(self):
+        db = MovingObjectDatabase()
+        pipe = IngestPipeline(db, policy="strict")
+        pipe.submit(new("a", 5.0))
+        with pytest.raises(ValueError, match=REASON_OUT_OF_ORDER):
+            pipe.submit(new("b", 4.0))
+        assert "b" not in db
+
+
+class TestQuarantinePolicy:
+    def test_invalid_updates_recorded_not_raised(self):
+        db = MovingObjectDatabase()
+        pipe = IngestPipeline(db, policy="quarantine")
+        pipe.submit(new("a", 5.0))
+        assert pipe.submit(new("b", 4.0)) == QUARANTINED
+        assert pipe.submit(Terminate("ghost", 6.0)) == QUARANTINED
+        assert pipe.submit(new("c", 7.0)) == APPLIED
+        assert pipe.stats.accepted == 2
+        assert pipe.stats.quarantined == 2
+        assert pipe.stats.by_reason == {
+            REASON_OUT_OF_ORDER: 1,
+            REASON_UNKNOWN_OBJECT: 1,
+        }
+        reasons = [r.reason for r in pipe.rejected]
+        assert reasons == [REASON_OUT_OF_ORDER, REASON_UNKNOWN_OBJECT]
+        # Rejected records carry the offending update and arrival index.
+        assert pipe.rejected[0].update.oid == "b"
+        assert pipe.rejected[0].sequence == 2
+
+
+class TestRepairPolicy:
+    def test_reorders_within_window(self):
+        db = MovingObjectDatabase()
+        pipe = IngestPipeline(db, policy="repair", window=5.0)
+        for t in (1.0, 3.0, 2.0):
+            assert pipe.submit(new(f"o{t}", t)) == BUFFERED
+        assert pipe.stats.reordered == 1
+        assert pipe.flush() == 3
+        # Applied in timestamp order despite arrival order.
+        assert db.last_update_time == 3.0
+        assert set(db.object_ids) == {"o1.0", "o2.0", "o3.0"}
+        assert pipe.stats.accepted == 3
+
+    def test_watermark_drains_buffer(self):
+        db = MovingObjectDatabase()
+        pipe = IngestPipeline(db, policy="repair", window=2.0)
+        pipe.submit(new("a", 1.0))
+        assert pipe.pending == 1
+        pipe.submit(new("b", 10.0))  # watermark -> 8: "a" drains
+        assert pipe.pending == 1
+        assert "a" in db
+        assert pipe.watermark == 8.0
+
+    def test_exact_duplicates_deduped(self):
+        db = MovingObjectDatabase()
+        pipe = IngestPipeline(db, policy="repair", window=5.0)
+        u = new("a", 1.0)
+        assert pipe.submit(u) == BUFFERED
+        assert pipe.submit(u) == DEDUPED          # still pending
+        pipe.submit(new("b", 10.0))               # drains "a"
+        assert pipe.submit(u) == DEDUPED          # already applied
+        pipe.flush()
+        assert pipe.stats.deduped == 2
+        assert pipe.stats.accepted == 2
+
+    def test_update_older_than_watermark_quarantined_late(self):
+        db = MovingObjectDatabase()
+        pipe = IngestPipeline(db, policy="repair", window=1.0)
+        pipe.submit(new("a", 1.0))
+        pipe.submit(new("b", 10.0))  # watermark 9, "a" applied, tau = 1
+        assert pipe.submit(new("c", 0.5)) == QUARANTINED
+        assert pipe.rejected[-1].reason == REASON_LATE
+
+    def test_malformed_quarantined_immediately(self):
+        db = MovingObjectDatabase()
+        pipe = IngestPipeline(db, policy="repair", window=5.0)
+        assert pipe.submit(Terminate("a", math.inf)) == QUARANTINED
+        assert pipe.rejected[-1].reason == REASON_MALFORMED
+
+    def test_garbage_in_buffer_quarantined_at_drain(self):
+        db = MovingObjectDatabase()
+        pipe = IngestPipeline(db, policy="repair", window=5.0)
+        pipe.submit(new("a", 1.0))
+        pipe.submit(ChangeDirection("ghost", 2.0, Vector([1.0, 0.0])))
+        pipe.flush()
+        assert "a" in db
+        assert pipe.stats.quarantined == 1
+        assert pipe.rejected[-1].reason == REASON_UNKNOWN_OBJECT
+
+
+class TestWalIntegration:
+    def test_accepted_updates_logged_and_checkpointed(self, tmp_path):
+        db = MovingObjectDatabase()
+        with WriteAheadLog(str(tmp_path)) as wal:
+            pipe = IngestPipeline(
+                db, policy="strict", wal=wal, checkpoint_every=2
+            )
+            for t in (1.0, 2.0, 3.0):
+                pipe.submit(new(f"o{t}", t))
+            assert wal.appended == 3
+            assert pipe.stats.checkpoints == 1  # after the 2nd accept
+            pipe.close(checkpoint=True)
+            assert pipe.stats.checkpoints == 2
+        recovered, log = recover(str(tmp_path))
+        assert set(recovered.object_ids) == set(db.object_ids)
+        assert len(log.updates) == 3
+
+    def test_quarantined_updates_not_logged(self, tmp_path):
+        db = MovingObjectDatabase()
+        with WriteAheadLog(str(tmp_path)) as wal:
+            pipe = IngestPipeline(db, policy="quarantine", wal=wal)
+            pipe.submit(new("a", 2.0))
+            pipe.submit(new("b", 1.0))  # out of order -> quarantined
+            assert wal.appended == 1
+
+
+class TestRandomizedEquivalence:
+    """The satellite acceptance test: a seeded faulty stream (duplicates
+    plus bounded reordering) repaired by the ingest pipeline yields a MOD
+    whose snapshots match the clean stream's; strict mode raises."""
+
+    @pytest.mark.parametrize("seed", [5, 17, 42])
+    def test_repair_matches_clean(self, seed):
+        clean_db, _ = recorded_future_workload(8, 40, seed=seed)
+        clean = clean_db.log.updates
+        faulty, report = FaultInjector(
+            seed=seed + 1,
+            duplicate_rate=0.15,
+            reorder_rate=0.25,
+            reorder_depth=3,
+        ).perturb(clean)
+        assert report.duplicated > 0 and report.reordered > 0
+
+        repaired = MovingObjectDatabase(initial_time=-math.inf)
+        pipe = IngestPipeline(
+            repaired,
+            policy="repair",
+            window=report.max_time_displacement + 1.0,
+        )
+        pipe.submit_all(faulty)
+        pipe.flush()
+
+        assert pipe.stats.deduped > 0
+        assert pipe.stats.quarantined == 0
+        assert pipe.stats.accepted == len(clean)
+        assert repaired.last_update_time == clean_db.last_update_time
+        tau = clean_db.last_update_time
+        for frac in (0.25, 0.5, 0.75, 1.0):
+            t = tau * frac
+            assert repaired.snapshot(t) == clean_db.snapshot(t)
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_strict_raises_on_same_stream(self, seed):
+        clean_db, _ = recorded_future_workload(8, 40, seed=seed)
+        faulty, _ = FaultInjector(
+            seed=seed + 1,
+            duplicate_rate=0.15,
+            reorder_rate=0.25,
+            reorder_depth=3,
+        ).perturb(clean_db.log.updates)
+        pipe = IngestPipeline(
+            MovingObjectDatabase(initial_time=-math.inf), policy="strict"
+        )
+        with pytest.raises(ValueError, match=REASON_OUT_OF_ORDER):
+            pipe.submit_all(faulty)

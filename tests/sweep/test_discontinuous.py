@@ -25,7 +25,7 @@ from repro.workloads.generator import UpdateStream, random_piecewise_mod
 class TestHistoricalJumps:
     def test_leap_over_nonneighbor_detected(self):
         """A curve jumping across several others at a turn."""
-        db = MovingObjectDatabase()
+        db = MovingObjectDatabase(initial_time=10.0)
         # Approach rates: slow (-1), medium (-2)...; jumper goes from
         # receding (+) to diving steeply (very negative) at t=5, leaping
         # from last place to first in the approach-rate order.
@@ -44,7 +44,7 @@ class TestHistoricalJumps:
         assert sweep.holds_at("jumper", 6.0)
 
     def test_reinsertions_counted(self):
-        db = MovingObjectDatabase()
+        db = MovingObjectDatabase(initial_time=10.0)
         db.install("a", stationary([50.0, 0.0]))
         db.install(
             "b",

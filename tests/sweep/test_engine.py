@@ -121,7 +121,7 @@ class TestOrderMaintenance:
 
     def test_tangent_curves_do_not_swap(self):
         # Curves touching without crossing: same distance at one instant.
-        db = MovingObjectDatabase()
+        db = MovingObjectDatabase(initial_time=20.0)
         db.install("a", stationary([5.0, 0.0]))
         # b dips to exactly distance 5 at t=10 then retreats.
         db.install(

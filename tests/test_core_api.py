@@ -156,3 +156,31 @@ class TestContinuousSession:
             2,
         )
         assert answer.approx_equals(naive, atol=1e-6)
+
+
+class TestSessionTeardownRobustness:
+    def test_close_unsubscribes_even_if_finalize_raises(self):
+        db = MovingObjectDatabase()
+        db.create("a", 1.0, position=[5.0, 0.0], velocity=[0.0, 0.0])
+        session = ContinuousQuerySession.knn(db, [0.0, 0.0], k=1)
+
+        def explode():
+            raise RuntimeError("finalize failed")
+
+        session._engine.finalize = explode
+        with pytest.raises(RuntimeError):
+            session.close(at=2.0)
+        # The engine must be detached regardless: later updates cannot
+        # reach it (and in particular cannot raise out of db.apply).
+        db.create("late", 3.0, position=[0.1, 0.0], velocity=[0.0, 0.0])
+        assert session.engine.stats.updates_applied == 0
+
+    def test_close_after_failed_close_still_rejected(self):
+        db = MovingObjectDatabase()
+        db.create("a", 1.0, position=[5.0, 0.0], velocity=[0.0, 0.0])
+        session = ContinuousQuerySession.knn(db, [0.0, 0.0], k=1)
+        session._engine.finalize = lambda: (_ for _ in ()).throw(RuntimeError())
+        with pytest.raises(RuntimeError):
+            session.close(at=2.0)
+        with pytest.raises(RuntimeError):
+            session.close()

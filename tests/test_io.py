@@ -123,3 +123,46 @@ class TestDatabaseRoundTrip:
         original = evaluate_knn(db, [0.0, 0.0], interval, 2)
         restored = evaluate_knn(clone, [0.0, 0.0], interval, 2)
         assert {str(o) for o in original.objects} == restored.objects
+
+
+class TestOidTypeFidelity:
+    """JSON object keys are strings; the tagged oid codec must bring
+    int, str, bool, float, and tuple oids back with their types."""
+
+    @pytest.mark.parametrize(
+        "oid",
+        ["cab-7", "", 42, -3, 0, True, False, 2.5, ("fleet", 9), (1, (2, 3))],
+    )
+    def test_key_round_trip(self, oid):
+        from repro.io import oid_from_key, oid_to_key
+
+        key = oid_to_key(oid)
+        assert isinstance(key, str)
+        back = oid_from_key(key)
+        assert back == oid and type(back) is type(oid)
+
+    def test_legacy_untagged_key_reads_as_string(self):
+        from repro.io import oid_from_key
+
+        assert oid_from_key("plain-old-key") == "plain-old-key"
+
+    def test_database_round_trip_preserves_oid_types(self):
+        db = MovingObjectDatabase()
+        db.create(7, 1.0, position=[0.0, 0.0], velocity=[1.0, 0.0])
+        db.create("seven", 2.0, position=[1.0, 1.0], velocity=[0.0, 1.0])
+        db.create(("fleet", 3), 3.0, position=[2.0, 2.0], velocity=[1.0, 1.0])
+        db.create(9, 4.0, position=[5.0, 5.0], velocity=[0.0, 0.0])
+        db.terminate(9, 5.0)  # terminated oids must round-trip too
+        clone = database_from_dict(database_to_dict(db))
+        assert set(clone.object_ids) == {7, "seven", ("fleet", 3)}
+        assert clone.is_terminated(9)
+        for oid in (7, "seven", ("fleet", 3)):
+            assert clone.position(oid, 6.0) == db.position(oid, 6.0)
+
+    def test_file_round_trip_preserves_oid_types(self, tmp_path):
+        db = MovingObjectDatabase()
+        db.create(1, 1.0, position=[0.0], velocity=[1.0])
+        path = str(tmp_path / "mod.json")
+        save_database(db, path)
+        clone = load_database(path)
+        assert set(clone.object_ids) == {1}

@@ -142,8 +142,8 @@ class TestQueryStability:
         """Simplification within a small tolerance leaves k-NN answers
         intact away from decision boundaries."""
         rng = random.Random(21)
-        db = MovingObjectDatabase()
-        simplified_db = MovingObjectDatabase()
+        db = MovingObjectDatabase(initial_time=11.0)
+        simplified_db = MovingObjectDatabase(initial_time=11.0)
         for i in range(5):
             waypoints = [(0.0, [rng.uniform(-20, 20), rng.uniform(-20, 20)])]
             position = Vector(waypoints[0][1])

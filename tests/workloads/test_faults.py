@@ -1,0 +1,155 @@
+"""Tests for the seeded fault-injection harness."""
+
+import math
+
+import pytest
+
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.log import RecordingDatabase
+from repro.resilience.ingest import validation_error
+from repro.workloads.faults import FaultInjector, FaultReport, inject_faults
+from repro.workloads.generator import UpdateStream, recorded_future_workload
+
+
+def clean_stream(objects=6, updates=25, seed=11):
+    db, _ = recorded_future_workload(objects, updates, seed=seed)
+    return db.log.updates
+
+
+class TestFaultReport:
+    def test_total_sums_all_classes(self):
+        report = FaultReport(
+            dropped=1, duplicated=2, reordered=3, jittered=4, corrupted=5,
+            spurious=6,
+        )
+        assert report.total == 21
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        updates = clean_stream()
+        inj = dict(
+            duplicate_rate=0.2, reorder_rate=0.3, drop_rate=0.1,
+            corrupt_rate=0.05, spurious_rate=0.05,
+        )
+        a, ra = FaultInjector(seed=4, **inj).perturb(updates)
+        b, rb = FaultInjector(seed=4, **inj).perturb(updates)
+        assert a == b
+        assert ra == rb
+
+    def test_different_seed_different_output(self):
+        updates = clean_stream()
+        a, _ = FaultInjector(seed=1, reorder_rate=0.5).perturb(updates)
+        b, _ = FaultInjector(seed=2, reorder_rate=0.5).perturb(updates)
+        assert a != b
+
+
+class TestFaultClasses:
+    def test_zero_rates_identity(self):
+        updates = clean_stream()
+        arrival, report = FaultInjector(seed=0).perturb(updates)
+        assert arrival == list(updates)
+        assert report.total == 0
+        assert report.max_time_displacement == 0.0
+
+    def test_drops_shrink_stream(self):
+        updates = clean_stream()
+        arrival, report = FaultInjector(seed=3, drop_rate=0.3).perturb(updates)
+        assert report.dropped > 0
+        assert len(arrival) == len(updates) - report.dropped
+
+    def test_duplicates_are_exact_copies(self):
+        updates = clean_stream()
+        arrival, report = FaultInjector(
+            seed=3, duplicate_rate=0.4
+        ).perturb(updates)
+        assert report.duplicated > 0
+        assert len(arrival) == len(updates) + report.duplicated
+        # Every arrival is a clean update; the multiset only gains copies.
+        for update in arrival:
+            assert update in updates
+
+    def test_reordering_preserves_content(self):
+        updates = clean_stream()
+        arrival, report = FaultInjector(
+            seed=5, reorder_rate=0.4, reorder_depth=4
+        ).perturb(updates)
+        assert report.reordered > 0
+        assert sorted(arrival, key=lambda u: u.time) == list(updates)
+        assert arrival != list(updates)
+
+    def test_max_time_displacement_bounds_lateness(self):
+        updates = clean_stream()
+        arrival, report = FaultInjector(
+            seed=5, reorder_rate=0.4, reorder_depth=4
+        ).perturb(updates)
+        assert report.max_time_displacement > 0.0
+        high = -math.inf
+        for update in arrival:
+            assert high - update.time <= report.max_time_displacement + 1e-12
+            high = max(high, update.time)
+
+    def test_jitter_moves_timestamps(self):
+        updates = clean_stream()
+        arrival, report = FaultInjector(
+            seed=9, jitter=0.5, jitter_rate=0.5
+        ).perturb(updates)
+        assert report.jittered > 0
+        moved = [
+            (a, c) for a, c in zip(arrival, updates) if a.time != c.time
+        ]
+        assert len(moved) == report.jittered
+        for jittered, clean in moved:
+            assert abs(jittered.time - clean.time) <= 0.5
+
+    def test_corruption_replaces_with_invalid_updates(self):
+        updates = clean_stream()
+        arrival, report = FaultInjector(
+            seed=7, corrupt_rate=0.3
+        ).perturb(updates)
+        assert report.corrupted > 0
+        assert len(arrival) == len(updates)
+        # Replay the clean prefix; every corrupted arrival must fail
+        # validation against some database state built from the stream.
+        corrupt = [u for u in arrival if u not in updates]
+        assert len(corrupt) == report.corrupted
+        db = MovingObjectDatabase(initial_time=-math.inf)
+        for update in updates:
+            db.apply(update)
+        for update in corrupt:
+            assert validation_error(db, update) is not None
+
+    def test_spurious_preserves_clean_content(self):
+        updates = clean_stream()
+        arrival, report = FaultInjector(
+            seed=7, spurious_rate=0.3
+        ).perturb(updates)
+        assert report.spurious > 0
+        assert len(arrival) == len(updates) + report.spurious
+        # Every clean update still arrives, in order.
+        kept = [u for u in arrival if u in updates]
+        assert kept == list(updates)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"drop_rate": -0.1},
+        {"duplicate_rate": 1.5},
+        {"reorder_rate": 2.0},
+        {"jitter_rate": -1.0},
+        {"corrupt_rate": 7.0},
+        {"spurious_rate": -0.5},
+        {"reorder_depth": 0},
+        {"jitter": -1.0},
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultInjector(seed=0, **kwargs)
+
+
+class TestConvenienceWrapper:
+    def test_inject_faults_matches_class(self):
+        updates = clean_stream()
+        a, ra = inject_faults(updates, seed=2, duplicate_rate=0.2)
+        b, rb = FaultInjector(seed=2, duplicate_rate=0.2).perturb(updates)
+        assert a == b and ra == rb
