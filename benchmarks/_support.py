@@ -8,6 +8,7 @@ EXPERIMENTS.md numbers come from those files.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -18,3 +19,28 @@ def publish_table(name: str, text: str) -> None:
     print("\n" + text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def publish_metrics(name: str, observe, extra: dict = None) -> dict:
+    """Persist a per-run metric snapshot as JSON next to the tables.
+
+    ``observe`` is anything :func:`repro.obs.as_instrumentation`
+    accepts (an ``Instrumentation``, a bare ``MetricsRegistry``, …).
+    The flat snapshot — plus any ``extra`` run parameters — lands in
+    ``benchmarks/results/<name>.metrics.json`` and is returned.
+    """
+    from repro.obs.instrument import as_instrumentation
+
+    instrumentation = as_instrumentation(observe)
+    if instrumentation is None:
+        raise ValueError("publish_metrics needs enabled instrumentation")
+    payload = {
+        "benchmark": name,
+        "metrics": instrumentation.snapshot(),
+    }
+    if extra:
+        payload.update(extra)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.metrics.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload

@@ -18,19 +18,23 @@ import pytest
 from repro.bench.harness import format_table, time_callable
 from repro.geometry.intervals import Interval
 from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.obs import MetricsRegistry
 from repro.sweep.engine import SweepEngine
 from repro.workloads.generator import UpdateStream, banded_mod, random_linear_mod
 
-from _support import publish_table
+from _support import publish_metrics, publish_table
 
 SIZES = [64, 128, 256, 512]
 UPDATES = 50
 
 
-def bounded_m_cost(n):
+def bounded_m_cost(n, observe=None):
     db = banded_mod(n, seed=n, band_gap=5.0, jitter_speed=0.2)
     engine = SweepEngine(
-        db, SquaredEuclideanDistance([0.0, 0.0]), Interval(0.0, 500.0)
+        db,
+        SquaredEuclideanDistance([0.0, 0.0]),
+        Interval(0.0, 500.0),
+        observe=observe,
     )
     db.subscribe(engine.on_update)
     stream = UpdateStream(
@@ -41,10 +45,13 @@ def bounded_m_cost(n):
     return total / UPDATES, engine.stats.support_changes / UPDATES
 
 
-def unbounded_m_cost(n):
+def unbounded_m_cost(n, observe=None):
     db = random_linear_mod(n, seed=n, extent=120.0, speed=6.0)
     engine = SweepEngine(
-        db, SquaredEuclideanDistance([0.0, 0.0]), Interval(0.0, 500.0)
+        db,
+        SquaredEuclideanDistance([0.0, 0.0]),
+        Interval(0.0, 500.0),
+        observe=observe,
     )
     db.subscribe(engine.on_update)
     stream = UpdateStream(
@@ -66,15 +73,18 @@ def test_bounded_regime_single_size(benchmark, n):
 
 
 def test_corollary6_shape(benchmark):
+    registry = MetricsRegistry()
+
     def sweep():
         rows = []
         for n in SIZES:
-            bounded_t, bounded_m = bounded_m_cost(n)
-            free_t, free_m = unbounded_m_cost(n)
+            bounded_t, bounded_m = bounded_m_cost(n, observe=registry)
+            free_t, free_m = unbounded_m_cost(n, observe=registry)
             rows.append((n, bounded_m, bounded_t, free_m, free_t))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish_metrics("corollary6_updates", registry, extra={"sizes": SIZES})
     publish_table(
         "corollary6_updates",
         format_table(

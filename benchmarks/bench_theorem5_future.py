@@ -18,18 +18,22 @@ from repro.bench.fits import fit_model
 from repro.bench.harness import format_table, time_callable
 from repro.geometry.intervals import Interval
 from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.obs import MetricsRegistry
 from repro.sweep.engine import SweepEngine
 from repro.workloads.generator import UpdateStream, banded_mod, random_linear_mod
 
-from _support import publish_table
+from _support import publish_metrics, publish_table
 
 INIT_SIZES = [128, 256, 512, 1024, 2048]
 UPDATE_SIZES = [64, 128, 256, 512, 1024]
 
 
-def make_engine(db, horizon=300.0):
+def make_engine(db, horizon=300.0, observe=None):
     return SweepEngine(
-        db, SquaredEuclideanDistance([0.0, 0.0]), Interval(0.0, horizon)
+        db,
+        SquaredEuclideanDistance([0.0, 0.0]),
+        Interval(0.0, horizon),
+        observe=observe,
     )
 
 
@@ -42,35 +46,52 @@ def test_initialization_scaling(benchmark, n):
 
 
 def test_theorem5_init_fit(benchmark):
+    registry = MetricsRegistry()
+
     def sweep():
         rows = []
         for n in INIT_SIZES:
             db = random_linear_mod(n, seed=n, extent=200.0, speed=5.0)
             elapsed = time_callable(lambda: make_engine(db), repeats=2, warmup=1)
-            rows.append((n, elapsed))
+            # One instrumented build per size records the op counters
+            # the complexity audit consumes (timing uses plain builds).
+            before = registry.snapshot()
+            make_engine(db, observe=registry)
+            delta = MetricsRegistry.diff(before, registry.snapshot())
+            rows.append((n, elapsed, delta))
         return rows
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    sizes = [n for n, _ in rows]
-    times = [t for _, t in rows]
+    sizes = [n for n, _, __ in rows]
+    times = [t for _, t, __ in rows]
     nlogn = fit_model(sizes, times, "n log n")
     quad = fit_model(sizes, times, "n^2")
     publish_table(
         "theorem5_init",
         format_table(
             ["N", "init time (s)"],
-            rows,
+            [(n, t) for n, t, _ in rows],
             title=(
                 "E-T5 part 1: initialization | fit N log N: "
                 f"R^2={nlogn.r_squared:.4f} | N^2: R^2={quad.r_squared:.4f}"
             ),
         ),
     )
+    publish_metrics(
+        "theorem5_init",
+        registry,
+        extra={
+            "sizes": sizes,
+            "per_size_deltas": [
+                {"N": n, "delta": delta} for n, _, delta in rows
+            ],
+        },
+    )
     assert nlogn.r_squared > 0.95
     assert nlogn.scale > 0
 
 
-def measure_update_cost(n, updates=60):
+def measure_update_cost(n, updates=60, observe=None):
     """Mean per-update maintenance time in the bounded-m regime.
 
     The banded workload keeps distance ranks essentially static, so the
@@ -78,7 +99,7 @@ def measure_update_cost(n, updates=60):
     Corollary 6's precondition for the O(log N) per-update claim.
     """
     db = banded_mod(n, seed=n + 1, band_gap=5.0, jitter_speed=0.2)
-    engine = make_engine(db)
+    engine = make_engine(db, observe=observe)
     stream = UpdateStream(
         db,
         seed=n + 2,
@@ -104,10 +125,12 @@ def test_per_update_scaling(benchmark, n):
 
 
 def test_theorem5_update_fit(benchmark):
+    registry = MetricsRegistry()
+
     def sweep():
         rows = []
         for n in UPDATE_SIZES:
-            per_update, engine = measure_update_cost(n)
+            per_update, engine = measure_update_cost(n, observe=registry)
             m_per_update = engine.stats.support_changes / max(
                 engine.stats.updates_applied, 1
             )
@@ -130,6 +153,7 @@ def test_theorem5_update_fit(benchmark):
             ),
         ),
     )
+    publish_metrics("theorem5_updates", registry, extra={"sizes": sizes})
     # Sub-linear growth: a 16x larger database must cost far less than
     # 16x more per update.
     growth = times[-1] / max(times[0], 1e-12)

@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Empirical complexity audit over recorded operation counters.
+
+Checks the paper's complexity claims against *counted primitive
+operations* (treap descend/rotation/rank steps, heap sift steps, flip
+computations) — never wall-clock time:
+
+- **Theorem 5 (init)** — building the sweep structures over N objects
+  performs O(N log N) primitive operations;
+- **Corollary 6 (updates)** — with bounded support changes between
+  updates, per-update maintenance performs O(log N) amortized
+  primitive operations.
+
+Also measures the overhead of the *enabled* metrics path (engine built
+with ``observe=``) against the disabled path on the Theorem 5 workload;
+the registry binds its gauges lazily and hot-path counters are plain
+int adds, so the enabled run must stay within a few percent.
+
+Exit status is non-zero when any audit fails (or, with ``--overhead``,
+when instrumentation costs more than the budget), so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.obs import ComplexityAudit, MetricsRegistry
+from repro.sweep.engine import SweepEngine
+from repro.workloads.generator import UpdateStream, banded_mod, random_linear_mod
+
+FULL_INIT_SIZES = [128, 256, 512, 1024, 2048]
+QUICK_INIT_SIZES = [64, 128, 256, 512]
+FULL_UPDATE_SIZES = [64, 128, 256, 512, 1024]
+QUICK_UPDATE_SIZES = [64, 128, 256, 512]
+
+
+def build_engine(db, observe=None):
+    return SweepEngine(
+        db,
+        SquaredEuclideanDistance([0.0, 0.0]),
+        Interval(0.0, 300.0),
+        observe=observe,
+    )
+
+
+def audit_theorem5_init(audit: ComplexityAudit, sizes) -> None:
+    """Record init op counts per N (Theorem 5: O(N log N))."""
+    for n in sizes:
+        db = random_linear_mod(n, seed=n, extent=200.0, speed=5.0)
+        engine = build_engine(db)
+        audit.record("Thm 5 init ops", n, engine.primitive_ops())
+
+
+def audit_corollary6_updates(audit: ComplexityAudit, sizes, updates=50) -> None:
+    """Record per-update op counts per N (Corollary 6: O(log N)).
+
+    The banded workload keeps ranks essentially static so support
+    changes per update stay bounded — Corollary 6's precondition.
+    """
+    for n in sizes:
+        db = banded_mod(n, seed=n + 1, band_gap=5.0, jitter_speed=0.2)
+        engine = build_engine(db)
+        db.subscribe(engine.on_update)
+        stream = UpdateStream(
+            db,
+            seed=n + 2,
+            mean_gap=0.25,
+            periodic=True,
+            speed=0.2,
+            weights=(0.0, 0.0, 1.0),
+        )
+        before = engine.primitive_ops()
+        stream.run(updates)
+        audit.record(
+            "Cor 6 per-update ops",
+            n,
+            (engine.primitive_ops() - before) / updates,
+        )
+
+
+def measure_overhead(n=512, updates=50, repeats=3):
+    """Median wall-clock of the update loop, observed vs unobserved."""
+
+    def run(observe):
+        db = banded_mod(n, seed=n + 1, band_gap=5.0, jitter_speed=0.2)
+        engine = build_engine(db, observe=observe)
+        db.subscribe(engine.on_update)
+        stream = UpdateStream(
+            db,
+            seed=n + 2,
+            mean_gap=0.25,
+            periodic=True,
+            speed=0.2,
+            weights=(0.0, 0.0, 1.0),
+        )
+        started = time.perf_counter()
+        stream.run(updates)
+        return time.perf_counter() - started
+
+    disabled = []
+    enabled = []
+    for _ in range(repeats):
+        disabled.append(run(None))
+        enabled.append(run(MetricsRegistry()))
+    return statistics.median(disabled), statistics.median(enabled)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Audit the paper's complexity claims from op counters."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sweeps and no overhead measurement (the CI gate)",
+    )
+    parser.add_argument(
+        "--overhead",
+        action="store_true",
+        help="also measure enabled-vs-disabled instrumentation overhead",
+    )
+    parser.add_argument(
+        "--overhead-budget",
+        type=float,
+        default=0.10,
+        help="maximum tolerated relative overhead (default: 0.10)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    args = parser.parse_args(argv)
+
+    init_sizes = QUICK_INIT_SIZES if args.quick else FULL_INIT_SIZES
+    update_sizes = QUICK_UPDATE_SIZES if args.quick else FULL_UPDATE_SIZES
+    updates = 30 if args.quick else 50
+
+    audit = ComplexityAudit()
+    audit_theorem5_init(audit, init_sizes)
+    audit_corollary6_updates(audit, update_sizes, updates=updates)
+    init_result = audit.check("Thm 5 init ops", "n log n")
+    update_result = audit.check("Cor 6 per-update ops", "log n")
+
+    failed = not audit.all_passed
+    overhead = None
+    if args.overhead and not args.quick:
+        disabled, enabled = measure_overhead()
+        overhead = enabled / disabled - 1.0
+        if overhead > args.overhead_budget:
+            failed = True
+
+    if args.json:
+        payload = {
+            "results": [
+                {
+                    "quantity": r.quantity,
+                    "envelope": r.envelope,
+                    "constant": r.constant,
+                    "r_squared": r.r_squared,
+                    "best_model": r.best_fit.model,
+                    "passed": r.passed,
+                    "observations": list(r.observations),
+                }
+                for r in audit.results
+            ],
+            "overhead": overhead,
+            "passed": not failed,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(audit.report())
+        print()
+        print(init_result.describe())
+        print(update_result.describe())
+        if overhead is not None:
+            print(
+                f"instrumentation overhead: {overhead:+.2%} "
+                f"(budget {args.overhead_budget:.0%})"
+            )
+        print("complexity audit:", "FAILED" if failed else "passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

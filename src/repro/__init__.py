@@ -47,6 +47,13 @@ from repro.gdist.euclidean import SquaredEuclideanDistance
 from repro.mod.database import MovingObjectDatabase
 from repro.mod.log import RecordingDatabase, UpdateLog
 from repro.mod.updates import ChangeDirection, New, Terminate
+from repro.obs import (
+    ComplexityAudit,
+    Instrumentation,
+    MetricsRegistry,
+    Tracer,
+    as_instrumentation,
+)
 from repro.query.answers import SnapshotAnswer
 from repro.query.query import Query, knn_query, within_query
 from repro.resilience.ingest import IngestPipeline, IngestStats, RejectedUpdate
@@ -61,13 +68,16 @@ __version__ = "1.0.0"
 __all__ = [
     "ArrivalTimeGDistance",
     "ChangeDirection",
+    "ComplexityAudit",
     "ContinuousQuerySession",
     "CoordinateValue",
     "GDistance",
     "IngestPipeline",
     "IngestStats",
+    "Instrumentation",
     "Interval",
     "IntervalSet",
+    "MetricsRegistry",
     "MovingObjectDatabase",
     "New",
     "Polynomial",
@@ -82,11 +92,13 @@ __all__ = [
     "SupervisorStats",
     "SweepEngine",
     "Terminate",
+    "Tracer",
     "Trajectory",
     "UpdateLog",
     "Vector",
     "WeightedSquaredDistance",
     "WriteAheadLog",
+    "as_instrumentation",
     "evaluate_knn",
     "evaluate_query",
     "evaluate_within",

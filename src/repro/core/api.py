@@ -39,15 +39,17 @@ def evaluate_knn(
     query: QueryLike,
     interval: Interval,
     k: int = 1,
+    observe=None,
 ) -> SnapshotAnswer:
     """The k nearest objects to ``query`` over ``interval``.
 
     ``query`` is a trajectory, a fixed point, or any polynomial
     g-distance (ranking is by g-distance value).  Returns the snapshot
     answer: per object, the exact time intervals during which it is
-    among the k nearest.
+    among the k nearest.  ``observe`` optionally wires telemetry (see
+    :func:`repro.obs.as_instrumentation`).
     """
-    engine = SweepEngine(db, _as_gdistance(query), interval)
+    engine = SweepEngine(db, _as_gdistance(query), interval, observe=observe)
     view = ContinuousKNN(engine, k)
     engine.run_to_end()
     return view.answer()
@@ -58,6 +60,7 @@ def evaluate_within(
     query: QueryLike,
     interval: Interval,
     distance: float,
+    observe=None,
 ) -> SnapshotAnswer:
     """Objects within Euclidean ``distance`` of ``query`` over ``interval``.
 
@@ -69,7 +72,9 @@ def evaluate_within(
     threshold = (
         distance * distance if not isinstance(query, GDistance) else float(distance)
     )
-    engine = SweepEngine(db, gdistance, interval, constants=[threshold])
+    engine = SweepEngine(
+        db, gdistance, interval, constants=[threshold], observe=observe
+    )
     view = ContinuousWithin(engine, threshold)
     engine.run_to_end()
     return view.answer()
@@ -79,6 +84,7 @@ def evaluate_query(
     db: MovingObjectDatabase,
     gdistance: GDistance,
     query: Query,
+    observe=None,
 ) -> SnapshotAnswer:
     """Evaluate an arbitrary FO(f) query exactly.
 
@@ -91,6 +97,7 @@ def evaluate_query(
         query.interval,
         constants=query.constants,
         time_terms=query.time_terms,
+        observe=observe,
     )
     view = GenericFOEvaluator(engine, query)
     engine.run_to_end()
@@ -128,10 +135,18 @@ class ContinuousQuerySession:
         k: int = 1,
         until: float = float("inf"),
         start: Optional[float] = None,
+        observe=None,
     ) -> "ContinuousQuerySession":
-        """A continuous k-NN session starting now (or at ``start``)."""
+        """A continuous k-NN session starting now (or at ``start``).
+
+        ``observe`` optionally wires telemetry into the underlying
+        engine; several sessions may share one registry, in which case
+        their counters aggregate.
+        """
         lo = db.last_update_time if start is None else start
-        engine = SweepEngine(db, _as_gdistance(query), Interval(lo, until))
+        engine = SweepEngine(
+            db, _as_gdistance(query), Interval(lo, until), observe=observe
+        )
         view = ContinuousKNN(engine, k)
         return cls(db, engine, view)
 
@@ -143,9 +158,11 @@ class ContinuousQuerySession:
         distance: float,
         until: float = float("inf"),
         start: Optional[float] = None,
+        observe=None,
     ) -> "ContinuousQuerySession":
         """A continuous within-range session starting now (or at
-        ``start``)."""
+        ``start``).  ``observe`` optionally wires telemetry into the
+        underlying engine."""
         lo = db.last_update_time if start is None else start
         gdistance = _as_gdistance(query)
         threshold = (
@@ -154,7 +171,11 @@ class ContinuousQuerySession:
             else float(distance)
         )
         engine = SweepEngine(
-            db, gdistance, Interval(lo, until), constants=[threshold]
+            db,
+            gdistance,
+            Interval(lo, until),
+            constants=[threshold],
+            observe=observe,
         )
         view = ContinuousWithin(engine, threshold)
         return cls(db, engine, view)
@@ -164,6 +185,19 @@ class ContinuousQuerySession:
     def engine(self) -> SweepEngine:
         """The underlying sweep engine (stats, order, queue)."""
         return self._engine
+
+    @property
+    def observe(self):
+        """The engine's :class:`~repro.obs.instrument.Instrumentation`
+        (None when telemetry is disabled)."""
+        return self._engine.observe
+
+    @property
+    def metrics(self):
+        """The session's metrics registry, or None when telemetry is
+        disabled."""
+        observe = self._engine.observe
+        return None if observe is None else observe.metrics
 
     @property
     def current_time(self) -> float:

@@ -22,6 +22,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 from repro.geometry.tolerance import DEFAULT_ATOL
 from repro.geometry.vectors import Vector
 from repro.mod.updates import ChangeDirection, New, ObjectId, Terminate, Update
+from repro.obs.instrument import as_instrumentation
+from repro.obs.metrics import NULL_COUNTER
 from repro.trajectory.builder import linear_from
 from repro.trajectory.trajectory import Trajectory
 
@@ -29,14 +31,41 @@ UpdateListener = Callable[[Update], None]
 
 
 class MovingObjectDatabase:
-    """An in-memory MOD ``(O, T, tau)`` with chronological updates."""
+    """An in-memory MOD ``(O, T, tau)`` with chronological updates.
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    ``observe`` optionally wires telemetry (see
+    :func:`repro.obs.as_instrumentation`): applied updates count into
+    ``mod_updates_total{kind=new|terminate|chdir}`` and gauges track
+    the live object count and ``tau``.
+    """
+
+    def __init__(self, initial_time: float = 0.0, observe=None) -> None:
         self._trajectories: Dict[ObjectId, Trajectory] = {}
         self._terminated: Dict[ObjectId, Trajectory] = {}
         self._last_update_time = initial_time
         self._listeners: List[UpdateListener] = []
         self._dimension: Optional[int] = None
+        self.observe = as_instrumentation(observe)
+        if self.observe is None:
+            self._c_new = self._c_terminate = self._c_chdir = NULL_COUNTER
+        else:
+            metrics = self.observe.metrics
+            family = metrics.counter(
+                "mod_updates_total",
+                "Updates applied to the moving object database, by kind.",
+                labels=("kind",),
+            )
+            self._c_new = family.labels(kind="new")
+            self._c_terminate = family.labels(kind="terminate")
+            self._c_chdir = family.labels(kind="chdir")
+            metrics.gauge(
+                "mod_live_objects",
+                "Live (non-terminated) objects in the MOD — |O|.",
+            ).set_function(lambda: len(self._trajectories))
+            metrics.gauge(
+                "mod_tau",
+                "The MOD's tau: the time of the last applied update.",
+            ).set_function(lambda: self._last_update_time)
 
     # -- the (O, T, tau) triple ---------------------------------------------
     @property
@@ -140,10 +169,13 @@ class MovingObjectDatabase:
             )
         if isinstance(update, New):
             self._apply_new(update)
+            self._c_new.inc()
         elif isinstance(update, Terminate):
             self._apply_terminate(update)
+            self._c_terminate.inc()
         elif isinstance(update, ChangeDirection):
             self._apply_chdir(update)
+            self._c_chdir.inc()
         else:  # pragma: no cover - exhaustive over the Update union
             raise TypeError(f"unknown update type: {update!r}")
         self._last_update_time = update.time

@@ -1,0 +1,61 @@
+"""Zero-dependency telemetry: metrics, tracing, complexity auditing.
+
+The paper's headline results are *complexity* claims — Theorem 4's
+``O((m+N) log N)`` sweep, Theorem 5's ``O(N log N)`` initialization and
+``O(m log N)`` maintenance, Corollary 6's ``O(log N)`` amortized
+updates.  Wall-clock benchmarks can only gesture at those bounds; this
+package makes them *observable*:
+
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and log-bucketed histograms with labeled children,
+  snapshot/diff/reset, and Prometheus-text / JSON export;
+- :mod:`repro.obs.tracing` — a :class:`Tracer` producing structured
+  span/event records into JSONL or ring-buffer sinks, with a no-op
+  :data:`NULL_TRACER` so the disabled path costs nothing;
+- :mod:`repro.obs.audit` — :class:`ComplexityAudit`, which fits
+  recorded operation counts against ``log N`` / ``N log N`` /
+  ``m log N`` envelopes and reports the constant factor and
+  goodness-of-fit, turning the theorems into executable assertions;
+- :mod:`repro.obs.instrument` — the :class:`Instrumentation` bundle
+  (registry + tracer) accepted by every ``observe=`` hook in the
+  engine, resilience, and workload layers.
+
+Everything is pure-Python stdlib; enabling metrics on the sweep hot
+path costs a bound-counter increment per event, and passing
+``observe=None`` (the default) binds no-op instruments.
+"""
+
+from repro.obs.audit import AuditResult, ComplexityAudit, fit_envelope
+from repro.obs.instrument import Instrumentation, as_instrumentation
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    RingBufferSink,
+    Tracer,
+)
+
+__all__ = [
+    "AuditResult",
+    "ComplexityAudit",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "JsonlSink",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingBufferSink",
+    "Tracer",
+    "as_instrumentation",
+    "fit_envelope",
+]

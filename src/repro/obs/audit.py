@@ -1,0 +1,187 @@
+"""Empirical complexity auditing: fit operation counts to envelopes.
+
+The theorems bound *operation counts*, not seconds: Theorem 5's
+initialization performs ``O(N log N)`` comparisons and heap steps,
+Corollary 6's per-update maintenance ``O(log N)``.  A
+:class:`ComplexityAudit` collects ``(size, cost)`` observations per
+named quantity — costs are recorded counters, e.g. treap descend steps
+plus heap sift steps — and checks them against a declared envelope:
+
+- the envelope model is least-squares fitted (via
+  :mod:`repro.bench.fits`), yielding the empirical **constant factor**
+  (the fit's scale) and **goodness-of-fit** (R²);
+- every candidate model is fitted and ranked; the audit **passes** when
+  the best-fitting model does not grow faster than the envelope (a
+  flat curve passes a ``log n`` envelope; a linear curve fails it).
+
+So "Corollary 6: updates are O(log N) amortized" becomes an executable
+assertion over recorded counters — the check behind
+``scripts/complexity_report.py`` and the CI complexity-audit job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.fits import ComplexityFit, best_model
+from repro.bench.harness import format_table
+
+__all__ = ["AuditResult", "ComplexityAudit", "GROWTH_ORDER", "fit_envelope"]
+
+#: Asymptotic growth ranking of the candidate models: a fit "passes" an
+#: envelope when its best-explaining model is at or below the
+#: envelope's rank.
+GROWTH_ORDER: Dict[str, int] = {
+    "1": 0,
+    "log n": 1,
+    "n": 2,
+    "n log n": 3,
+    "n^2": 4,
+}
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Outcome of checking one quantity against one envelope."""
+
+    quantity: str
+    envelope: str
+    envelope_fit: ComplexityFit  # scale == empirical constant factor
+    best_fit: ComplexityFit
+    passed: bool
+    observations: Tuple[Tuple[float, float], ...]
+
+    @property
+    def constant(self) -> float:
+        """The empirical constant factor of the envelope model."""
+        return self.envelope_fit.scale
+
+    @property
+    def r_squared(self) -> float:
+        """Goodness-of-fit of the envelope model."""
+        return self.envelope_fit.r_squared
+
+    def describe(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{verdict}] {self.quantity}: envelope O({self.envelope}) "
+            f"~ {self.constant:.3g} * {self.envelope} "
+            f"(R^2={self.r_squared:.4f}; best model: {self.best_fit.model})"
+        )
+
+
+def fit_envelope(
+    sizes: Sequence[float],
+    costs: Sequence[float],
+    envelope: str,
+    quantity: str = "",
+    models: Sequence[str] = ("1", "log n", "n", "n log n", "n^2"),
+) -> AuditResult:
+    """Check one ``(sizes, costs)`` series against an envelope model.
+
+    The audit passes when the best-fitting candidate grows no faster
+    than the envelope.  ``cost = a * m(n) + b`` fits for every
+    candidate ``m``; candidates with negative scale (cost shrinking in
+    size) are ranked last by :func:`repro.bench.fits.best_model`.
+    """
+    if envelope not in GROWTH_ORDER:
+        raise ValueError(
+            f"unknown envelope {envelope!r}; choose from {sorted(GROWTH_ORDER)}"
+        )
+    fits = best_model(sizes, costs, models)
+    by_name = {f.model: f for f in fits}
+    envelope_fit = by_name[envelope]
+    best = fits[0]
+    passed = GROWTH_ORDER[best.model] <= GROWTH_ORDER[envelope]
+    return AuditResult(
+        quantity=quantity,
+        envelope=envelope,
+        envelope_fit=envelope_fit,
+        best_fit=best,
+        passed=passed,
+        observations=tuple(
+            (float(n), float(c)) for n, c in zip(sizes, costs)
+        ),
+    )
+
+
+class ComplexityAudit:
+    """Accumulate ``(size, cost)`` observations and audit them.
+
+    Usage::
+
+        audit = ComplexityAudit()
+        for n in sizes:
+            ops = run_and_count(n)          # recorded counters, not seconds
+            audit.record("init ops", n, ops)
+        result = audit.check("init ops", "n log n")
+        print(audit.report())               # table over every check
+    """
+
+    def __init__(
+        self,
+        models: Sequence[str] = ("1", "log n", "n", "n log n", "n^2"),
+    ) -> None:
+        self._models = tuple(models)
+        self._observations: Dict[str, List[Tuple[float, float]]] = {}
+        self._results: List[AuditResult] = []
+
+    def record(self, quantity: str, size: float, cost: float) -> None:
+        """Add one observation for ``quantity``."""
+        self._observations.setdefault(quantity, []).append(
+            (float(size), float(cost))
+        )
+
+    def observations(self, quantity: str) -> List[Tuple[float, float]]:
+        """All recorded ``(size, cost)`` pairs for one quantity."""
+        return list(self._observations.get(quantity, []))
+
+    def quantities(self) -> List[str]:
+        """Every quantity with at least one observation."""
+        return list(self._observations)
+
+    def check(self, quantity: str, envelope: str) -> AuditResult:
+        """Audit one recorded quantity against an envelope model."""
+        observations = self._observations.get(quantity)
+        if not observations or len(observations) < 2:
+            raise ValueError(
+                f"need at least two observations for {quantity!r}"
+            )
+        sizes = [n for n, _ in observations]
+        costs = [c for _, c in observations]
+        result = fit_envelope(
+            sizes, costs, envelope, quantity=quantity, models=self._models
+        )
+        self._results.append(result)
+        return result
+
+    @property
+    def results(self) -> List[AuditResult]:
+        """Every check performed so far, in order."""
+        return list(self._results)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every performed check passed (and at least one ran)."""
+        return bool(self._results) and all(r.passed for r in self._results)
+
+    def report(self, title: str = "Empirical complexity audit") -> str:
+        """A formatted table over every performed check."""
+        rows = [
+            (
+                r.quantity,
+                f"O({r.envelope})",
+                r.constant,
+                r.r_squared,
+                r.best_fit.model,
+                "PASS" if r.passed else "FAIL",
+            )
+            for r in self._results
+        ]
+        return format_table(
+            ["quantity", "envelope", "constant", "R^2", "best model", "verdict"],
+            rows,
+            title=title,
+        )

@@ -1,0 +1,74 @@
+"""The ``observe=`` bundle accepted across the engine and resilience
+layers.
+
+Every instrumentable component — :class:`~repro.sweep.engine.SweepEngine`,
+:class:`~repro.core.api.ContinuousQuerySession`,
+:class:`~repro.resilience.ingest.IngestPipeline`,
+:class:`~repro.resilience.wal.WriteAheadLog`,
+:class:`~repro.resilience.supervisor.SupervisedQuerySession`,
+:class:`~repro.workloads.faults.FaultInjector`,
+:class:`~repro.mod.database.MovingObjectDatabase` — takes an optional
+``observe=`` argument.  ``None`` (the default) disables telemetry
+entirely: hot paths bind no-op instruments and pay one cheap call per
+event.  Otherwise the argument is coerced by :func:`as_instrumentation`:
+
+- an :class:`Instrumentation` is used as-is;
+- a bare :class:`~repro.obs.metrics.MetricsRegistry` enables metrics
+  with tracing off;
+- a bare :class:`~repro.obs.tracing.Tracer` enables tracing with a
+  private registry.
+
+Sharing one :class:`Instrumentation` (or one registry) across several
+components aggregates their counters into one namespace — by design:
+a fault injector, an ingest pipeline, and a supervised session wired to
+the same registry produce a single coherent metrics snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+
+__all__ = ["Instrumentation", "as_instrumentation"]
+
+
+class Instrumentation:
+    """A metrics registry and a tracer, bundled for ``observe=`` hooks."""
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Union[Tracer, NullTracer]] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def snapshot(self):
+        """Convenience: the registry's flat snapshot."""
+        return self.metrics.snapshot()
+
+    def __repr__(self) -> str:
+        tracing = "on" if getattr(self.tracer, "enabled", False) else "off"
+        return (
+            f"Instrumentation(metrics={len(self.metrics.families())} "
+            f"families, tracing {tracing})"
+        )
+
+
+def as_instrumentation(observe) -> Optional[Instrumentation]:
+    """Coerce an ``observe=`` argument; ``None`` stays ``None``
+    (telemetry disabled)."""
+    if observe is None or isinstance(observe, Instrumentation):
+        return observe
+    if isinstance(observe, MetricsRegistry):
+        return Instrumentation(metrics=observe)
+    if isinstance(observe, (Tracer, NullTracer)):
+        return Instrumentation(tracer=observe)
+    raise TypeError(
+        "observe= expects an Instrumentation, MetricsRegistry, Tracer, "
+        f"or None; got {type(observe).__name__}"
+    )

@@ -1,0 +1,284 @@
+"""Structured tracing: spans and events into pluggable sinks.
+
+A :class:`Tracer` produces flat dict records — easy to JSON-serialize,
+easy to assert on in tests:
+
+- ``span`` records carry ``name``, ``span_id``, ``parent_id`` (nesting
+  comes from entering spans as context managers), wall-clock ``start``,
+  monotonic ``duration``, free-form ``attrs``, and a ``status`` of
+  ``"ok"`` or ``"error"`` (exceptions are recorded *and propagated*);
+- ``event`` records are instantaneous marks, parented to the innermost
+  open span.
+
+Two sinks cover the common cases: :class:`JsonlSink` appends one JSON
+line per record (the durable choice — same spirit as the WAL), and
+:class:`RingBufferSink` keeps the last ``capacity`` records in memory
+(the live-debugging choice).  Any object with an ``emit(dict)`` method
+works.
+
+Disabled tracing must cost nothing: :data:`NULL_TRACER` (a
+:class:`NullTracer`) hands out one shared no-op span, so instrumented
+code can unconditionally write ``with tracer.span(...)`` on paths where
+the enabled-path overhead is acceptable, and skip attribute building
+entirely by checking :attr:`Tracer.enabled` where it is not.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+__all__ = [
+    "JsonlSink",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingBufferSink",
+    "Span",
+    "Tracer",
+]
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self._records: Deque[dict] = deque(maxlen=capacity)
+
+    def emit(self, record: dict) -> None:
+        """Store one record, evicting the oldest beyond capacity."""
+        self._records.append(record)
+
+    @property
+    def records(self) -> List[dict]:
+        """All retained records, oldest first."""
+        return list(self._records)
+
+    def spans(self, name: Optional[str] = None) -> List[dict]:
+        """Retained span records, optionally filtered by name."""
+        return [
+            r
+            for r in self._records
+            if r["type"] == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name: Optional[str] = None) -> List[dict]:
+        """Retained event records, optionally filtered by name."""
+        return [
+            r
+            for r in self._records
+            if r["type"] == "event" and (name is None or r["name"] == name)
+        ]
+
+    def clear(self) -> None:
+        """Drop all retained records."""
+        self._records.clear()
+
+
+class JsonlSink:
+    """Append records as JSON lines to a file (one record per line)."""
+
+    def __init__(self, path: str) -> None:
+        self._path = str(path)
+        self._handle = open(self._path, "a", encoding="utf-8")
+        self._closed = False
+
+    @property
+    def path(self) -> str:
+        """The JSONL file path."""
+        return self._path
+
+    def emit(self, record: dict) -> None:
+        """Write one record as a JSON line and flush."""
+        if self._closed:
+            raise RuntimeError("sink is closed")
+        self._handle.write(
+            json.dumps(record, separators=(",", ":"), default=repr) + "\n"
+        )
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Close the file handle (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class Span:
+    """An in-flight span; use as a context manager via
+    :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "_start_wall",
+        "_start_mono",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attrs: Dict[str, object],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._start_wall = 0.0
+        self._start_mono = 0.0
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Attach one attribute to the span record."""
+        self.attrs[key] = value
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit an instantaneous event parented to this span."""
+        self._tracer._emit_event(name, self.span_id, attrs)
+
+    def __enter__(self) -> "Span":
+        self._start_wall = time.time()
+        self._start_mono = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._start_mono
+        self._tracer._pop(self)
+        record = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self._start_wall,
+            "duration": duration,
+            "attrs": self.attrs,
+            "status": "ok" if exc_type is None else "error",
+        }
+        if exc_type is not None:
+            record["error"] = repr(exc)
+        self._tracer._sink.emit(record)
+        return False  # never swallow
+
+
+class _NullSpan:
+    """The shared no-op span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = None
+
+    def set_attribute(self, key: str, value: object) -> None:
+        """Discard the attribute."""
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Discard the event."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produce structured span/event records into a sink.
+
+    Spans nest lexically: entering a span makes it the parent of spans
+    and events opened inside it.  The tracer keeps one stack — it is a
+    single-threaded instrument, like the sweep itself.
+    """
+
+    enabled = True
+
+    def __init__(self, sink) -> None:
+        self._sink = sink
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    @property
+    def sink(self):
+        """The record sink."""
+        return self._sink
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """A new span, parented to the innermost open span.
+
+        Use as a context manager; the record is emitted at exit with
+        the measured duration.  Exceptions mark the span's status
+        ``"error"`` and propagate.
+        """
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._stack[-1].span_id if self._stack else None
+        return Span(self, name, span_id, parent_id, dict(attrs))
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Emit an instantaneous event at the current nesting level."""
+        parent = self._stack[-1].span_id if self._stack else None
+        self._emit_event(name, parent, attrs)
+
+    # -- internals ----------------------------------------------------------
+    def _emit_event(
+        self, name: str, parent_id: Optional[int], attrs: Dict[str, object]
+    ) -> None:
+        self._sink.emit(
+            {
+                "type": "event",
+                "name": name,
+                "parent_id": parent_id,
+                "time": time.time(),
+                "attrs": dict(attrs),
+            }
+        )
+
+    def _push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits (a crashed span mid-stack) by
+        # popping through the target; telemetry must never take the
+        # engine down with it.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``span`` returns one shared, reusable null span, so the disabled
+    path allocates nothing.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        """A shared no-op span."""
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Discard the event."""
+
+
+NULL_TRACER = NullTracer()

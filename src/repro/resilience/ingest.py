@@ -41,6 +41,8 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.io import update_to_dict
 from repro.mod.database import MovingObjectDatabase
 from repro.mod.updates import ChangeDirection, New, Terminate, Update
+from repro.obs.instrument import as_instrumentation
+from repro.obs.metrics import NULL_COUNTER
 
 # Admission policies.
 STRICT = "strict"
@@ -179,6 +181,7 @@ class IngestPipeline:
         window: float = 0.0,
         wal=None,
         checkpoint_every: int = 0,
+        observe=None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -194,6 +197,8 @@ class IngestPipeline:
         self._since_checkpoint = 0
         self.stats = IngestStats()
         self.rejected: List[RejectedUpdate] = []
+        self.observe = as_instrumentation(observe)
+        self._bind_instruments()
         # Repair state: a (time, seq, update) min-heap of held updates,
         # their duplicate keys, recently applied keys (pruned as the
         # watermark advances), and the latest timestamp seen.
@@ -202,6 +207,48 @@ class IngestPipeline:
         self._applied_keys: Dict[Tuple, float] = {}
         self._max_seen = db.last_update_time
         self._seq = 0
+
+    def _bind_instruments(self) -> None:
+        """Bind admission counters (no-ops when telemetry is off)."""
+        if self.observe is None:
+            self._c_received = NULL_COUNTER
+            self._c_accepted = NULL_COUNTER
+            self._c_reordered = NULL_COUNTER
+            self._c_deduped = NULL_COUNTER
+            self._c_checkpoints = NULL_COUNTER
+            self._f_quarantined = None
+            return
+        metrics = self.observe.metrics
+        self._c_received = metrics.counter(
+            "ingest_received_total", "Updates submitted to the pipeline."
+        )
+        self._c_accepted = metrics.counter(
+            "ingest_accepted_total",
+            "Updates admitted and applied to the database.",
+        )
+        self._c_reordered = metrics.counter(
+            "ingest_reordered_total",
+            "Late arrivals re-sequenced by the repair reorder buffer.",
+        )
+        self._c_deduped = metrics.counter(
+            "ingest_deduped_total", "Exact duplicates dropped."
+        )
+        self._c_checkpoints = metrics.counter(
+            "ingest_checkpoints_total", "Database checkpoints written."
+        )
+        self._f_quarantined = metrics.counter(
+            "ingest_quarantined_total",
+            "Updates refused admission, by reason code.",
+            labels=("reason",),
+        )
+        metrics.gauge(
+            "ingest_pending",
+            "Updates currently held in the reorder buffer.",
+        ).set_function(lambda: len(self._buffer))
+        metrics.gauge(
+            "ingest_watermark",
+            "Completeness frontier of the repair policy.",
+        ).set_function(lambda: self.watermark)
 
     # -- inspection ---------------------------------------------------------
     @property
@@ -240,6 +287,7 @@ class IngestPipeline:
         exactly like :meth:`MovingObjectDatabase.apply`.
         """
         self.stats.received += 1
+        self._c_received.inc()
         self._seq += 1
         if self._policy == REPAIR:
             return self._submit_repair(update)
@@ -278,6 +326,7 @@ class IngestPipeline:
         if checkpoint and self._wal is not None:
             self._wal.checkpoint(self._db)
             self.stats.checkpoints += 1
+            self._c_checkpoints.inc()
 
     # -- repair policy ------------------------------------------------------
     def _submit_repair(self, update: object) -> str:
@@ -288,6 +337,7 @@ class IngestPipeline:
         key = _update_key(update)
         if key in self._pending_keys or key in self._applied_keys:
             self.stats.deduped += 1
+            self._c_deduped.inc()
             return DEDUPED
         if update.time <= self._db.last_update_time:
             # The watermark (or an already-applied update) has passed
@@ -301,6 +351,7 @@ class IngestPipeline:
             return QUARANTINED
         if update.time < self._max_seen:
             self.stats.reordered += 1
+            self._c_reordered.inc()
         heapq.heappush(self._buffer, (update.time, self._seq, update))
         self._pending_keys.add(key)
         self._max_seen = max(self._max_seen, update.time)
@@ -336,6 +387,7 @@ class IngestPipeline:
             self._wal.append(update)
         self._db.apply(update)
         self.stats.accepted += 1
+        self._c_accepted.inc()
         if self._policy == REPAIR:
             self._applied_keys[_update_key(update)] = update.time
         if (
@@ -345,10 +397,13 @@ class IngestPipeline:
         ):
             self._wal.checkpoint(self._db)
             self.stats.checkpoints += 1
+            self._c_checkpoints.inc()
 
     def _quarantine(self, update: object, reason: str, detail: str) -> None:
         self.stats.quarantined += 1
         self.stats._count_reason(reason)
+        if self._f_quarantined is not None:
+            self._f_quarantined.labels(reason=reason).inc()
         self.rejected.append(
             RejectedUpdate(update, reason, detail, self._seq)
         )

@@ -33,6 +33,9 @@ from repro.gdist.base import GDistance
 from repro.geometry.intervals import Interval, IntervalSet
 from repro.mod.database import MovingObjectDatabase
 from repro.mod.updates import ObjectId, Update
+from repro.obs.instrument import as_instrumentation
+from repro.obs.metrics import NULL_COUNTER
+from repro.obs.tracing import NULL_TRACER
 from repro.query.answers import SnapshotAnswer
 from repro.sweep.engine import SweepEngine
 from repro.sweep.knn import ContinuousKNN
@@ -78,6 +81,7 @@ class SupervisedQuerySession:
         factory: EngineFactory,
         until: float = math.inf,
         start: Optional[float] = None,
+        observe=None,
     ) -> None:
         self._db = db
         self._factory = factory
@@ -86,6 +90,27 @@ class SupervisedQuerySession:
         self._origin = t0
         self._segments: List[SnapshotAnswer] = []
         self.stats = SupervisorStats()
+        self.observe = as_instrumentation(observe)
+        if self.observe is None:
+            self._tracer = NULL_TRACER
+            self._c_failures = NULL_COUNTER
+            self._c_rebuilds = NULL_COUNTER
+            self._c_salvage_losses = NULL_COUNTER
+        else:
+            metrics = self.observe.metrics
+            self._tracer = self.observe.tracer
+            self._c_failures = metrics.counter(
+                "supervisor_failures_total",
+                "Engine exceptions caught by the supervising guard.",
+            )
+            self._c_rebuilds = metrics.counter(
+                "supervisor_rebuilds_total",
+                "Engine rebuilds (Theorem 5 re-initializations).",
+            )
+            self._c_salvage_losses = metrics.counter(
+                "supervisor_salvage_losses_total",
+                "Segments lost because the view was too broken to answer.",
+            )
         self._engine, self._view = factory(t0)
         self._segment_start = t0
         self._closed = False
@@ -100,15 +125,23 @@ class SupervisedQuerySession:
         k: int = 1,
         until: float = math.inf,
         start: Optional[float] = None,
+        observe=None,
     ) -> "SupervisedQuerySession":
-        """A supervised continuous k-NN session."""
+        """A supervised continuous k-NN session.
+
+        ``observe`` is shared between the supervisor and every engine
+        it builds, so counters keep aggregating across rebuilds.
+        """
         gdistance = _as_gdistance(query)
+        observe = as_instrumentation(observe)
 
         def factory(t: float) -> Tuple[SweepEngine, object]:
-            engine = SweepEngine(db, gdistance, Interval(t, until))
+            engine = SweepEngine(
+                db, gdistance, Interval(t, until), observe=observe
+            )
             return engine, ContinuousKNN(engine, k)
 
-        return cls(db, factory, until=until, start=start)
+        return cls(db, factory, until=until, start=start, observe=observe)
 
     @classmethod
     def within(
@@ -118,9 +151,11 @@ class SupervisedQuerySession:
         distance: float,
         until: float = math.inf,
         start: Optional[float] = None,
+        observe=None,
     ) -> "SupervisedQuerySession":
         """A supervised continuous within-range session."""
         gdistance = _as_gdistance(query)
+        observe = as_instrumentation(observe)
         threshold = (
             distance * distance
             if not isinstance(query, GDistance)
@@ -129,11 +164,15 @@ class SupervisedQuerySession:
 
         def factory(t: float) -> Tuple[SweepEngine, object]:
             engine = SweepEngine(
-                db, gdistance, Interval(t, until), constants=[threshold]
+                db,
+                gdistance,
+                Interval(t, until),
+                constants=[threshold],
+                observe=observe,
             )
             return engine, ContinuousWithin(engine, threshold)
 
-        return cls(db, factory, until=until, start=start)
+        return cls(db, factory, until=until, start=start, observe=observe)
 
     # -- live inspection ----------------------------------------------------
     @property
@@ -159,6 +198,7 @@ class SupervisedQuerySession:
             self._engine.on_update(update)
         except Exception:
             self.stats.failures += 1
+            self._c_failures.inc()
             self._rebuild()
 
     def _rebuild(self) -> None:
@@ -171,10 +211,14 @@ class SupervisedQuerySession:
         Theorem 5 ``O(N log N)`` step.
         """
         now = self._db.last_update_time
-        self._salvage(upto=now)
-        self._engine, self._view = self._factory(now)
+        with self._tracer.span(
+            "supervisor.rebuild", at=now, objects=self._db.object_count
+        ):
+            self._salvage(upto=now)
+            self._engine, self._view = self._factory(now)
         self._segment_start = now
         self.stats.rebuilds += 1
+        self._c_rebuilds.inc()
 
     def _salvage(self, upto: float) -> None:
         try:
@@ -185,6 +229,7 @@ class SupervisedQuerySession:
             # but the session survives — the rebuild re-reads database
             # state, which is authoritative.
             self.stats.salvage_losses += 1
+            self._c_salvage_losses.inc()
             return
         self._segments.append(_clip(answer, self._segment_start, upto))
 
@@ -200,6 +245,7 @@ class SupervisedQuerySession:
             self._engine.advance_to(max(t, self._engine.current_time))
         except Exception:
             self.stats.failures += 1
+            self._c_failures.inc()
             self._rebuild()
             self._engine.advance_to(max(t, self._engine.current_time))
         return self.members

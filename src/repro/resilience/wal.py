@@ -23,12 +23,16 @@ from __future__ import annotations
 
 import json
 import os
+import time as _time
 from typing import List, Tuple
 
 from repro.io import database_to_dict, database_from_dict, update_from_dict, update_to_dict
 from repro.mod.database import MovingObjectDatabase
 from repro.mod.log import UpdateLog
 from repro.mod.updates import Update
+from repro.obs.instrument import as_instrumentation
+from repro.obs.metrics import NULL_COUNTER
+from repro.obs.tracing import NULL_TRACER
 
 WAL_FILENAME = "wal.jsonl"
 CHECKPOINT_FILENAME = "checkpoint.json"
@@ -48,13 +52,32 @@ class WriteAheadLog:
     throughput.
     """
 
-    def __init__(self, directory: str, fsync: bool = True) -> None:
+    def __init__(
+        self, directory: str, fsync: bool = True, observe=None
+    ) -> None:
         self._directory = str(directory)
         os.makedirs(self._directory, exist_ok=True)
         self._fsync = fsync
         self._handle = open(self.wal_path, "a", encoding="utf-8")
         self._appended = 0
         self._closed = False
+        self.observe = as_instrumentation(observe)
+        if self.observe is None:
+            self._c_appends = self._c_checkpoints = NULL_COUNTER
+            self._h_append_seconds = None
+        else:
+            metrics = self.observe.metrics
+            self._c_appends = metrics.counter(
+                "wal_appends_total", "Updates durably appended to the WAL."
+            )
+            self._c_checkpoints = metrics.counter(
+                "wal_checkpoints_total", "Atomic snapshots written."
+            )
+            self._h_append_seconds = metrics.histogram(
+                "wal_append_seconds",
+                "Wall-clock latency of one durable append "
+                "(write + flush + optional fsync).",
+            )
 
     # -- paths --------------------------------------------------------------
     @property
@@ -82,12 +105,17 @@ class WriteAheadLog:
         """Durably append one update as a JSON line."""
         if self._closed:
             raise RuntimeError("write-ahead log is closed")
+        timed = self._h_append_seconds is not None
+        started = _time.perf_counter() if timed else 0.0
         line = json.dumps(update_to_dict(update), separators=(",", ":"))
         self._handle.write(line + "\n")
         self._handle.flush()
         if self._fsync:
             os.fsync(self._handle.fileno())
         self._appended += 1
+        self._c_appends.inc()
+        if timed:
+            self._h_append_seconds.observe(_time.perf_counter() - started)
 
     def checkpoint(self, db: MovingObjectDatabase) -> None:
         """Atomically snapshot the database next to the WAL.
@@ -101,6 +129,7 @@ class WriteAheadLog:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, self.checkpoint_path)
+        self._c_checkpoints.inc()
 
     def close(self) -> None:
         """Close the underlying file handle (idempotent)."""
@@ -151,7 +180,7 @@ def _truncate_file(path: str, offset: int) -> None:
 
 
 def recover(
-    directory: str, repair: bool = True
+    directory: str, repair: bool = True, observe=None
 ) -> Tuple[MovingObjectDatabase, UpdateLog]:
     """Rebuild ``(database, update log)`` from a durability directory.
 
@@ -163,19 +192,38 @@ def recover(
 
     With ``repair=True`` (default) a crash-truncated final WAL line is
     removed from the file so the recovered process can keep appending
-    to a clean log.
+    to a clean log.  ``observe`` optionally records a ``wal.recover``
+    span and replay counters.
     """
+    obs = as_instrumentation(observe)
+    tracer = obs.tracer if obs is not None else NULL_TRACER
     checkpoint_path = os.path.join(str(directory), CHECKPOINT_FILENAME)
     wal_path = os.path.join(str(directory), WAL_FILENAME)
-    if os.path.exists(checkpoint_path):
-        with open(checkpoint_path, "r", encoding="utf-8") as handle:
-            db = database_from_dict(json.load(handle))
-    else:
-        db = MovingObjectDatabase(initial_time=float("-inf"))
-    updates: List[Update] = []
-    if os.path.exists(wal_path):
-        updates = _read_wal(wal_path, repair=repair)
-    for update in updates:
-        if update.time > db.last_update_time:
-            db.apply(update)
+    with tracer.span("wal.recover", directory=str(directory)) as span:
+        had_checkpoint = os.path.exists(checkpoint_path)
+        if had_checkpoint:
+            with open(checkpoint_path, "r", encoding="utf-8") as handle:
+                db = database_from_dict(json.load(handle))
+        else:
+            db = MovingObjectDatabase(initial_time=float("-inf"))
+        updates: List[Update] = []
+        if os.path.exists(wal_path):
+            updates = _read_wal(wal_path, repair=repair)
+        replayed = 0
+        for update in updates:
+            if update.time > db.last_update_time:
+                db.apply(update)
+                replayed += 1
+        if obs is not None:
+            obs.metrics.counter(
+                "wal_recovered_updates_total",
+                "Intact WAL entries read during recovery.",
+            ).inc(len(updates))
+            obs.metrics.counter(
+                "wal_replayed_updates_total",
+                "WAL entries replayed past the checkpoint during recovery.",
+            ).inc(replayed)
+        span.set_attribute("checkpoint", had_checkpoint)
+        span.set_attribute("recovered", len(updates))
+        span.set_attribute("replayed", replayed)
     return db, UpdateLog(updates)

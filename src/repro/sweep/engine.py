@@ -33,6 +33,9 @@ from repro.geometry.poly import Polynomial
 from repro.gdist.base import GDistance
 from repro.mod.database import MovingObjectDatabase
 from repro.mod.updates import ChangeDirection, New, ObjectId, Terminate, Update
+from repro.obs.instrument import as_instrumentation
+from repro.obs.metrics import NULL_COUNTER, NULL_HISTOGRAM
+from repro.obs.tracing import NULL_TRACER as _NULL_TRACER
 from repro.sweep.curves import IDENTITY_TIME_TERM, CurveEntry
 from repro.sweep.event_queue import IndexedEventQueue, IntersectionEvent, pair_key
 from repro.sweep.object_list import SweepOrder
@@ -50,11 +53,27 @@ class SweepStats:
     flip_computations: int = 0
     curve_replacements: int = 0
     reinsertions: int = 0
+    listener_errors: int = 0
 
     @property
     def support_changes(self) -> int:
         """The paper's ``m``: total order changes processed."""
         return self.swaps + self.insertions + self.removals + self.reinsertions
+
+
+@dataclass(frozen=True)
+class ListenerError:
+    """One swallowed listener exception (see :meth:`SweepEngine._emit`)."""
+
+    time: float
+    method: str
+    listener: str  # type name of the failing listener
+    error: str  # repr of the exception
+
+
+#: Cap on retained :class:`ListenerError` records per engine; the
+#: ``listener_errors`` stat keeps the true total.
+MAX_LISTENER_ERRORS = 64
 
 
 _MEMBERSHIP_PRIORITY = {"birth": 0, "reinsert": 1, "death": 2}
@@ -110,6 +129,14 @@ class SweepEngine:
         variable ``t``.  Each object contributes one curve per time
         term (the paper's "factor of k").  Non-identity time terms
         require a bounded interval.
+    observe:
+        Optional :class:`~repro.obs.instrument.Instrumentation` (or a
+        bare registry/tracer).  When given, the engine exports event
+        counters (``sweep_events_total{kind=...}``), order-change
+        counters, collection-time gauges (queue depth, high-water mark,
+        order size), a per-update operation-count histogram (the
+        Corollary 6 quantity), and an init span.  ``None`` binds no-op
+        instruments.
     """
 
     def __init__(
@@ -119,6 +146,7 @@ class SweepEngine:
         interval: Interval,
         constants: Sequence[float] = (),
         time_terms: Optional[Sequence[Polynomial]] = None,
+        observe=None,
     ) -> None:
         if not gdistance.is_polynomial:
             raise TypeError(
@@ -151,7 +179,108 @@ class SweepEngine:
         self._membership: List[_MembershipEvent] = []
         self._listeners: List[object] = []
         self._finalized = False
-        self._initialize(constants)
+        self.listener_errors: List[ListenerError] = []
+        self.observe = as_instrumentation(observe)
+        self._bind_instruments()
+        with self._tracer.span(
+            "sweep.init",
+            objects=db.object_count,
+            constants=len(constants),
+            time_terms=len(self._time_terms),
+        ) as span:
+            self._initialize(constants)
+            span.set_attribute("entries", len(self._entries_by_seq))
+            span.set_attribute("queued_events", len(self._queue))
+
+    def _bind_instruments(self) -> None:
+        """Resolve metric children once so hot paths pay one bound call.
+
+        With ``observe=None`` every instrument is a shared no-op
+        singleton.  Counters are registered idempotently, so engines
+        sharing a registry aggregate into the same series; the
+        collection-time gauges describe whichever engine bound them
+        last.
+        """
+        obs = self.observe
+        if obs is None:
+            self._tracer = _NULL_TRACER
+            self._c_ev_intersection = NULL_COUNTER
+            self._c_ev_membership = NULL_COUNTER
+            self._c_ev_update = NULL_COUNTER
+            self._c_swap = NULL_COUNTER
+            self._c_insert = NULL_COUNTER
+            self._c_remove = NULL_COUNTER
+            self._c_reinsert = NULL_COUNTER
+            self._c_flips = NULL_COUNTER
+            self._c_listener_errors = NULL_COUNTER
+            self._h_update_ops = NULL_HISTOGRAM
+            return
+        self._tracer = obs.tracer
+        m = obs.metrics
+        events = m.counter(
+            "sweep_events_total",
+            "Sweep-loop events processed, by kind.",
+            labels=("kind",),
+        )
+        self._c_ev_intersection = events.labels(kind="intersection")
+        self._c_ev_membership = events.labels(kind="membership")
+        self._c_ev_update = events.labels(kind="update")
+        changes = m.counter(
+            "sweep_order_changes_total",
+            "Structural order changes, by kind.  A reinsertion counts "
+            "under insert, remove, AND reinsert; the paper's m is "
+            "swap + insert + remove - reinsert.",
+            labels=("kind",),
+        )
+        self._c_swap = changes.labels(kind="swap")
+        self._c_insert = changes.labels(kind="insert")
+        self._c_remove = changes.labels(kind="remove")
+        self._c_reinsert = changes.labels(kind="reinsert")
+        self._c_flips = m.counter(
+            "sweep_flip_computations_total",
+            "Neighbor-pair first-flip computations (event scheduling).",
+        )
+        self._c_listener_errors = m.counter(
+            "sweep_listener_errors_total",
+            "Listener exceptions caught mid-event-loop (see "
+            "SweepEngine.listener_errors).",
+        )
+        self._h_update_ops = m.histogram(
+            "sweep_update_primitive_ops",
+            "Primitive operations (heap sifts, treap steps, flips) per "
+            "applied update — the Corollary 6 quantity.",
+        )
+        m.gauge(
+            "sweep_queue_depth", "Current event-queue length (Lemma 9)."
+        ).set_function(lambda: len(self._queue))
+        m.gauge(
+            "sweep_queue_max_depth",
+            "True event-queue high-water mark (tracked inside push).",
+        ).set_function(lambda: self._queue.max_length)
+        m.gauge(
+            "sweep_order_size", "Entries currently in the precedence order."
+        ).set_function(lambda: len(self._order))
+        m.gauge(
+            "sweep_current_time", "Position of the sweep line."
+        ).set_function(lambda: self.current_time)
+        ops = m.gauge(
+            "sweep_primitive_ops",
+            "Cumulative primitive operations, by component counter.",
+            labels=("op",),
+        )
+        for op in (
+            "queue_pushes",
+            "queue_pops",
+            "queue_removes",
+            "queue_sift_steps",
+            "order_descend_steps",
+            "order_rotations",
+            "order_rank_steps",
+            "flip_computations",
+        ):
+            ops.labels(op=op).set_function(
+                lambda op=op: self.operation_counts()[op]
+            )
 
     # -- initialization (Theorem 5 part 1: O(N log N)) ----------------------
     def _initialize(self, constants: Sequence[float]) -> None:
@@ -230,8 +359,38 @@ class SweepEngine:
 
     @property
     def max_queue_length(self) -> int:
-        """High-water mark of the event queue."""
+        """True high-water mark of the event queue (tracked inside
+        every ``push``, not sampled at event boundaries)."""
         return self._queue.max_length
+
+    def operation_counts(self) -> Dict[str, int]:
+        """Primitive operation counters across the engine's structures.
+
+        Heap sift steps, treap descend/rotation/rank steps, and flip
+        computations — each an O(1) step, so their sum is the quantity
+        Theorems 4/5 and Corollary 6 bound.  Always available (the
+        counters are plain ints); the ``observe=`` hook additionally
+        exports them as ``sweep_primitive_ops{op=...}`` gauges.
+        """
+        counts: Dict[str, int] = {}
+        counts.update(self._queue.operation_counts())
+        counts.update(self._order.operation_counts())
+        counts["flip_computations"] = self.stats.flip_computations
+        counts["total"] = sum(counts.values())
+        return counts
+
+    def primitive_ops(self) -> int:
+        """Total primitive operations so far (see :meth:`operation_counts`)."""
+        return (
+            self._queue.pushes
+            + self._queue.pops
+            + self._queue.removes
+            + self._queue.sift_steps
+            + self._order.descend_steps
+            + self._order.rotations
+            + self._order.rank_steps
+            + self.stats.flip_computations
+        )
 
     @property
     def object_count(self) -> int:
@@ -286,6 +445,36 @@ class SweepEngine:
         self._listeners.append(listener)
 
     def _emit(self, method: str, *args) -> None:
+        """Notify listeners mid-sweep, never letting one abort the loop.
+
+        A failing observer must not wedge the event loop half-way
+        through an adjacency repair: the exception is recorded (in
+        ``stats.listener_errors``, the bounded ``listener_errors`` list,
+        and the ``sweep_listener_errors_total`` counter) and swallowed.
+        Finalization uses :meth:`_emit_strict` instead — after the sweep
+        there is no loop to protect, and view errors must surface.
+        """
+        for listener in self._listeners:
+            handler = getattr(listener, method, None)
+            if handler is None:
+                continue
+            try:
+                handler(*args)
+            except Exception as exc:
+                self.stats.listener_errors += 1
+                self._c_listener_errors.inc()
+                if len(self.listener_errors) < MAX_LISTENER_ERRORS:
+                    self.listener_errors.append(
+                        ListenerError(
+                            self.current_time,
+                            method,
+                            type(listener).__name__,
+                            repr(exc),
+                        )
+                    )
+
+    def _emit_strict(self, method: str, *args) -> None:
+        """Notify listeners outside the event loop; exceptions propagate."""
         for listener in self._listeners:
             handler = getattr(listener, method, None)
             if handler is not None:
@@ -324,10 +513,14 @@ class SweepEngine:
         self.finalize()
 
     def finalize(self) -> None:
-        """Notify views that the sweep is complete."""
+        """Notify views that the sweep is complete.
+
+        Finalization errors propagate (unlike mid-loop listener errors):
+        a view that cannot produce its answer must say so to its caller.
+        """
         if not self._finalized:
             self._finalized = True
-            self._emit("on_finalize", self.current_time)
+            self._emit_strict("on_finalize", self.current_time)
 
     # -- event processing ---------------------------------------------------------
     def _process_intersection(self, event: IntersectionEvent) -> None:
@@ -345,6 +538,7 @@ class SweepEngine:
             )
         self.current_time = event.time
         self.stats.intersections_processed += 1
+        self._c_ev_intersection.inc()
         p = below.prev
         s = above.next
         if p is not None:
@@ -353,6 +547,7 @@ class SweepEngine:
             self._queue.remove(pair_key(above.seq, s.seq))
         self._order.swap_adjacent(below, above)
         self.stats.swaps += 1
+        self._c_swap.inc()
         # New adjacencies: p, above, below, s.  The pair just swapped is
         # rescheduled with the anti-refire guard; fresh adjacencies may
         # fire immediately (inherited tie-stretch inversions).
@@ -365,6 +560,7 @@ class SweepEngine:
 
     def _process_membership(self, event: _MembershipEvent) -> None:
         self.current_time = max(self.current_time, event.time)
+        self._c_ev_membership.inc()
         if event.kind == "birth":
             self._insert_entry(event.entry, event.time)
         elif event.kind == "death":
@@ -388,8 +584,11 @@ class SweepEngine:
         # the post-jump piece automatically.
         self._insert_entry(entry, t)
         self.stats.reinsertions += 1
+        self._c_reinsert.inc()
         # The remove/insert pair already adjusted stats; rebalance so a
-        # reinsertion counts once overall.
+        # reinsertion counts once overall.  (The monotone registry
+        # counters keep the raw insert/remove halves; consumers derive
+        # m as swap + insert + remove - reinsert.)
         self.stats.insertions -= 1
         self.stats.removals -= 1
 
@@ -403,6 +602,7 @@ class SweepEngine:
         if s is not None:
             self._schedule_pair(entry, s)
         self.stats.insertions += 1
+        self._c_insert.inc()
         self._emit("on_insert", t, entry)
 
     def _remove_entry(self, entry: CurveEntry, t: float) -> None:
@@ -415,12 +615,14 @@ class SweepEngine:
         if p is not None and s is not None:
             self._schedule_pair(p, s)
         self.stats.removals += 1
+        self._c_remove.inc()
         self._emit("on_remove", t, entry)
 
     def _schedule_pair(
         self, below: CurveEntry, above: CurveEntry, just_swapped: bool = False
     ) -> None:
         self.stats.flip_computations += 1
+        self._c_flips.inc()
         flip = first_order_flip_after(
             below.curve,
             above.curve,
@@ -462,6 +664,9 @@ class SweepEngine:
             return
         self.advance_to(update.time)
         self.stats.updates_applied += 1
+        self._c_ev_update.inc()
+        observed = self.observe is not None
+        ops_before = self.primitive_ops() if observed else 0
         if isinstance(update, New):
             self._apply_new(update)
         elif isinstance(update, Terminate):
@@ -470,6 +675,8 @@ class SweepEngine:
             self._apply_chdir(update)
         else:  # pragma: no cover - exhaustive over the Update union
             raise TypeError(f"unknown update: {update!r}")
+        if observed:
+            self._h_update_ops.observe(self.primitive_ops() - ops_before)
 
     def _apply_new(self, update: New) -> None:
         if update.oid in self._object_entries:
@@ -543,28 +750,36 @@ class SweepEngine:
         """
         if not gdistance.is_polynomial:
             raise TypeError("replacement g-distance must be polynomial")
-        self._gdistance = gdistance
-        for oid, entries in self._object_entries.items():
-            base = gdistance(self._db.trajectory(oid))
-            for entry in entries:
-                entry.curve = self._curve_for_term(base, entry.time_term_index)
-                self.stats.curve_replacements += 1
-        events: List[IntersectionEvent] = []
-        for below, above in self._adjacent_pairs():
-            self.stats.flip_computations += 1
-            flip = first_order_flip_after(
-                below.curve,
-                above.curve,
-                self.current_time,
-                horizon=self._horizon,
-                assume_sign=-1,
-            )
-            if flip is not None:
-                events.append(
-                    IntersectionEvent(flip, pair_key(below.seq, above.seq))
+        with self._tracer.span(
+            "sweep.replace_gdistance",
+            time=self.current_time,
+            objects=len(self._object_entries),
+        ):
+            self._gdistance = gdistance
+            for oid, entries in self._object_entries.items():
+                base = gdistance(self._db.trajectory(oid))
+                for entry in entries:
+                    entry.curve = self._curve_for_term(
+                        base, entry.time_term_index
+                    )
+                    self.stats.curve_replacements += 1
+            events: List[IntersectionEvent] = []
+            for below, above in self._adjacent_pairs():
+                self.stats.flip_computations += 1
+                self._c_flips.inc()
+                flip = first_order_flip_after(
+                    below.curve,
+                    above.curve,
+                    self.current_time,
+                    horizon=self._horizon,
+                    assume_sign=-1,
                 )
-        self._queue.heapify(events)
-        self._emit("on_gdistance_replaced", self.current_time)
+                if flip is not None:
+                    events.append(
+                        IntersectionEvent(flip, pair_key(below.seq, above.seq))
+                    )
+            self._queue.heapify(events)
+            self._emit("on_gdistance_replaced", self.current_time)
 
     # -- convenience -------------------------------------------------------------
     def subscribe_to(self, db: MovingObjectDatabase) -> None:

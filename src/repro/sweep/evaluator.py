@@ -24,6 +24,7 @@ from repro.geometry.intervals import Interval, IntervalSet
 from repro.mod.updates import ObjectId
 from repro.query.answers import SnapshotAnswer
 from repro.query.query import Query
+from repro.obs.metrics import NULL_COUNTER
 from repro.sweep.curves import CurveEntry
 from repro.sweep.engine import SweepEngine
 
@@ -39,17 +40,35 @@ class GenericFOEvaluator:
         self._change_times: List[float] = []
         self._gdistance_replaced = False
         self._result: Optional[SnapshotAnswer] = None
+        if engine.observe is None:
+            self._c_change = self._c_segments = NULL_COUNTER
+        else:
+            metrics = engine.observe.metrics
+            self._c_change = metrics.counter(
+                "view_support_changes_total",
+                "Answer-set support changes emitted by continuous views "
+                "(Lemma 8: answers change only at support changes).",
+                labels=("view", "kind"),
+            ).labels(view="generic", kind="change")
+            self._c_segments = metrics.counter(
+                "evaluator_segments_total",
+                "Constant-order segments the generic FO(f) evaluator "
+                "probed (one formula evaluation each, Lemma 8).",
+            )
         engine.add_listener(self)
 
     # -- listener protocol -------------------------------------------------
     def on_swap(self, time: float, lower: CurveEntry, upper: CurveEntry) -> None:
         self._change_times.append(time)
+        self._c_change.inc()
 
     def on_insert(self, time: float, entry: CurveEntry) -> None:
         self._change_times.append(time)
+        self._c_change.inc()
 
     def on_remove(self, time: float, entry: CurveEntry) -> None:
         self._change_times.append(time)
+        self._c_change.inc()
 
     def on_gdistance_replaced(self, time: float) -> None:
         # Final curves would misreport values before the replacement.
@@ -77,6 +96,7 @@ class GenericFOEvaluator:
         fraction = 0.41421356237309515
         for seg_lo, seg_hi in zip(bounds, bounds[1:]):
             probe = seg_lo + (seg_hi - seg_lo) * fraction
+            self._c_segments.inc()
             answer = self._answer_at(probe, entries)
             for oid in answer:
                 per_object.setdefault(oid, []).append(Interval(seg_lo, seg_hi))

@@ -54,7 +54,26 @@ class IndexedEventQueue:
         self._heap: List[IntersectionEvent] = []
         self._position: Dict[PairKey, int] = {}
         #: High-water mark, recorded for Lemma 9's queue-length claim.
+        #: Updated inside every ``push`` (and ``heapify``), so it is the
+        #: true maximum, not a sample at event boundaries.
         self.max_length = 0
+        #: Primitive operation counters (the quantities Theorems 4/5
+        #: and Corollary 6 actually bound: each push/pop/remove costs
+        #: O(log n) sift steps).  Plain ints, always on — same
+        #: philosophy as ``SweepStats``.
+        self.pushes = 0
+        self.pops = 0
+        self.removes = 0
+        self.sift_steps = 0
+
+    def operation_counts(self) -> Dict[str, int]:
+        """Snapshot of the queue's primitive operation counters."""
+        return {
+            "queue_pushes": self.pushes,
+            "queue_pops": self.pops,
+            "queue_removes": self.removes,
+            "queue_sift_steps": self.sift_steps,
+        }
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -74,7 +93,9 @@ class IndexedEventQueue:
         self._heap.append(event)
         self._position[event.key] = len(self._heap) - 1
         self._sift_up(len(self._heap) - 1)
-        self.max_length = max(self.max_length, len(self._heap))
+        self.pushes += 1
+        if len(self._heap) > self.max_length:
+            self.max_length = len(self._heap)
 
     def remove(self, key: PairKey) -> Optional[IntersectionEvent]:
         """Remove and return the event for ``key``; None if absent."""
@@ -83,6 +104,7 @@ class IndexedEventQueue:
             return None
         event = self._heap[idx]
         self._delete_at(idx)
+        self.removes += 1
         return event
 
     def pop(self) -> IntersectionEvent:
@@ -91,6 +113,7 @@ class IndexedEventQueue:
             raise IndexError("pop from an empty event queue")
         event = self._heap[0]
         self._delete_at(0)
+        self.pops += 1
         return event
 
     def peek(self) -> Optional[IntersectionEvent]:
@@ -138,8 +161,10 @@ class IndexedEventQueue:
     def _sift_up(self, idx: int) -> None:
         heap = self._heap
         event = heap[idx]
+        steps = 0
         while idx > 0:
             parent = (idx - 1) // 2
+            steps += 1
             if heap[parent].sort_key <= event.sort_key:
                 break
             heap[idx] = heap[parent]
@@ -147,15 +172,18 @@ class IndexedEventQueue:
             idx = parent
         heap[idx] = event
         self._position[event.key] = idx
+        self.sift_steps += steps
 
     def _sift_down(self, idx: int) -> None:
         heap = self._heap
         size = len(heap)
         event = heap[idx]
+        steps = 0
         while True:
             child = 2 * idx + 1
             if child >= size:
                 break
+            steps += 1
             right = child + 1
             if right < size and heap[right].sort_key < heap[child].sort_key:
                 child = right
@@ -166,6 +194,7 @@ class IndexedEventQueue:
             idx = child
         heap[idx] = event
         self._position[event.key] = idx
+        self.sift_steps += steps
 
     def _check_invariants(self) -> None:
         """Test hook: verify heap order and position-map consistency."""

@@ -14,9 +14,32 @@ from __future__ import annotations
 from typing import List, Optional, Set
 
 from repro.mod.updates import ObjectId
+from repro.obs.metrics import NULL_COUNTER
 from repro.query.answers import AnswerTimeline, SnapshotAnswer
 from repro.sweep.curves import CurveEntry
 from repro.sweep.engine import SweepEngine
+
+
+def bind_support_counters(engine: SweepEngine, view: str):
+    """Bind (enter, leave) support-change counters for one view.
+
+    Shared by every continuous view: when the engine carries an
+    ``observe=`` instrumentation, each answer-set entry/exit increments
+    ``view_support_changes_total{view=...,kind=enter|leave}``; otherwise
+    both slots are the no-op counter.
+    """
+    if engine.observe is None:
+        return NULL_COUNTER, NULL_COUNTER
+    family = engine.observe.metrics.counter(
+        "view_support_changes_total",
+        "Answer-set support changes emitted by continuous views "
+        "(Lemma 8: answers change only at support changes).",
+        labels=("view", "kind"),
+    )
+    return (
+        family.labels(view=view, kind="enter"),
+        family.labels(view=view, kind="leave"),
+    )
 
 
 class ContinuousKNN:
@@ -39,6 +62,7 @@ class ContinuousKNN:
         self._members: Set[ObjectId] = set()
         self._timeline = AnswerTimeline(engine.interval)
         self._result: Optional[SnapshotAnswer] = None
+        self._c_enter, self._c_leave = bind_support_counters(engine, "knn")
         engine.add_listener(self)
         self._bootstrap()
 
@@ -109,10 +133,12 @@ class ContinuousKNN:
     def _enter(self, oid: ObjectId, time: float) -> None:
         self._members.add(oid)
         self._timeline.open(oid, time)
+        self._c_enter.inc()
 
     def _leave(self, oid: ObjectId, time: float) -> None:
         self._members.discard(oid)
         self._timeline.close(oid, time)
+        self._c_leave.inc()
 
     # -- results ---------------------------------------------------------------
     def answer(self) -> SnapshotAnswer:

@@ -16,6 +16,7 @@ from repro.mod.updates import ObjectId
 from repro.query.answers import AnswerTimeline, SnapshotAnswer
 from repro.sweep.curves import CurveEntry
 from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import bind_support_counters
 
 
 class MultiKNN:
@@ -42,6 +43,9 @@ class MultiKNN:
             k: AnswerTimeline(engine.interval) for k in values
         }
         self._results: Dict[int, SnapshotAnswer] = {}
+        self._c_enter, self._c_leave = bind_support_counters(
+            engine, "multiknn"
+        )
         engine.add_listener(self)
         self._bootstrap()
 
@@ -104,10 +108,12 @@ class MultiKNN:
     def _enter(self, k: int, oid: ObjectId, time: float) -> None:
         self._members[k].add(oid)
         self._timelines[k].open(oid, time)
+        self._c_enter.inc()
 
     def _leave(self, k: int, oid: ObjectId, time: float) -> None:
         self._members[k].discard(oid)
         self._timelines[k].close(oid, time)
+        self._c_leave.inc()
 
     # -- results ------------------------------------------------------------------
     def answer(self, k: int) -> SnapshotAnswer:

@@ -50,6 +50,21 @@ class SweepOrder:
         self._rng = random.Random(seed)
         self._first: Optional[CurveEntry] = None
         self._last: Optional[CurveEntry] = None
+        #: Primitive operation counters: every counted step is one
+        #: O(1) tree move, so sums of these are the quantities the
+        #: paper's O(log N)-per-operation claims bound.  Plain ints,
+        #: always on (same philosophy as ``SweepStats``).
+        self.descend_steps = 0  # comparisons while descending in insert
+        self.rotations = 0  # rebalancing rotations (insert + delete)
+        self.rank_steps = 0  # parent/child hops in rank()/at_rank()
+
+    def operation_counts(self) -> dict:
+        """Snapshot of the treap's primitive operation counters."""
+        return {
+            "order_descend_steps": self.descend_steps,
+            "order_rotations": self.rotations,
+            "order_rank_steps": self.rank_steps,
+        }
 
     # -- inspection --------------------------------------------------------
     def __len__(self) -> int:
@@ -94,10 +109,13 @@ class SweepOrder:
         if node is None:
             raise KeyError(f"{entry!r} is not in the order")
         rank = _size(node.left)
+        steps = 0
         while node.parent is not None:
+            steps += 1
             if node.parent.right is node:
                 rank += _size(node.parent.left) + 1
             node = node.parent
+        self.rank_steps += steps
         return rank
 
     def at_rank(self, rank: int) -> CurveEntry:
@@ -106,6 +124,7 @@ class SweepOrder:
             raise IndexError(f"rank {rank} out of range [0, {len(self)})")
         node = self._root
         while True:
+            self.rank_steps += 1
             left = _size(node.left)
             if rank < left:
                 node = node.left
@@ -143,6 +162,7 @@ class SweepOrder:
         pred: Optional[CurveEntry] = None
         succ: Optional[CurveEntry] = None
         while True:
+            self.descend_steps += 1
             other = current.entry
             if key < (*other.curve.forward_taylor(t), other.seq):
                 succ = other
@@ -255,6 +275,7 @@ class SweepOrder:
             self._rotate_up(node)
 
     def _rotate_up(self, node: _Node) -> None:
+        self.rotations += 1
         parent = node.parent
         grand = parent.parent
         if parent.left is node:

@@ -16,6 +16,7 @@ from repro.mod.updates import ObjectId
 from repro.query.answers import AnswerTimeline, SnapshotAnswer
 from repro.sweep.curves import CurveEntry
 from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import bind_support_counters
 
 
 class ContinuousWithin:
@@ -32,6 +33,7 @@ class ContinuousWithin:
         self._members: Set[ObjectId] = set()
         self._timeline = AnswerTimeline(engine.interval)
         self._result: Optional[SnapshotAnswer] = None
+        self._c_enter, self._c_leave = bind_support_counters(engine, "within")
         engine.add_listener(self)
         self._bootstrap()
 
@@ -82,11 +84,13 @@ class ContinuousWithin:
         if oid not in self._members:
             self._members.add(oid)
             self._timeline.open(oid, time)
+            self._c_enter.inc()
 
     def _leave(self, oid: ObjectId, time: float) -> None:
         if oid in self._members:
             self._members.discard(oid)
             self._timeline.close(oid, time)
+            self._c_leave.inc()
 
     def answer(self) -> SnapshotAnswer:
         """The snapshot answer (after the engine has been finalized)."""

@@ -1,0 +1,388 @@
+"""End-to-end instrumentation: the observe= hook across the engine,
+sessions, database, and resilience layers.
+
+The contract under test: telemetry is a pure observer.  Instrumented
+and uninstrumented runs produce identical answers; registry counters
+agree with the engine's own SweepStats; disabled telemetry costs a
+no-op call and nothing else.
+"""
+
+import pytest
+
+from repro.core.api import (
+    ContinuousQuerySession,
+    evaluate_knn,
+    evaluate_within,
+)
+from repro.geometry.intervals import Interval
+from repro.geometry.vectors import Vector
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ChangeDirection, New, Terminate
+from repro.obs import (
+    Instrumentation,
+    MetricsRegistry,
+    NullTracer,
+    RingBufferSink,
+    Tracer,
+    as_instrumentation,
+)
+from repro.obs.tracing import NULL_TRACER
+from repro.resilience.ingest import QUARANTINE, IngestPipeline
+from repro.resilience.supervisor import SupervisedQuerySession
+from repro.resilience.wal import WriteAheadLog, recover
+from repro.sweep.engine import SweepEngine
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.workloads.faults import FaultInjector
+from repro.workloads.generator import random_linear_mod
+
+
+def origin_engine(db, interval=Interval(0.0, 20.0), observe=None):
+    return SweepEngine(
+        db, SquaredEuclideanDistance([0.0, 0.0]), interval, observe=observe
+    )
+
+
+class TestAsInstrumentation:
+    def test_none_stays_none(self):
+        assert as_instrumentation(None) is None
+
+    def test_instrumentation_passthrough(self):
+        inst = Instrumentation()
+        assert as_instrumentation(inst) is inst
+
+    def test_registry_enables_metrics_only(self):
+        registry = MetricsRegistry()
+        inst = as_instrumentation(registry)
+        assert inst.metrics is registry
+        assert not inst.tracer.enabled
+
+    def test_tracer_enables_tracing_with_private_registry(self):
+        tracer = Tracer(RingBufferSink())
+        inst = as_instrumentation(tracer)
+        assert inst.tracer is tracer
+        assert isinstance(inst.metrics, MetricsRegistry)
+        null = as_instrumentation(NullTracer())
+        assert not null.tracer.enabled
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            as_instrumentation({"metrics": True})
+
+
+class TestAnswerEquivalence:
+    """Instrumentation must never change what a query answers."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_knn_answers_identical(self, seed):
+        interval = Interval(0.0, 20.0)
+        plain = evaluate_knn(
+            random_linear_mod(10, seed=seed, extent=40.0, speed=6.0),
+            [0.0, 0.0],
+            interval,
+            k=3,
+        )
+        observed = evaluate_knn(
+            random_linear_mod(10, seed=seed, extent=40.0, speed=6.0),
+            [0.0, 0.0],
+            interval,
+            k=3,
+            observe=Instrumentation(),
+        )
+        assert plain == observed
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_within_answers_identical(self, seed):
+        interval = Interval(0.0, 15.0)
+        plain = evaluate_within(
+            random_linear_mod(8, seed=seed, extent=30.0, speed=5.0),
+            [0.0, 0.0],
+            interval,
+            distance=12.0,
+        )
+        observed = evaluate_within(
+            random_linear_mod(8, seed=seed, extent=30.0, speed=5.0),
+            [0.0, 0.0],
+            interval,
+            distance=12.0,
+            observe=MetricsRegistry(),
+        )
+        assert plain == observed
+
+
+class TestEngineCounters:
+    def test_registry_agrees_with_sweep_stats(self):
+        db = random_linear_mod(12, seed=3, extent=40.0, speed=7.0)
+        inst = Instrumentation()
+        engine = origin_engine(db, observe=inst)
+        engine.run_to_end()
+        stats = engine.stats
+        snap = inst.snapshot()
+
+        assert (
+            snap['sweep_events_total{kind="intersection"}']
+            == stats.intersections_processed
+        )
+        swap = snap['sweep_order_changes_total{kind="swap"}']
+        insert = snap['sweep_order_changes_total{kind="insert"}']
+        remove = snap['sweep_order_changes_total{kind="remove"}']
+        reinsert = snap['sweep_order_changes_total{kind="reinsert"}']
+        # The registry keeps raw monotone halves; SweepStats nets a
+        # reinsertion out of its insert/remove columns.
+        assert swap == stats.swaps
+        assert insert == stats.insertions + stats.reinsertions
+        assert remove == stats.removals + stats.reinsertions
+        assert reinsert == stats.reinsertions
+        # Paper's m: every support change exactly once.
+        assert swap + insert + remove - reinsert == stats.support_changes
+        assert snap["sweep_flip_computations_total"] == stats.flip_computations
+
+    def test_primitive_ops_gauges_match_operation_counts(self):
+        db = random_linear_mod(8, seed=1)
+        inst = Instrumentation()
+        engine = origin_engine(db, observe=inst)
+        engine.run_to_end()
+        snap = inst.snapshot()
+        counts = engine.operation_counts()
+        for op, count in counts.items():
+            if op == "total":
+                continue
+            assert snap[f'sweep_primitive_ops{{op="{op}"}}'] == count
+        assert engine.primitive_ops() == counts["total"] > 0
+
+    def test_queue_high_water_mark_gauge(self):
+        db = random_linear_mod(10, seed=2, extent=40.0, speed=7.0)
+        inst = Instrumentation()
+        engine = origin_engine(db, observe=inst)
+        engine.run_to_end()
+        snap = inst.snapshot()
+        # At the end the queue has drained, but the high-water mark
+        # remembers the true peak from inside push().
+        assert snap["sweep_queue_max_depth"] > 0
+        assert snap["sweep_queue_max_depth"] >= snap["sweep_queue_depth"]
+
+    def test_per_update_ops_histogram(self):
+        db = random_linear_mod(6, seed=4)
+        inst = Instrumentation()
+        session = ContinuousQuerySession.knn(
+            db, [0.0, 0.0], k=2, observe=inst
+        )
+        for i in range(5):
+            db.create(
+                f"x{i}", 1.0 + i, position=[3.0 + i, 0.0], velocity=[0.1, 0.0]
+            )
+        snap = inst.snapshot()
+        assert snap["sweep_update_primitive_ops_count"] == 5
+        assert snap["sweep_update_primitive_ops_sum"] > 0
+        session.close()
+
+    def test_disabled_observability_costs_nothing_structural(self):
+        db = random_linear_mod(8, seed=5)
+        engine = origin_engine(db)
+        assert engine.observe is None
+        engine.run_to_end()
+        # Plain counters still run — the audits depend on them.
+        assert engine.primitive_ops() > 0
+        assert engine.stats.support_changes > 0
+
+    def test_init_span_emitted(self):
+        sink = RingBufferSink()
+        inst = Instrumentation(tracer=Tracer(sink))
+        db = random_linear_mod(6, seed=6)
+        origin_engine(db, observe=inst)
+        (span,) = sink.spans("sweep.init")
+        assert span["status"] == "ok"
+        assert span["attrs"]["objects"] == 6
+
+
+class TestListenerErrorContainment:
+    """Satellite: a failing listener must not abort the event loop."""
+
+    class _Bomb:
+        def on_swap(self, time, lower, upper):
+            raise RuntimeError("listener bomb")
+
+    def test_sweep_survives_and_counts(self):
+        db = random_linear_mod(10, seed=7, extent=40.0, speed=7.0)
+        inst = Instrumentation()
+        engine = origin_engine(db, observe=inst)
+        engine.add_listener(self._Bomb())
+        engine.run_to_end()  # must not raise
+        stats = engine.stats
+        assert stats.swaps > 0
+        assert stats.listener_errors == stats.swaps
+        assert (
+            inst.snapshot()["sweep_listener_errors_total"]
+            == stats.listener_errors
+        )
+        # Structured error records, capped.
+        assert engine.listener_errors
+        assert len(engine.listener_errors) <= 64
+        first = engine.listener_errors[0]
+        assert first.method == "on_swap"
+        assert "listener bomb" in first.error
+
+    def test_failing_listener_does_not_change_answers(self):
+        interval = Interval(0.0, 20.0)
+
+        def run(with_bomb):
+            db = random_linear_mod(9, seed=8, extent=35.0, speed=6.0)
+            engine = origin_engine(db, interval=interval)
+            from repro.sweep.knn import ContinuousKNN
+
+            view = ContinuousKNN(engine, 2)
+            if with_bomb:
+                engine.add_listener(self._Bomb())
+            engine.run_to_end()
+            return view.answer()
+
+        assert run(with_bomb=False) == run(with_bomb=True)
+
+
+class TestSharedRegistry:
+    def test_two_sessions_aggregate_into_one_registry(self):
+        registry = MetricsRegistry()
+        db = MovingObjectDatabase()
+        db.create("a", 0.5, position=[5.0, 0.0], velocity=[0.0, 0.0])
+        near = ContinuousQuerySession.knn(
+            db, [0.0, 0.0], k=1, observe=registry
+        )
+        far = ContinuousQuerySession.within(
+            db, [0.0, 0.0], distance=10.0, observe=registry
+        )
+        assert near.metrics is registry and far.metrics is registry
+        db.create("b", 1.0, position=[2.0, 0.0], velocity=[0.0, 0.0])
+        db.create("c", 2.0, position=[8.0, 0.0], velocity=[0.0, 0.0])
+        snap = registry.snapshot()
+        # Both engines saw both updates: 2 sessions x 2 updates.
+        assert snap['sweep_events_total{kind="update"}'] == 4
+        near.close(at=3.0)
+        far.close(at=3.0)
+
+
+class TestDatabaseCounters:
+    def test_update_kinds_and_gauges(self):
+        registry = MetricsRegistry()
+        db = MovingObjectDatabase(observe=registry)
+        db.apply(
+            New(
+                oid="a",
+                time=1.0,
+                velocity=Vector([1.0, 0.0]),
+                position=Vector([0.0, 0.0]),
+            )
+        )
+        db.apply(ChangeDirection(oid="a", time=2.0, velocity=Vector([0.0, 1.0])))
+        db.apply(
+            New(
+                oid="b",
+                time=3.0,
+                velocity=Vector([0.0, 0.0]),
+                position=Vector([5.0, 5.0]),
+            )
+        )
+        db.apply(Terminate(oid="a", time=4.0))
+        snap = registry.snapshot()
+        assert snap['mod_updates_total{kind="new"}'] == 2
+        assert snap['mod_updates_total{kind="chdir"}'] == 1
+        assert snap['mod_updates_total{kind="terminate"}'] == 1
+        assert snap["mod_live_objects"] == 1  # "a" terminated, "b" live
+        assert snap["mod_tau"] == 4.0
+
+
+class TestResilienceCounters:
+    def _updates(self, n=6):
+        return [
+            New(
+                oid=f"o{i}",
+                time=float(i + 1),
+                velocity=Vector([0.1, 0.0]),
+                position=Vector([float(i), 0.0]),
+            )
+            for i in range(n)
+        ]
+
+    def test_ingest_counters_match_stats(self):
+        registry = MetricsRegistry()
+        db = MovingObjectDatabase()
+        pipeline = IngestPipeline(db, policy=QUARANTINE, observe=registry)
+        for update in self._updates(4):
+            pipeline.submit(update)
+        # Out of order: tau is now 4.0.
+        pipeline.submit(
+            New(
+                oid="late",
+                time=2.5,
+                velocity=Vector([0.0, 0.0]),
+                position=Vector([0.0, 0.0]),
+            )
+        )
+        snap = registry.snapshot()
+        assert snap["ingest_received_total"] == pipeline.stats.received == 5
+        assert snap["ingest_accepted_total"] == pipeline.stats.accepted == 4
+        assert (
+            snap['ingest_quarantined_total{reason="out_of_order"}']
+            == pipeline.stats.by_reason["out_of_order"]
+            == 1
+        )
+
+    def test_wal_counters_and_recover_span(self, tmp_path):
+        registry = MetricsRegistry()
+        updates = self._updates(5)
+        db = MovingObjectDatabase()
+        with WriteAheadLog(tmp_path, observe=registry) as wal:
+            for update in updates:
+                wal.append(update)
+                db.apply(update)
+            wal.checkpoint(db)
+        snap = registry.snapshot()
+        assert snap["wal_appends_total"] == 5
+        assert snap["wal_checkpoints_total"] == 1
+        assert snap["wal_append_seconds_count"] == 5
+
+        sink = RingBufferSink()
+        rec_inst = Instrumentation(tracer=Tracer(sink))
+        recovered, log = recover(tmp_path, observe=rec_inst)
+        assert recovered.last_update_time == db.last_update_time
+        assert len(log) == 5
+        (span,) = sink.spans("wal.recover")
+        assert span["status"] == "ok"
+        assert span["attrs"]["checkpoint"] is True
+        assert span["attrs"]["recovered"] == 5
+        rec_snap = rec_inst.snapshot()
+        assert rec_snap["wal_recovered_updates_total"] == 5
+
+    def test_supervisor_counters_track_stats(self):
+        registry = MetricsRegistry()
+        db = MovingObjectDatabase()
+        db.create("far", 0.5, position=[100.0, 0.0], velocity=[0.0, 0.0])
+        session = SupervisedQuerySession.knn(
+            db, [0.0, 0.0], k=1, observe=registry
+        )
+        session.advance_to(10.0)
+        # Valid for the database, in the past for the engine: the
+        # supervisor records the failure and rebuilds.
+        db.create("late", 5.0, position=[1.0, 0.0], velocity=[0.0, 0.0])
+        snap = registry.snapshot()
+        assert snap["supervisor_failures_total"] == session.stats.failures == 1
+        assert snap["supervisor_rebuilds_total"] == session.stats.rebuilds == 1
+        # The rebuilt engine keeps aggregating into the same registry.
+        before = registry.snapshot()['sweep_events_total{kind="update"}']
+        db.create("later", 6.0, position=[0.5, 0.0], velocity=[0.0, 0.0])
+        after = registry.snapshot()['sweep_events_total{kind="update"}']
+        assert after == before + 1
+        session.close()
+
+    def test_fault_injector_counters_match_report(self):
+        registry = MetricsRegistry()
+        injector = FaultInjector(
+            seed=11, duplicate_rate=0.5, drop_rate=0.2, observe=registry
+        )
+        perturbed, report = injector.perturb(self._updates(40))
+        snap = registry.snapshot()
+        assert report.duplicated > 0 and report.dropped > 0
+        assert (
+            snap['faults_injected_total{kind="duplicate"}']
+            == report.duplicated
+        )
+        assert snap['faults_injected_total{kind="drop"}'] == report.dropped
+        assert 'faults_injected_total{kind="corrupt"}' not in snap

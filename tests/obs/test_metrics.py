@@ -1,0 +1,222 @@
+"""Registry, counter, gauge, and histogram edge cases."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_null_counter_is_inert(self):
+        NULL_COUNTER.inc()
+        NULL_COUNTER.inc(100)
+        assert NULL_COUNTER.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(5.0)
+        g.inc(2)
+        g.dec()
+        assert g.value == 6.0
+
+    def test_function_backed_wins_and_is_lazy(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            return 42.0
+
+        g = Gauge()
+        g.set(7.0)
+        g.set_function(fn)
+        assert not calls  # collection-time only
+        assert g.value == 42.0
+        assert len(calls) == 1
+
+    def test_last_binder_wins(self):
+        g = Gauge()
+        g.set_function(lambda: 1.0)
+        g.set_function(lambda: 2.0)
+        assert g.value == 2.0
+
+    def test_null_gauge_is_inert(self):
+        NULL_GAUGE.set(9)
+        NULL_GAUGE.set_function(lambda: 1 / 0)
+        assert NULL_GAUGE.value == 0.0
+
+
+class TestHistogram:
+    def test_counts_sum_min_max_mean(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 4.0, 1000.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 1007.0
+        assert h.min == 1.0
+        assert h.max == 1000.0
+        assert h.mean == pytest.approx(251.75)
+
+    def test_buckets_are_cumulative_and_sparse(self):
+        h = Histogram(base=2.0, min_exp=0, max_exp=4)
+        for v in (1.0, 2.0, 3.0, 100.0):
+            h.observe(v)
+        buckets = h.buckets()
+        # Only non-empty buckets appear; cumulative counts ascend.
+        bounds = [b for b, _ in buckets]
+        cumulative = [c for _, c in buckets]
+        assert bounds[-1] == math.inf  # 100 > 2**4 lands in +Inf
+        assert cumulative == sorted(cumulative)
+        assert cumulative[-1] == 4
+
+    def test_quantile_bounds(self):
+        h = Histogram(base=2.0, min_exp=0, max_exp=10)
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.quantile(0.0) <= h.quantile(0.5) <= h.quantile(1.0)
+        assert h.quantile(1.0) == 100.0  # clamped to the true max
+        with pytest.raises(MetricError):
+            h.quantile(1.5)
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram().quantile(0.5) == 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(MetricError):
+            Histogram(base=1.0)
+        with pytest.raises(MetricError):
+            Histogram(min_exp=5, max_exp=1)
+
+    def test_null_histogram_is_inert(self):
+        NULL_HISTOGRAM.observe(123.0)
+        assert NULL_HISTOGRAM.count == 0
+
+
+class TestRegistry:
+    def test_unlabeled_returns_child_labeled_returns_family(self):
+        reg = MetricsRegistry()
+        c = reg.counter("plain_total")
+        c.inc()
+        family = reg.counter("labeled_total", labels=("kind",))
+        family.labels(kind="a").inc(2)
+        snap = reg.snapshot()
+        assert snap["plain_total"] == 1
+        assert snap['labeled_total{kind="a"}'] == 2
+
+    def test_reregistration_is_idempotent(self):
+        """Two sessions sharing a registry aggregate into one series."""
+        reg = MetricsRegistry()
+        first = reg.counter("shared_total", "help", labels=("kind",))
+        second = reg.counter("shared_total", "help", labels=("kind",))
+        assert first is second
+        first.labels(kind="x").inc()
+        second.labels(kind="x").inc()
+        assert reg.snapshot()['shared_total{kind="x"}'] == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing_total")
+        with pytest.raises(MetricError):
+            reg.gauge("thing_total")
+
+    def test_label_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing_total", labels=("a",))
+        with pytest.raises(MetricError):
+            reg.counter("thing_total", labels=("b",))
+
+    def test_wrong_label_names_raise(self):
+        reg = MetricsRegistry()
+        family = reg.counter("thing_total", labels=("kind",))
+        with pytest.raises(MetricError):
+            family.labels(other="x")
+
+    def test_invalid_names_raise(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.counter("bad name")
+        with pytest.raises(MetricError):
+            reg.counter("fine_total", labels=("bad-label",))
+
+    def test_cardinality_budget(self):
+        reg = MetricsRegistry(max_series_per_family=3)
+        family = reg.counter("small_total", labels=("i",))
+        for i in range(3):
+            family.labels(i=i).inc()
+        with pytest.raises(MetricError):
+            family.labels(i=99)
+        # Existing children stay reachable after the budget trips.
+        family.labels(i=0).inc()
+        assert family.labels(i=0).value == 2
+
+    def test_snapshot_diff_reset(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total")
+        h = reg.histogram("latency", min_exp=0, max_exp=4)
+        c.inc(3)
+        before = reg.snapshot()
+        c.inc(2)
+        h.observe(1.5)
+        delta = MetricsRegistry.diff(before, reg.snapshot())
+        assert delta["ops_total"] == 2
+        assert delta["latency_count"] == 1
+        # Unchanged series are omitted from the diff.
+        assert all(v != 0 for v in delta.values())
+        reg.reset()
+        assert reg.snapshot()["ops_total"] == 0
+        assert reg.snapshot()["latency_count"] == 0
+
+    def test_reset_keeps_gauge_functions(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set_function(lambda: 17.0)
+        reg.reset()
+        assert reg.snapshot()["depth"] == 17.0
+
+    def test_prometheus_export(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total", "How many events.", labels=("kind",)).labels(
+            kind="swap"
+        ).inc(4)
+        reg.histogram("ops", min_exp=0, max_exp=4).observe(3.0)
+        text = reg.to_prometheus()
+        assert "# HELP events_total How many events." in text
+        assert "# TYPE events_total counter" in text
+        assert 'events_total{kind="swap"} 4' in text
+        assert "# TYPE ops histogram" in text
+        assert 'ops_bucket{le="4"} 1' in text
+        assert "ops_count 1" in text
+
+    def test_json_export_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        data = json.loads(reg.to_json())
+        assert data["a_total"]["type"] == "counter"
+        assert data["a_total"]["series"][0]["value"] == 1
+
+    def test_contains_and_getitem(self):
+        reg = MetricsRegistry()
+        reg.counter("present_total")
+        assert "present_total" in reg
+        assert reg["present_total"].kind == "counter"
+        assert "absent_total" not in reg

@@ -1,0 +1,151 @@
+"""Tracer, span nesting, and sink behavior."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import (
+    JsonlSink,
+    NULL_TRACER,
+    NullTracer,
+    RingBufferSink,
+    Tracer,
+)
+
+
+class TestRingBufferSink:
+    def test_eviction_at_capacity(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.emit({"type": "event", "name": f"e{i}"})
+        names = [r["name"] for r in sink.records]
+        assert names == ["e2", "e3", "e4"]
+
+    def test_filters_and_clear(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            tracer.event("mark")
+        assert [r["name"] for r in sink.spans()] == ["outer"]
+        assert [r["name"] for r in sink.events("mark")] == ["mark"]
+        assert sink.events("absent") == []
+        sink.clear()
+        assert sink.records == []
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(capacity=0)
+
+
+class TestJsonlSink:
+    def test_writes_parseable_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path) as sink:
+            tracer = Tracer(sink)
+            with tracer.span("work", n=3):
+                tracer.event("step", i=1)
+        lines = path.read_text().strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == ["event", "span"]
+        assert records[1]["name"] == "work"
+        assert records[1]["attrs"] == {"n": 3}
+
+    def test_close_is_idempotent_and_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+        with pytest.raises(RuntimeError):
+            sink.emit({"type": "event"})
+
+
+class TestSpanNesting:
+    def test_parent_ids(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            tracer.event("sibling")
+        records = {
+            (r["type"], r["name"]): r for r in sink.records
+        }
+        assert records[("span", "outer")]["parent_id"] is None
+        assert (
+            records[("span", "inner")]["parent_id"]
+            == records[("span", "outer")]["span_id"]
+        )
+        # The event fired after inner closed — parented to outer.
+        assert (
+            records[("event", "sibling")]["parent_id"]
+            == records[("span", "outer")]["span_id"]
+        )
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer(RingBufferSink())
+        ids = set()
+        for _ in range(10):
+            with tracer.span("s") as span:
+                ids.add(span.span_id)
+        assert len(ids) == 10
+
+    def test_attributes_and_duration(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("s", static="x") as span:
+            span.set_attribute("dynamic", 7)
+        (record,) = sink.spans("s")
+        assert record["attrs"] == {"static": "x", "dynamic": 7}
+        assert record["duration"] >= 0.0
+        assert record["status"] == "ok"
+
+    def test_error_status_records_and_propagates(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        (record,) = sink.spans("failing")
+        assert record["status"] == "error"
+        assert "boom" in record["error"]
+
+    def test_out_of_order_exit_does_not_corrupt_stack(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")  # created before outer is entered
+        outer.__enter__()
+        inner.__enter__()
+        # Exiting outer first pops through inner; the tracer recovers.
+        outer.__exit__(None, None, None)
+        with tracer.span("after") as after:
+            assert after.parent_id is None
+
+    def test_span_events_parent_to_that_span(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink)
+        with tracer.span("s") as span:
+            span.event("tick", i=0)
+        (event,) = sink.events("tick")
+        (record,) = sink.spans("s")
+        assert event["parent_id"] == record["span_id"]
+        assert event["attrs"] == {"i": 0}
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer(RingBufferSink()).enabled is True
+
+    def test_shared_noop_span(self):
+        a = NULL_TRACER.span("x", k=1)
+        b = NullTracer().span("y")
+        assert a is b  # one shared instance, zero allocation
+        with a as span:
+            span.set_attribute("k", "v")
+            span.event("e")
+        NULL_TRACER.event("stray")
+
+    def test_null_span_never_swallows(self):
+        with pytest.raises(ValueError):
+            with NULL_TRACER.span("s"):
+                raise ValueError("must propagate")

@@ -66,6 +66,9 @@ class TestLemma7:
         engine.add_listener(auditor)
         engine.run_to_end()
         assert auditor.checked > 0
+        # The engine swallows listener exceptions mid-loop; a silent
+        # AssertionError from the auditor would void this test.
+        assert engine.stats.listener_errors == 0, engine.listener_errors
 
 
 class TestLemma8:

@@ -18,7 +18,9 @@ PACKAGES = [
     "repro.gdist",
     "repro.geometry",
     "repro.mod",
+    "repro.obs",
     "repro.query",
+    "repro.resilience",
     "repro.sweep",
     "repro.trajectory",
     "repro.workloads",
