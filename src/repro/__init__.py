@@ -33,6 +33,7 @@ Quickstart::
 from repro.core.api import (
     ContinuousQuerySession,
     evaluate_knn,
+    evaluate_multiknn,
     evaluate_query,
     evaluate_within,
 )
@@ -59,6 +60,7 @@ from repro.query.query import Query, knn_query, within_query
 from repro.resilience.ingest import IngestPipeline, IngestStats, RejectedUpdate
 from repro.resilience.supervisor import SupervisedQuerySession, SupervisorStats
 from repro.resilience.wal import WriteAheadLog, recover
+from repro.parallel.evaluator import ShardedSweepEvaluator
 from repro.sweep.engine import SweepEngine
 from repro.trajectory.builder import from_waypoints, linear_from, stationary
 from repro.trajectory.trajectory import Trajectory
@@ -85,6 +87,7 @@ __all__ = [
     "Query",
     "RecordingDatabase",
     "RejectedUpdate",
+    "ShardedSweepEvaluator",
     "SnapshotAnswer",
     "SquaredArrivalTimeGDistance",
     "SquaredEuclideanDistance",
@@ -100,6 +103,7 @@ __all__ = [
     "WriteAheadLog",
     "as_instrumentation",
     "evaluate_knn",
+    "evaluate_multiknn",
     "evaluate_query",
     "evaluate_within",
     "from_waypoints",

@@ -10,7 +10,7 @@ arrive (*future* and *continuing* queries).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Set, Union
+from typing import Dict, Optional, Sequence, Set, Union
 
 from repro.geometry.intervals import Interval
 from repro.gdist.base import GDistance
@@ -22,6 +22,7 @@ from repro.query.query import Query
 from repro.sweep.engine import SweepEngine
 from repro.sweep.evaluator import GenericFOEvaluator
 from repro.sweep.knn import ContinuousKNN
+from repro.sweep.multiknn import MultiKNN
 from repro.sweep.within import ContinuousWithin
 from repro.trajectory.trajectory import Trajectory
 
@@ -34,12 +35,49 @@ def _as_gdistance(query: QueryLike) -> GDistance:
     return SquaredEuclideanDistance(query)
 
 
+def _sharded_evaluator(
+    mode: str,
+    db: MovingObjectDatabase,
+    query: QueryLike,
+    interval: Interval,
+    shards: int,
+    backend,
+    batch_size: int,
+    observe,
+    **params,
+):
+    """Build a one-shot sharded evaluator over ``interval``.
+
+    Imported lazily so ``repro.core`` has no hard dependency on
+    ``repro.parallel`` (which itself imports this module).
+    """
+    from repro.parallel.evaluator import ShardedSweepEvaluator
+
+    factory = getattr(ShardedSweepEvaluator, mode)
+    evaluator = factory(
+        db,
+        query,
+        until=interval.hi,
+        start=interval.lo,
+        shards=shards,
+        backend=backend,
+        batch_size=batch_size,
+        observe=observe,
+        **params,
+    )
+    evaluator.run_to_end()
+    return evaluator
+
+
 def evaluate_knn(
     db: MovingObjectDatabase,
     query: QueryLike,
     interval: Interval,
     k: int = 1,
     observe=None,
+    shards: Optional[int] = None,
+    backend="sequential",
+    batch_size: int = 1,
 ) -> SnapshotAnswer:
     """The k nearest objects to ``query`` over ``interval``.
 
@@ -48,7 +86,17 @@ def evaluate_knn(
     answer: per object, the exact time intervals during which it is
     among the k nearest.  ``observe`` optionally wires telemetry (see
     :func:`repro.obs.as_instrumentation`).
+
+    Pass ``shards`` to evaluate over a hash-partitioned
+    :class:`~repro.parallel.evaluator.ShardedSweepEvaluator` instead of
+    a single engine — same exact answer, smaller per-shard sweeps;
+    ``backend`` picks the execution backend (``"sequential"`` or
+    ``"process"``).
     """
+    if shards is not None:
+        return _sharded_evaluator(
+            "knn", db, query, interval, shards, backend, batch_size, observe, k=k
+        ).answer()
     engine = SweepEngine(db, _as_gdistance(query), interval, observe=observe)
     view = ContinuousKNN(engine, k)
     engine.run_to_end()
@@ -61,13 +109,30 @@ def evaluate_within(
     interval: Interval,
     distance: float,
     observe=None,
+    shards: Optional[int] = None,
+    backend="sequential",
+    batch_size: int = 1,
 ) -> SnapshotAnswer:
     """Objects within Euclidean ``distance`` of ``query`` over ``interval``.
 
     When ``query`` is a trajectory or point the threshold is squared
     internally (the g-distance is the squared Euclidean distance); a
     custom g-distance is compared against ``distance`` as-is.
+    ``shards``/``backend`` select sharded evaluation as in
+    :func:`evaluate_knn`.
     """
+    if shards is not None:
+        return _sharded_evaluator(
+            "within",
+            db,
+            query,
+            interval,
+            shards,
+            backend,
+            batch_size,
+            observe,
+            distance=distance,
+        ).answer()
     gdistance = _as_gdistance(query)
     threshold = (
         distance * distance if not isinstance(query, GDistance) else float(distance)
@@ -78,6 +143,41 @@ def evaluate_within(
     view = ContinuousWithin(engine, threshold)
     engine.run_to_end()
     return view.answer()
+
+
+def evaluate_multiknn(
+    db: MovingObjectDatabase,
+    query: QueryLike,
+    interval: Interval,
+    ks: Sequence[int],
+    observe=None,
+    shards: Optional[int] = None,
+    backend="sequential",
+    batch_size: int = 1,
+) -> Dict[int, SnapshotAnswer]:
+    """k-NN answers for several k values from one sweep.
+
+    Returns a dict keyed by k.  One sweep at ``max(ks)`` serves every
+    requested k (the smaller answers are prefixes of the precedence
+    order).  ``shards``/``backend`` select sharded evaluation as in
+    :func:`evaluate_knn`.
+    """
+    if shards is not None:
+        return _sharded_evaluator(
+            "multiknn",
+            db,
+            query,
+            interval,
+            shards,
+            backend,
+            batch_size,
+            observe,
+            ks=ks,
+        ).answers()
+    engine = SweepEngine(db, _as_gdistance(query), interval, observe=observe)
+    view = MultiKNN(engine, ks)
+    engine.run_to_end()
+    return view.answers()
 
 
 def evaluate_query(
@@ -136,13 +236,34 @@ class ContinuousQuerySession:
         until: float = float("inf"),
         start: Optional[float] = None,
         observe=None,
+        shards: Optional[int] = None,
+        backend="sequential",
+        batch_size: int = 1,
     ) -> "ContinuousQuerySession":
         """A continuous k-NN session starting now (or at ``start``).
 
         ``observe`` optionally wires telemetry into the underlying
         engine; several sessions may share one registry, in which case
-        their counters aggregate.
+        their counters aggregate.  ``shards`` maintains the session
+        over a :class:`~repro.parallel.evaluator.ShardedSweepEvaluator`
+        instead of a single engine — identical answers, per-shard
+        maintenance.
         """
+        if shards is not None:
+            from repro.parallel.evaluator import ShardedSweepEvaluator
+
+            evaluator = ShardedSweepEvaluator.knn(
+                db,
+                query,
+                k=k,
+                until=until,
+                start=start,
+                shards=shards,
+                backend=backend,
+                batch_size=batch_size,
+                observe=observe,
+            )
+            return cls(db, evaluator, evaluator)
         lo = db.last_update_time if start is None else start
         engine = SweepEngine(
             db, _as_gdistance(query), Interval(lo, until), observe=observe
@@ -159,10 +280,29 @@ class ContinuousQuerySession:
         until: float = float("inf"),
         start: Optional[float] = None,
         observe=None,
+        shards: Optional[int] = None,
+        backend="sequential",
+        batch_size: int = 1,
     ) -> "ContinuousQuerySession":
         """A continuous within-range session starting now (or at
         ``start``).  ``observe`` optionally wires telemetry into the
-        underlying engine."""
+        underlying engine; ``shards`` selects sharded maintenance as in
+        :meth:`knn`."""
+        if shards is not None:
+            from repro.parallel.evaluator import ShardedSweepEvaluator
+
+            evaluator = ShardedSweepEvaluator.within(
+                db,
+                query,
+                distance,
+                until=until,
+                start=start,
+                shards=shards,
+                backend=backend,
+                batch_size=batch_size,
+                observe=observe,
+            )
+            return cls(db, evaluator, evaluator)
         lo = db.last_update_time if start is None else start
         gdistance = _as_gdistance(query)
         threshold = (

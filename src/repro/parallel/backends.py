@@ -1,0 +1,445 @@
+"""Execution backends hosting shard sweep engines.
+
+A *shard host* owns one shard's state — the shard database, its
+:class:`~repro.sweep.engine.SweepEngine`, and the view — and exposes a
+small op protocol the evaluator drives:
+
+``apply(updates)``
+    One chronological sub-batch of this shard's updates.
+``advance_to(t)`` / ``members_with_values(t)``
+    Clock ticks and instant answers (members paired with their current
+    g-distance values, the inputs to the ``O(k * shards)`` merge).
+``finalize(end)``
+    Finish the shard sweep and return its snapshot answer (a dict of
+    answers per ``k`` in multiknn mode).
+``rebuild()``
+    Theorem 5 re-initialization of just this shard from its own
+    database state, salvaging the answer accumulated so far — the
+    shard-granular version of the supervisor's recovery step.
+
+Two backends implement the protocol:
+
+- :class:`SequentialBackend` — shard state lives in-process;
+  deterministic, zero serialization, the default.
+- :class:`ProcessPoolBackend` — each shard is pinned to its own
+  single-worker :class:`concurrent.futures.ProcessPoolExecutor`.  Only
+  pickle-safe values cross the boundary: the shard database travels as
+  its JSON dict form (:func:`repro.io.database_to_dict`), the query
+  spec by pickle (so the g-distance must be picklable — every built-in
+  g-distance is), and updates/answers as their plain dataclass/value
+  forms.  Engines and treaps never cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.geometry.intervals import Interval
+from repro.gdist.base import GDistance
+from repro.io import database_from_dict, database_to_dict
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ObjectId, Update
+from repro.parallel.merge import clip_answer, union_answers
+from repro.query.answers import SnapshotAnswer
+from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import ContinuousKNN
+from repro.sweep.multiknn import MultiKNN
+from repro.sweep.within import ContinuousWithin
+
+__all__ = [
+    "KNN",
+    "MULTIKNN",
+    "WITHIN",
+    "ProcessPoolBackend",
+    "QuerySpec",
+    "SequentialBackend",
+    "ShardRuntime",
+    "resolve_backend",
+]
+
+KNN = "knn"
+WITHIN = "within"
+MULTIKNN = "multiknn"
+MODES = (KNN, WITHIN, MULTIKNN)
+
+ShardAnswer = Union[SnapshotAnswer, Dict[int, SnapshotAnswer]]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Everything a backend needs to build one shard's engine + view."""
+
+    gdistance: GDistance
+    lo: float
+    hi: float
+    mode: str
+    k: Optional[int] = None
+    ks: Optional[Tuple[int, ...]] = None
+    threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; expected one of {MODES}")
+        if self.mode == KNN and (self.k is None or self.k < 1):
+            raise ValueError("knn mode needs a positive k")
+        if self.mode == MULTIKNN and not self.ks:
+            raise ValueError("multiknn mode needs at least one k")
+        if self.mode == WITHIN and self.threshold is None:
+            raise ValueError("within mode needs a threshold")
+
+    @property
+    def constants(self) -> Tuple[float, ...]:
+        """Sentinel constants the shard engines must carry."""
+        return (float(self.threshold),) if self.mode == WITHIN else ()
+
+    def build(
+        self, db: MovingObjectDatabase, start: float, observe=None
+    ) -> Tuple[SweepEngine, object]:
+        """Build one shard engine + view sweeping ``[start, hi]``."""
+        engine = SweepEngine(
+            db,
+            self.gdistance,
+            Interval(start, self.hi),
+            constants=self.constants,
+            observe=observe,
+        )
+        if self.mode == KNN:
+            view: object = ContinuousKNN(engine, self.k)
+        elif self.mode == WITHIN:
+            view = ContinuousWithin(engine, float(self.threshold))
+        else:
+            view = MultiKNN(engine, self.ks)
+        return engine, view
+
+
+class ShardRuntime:
+    """One shard's database, engine, view, and salvage segments.
+
+    Used directly by the sequential backend and as the per-process
+    state of the process backend's workers.  The engine is subscribed
+    to the shard database, so ``db.apply`` drives eager maintenance;
+    :meth:`rebuild` replaces a broken engine with a fresh Theorem 5
+    initialization from current shard-database state, salvaging the
+    answer accumulated up to the shard's ``tau``.
+    """
+
+    def __init__(
+        self, db: MovingObjectDatabase, spec: QuerySpec, observe=None
+    ) -> None:
+        self._db = db
+        self._spec = spec
+        self._observe = observe
+        self._segments: List[ShardAnswer] = []
+        self._segment_start = spec.lo
+        self._engine, self._view = spec.build(db, spec.lo, observe=observe)
+        db.subscribe(self._engine.on_update)
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def db(self) -> MovingObjectDatabase:
+        """The shard's database."""
+        return self._db
+
+    @property
+    def engine(self) -> SweepEngine:
+        """The engine currently in force (changes across rebuilds)."""
+        return self._engine
+
+    @property
+    def current_time(self) -> float:
+        """The shard sweep's position."""
+        return self._engine.current_time
+
+    def primitive_ops(self) -> int:
+        """Primitive operations of the current engine (Corollary 6)."""
+        return self._engine.primitive_ops()
+
+    def operation_counts(self) -> Dict[str, int]:
+        """The current engine's primitive-op breakdown."""
+        return self._engine.operation_counts()
+
+    # -- the op protocol ----------------------------------------------------
+    def apply(self, updates: Sequence[Update], heal: bool = False) -> int:
+        """Apply one chronological sub-batch through the shard database.
+
+        With ``heal`` set, an engine failure on one update triggers
+        :meth:`rebuild` and the rest of the sub-batch is still applied
+        — one poisoned update cannot wedge the shard or lose its
+        neighbors.  Returns the number of healed failures.  Without
+        ``heal`` the first failure propagates (the engine-facade
+        contract a supervisor relies on).
+        """
+        failures = 0
+        for update in updates:
+            try:
+                self._db.apply(update)
+            except Exception:
+                if not heal:
+                    raise
+                failures += 1
+                self.rebuild()
+        return failures
+
+    def advance_to(self, t: float) -> None:
+        """Advance the shard sweep (idempotent at the current time)."""
+        if t > self._engine.current_time:
+            self._engine.advance_to(t)
+
+    def members_with_values(self, t: float) -> List[Tuple[ObjectId, float]]:
+        """Current answer members paired with their g-distance at ``t``.
+
+        In multiknn mode the members of the *largest* maintained k are
+        returned; any smaller k's global answer selects from them.
+        """
+        self.advance_to(t)
+        if self._spec.mode == MULTIKNN:
+            members = self._view.members(max(self._spec.ks))
+        else:
+            members = self._view.members
+        out: List[Tuple[ObjectId, float]] = []
+        for oid in members:
+            entry = self._engine.entry_for(oid)
+            out.append((oid, entry.curve(t)))
+        return out
+
+    def finalize(self, end: float) -> ShardAnswer:
+        """Finish the sweep at ``end`` and return the stitched answer."""
+        self.advance_to(end)
+        self._engine.finalize()
+        if self._spec.mode == MULTIKNN:
+            live: ShardAnswer = self._view.answers()
+        else:
+            live = self._view.answer()
+        if not self._segments:
+            return live
+        window = Interval(self._spec.lo, end)
+        segments = self._segments + [live]
+        if self._spec.mode == MULTIKNN:
+            return {
+                k: union_answers(
+                    [seg[k] for seg in segments if k in seg], window
+                )
+                for k in self._spec.ks
+            }
+        return union_answers(segments, window)
+
+    def rebuild(self) -> None:
+        """Replace a broken engine: salvage, then re-initialize.
+
+        The salvaged segment is clipped at the shard database's ``tau``
+        — beyond the last applied update the broken engine's answer is
+        unreliable — and the fresh engine re-reads authoritative shard
+        state (the Theorem 5 ``O(n log n)`` step, at shard size ``n``).
+        """
+        now = self._db.last_update_time
+        self._salvage(upto=now)
+        self._db.unsubscribe(self._engine.on_update)
+        self._engine, self._view = self._spec.build(
+            self._db, now, observe=self._observe
+        )
+        self._db.subscribe(self._engine.on_update)
+        self._segment_start = now
+
+    def _salvage(self, upto: float) -> None:
+        try:
+            self._engine.finalize()
+            if self._spec.mode == MULTIKNN:
+                raw = self._view.answers()
+                salvaged: ShardAnswer = {
+                    k: clip_answer(a, self._segment_start, upto)
+                    for k, a in raw.items()
+                }
+            else:
+                salvaged = clip_answer(
+                    self._view.answer(), self._segment_start, upto
+                )
+        except Exception:
+            return  # segment lost; the rebuild re-reads shard state
+        self._segments.append(salvaged)
+
+    def close(self) -> None:
+        """Detach the engine from the shard database."""
+        self._db.unsubscribe(self._engine.on_update)
+
+
+# ---------------------------------------------------------------------------
+# Sequential backend
+# ---------------------------------------------------------------------------
+class SequentialShardHost:
+    """In-process host: direct calls into a :class:`ShardRuntime`."""
+
+    def __init__(self, runtime: ShardRuntime) -> None:
+        self.runtime = runtime
+
+    def apply(self, updates: Sequence[Update], heal: bool = False) -> int:
+        return self.runtime.apply(updates, heal=heal)
+
+    def advance_to(self, t: float) -> None:
+        self.runtime.advance_to(t)
+
+    def members_with_values(self, t: float) -> List[Tuple[ObjectId, float]]:
+        return self.runtime.members_with_values(t)
+
+    def finalize(self, end: float) -> ShardAnswer:
+        return self.runtime.finalize(end)
+
+    def rebuild(self) -> None:
+        self.runtime.rebuild()
+
+    def primitive_ops(self) -> int:
+        return self.runtime.primitive_ops()
+
+    def operation_counts(self) -> Dict[str, int]:
+        return self.runtime.operation_counts()
+
+    def close(self) -> None:
+        self.runtime.close()
+
+
+class SequentialBackend:
+    """Deterministic in-process execution (the default)."""
+
+    name = "sequential"
+
+    def spawn(
+        self,
+        shard_id: int,
+        db: MovingObjectDatabase,
+        spec: QuerySpec,
+        observe=None,
+    ) -> SequentialShardHost:
+        """Host one shard in-process (``observe`` is threaded through
+        to the shard engine; counters aggregate across shards)."""
+        return SequentialShardHost(ShardRuntime(db, spec, observe=observe))
+
+
+# ---------------------------------------------------------------------------
+# Process-pool backend
+# ---------------------------------------------------------------------------
+# Worker-global shard state: each shard is pinned to its own
+# single-worker executor, so exactly one ShardRuntime lives per worker
+# process and a module global is unambiguous.
+_WORKER_RUNTIME: Optional[ShardRuntime] = None
+
+
+def _w_build(db_dict: dict, spec_bytes: bytes) -> bool:
+    global _WORKER_RUNTIME
+    db = database_from_dict(db_dict)
+    spec = pickle.loads(spec_bytes)
+    _WORKER_RUNTIME = ShardRuntime(db, spec)
+    return True
+
+
+def _w_apply(updates: Sequence[Update], heal: bool) -> int:
+    return _WORKER_RUNTIME.apply(updates, heal=heal)
+
+
+def _w_advance(t: float) -> None:
+    _WORKER_RUNTIME.advance_to(t)
+
+
+def _w_members(t: float) -> List[Tuple[ObjectId, float]]:
+    return _WORKER_RUNTIME.members_with_values(t)
+
+
+def _w_finalize(end: float) -> ShardAnswer:
+    return _WORKER_RUNTIME.finalize(end)
+
+
+def _w_rebuild() -> None:
+    _WORKER_RUNTIME.rebuild()
+
+
+def _w_ops() -> int:
+    return _WORKER_RUNTIME.primitive_ops()
+
+
+def _w_op_counts() -> Dict[str, int]:
+    return _WORKER_RUNTIME.operation_counts()
+
+
+class ProcessShardHost:
+    """A shard pinned to one single-worker process pool.
+
+    Pinning gives the worker process exclusive, persistent shard state
+    across batches — the property a shared pool cannot provide.  All
+    arguments and results crossing the boundary are plain picklable
+    values; the engine and its treap never leave the worker.
+    """
+
+    def __init__(
+        self, shard_id: int, db: MovingObjectDatabase, spec: QuerySpec
+    ) -> None:
+        self.shard_id = shard_id
+        self._pool = ProcessPoolExecutor(max_workers=1)
+        self._closed = False
+        self._call(_w_build, database_to_dict(db), pickle.dumps(spec))
+
+    def _call(self, fn, *args):
+        if self._closed:
+            raise RuntimeError("shard host is closed")
+        return self._pool.submit(fn, *args).result()
+
+    def apply(self, updates: Sequence[Update], heal: bool = False) -> int:
+        return self._call(_w_apply, list(updates), heal)
+
+    def advance_to(self, t: float) -> None:
+        self._call(_w_advance, t)
+
+    def members_with_values(self, t: float) -> List[Tuple[ObjectId, float]]:
+        return self._call(_w_members, t)
+
+    def finalize(self, end: float) -> ShardAnswer:
+        return self._call(_w_finalize, end)
+
+    def rebuild(self) -> None:
+        self._call(_w_rebuild)
+
+    def primitive_ops(self) -> int:
+        return self._call(_w_ops)
+
+    def operation_counts(self) -> Dict[str, int]:
+        return self._call(_w_op_counts)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown()
+
+
+class ProcessPoolBackend:
+    """One pinned single-worker process per shard.
+
+    Telemetry is per-process, so the parent's ``observe`` registry is
+    *not* threaded into worker engines; the evaluator's own merge and
+    batching metrics still apply.
+    """
+
+    name = "process"
+
+    def spawn(
+        self,
+        shard_id: int,
+        db: MovingObjectDatabase,
+        spec: QuerySpec,
+        observe=None,
+    ) -> ProcessShardHost:
+        """Host one shard in a dedicated worker process."""
+        return ProcessShardHost(shard_id, db, spec)
+
+
+def resolve_backend(backend):
+    """Coerce a backend argument: a name or an object with ``spawn``."""
+    if backend == "sequential" or backend is None:
+        return SequentialBackend()
+    if backend == "process":
+        return ProcessPoolBackend()
+    if hasattr(backend, "spawn"):
+        return backend
+    raise ValueError(
+        f"unknown backend {backend!r}; expected 'sequential', 'process', "
+        "or an object with a spawn() method"
+    )

@@ -1,0 +1,113 @@
+"""Per-shard batching of update streams.
+
+Applying a chronological update stream one update at a time makes every
+update pay its own event-queue drain and treap touch on the owning
+shard.  Batching amortizes that: updates are buffered as they arrive,
+grouped per owning shard, and each shard receives its sub-batch in one
+chronological pass — shards untouched by a batch do no work at all, and
+answer merges are deferred to batch boundaries instead of being
+recomputed per update.
+
+The applier is deliberately dumb about *what* an application means: it
+routes and groups, and a callback applies one shard's chronological
+sub-batch.  :class:`~repro.parallel.evaluator.ShardedSweepEvaluator`
+owns the callback (and flushes implicitly before every read, so
+buffering never changes observable answers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.mod.updates import Update
+
+__all__ = ["BatchStats", "BatchedUpdateApplier"]
+
+
+@dataclass
+class BatchStats:
+    """Batching counters for one applier."""
+
+    submitted: int = 0
+    flushes: int = 0
+    applied: int = 0
+    max_batch: int = 0
+    shard_touches: int = 0  # sum over flushes of |shards touched|
+    per_shard: Dict[int, int] = field(default_factory=dict)
+
+
+class BatchedUpdateApplier:
+    """Buffer updates and apply them per shard in chronological passes.
+
+    Parameters
+    ----------
+    router:
+        Maps an update to its owning shard index.
+    apply:
+        Called as ``apply(shard, updates)`` with one shard's sub-batch
+        in chronological order.
+    batch_size:
+        Flush automatically once this many updates are buffered.
+        ``1`` degenerates to unbatched routing (every submit flushes);
+        larger values amortize.
+    """
+
+    def __init__(
+        self,
+        router: Callable[[Update], int],
+        apply: Callable[[int, List[Update]], None],
+        batch_size: int = 1,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self._router = router
+        self._apply = apply
+        self._batch_size = batch_size
+        self._pending: List[Update] = []
+        self.stats = BatchStats()
+
+    @property
+    def batch_size(self) -> int:
+        """The automatic flush threshold."""
+        return self._batch_size
+
+    @property
+    def pending(self) -> int:
+        """Updates buffered but not yet applied."""
+        return len(self._pending)
+
+    def submit(self, update: Update) -> bool:
+        """Buffer one update; returns True when this submit flushed."""
+        self.stats.submitted += 1
+        self._pending.append(update)
+        if len(self._pending) >= self._batch_size:
+            self.flush()
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Apply every buffered update, one pass per touched shard.
+
+        The global stream is chronological, so each shard's sub-batch —
+        which preserves arrival order — is chronological too.  Shards
+        are applied in ascending index order; cross-shard order within
+        a batch is immaterial because shard states are independent.
+        Returns the number of updates applied.
+        """
+        if not self._pending:
+            return 0
+        batch, self._pending = self._pending, []
+        grouped: Dict[int, List[Update]] = {}
+        for update in batch:
+            grouped.setdefault(self._router(update), []).append(update)
+        for shard in sorted(grouped):
+            self._apply(shard, grouped[shard])
+            self.stats.per_shard[shard] = self.stats.per_shard.get(
+                shard, 0
+            ) + len(grouped[shard])
+        self.stats.flushes += 1
+        self.stats.applied += len(batch)
+        self.stats.max_batch = max(self.stats.max_batch, len(batch))
+        self.stats.shard_touches += len(grouped)
+        return len(batch)

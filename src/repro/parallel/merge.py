@@ -1,0 +1,168 @@
+"""Combining per-shard partial answers into exact global answers.
+
+Correctness rests on two observations:
+
+- **within-range decomposes**: membership ``f_o(t) <= c`` involves one
+  object at a time, so the global answer is the disjoint union of the
+  shard answers — no cross-shard comparison at all.
+- **k-NN admits a small candidate set**: an object in the global top-k
+  at time ``t`` has fewer than ``k`` objects below it globally, hence
+  fewer than ``k`` below it in its own shard — it is in its shard's
+  top-k at ``t``.  The union of the shard answers' accumulative sets
+  (at most ``k`` per shard per instant, Lemma 9-style bounded) is
+  therefore a complete candidate set, and an exact second-level sweep
+  over only the candidates reproduces the single-engine answer.  At a
+  single instant the same argument gives the ``O(k * shards)``
+  selection: pick the ``k`` smallest of the shards' current top-k
+  values.
+
+The instant selection breaks exact value ties by ``str(oid)`` — the
+same deterministic tie-break the naive baseline uses — so merged
+answers are reproducible even on adversarial tied workloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.gdist.base import GDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ObjectId
+from repro.query.answers import SnapshotAnswer
+from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import ContinuousKNN
+from repro.sweep.multiknn import MultiKNN
+
+__all__ = [
+    "candidate_oids",
+    "clip_answer",
+    "merge_knn_answers",
+    "merge_multiknn_answers",
+    "merge_within_answers",
+    "select_top_k",
+    "union_answers",
+]
+
+
+def select_top_k(
+    candidates: Iterable[Tuple[ObjectId, float]], k: int
+) -> List[ObjectId]:
+    """The ``k`` nearest of ``(oid, value)`` candidates, nearest first.
+
+    This is the instant-query merge: each shard contributes its current
+    top-k members with their curve values, and a single
+    ``O(k * shards)``-sized selection yields the global answer.
+    """
+    best = heapq.nsmallest(k, candidates, key=lambda kv: (kv[1], str(kv[0])))
+    return [oid for oid, _ in best]
+
+
+def union_answers(
+    answers: Sequence[SnapshotAnswer], interval: Interval
+) -> SnapshotAnswer:
+    """Union several snapshot answers over a common window.
+
+    Used both for the within-range merge (per-shard answers are
+    disjoint, so union is exact) and for stitching one shard's salvaged
+    answer segments across rebuilds (segments cover disjoint time
+    ranges, so union is again exact).
+    """
+    memberships: Dict[ObjectId, IntervalSet] = {}
+    for answer in answers:
+        for oid in answer.objects:
+            ivs = answer.intervals_for(oid)
+            memberships[oid] = (
+                memberships[oid].union(ivs) if oid in memberships else ivs
+            )
+    return SnapshotAnswer(memberships, interval)
+
+
+def merge_within_answers(
+    answers: Sequence[SnapshotAnswer], interval: Interval
+) -> SnapshotAnswer:
+    """Union disjoint per-shard within-range answers."""
+    return union_answers(answers, interval)
+
+
+def clip_answer(answer: SnapshotAnswer, lo: float, hi: float) -> SnapshotAnswer:
+    """Restrict an answer's memberships to the window ``[lo, hi]``.
+
+    Used when salvaging a failed shard engine: only the span up to the
+    shard database's ``tau`` is trustworthy, and a rebuilt engine will
+    re-cover the remainder.
+    """
+    if hi < lo:
+        lo = hi
+    window = IntervalSet([Interval(lo, hi)])
+    memberships: Dict[ObjectId, IntervalSet] = {}
+    for oid in answer.objects:
+        clipped = answer.intervals_for(oid).intersect(window)
+        if not clipped.is_empty:
+            memberships[oid] = clipped
+    return SnapshotAnswer(memberships, Interval(lo, hi))
+
+
+def candidate_oids(answers: Sequence[SnapshotAnswer]) -> List[ObjectId]:
+    """Accumulative union of per-shard answers, sorted for determinism."""
+    seen: Set[ObjectId] = set()
+    for answer in answers:
+        seen.update(answer.objects)
+    return sorted(seen, key=str)
+
+
+def _candidate_database(
+    source: MovingObjectDatabase, oids: Sequence[ObjectId]
+) -> MovingObjectDatabase:
+    """A MOD holding only the candidate objects (trajectories shared)."""
+    db = MovingObjectDatabase(initial_time=source.last_update_time)
+    for oid in oids:
+        db.install(oid, source.trajectory(oid))
+    return db
+
+
+def merge_knn_answers(
+    source: MovingObjectDatabase,
+    gdistance: GDistance,
+    interval: Interval,
+    k: int,
+    answers: Sequence[SnapshotAnswer],
+    observe=None,
+) -> SnapshotAnswer:
+    """Exact global k-NN answer from per-shard top-k answers.
+
+    Runs the second-level sweep over the candidate union — cost
+    ``O((m_c + C) log C)`` for ``C`` candidates, independent of the
+    total object count ``N``.
+    """
+    oids = candidate_oids(answers)
+    if not oids:
+        return SnapshotAnswer({}, interval)
+    engine = SweepEngine(
+        _candidate_database(source, oids), gdistance, interval, observe=observe
+    )
+    view = ContinuousKNN(engine, k)
+    engine.run_to_end()
+    return view.answer()
+
+
+def merge_multiknn_answers(
+    source: MovingObjectDatabase,
+    gdistance: GDistance,
+    interval: Interval,
+    ks: Sequence[int],
+    answers: Sequence[SnapshotAnswer],
+    observe=None,
+) -> Dict[int, SnapshotAnswer]:
+    """Exact global answers for several k values from shard answers
+    maintained at ``max(ks)``."""
+    oids = candidate_oids(answers)
+    if not oids:
+        return {int(k): SnapshotAnswer({}, interval) for k in ks}
+    engine = SweepEngine(
+        _candidate_database(source, oids), gdistance, interval, observe=observe
+    )
+    view = MultiKNN(engine, ks)
+    engine.run_to_end()
+    return view.answers()

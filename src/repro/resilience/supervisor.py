@@ -126,20 +126,51 @@ class SupervisedQuerySession:
         until: float = math.inf,
         start: Optional[float] = None,
         observe=None,
+        shards: Optional[int] = None,
+        backend="sequential",
+        batch_size: int = 1,
+        self_heal: bool = False,
     ) -> "SupervisedQuerySession":
         """A supervised continuous k-NN session.
 
         ``observe`` is shared between the supervisor and every engine
         it builds, so counters keep aggregating across rebuilds.
+
+        ``shards`` fronts a
+        :class:`~repro.parallel.evaluator.ShardedSweepEvaluator`
+        instead of a single engine: the supervisor's whole-session
+        recovery then wraps shard-level parallelism, and
+        ``self_heal=True`` additionally lets individual shards rebuild
+        themselves without involving the supervisor at all.
         """
         gdistance = _as_gdistance(query)
         observe = as_instrumentation(observe)
 
-        def factory(t: float) -> Tuple[SweepEngine, object]:
-            engine = SweepEngine(
-                db, gdistance, Interval(t, until), observe=observe
-            )
-            return engine, ContinuousKNN(engine, k)
+        if shards is not None:
+            from repro.parallel.evaluator import ShardedSweepEvaluator
+
+            def factory(t: float) -> Tuple[SweepEngine, object]:
+                evaluator = ShardedSweepEvaluator.knn(
+                    db,
+                    query,
+                    k=k,
+                    until=until,
+                    start=t,
+                    shards=shards,
+                    backend=backend,
+                    batch_size=batch_size,
+                    self_heal=self_heal,
+                    observe=observe,
+                )
+                return evaluator, evaluator
+
+        else:
+
+            def factory(t: float) -> Tuple[SweepEngine, object]:
+                engine = SweepEngine(
+                    db, gdistance, Interval(t, until), observe=observe
+                )
+                return engine, ContinuousKNN(engine, k)
 
         return cls(db, factory, until=until, start=start, observe=observe)
 
@@ -152,8 +183,15 @@ class SupervisedQuerySession:
         until: float = math.inf,
         start: Optional[float] = None,
         observe=None,
+        shards: Optional[int] = None,
+        backend="sequential",
+        batch_size: int = 1,
+        self_heal: bool = False,
     ) -> "SupervisedQuerySession":
-        """A supervised continuous within-range session."""
+        """A supervised continuous within-range session.
+
+        ``shards`` selects a sharded evaluator as in :meth:`knn`.
+        """
         gdistance = _as_gdistance(query)
         observe = as_instrumentation(observe)
         threshold = (
@@ -162,15 +200,35 @@ class SupervisedQuerySession:
             else float(distance)
         )
 
-        def factory(t: float) -> Tuple[SweepEngine, object]:
-            engine = SweepEngine(
-                db,
-                gdistance,
-                Interval(t, until),
-                constants=[threshold],
-                observe=observe,
-            )
-            return engine, ContinuousWithin(engine, threshold)
+        if shards is not None:
+            from repro.parallel.evaluator import ShardedSweepEvaluator
+
+            def factory(t: float) -> Tuple[SweepEngine, object]:
+                evaluator = ShardedSweepEvaluator.within(
+                    db,
+                    query,
+                    distance,
+                    until=until,
+                    start=t,
+                    shards=shards,
+                    backend=backend,
+                    batch_size=batch_size,
+                    self_heal=self_heal,
+                    observe=observe,
+                )
+                return evaluator, evaluator
+
+        else:
+
+            def factory(t: float) -> Tuple[SweepEngine, object]:
+                engine = SweepEngine(
+                    db,
+                    gdistance,
+                    Interval(t, until),
+                    constants=[threshold],
+                    observe=observe,
+                )
+                return engine, ContinuousWithin(engine, threshold)
 
         return cls(db, factory, until=until, start=start, observe=observe)
 

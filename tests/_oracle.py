@@ -1,0 +1,311 @@
+"""Shared differential-testing oracle.
+
+One seeded scenario — an initial MOD population plus a chronological
+``new``/``terminate``/``chdir`` update stream — is driven identically
+through three evaluation paths:
+
+- the **naive baseline** (O(N^2) recomputation from trajectories),
+- a **single** :class:`~repro.sweep.engine.SweepEngine`,
+- a :class:`~repro.parallel.evaluator.ShardedSweepEvaluator` at any
+  shard count / backend / batch size,
+
+and each path reports the same two artifacts: the final snapshot
+answer over the whole session and the instant answer sets at a fixed
+probe schedule.  The differential tests assert all paths agree.
+
+Probe instants sit at an *irrational* fraction between consecutive
+update times, so they never coincide with an update timestamp or an
+engineered crossing time — instant answers are then unambiguous (no
+measure-zero boundary memberships) and set equality is exact.
+
+The query is always passed as an explicit
+:class:`~repro.gdist.euclidean.SquaredEuclideanDistance` and the
+within threshold as a raw g-distance value, so every path compares
+against bit-identical constants (no squaring on one side only).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.baselines.naive import naive_knn_answer, naive_within_answer
+from repro.geometry.intervals import Interval
+from repro.geometry.vectors import Vector
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ChangeDirection, New, Terminate, Update
+from repro.parallel.evaluator import ShardedSweepEvaluator
+from repro.query.answers import SnapshotAnswer
+from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import ContinuousKNN
+from repro.sweep.multiknn import MultiKNN
+from repro.sweep.within import ContinuousWithin
+
+# Fraction of the gap between consecutive update times at which instant
+# probes are placed: sqrt(2) - 1, irrational, so probes never land on
+# update timestamps or rationally-engineered crossing instants.
+PROBE_FRACTION = 0.41421356237309515
+
+ANSWER_ATOL = 1e-5
+
+KNN = "knn"
+WITHIN = "within"
+MULTIKNN = "multiknn"
+
+ProbeRecord = Tuple[float, Union[Set, Dict[int, Set]]]
+
+
+@dataclass
+class Scenario:
+    """One seeded differential scenario."""
+
+    seed: int
+    initial: List[New]
+    stream: List[Update]
+    start: float
+    horizon: float
+    point: Tuple[float, float]
+    k: int
+    ks: Tuple[int, ...]
+    threshold: float
+
+    def gdistance(self) -> SquaredEuclideanDistance:
+        return SquaredEuclideanDistance(list(self.point))
+
+    def build_db(self) -> MovingObjectDatabase:
+        db = MovingObjectDatabase(initial_time=0.0)
+        for update in self.initial:
+            db.apply(update)
+        return db
+
+    def schedule(self) -> List[Tuple[Update, Optional[float]]]:
+        """The stream, each update paired with the probe instant that
+        follows it (before the next update / the horizon)."""
+        out: List[Tuple[Update, Optional[float]]] = []
+        for i, update in enumerate(self.stream):
+            nxt = (
+                self.stream[i + 1].time
+                if i + 1 < len(self.stream)
+                else self.horizon
+            )
+            probe = update.time + PROBE_FRACTION * (nxt - update.time)
+            out.append((update, probe if probe < self.horizon else None))
+        return out
+
+
+def generate_scenario(seed: int) -> Scenario:
+    """A reproducible random scenario: 5-8 objects, 6-10 updates."""
+    rng = random.Random(seed)
+    objects = rng.randint(5, 8)
+    initial = [
+        New(
+            f"o{i}",
+            0.001 * (i + 1),
+            velocity=Vector.of(rng.uniform(-4, 4), rng.uniform(-4, 4)),
+            position=Vector.of(rng.uniform(-20, 20), rng.uniform(-20, 20)),
+        )
+        for i in range(objects)
+    ]
+    live = [u.oid for u in initial]
+    born = 0
+    stream: List[Update] = []
+    t = 1.0
+    for _ in range(rng.randint(6, 10)):
+        t += rng.uniform(0.4, 2.0)
+        choice = rng.random()
+        if choice < 0.22:
+            born += 1
+            oid = f"n{born}"
+            stream.append(
+                New(
+                    oid,
+                    t,
+                    velocity=Vector.of(rng.uniform(-4, 4), rng.uniform(-4, 4)),
+                    position=Vector.of(rng.uniform(-20, 20), rng.uniform(-20, 20)),
+                )
+            )
+            live.append(oid)
+        elif choice < 0.37 and len(live) > 2:
+            oid = live.pop(rng.randrange(len(live)))
+            stream.append(Terminate(oid, t))
+        else:
+            stream.append(
+                ChangeDirection(
+                    rng.choice(live),
+                    t,
+                    Vector.of(rng.uniform(-4, 4), rng.uniform(-4, 4)),
+                )
+            )
+    return Scenario(
+        seed=seed,
+        initial=initial,
+        stream=stream,
+        start=0.001 * objects,
+        horizon=t + rng.uniform(1.0, 3.0),
+        point=(rng.uniform(-5, 5), rng.uniform(-5, 5)),
+        k=rng.randint(1, 3),
+        ks=tuple(sorted(rng.sample([1, 2, 3, 4], rng.randint(2, 3)))),
+        threshold=rng.uniform(16.0, 400.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The three evaluation paths
+# ---------------------------------------------------------------------------
+def _naive_final(
+    db: MovingObjectDatabase, sc: Scenario, mode: str
+) -> Union[SnapshotAnswer, Dict[int, SnapshotAnswer]]:
+    gd = sc.gdistance()
+    window = Interval(sc.start, sc.horizon)
+    if mode == KNN:
+        return naive_knn_answer(db, gd, window, sc.k)
+    if mode == WITHIN:
+        return naive_within_answer(db, gd, window, sc.threshold)
+    return {k: naive_knn_answer(db, gd, window, k) for k in sc.ks}
+
+
+def _naive_instant(
+    db: MovingObjectDatabase, sc: Scenario, mode: str, t: float
+) -> Union[Set, Dict[int, Set]]:
+    gd = sc.gdistance()
+    instant = Interval(t, t)
+    if mode == KNN:
+        return naive_knn_answer(db, gd, instant, sc.k).at(t)
+    if mode == WITHIN:
+        return naive_within_answer(db, gd, instant, sc.threshold).at(t)
+    return {k: naive_knn_answer(db, gd, instant, k).at(t) for k in sc.ks}
+
+
+def run_naive(
+    sc: Scenario, mode: str
+) -> Tuple[
+    Union[SnapshotAnswer, Dict[int, SnapshotAnswer]], List[ProbeRecord]
+]:
+    """Final answer + probe answers from the naive baseline."""
+    db = sc.build_db()
+    probes: List[ProbeRecord] = []
+    for update, probe in sc.schedule():
+        db.apply(update)
+        if probe is not None:
+            probes.append((probe, _naive_instant(db, sc, mode, probe)))
+    return _naive_final(db, sc, mode), probes
+
+
+def run_single(
+    sc: Scenario, mode: str
+) -> Tuple[
+    Union[SnapshotAnswer, Dict[int, SnapshotAnswer]], List[ProbeRecord]
+]:
+    """Final answer + probe answers from one eager SweepEngine."""
+    db = sc.build_db()
+    gd = sc.gdistance()
+    constants = [sc.threshold] if mode == WITHIN else []
+    engine = SweepEngine(
+        db, gd, Interval(sc.start, sc.horizon), constants=constants
+    )
+    if mode == KNN:
+        view = ContinuousKNN(engine, sc.k)
+    elif mode == WITHIN:
+        view = ContinuousWithin(engine, sc.threshold)
+    else:
+        view = MultiKNN(engine, sc.ks)
+    db.subscribe(engine.on_update)
+    probes: List[ProbeRecord] = []
+    for update, probe in sc.schedule():
+        db.apply(update)
+        if probe is not None:
+            engine.advance_to(probe)
+            if mode == MULTIKNN:
+                probes.append((probe, {k: view.members(k) for k in sc.ks}))
+            else:
+                probes.append((probe, set(view.members)))
+    engine.advance_to(sc.horizon)
+    engine.finalize()
+    final = view.answers() if mode == MULTIKNN else view.answer()
+    return final, probes
+
+
+def run_sharded(
+    sc: Scenario,
+    mode: str,
+    shards: int,
+    backend="sequential",
+    batch_size: int = 1,
+) -> Tuple[
+    Union[SnapshotAnswer, Dict[int, SnapshotAnswer]], List[ProbeRecord]
+]:
+    """Final answer + probe answers from a ShardedSweepEvaluator."""
+    db = sc.build_db()
+    if mode == KNN:
+        evaluator = ShardedSweepEvaluator.knn(
+            db,
+            sc.gdistance(),
+            k=sc.k,
+            until=sc.horizon,
+            shards=shards,
+            backend=backend,
+            batch_size=batch_size,
+        )
+    elif mode == WITHIN:
+        evaluator = ShardedSweepEvaluator.within(
+            db,
+            sc.gdistance(),
+            sc.threshold,
+            until=sc.horizon,
+            shards=shards,
+            backend=backend,
+            batch_size=batch_size,
+        )
+    else:
+        evaluator = ShardedSweepEvaluator.multiknn(
+            db,
+            sc.gdistance(),
+            sc.ks,
+            until=sc.horizon,
+            shards=shards,
+            backend=backend,
+            batch_size=batch_size,
+        )
+    db.subscribe(evaluator.on_update)
+    probes: List[ProbeRecord] = []
+    try:
+        for update, probe in sc.schedule():
+            db.apply(update)
+            if probe is not None:
+                members = evaluator.advance_to(probe)
+                if mode == MULTIKNN:
+                    probes.append(
+                        (probe, {k: evaluator.members_for(k) for k in sc.ks})
+                    )
+                else:
+                    probes.append((probe, set(members)))
+        evaluator.advance_to(sc.horizon)
+        evaluator.finalize()
+        final = evaluator.answers() if mode == MULTIKNN else evaluator.answer()
+    finally:
+        db.unsubscribe(evaluator.on_update)
+        evaluator.shutdown()
+    return final, probes
+
+
+# ---------------------------------------------------------------------------
+# Comparison helpers
+# ---------------------------------------------------------------------------
+def answers_equal(a, b, atol: float = ANSWER_ATOL) -> bool:
+    """approx-equality for answers or per-k answer dicts."""
+    if isinstance(a, dict) or isinstance(b, dict):
+        return set(a) == set(b) and all(
+            a[k].approx_equals(b[k], atol=atol) for k in a
+        )
+    return a.approx_equals(b, atol=atol)
+
+
+def assert_probes_equal(
+    got: List[ProbeRecord], expected: List[ProbeRecord], label: str
+) -> None:
+    assert len(got) == len(expected), f"{label}: probe count mismatch"
+    for (t1, m1), (t2, m2) in zip(got, expected):
+        assert t1 == t2, f"{label}: probe schedule diverged ({t1} vs {t2})"
+        assert m1 == m2, f"{label}: instant answer at t={t1}: {m1} != {m2}"
