@@ -30,6 +30,7 @@ Quickstart::
     print(answer)
 """
 
+from repro.cache import QueryCache
 from repro.core.api import (
     ContinuousQuerySession,
     evaluate_knn,
@@ -85,6 +86,7 @@ __all__ = [
     "Polynomial",
     "PolynomialApproximation",
     "Query",
+    "QueryCache",
     "RecordingDatabase",
     "RejectedUpdate",
     "ShardedSweepEvaluator",

@@ -1,0 +1,70 @@
+"""Value fingerprints for cache keys.
+
+A *g-distance fingerprint* identifies a g-distance by value (see
+:meth:`repro.gdist.base.GDistance.cache_fingerprint`); a *query
+fingerprint* extends it with the query kind and its parameters, so two
+logically identical queries — possibly built from distinct objects —
+share cache entries.  Fingerprints are plain hashable tuples; they
+never capture the query interval, which is matched separately (the
+answer cache serves sub-intervals and extensions of a cached span).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.gdist.base import GDistance
+
+__all__ = [
+    "gdistance_fingerprint",
+    "is_identity_fingerprint",
+    "knn_fingerprint",
+    "multiknn_fingerprint",
+    "query_fingerprint",
+    "within_fingerprint",
+]
+
+
+def gdistance_fingerprint(gdistance: GDistance) -> Tuple:
+    """The g-distance's value fingerprint."""
+    return gdistance.cache_fingerprint()
+
+
+def is_identity_fingerprint(fingerprint: Tuple) -> bool:
+    """True for the id-based fallback fingerprint.
+
+    Caches keyed on one must pin the g-distance instance (a strong
+    reference) so the interpreter cannot recycle the id into a new,
+    unrelated object.
+    """
+    return bool(fingerprint) and fingerprint[0] == "id"
+
+
+def knn_fingerprint(gdistance: GDistance, k: int) -> Tuple:
+    """Fingerprint of a k-NN query."""
+    return ("knn", gdistance_fingerprint(gdistance), int(k))
+
+
+def within_fingerprint(gdistance: GDistance, threshold: float) -> Tuple:
+    """Fingerprint of a within-range query (g-distance units)."""
+    return ("within", gdistance_fingerprint(gdistance), float(threshold))
+
+
+def multiknn_fingerprint(gdistance: GDistance, ks: Sequence[int]) -> Tuple:
+    """Fingerprint of a multi-k k-NN query."""
+    return (
+        "multiknn",
+        gdistance_fingerprint(gdistance),
+        tuple(sorted({int(k) for k in ks})),
+    )
+
+
+def query_fingerprint(kind: str, gdistance: GDistance, **params) -> Tuple:
+    """Dispatch on ``kind`` (``knn`` / ``within`` / ``multiknn``)."""
+    if kind == "knn":
+        return knn_fingerprint(gdistance, params["k"])
+    if kind == "within":
+        return within_fingerprint(gdistance, params["threshold"])
+    if kind == "multiknn":
+        return multiknn_fingerprint(gdistance, params["ks"])
+    raise ValueError(f"unknown query kind {kind!r}")

@@ -10,6 +10,7 @@ arrive (*future* and *continuing* queries).
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional, Sequence, Set, Union
 
 from repro.geometry.intervals import Interval
@@ -44,6 +45,7 @@ def _sharded_evaluator(
     backend,
     batch_size: int,
     observe,
+    curve_store=None,
     **params,
 ):
     """Build a one-shot sharded evaluator over ``interval``.
@@ -63,10 +65,53 @@ def _sharded_evaluator(
         backend=backend,
         batch_size=batch_size,
         observe=observe,
+        curve_store=curve_store,
         **params,
     )
     evaluator.run_to_end()
     return evaluator
+
+
+def _cached_sweep(
+    cache,
+    db: MovingObjectDatabase,
+    gdistance: GDistance,
+    interval: Interval,
+    kind: str,
+    view_factory,
+    observe,
+    constants: Sequence[float] = (),
+    **params,
+):
+    """Evaluate one query on a *continuation* engine and cache it.
+
+    The engine's horizon is left open (``[lo, +inf)``) so the very
+    engine that answered this query stays extensible: a later query
+    over a longer interval continues the sweep from ``interval.hi``
+    (Theorem 5's per-update maintenance) instead of re-running the
+    ``O(N log N)`` initialization.  The answer over ``interval`` is
+    read off non-destructively with a timeline snapshot; it is
+    identical to the finalized answer of a ``[lo, hi]`` engine (events
+    beyond ``hi`` are scheduled but never processed).
+    """
+    engine = SweepEngine(
+        db,
+        gdistance,
+        Interval.at_least(interval.lo),
+        constants=constants,
+        observe=observe,
+        curve_store=cache.curves,
+    )
+    view = view_factory(engine)
+    engine.advance_to(interval.hi)
+    if hasattr(view, "partial_answers"):
+        payload = view.partial_answers(interval.hi)
+    else:
+        payload = view.partial_answer(interval.hi)
+    cache.store(
+        kind, gdistance, interval, payload, engine=engine, view=view, **params
+    )
+    return payload
 
 
 def evaluate_knn(
@@ -78,6 +123,7 @@ def evaluate_knn(
     shards: Optional[int] = None,
     backend="sequential",
     batch_size: int = 1,
+    cache=None,
 ) -> SnapshotAnswer:
     """The k nearest objects to ``query`` over ``interval``.
 
@@ -92,12 +138,47 @@ def evaluate_knn(
     a single engine — same exact answer, smaller per-shard sweeps;
     ``backend`` picks the execution backend (``"sequential"`` or
     ``"process"``).
+
+    Pass ``cache`` (a :class:`~repro.cache.QueryCache`) to serve
+    repeated or overlapping-interval queries from cached answers:
+    sub-intervals by restriction, forward extensions by continuing the
+    original sweep, cold queries by a cached-curve engine build.  The
+    cache binds to ``db`` and invalidates itself on every update.
     """
+    gdistance = _as_gdistance(query)
+    if cache is not None and interval.is_bounded:
+        cache.bind(db)
+        hit = cache.lookup("knn", gdistance, interval, k=k)
+        if hit is not None:
+            return hit
+        if shards is None:
+            return _cached_sweep(
+                cache,
+                db,
+                gdistance,
+                interval,
+                "knn",
+                lambda engine: ContinuousKNN(engine, k),
+                observe,
+                k=k,
+            )
     if shards is not None:
-        return _sharded_evaluator(
-            "knn", db, query, interval, shards, backend, batch_size, observe, k=k
+        answer = _sharded_evaluator(
+            "knn",
+            db,
+            query,
+            interval,
+            shards,
+            backend,
+            batch_size,
+            observe,
+            curve_store=None if cache is None else cache.curves,
+            k=k,
         ).answer()
-    engine = SweepEngine(db, _as_gdistance(query), interval, observe=observe)
+        if cache is not None and interval.is_bounded:
+            cache.store("knn", gdistance, interval, answer, k=k)
+        return answer
+    engine = SweepEngine(db, gdistance, interval, observe=observe)
     view = ContinuousKNN(engine, k)
     engine.run_to_end()
     return view.answer()
@@ -112,6 +193,7 @@ def evaluate_within(
     shards: Optional[int] = None,
     backend="sequential",
     batch_size: int = 1,
+    cache=None,
 ) -> SnapshotAnswer:
     """Objects within Euclidean ``distance`` of ``query`` over ``interval``.
 
@@ -119,10 +201,32 @@ def evaluate_within(
     internally (the g-distance is the squared Euclidean distance); a
     custom g-distance is compared against ``distance`` as-is.
     ``shards``/``backend`` select sharded evaluation as in
-    :func:`evaluate_knn`.
+    :func:`evaluate_knn`; ``cache`` serves repeated and overlapping
+    queries as in :func:`evaluate_knn`.
     """
+    gdistance = _as_gdistance(query)
+    threshold = (
+        distance * distance if not isinstance(query, GDistance) else float(distance)
+    )
+    if cache is not None and interval.is_bounded:
+        cache.bind(db)
+        hit = cache.lookup("within", gdistance, interval, threshold=threshold)
+        if hit is not None:
+            return hit
+        if shards is None:
+            return _cached_sweep(
+                cache,
+                db,
+                gdistance,
+                interval,
+                "within",
+                lambda engine: ContinuousWithin(engine, threshold),
+                observe,
+                constants=[threshold],
+                threshold=threshold,
+            )
     if shards is not None:
-        return _sharded_evaluator(
+        answer = _sharded_evaluator(
             "within",
             db,
             query,
@@ -131,12 +235,14 @@ def evaluate_within(
             backend,
             batch_size,
             observe,
+            curve_store=None if cache is None else cache.curves,
             distance=distance,
         ).answer()
-    gdistance = _as_gdistance(query)
-    threshold = (
-        distance * distance if not isinstance(query, GDistance) else float(distance)
-    )
+        if cache is not None and interval.is_bounded:
+            cache.store(
+                "within", gdistance, interval, answer, threshold=threshold
+            )
+        return answer
     engine = SweepEngine(
         db, gdistance, interval, constants=[threshold], observe=observe
     )
@@ -154,16 +260,35 @@ def evaluate_multiknn(
     shards: Optional[int] = None,
     backend="sequential",
     batch_size: int = 1,
+    cache=None,
 ) -> Dict[int, SnapshotAnswer]:
     """k-NN answers for several k values from one sweep.
 
     Returns a dict keyed by k.  One sweep at ``max(ks)`` serves every
     requested k (the smaller answers are prefixes of the precedence
     order).  ``shards``/``backend`` select sharded evaluation as in
-    :func:`evaluate_knn`.
+    :func:`evaluate_knn`; ``cache`` serves repeated and overlapping
+    queries as in :func:`evaluate_knn`.
     """
+    gdistance = _as_gdistance(query)
+    if cache is not None and interval.is_bounded:
+        cache.bind(db)
+        hit = cache.lookup("multiknn", gdistance, interval, ks=ks)
+        if hit is not None:
+            return hit
+        if shards is None:
+            return _cached_sweep(
+                cache,
+                db,
+                gdistance,
+                interval,
+                "multiknn",
+                lambda engine: MultiKNN(engine, ks),
+                observe,
+                ks=ks,
+            )
     if shards is not None:
-        return _sharded_evaluator(
+        answers = _sharded_evaluator(
             "multiknn",
             db,
             query,
@@ -172,9 +297,13 @@ def evaluate_multiknn(
             backend,
             batch_size,
             observe,
+            curve_store=None if cache is None else cache.curves,
             ks=ks,
         ).answers()
-    engine = SweepEngine(db, _as_gdistance(query), interval, observe=observe)
+        if cache is not None and interval.is_bounded:
+            cache.store("multiknn", gdistance, interval, answers, ks=ks)
+        return answers
+    engine = SweepEngine(db, gdistance, interval, observe=observe)
     view = MultiKNN(engine, ks)
     engine.run_to_end()
     return view.answers()
@@ -219,11 +348,17 @@ class ContinuousQuerySession:
         db: MovingObjectDatabase,
         engine: SweepEngine,
         view,
+        cache=None,
+        cache_query=None,
     ) -> None:
         self._db = db
         self._engine = engine
         self._view = view
         self._closed = False
+        # (kind, gdistance, params) for depositing the final answer
+        # into the cache at close time.
+        self._cache = cache
+        self._cache_query = cache_query
         db.subscribe(engine.on_update)
 
     # -- constructors -----------------------------------------------------
@@ -239,6 +374,7 @@ class ContinuousQuerySession:
         shards: Optional[int] = None,
         backend="sequential",
         batch_size: int = 1,
+        cache=None,
     ) -> "ContinuousQuerySession":
         """A continuous k-NN session starting now (or at ``start``).
 
@@ -247,8 +383,14 @@ class ContinuousQuerySession:
         their counters aggregate.  ``shards`` maintains the session
         over a :class:`~repro.parallel.evaluator.ShardedSweepEvaluator`
         instead of a single engine — identical answers, per-shard
-        maintenance.
+        maintenance.  ``cache`` (a :class:`~repro.cache.QueryCache`)
+        builds the engine over shared memoized curves and deposits the
+        session's final answer at :meth:`close` for later reuse.
         """
+        gdistance = _as_gdistance(query)
+        if cache is not None:
+            cache.bind(db)
+        cache_query = ("knn", gdistance, {"k": k})
         if shards is not None:
             from repro.parallel.evaluator import ShardedSweepEvaluator
 
@@ -262,14 +404,19 @@ class ContinuousQuerySession:
                 backend=backend,
                 batch_size=batch_size,
                 observe=observe,
+                curve_store=None if cache is None else cache.curves,
             )
-            return cls(db, evaluator, evaluator)
+            return cls(db, evaluator, evaluator, cache, cache_query)
         lo = db.last_update_time if start is None else start
         engine = SweepEngine(
-            db, _as_gdistance(query), Interval(lo, until), observe=observe
+            db,
+            gdistance,
+            Interval(lo, until),
+            observe=observe,
+            curve_store=None if cache is None else cache.curves,
         )
         view = ContinuousKNN(engine, k)
-        return cls(db, engine, view)
+        return cls(db, engine, view, cache, cache_query)
 
     @classmethod
     def within(
@@ -283,11 +430,21 @@ class ContinuousQuerySession:
         shards: Optional[int] = None,
         backend="sequential",
         batch_size: int = 1,
+        cache=None,
     ) -> "ContinuousQuerySession":
         """A continuous within-range session starting now (or at
         ``start``).  ``observe`` optionally wires telemetry into the
-        underlying engine; ``shards`` selects sharded maintenance as in
-        :meth:`knn`."""
+        underlying engine; ``shards`` selects sharded maintenance and
+        ``cache`` shared curve memoization as in :meth:`knn`."""
+        gdistance = _as_gdistance(query)
+        threshold = (
+            distance * distance
+            if not isinstance(query, GDistance)
+            else float(distance)
+        )
+        if cache is not None:
+            cache.bind(db)
+        cache_query = ("within", gdistance, {"threshold": threshold})
         if shards is not None:
             from repro.parallel.evaluator import ShardedSweepEvaluator
 
@@ -301,24 +458,20 @@ class ContinuousQuerySession:
                 backend=backend,
                 batch_size=batch_size,
                 observe=observe,
+                curve_store=None if cache is None else cache.curves,
             )
-            return cls(db, evaluator, evaluator)
+            return cls(db, evaluator, evaluator, cache, cache_query)
         lo = db.last_update_time if start is None else start
-        gdistance = _as_gdistance(query)
-        threshold = (
-            distance * distance
-            if not isinstance(query, GDistance)
-            else float(distance)
-        )
         engine = SweepEngine(
             db,
             gdistance,
             Interval(lo, until),
             constants=[threshold],
             observe=observe,
+            curve_store=None if cache is None else cache.curves,
         )
         view = ContinuousWithin(engine, threshold)
-        return cls(db, engine, view)
+        return cls(db, engine, view, cache, cache_query)
 
     # -- live inspection ------------------------------------------------------
     @property
@@ -375,4 +528,15 @@ class ContinuousQuerySession:
             self._engine.finalize()
         finally:
             self._db.unsubscribe(self._engine.on_update)
-        return self._view.answer()
+        answer = self._view.answer()
+        # The accumulated memberships only cover up to the sweep's end,
+        # so the cached span is [start, current_time] even when the
+        # session's nominal interval runs further.
+        end = self._engine.current_time
+        lo = answer.interval.lo
+        if self._cache is not None and math.isfinite(lo) and math.isfinite(end):
+            kind, gdistance, params = self._cache_query
+            self._cache.store(
+                kind, gdistance, Interval(lo, end), answer, **params
+            )
+        return answer

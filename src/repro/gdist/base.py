@@ -41,6 +41,20 @@ class GDistance(abc.ABC):
         """
         return True
 
+    def cache_fingerprint(self) -> tuple:
+        """A hashable key identifying this g-distance *by value*.
+
+        Two g-distances with equal fingerprints must map every
+        trajectory to the same image function, so cached curves keyed by
+        the fingerprint may be shared between them.  The default is
+        identity-based (``("id", id(self))``) — always sound, never
+        shared across distinct instances.  Subclasses with value
+        semantics override it; callers that key long-lived caches on an
+        identity fingerprint must hold a strong reference to the
+        instance so the id cannot be recycled.
+        """
+        return ("id", id(self))
+
     def extend_to_mod(self, db: MovingObjectDatabase) -> Dict[ObjectId, PiecewiseFunction]:
         """Definition 6's extension: ``{o -> f(T(o))}`` over live objects."""
         return {oid: self(traj) for oid, traj in db}

@@ -39,6 +39,9 @@ class CoordinateValue(GDistance):
     def __call__(self, trajectory: Trajectory) -> PiecewiseFunction:
         return trajectory.coordinate_function(self._axis)
 
+    def cache_fingerprint(self) -> tuple:
+        return ("coordval", self._axis)
+
     def __repr__(self) -> str:
         return f"CoordinateValue(axis={self._axis})"
 
@@ -57,6 +60,9 @@ class CoordinateDifference(GDistance):
         own = trajectory.coordinate_function(self._axis)
         ref = self._query.coordinate_function(self._axis)
         return own - ref
+
+    def cache_fingerprint(self) -> tuple:
+        return ("coorddiff", self._axis, self._query.fingerprint())
 
     def __repr__(self) -> str:
         return f"CoordinateDifference(axis={self._axis})"
@@ -105,6 +111,9 @@ class WeightedSquaredDistance(GDistance):
                 raise ValueError("trajectory domains do not overlap")
             return PiecewiseFunction.constant(0.0, domain)
         return total
+
+    def cache_fingerprint(self) -> tuple:
+        return ("wsqdist", self._weights, self._query.fingerprint())
 
     def __repr__(self) -> str:
         return f"WeightedSquaredDistance(weights={self._weights})"

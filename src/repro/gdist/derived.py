@@ -46,6 +46,9 @@ class ApproachRate(GDistance):
     def __call__(self, trajectory: Trajectory) -> PiecewiseFunction:
         return self._inner(trajectory).derivative()
 
+    def cache_fingerprint(self) -> tuple:
+        return ("approach", self._inner.query_trajectory.fingerprint())
+
     def __repr__(self) -> str:
         return f"ApproachRate({self._inner.query_trajectory!r})"
 
@@ -69,6 +72,12 @@ class LinearCombination(GDistance):
             curve = gdist(trajectory).scaled(weight)
             total = curve if total is None else total + curve
         return total
+
+    def cache_fingerprint(self) -> tuple:
+        return (
+            "lincomb",
+            tuple((w, g.cache_fingerprint()) for w, g in self._terms),
+        )
 
     def __repr__(self) -> str:
         body = " + ".join(f"{w:g}*{g!r}" for w, g in self._terms)

@@ -43,6 +43,9 @@ class SquaredEuclideanDistance(GDistance):
     def __call__(self, trajectory: Trajectory) -> PiecewiseFunction:
         return trajectory.squared_distance_to(self._query)
 
+    def cache_fingerprint(self) -> tuple:
+        return ("sqeuclid", self._query.fingerprint())
+
     def with_query(self, query: Trajectory) -> "SquaredEuclideanDistance":
         """A copy measuring distance to a different query trajectory.
 

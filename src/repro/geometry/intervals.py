@@ -89,21 +89,41 @@ class Interval:
         """
         return self.lo - atol <= t <= self.hi + atol
 
-    def contains_interval(self, other: "Interval") -> bool:
-        """Return True when ``other`` is a subset of this interval."""
-        return self.lo <= other.lo and other.hi <= self.hi
+    def contains_interval(self, other: "Interval", atol: float = 0.0) -> bool:
+        """Return True when ``other`` is a subset of this interval.
 
-    def overlaps(self, other: "Interval") -> bool:
-        """Return True when the two closed intervals share a point."""
-        return self.lo <= other.hi and other.lo <= self.hi
+        A nonzero ``atol`` widens this interval on both ends before the
+        test, so sub-interval checks against float-rounded crossing-time
+        boundaries (cache hits, answer clipping) do not spuriously miss.
+        """
+        return self.lo - atol <= other.lo and other.hi <= self.hi + atol
+
+    def overlaps(self, other: "Interval", atol: float = 0.0) -> bool:
+        """Return True when the two closed intervals share a point.
+
+        A nonzero ``atol`` treats endpoints within ``atol`` of touching
+        as touching.
+        """
+        return self.lo <= other.hi + atol and other.lo <= self.hi + atol
 
     # -- algebra ---------------------------------------------------------
-    def intersect(self, other: "Interval") -> Optional["Interval"]:
-        """Intersection with ``other``; None when disjoint."""
+    def intersect(self, other: "Interval", atol: float = 0.0) -> Optional["Interval"]:
+        """Intersection with ``other``; None when disjoint.
+
+        With a nonzero ``atol``, intervals whose endpoints are within
+        ``atol`` of touching intersect in the (possibly degenerate)
+        boundary region instead of returning None — the right behavior
+        when the endpoints are float-rounded crossing times that are
+        equal in exact arithmetic.
+        """
         lo = max(self.lo, other.lo)
         hi = min(self.hi, other.hi)
         if lo > hi:
-            return None
+            if lo - hi > atol:
+                return None
+            # Touching within tolerance: the exact intersection is a
+            # boundary point smeared by rounding; return the sliver.
+            lo, hi = hi, lo
         return Interval(lo, hi)
 
     def hull(self, other: "Interval") -> "Interval":
@@ -127,6 +147,8 @@ class Interval:
         points are used by tests and the naive baselines for spot checks,
         never by the sweep engine itself.
         """
+        if count < 1:
+            raise ValueError(f"count must be positive, got {count}")
         lo = self.lo if not math.isinf(self.lo) else min(self.hi, 0.0) - 1e6
         hi = self.hi if not math.isinf(self.hi) else max(self.lo, 0.0) + 1e6
         if count == 1 or lo == hi:
@@ -214,13 +236,19 @@ class IntervalSet:
         """Set union."""
         return IntervalSet([*self._intervals, *other._intervals])
 
-    def intersect(self, other: "IntervalSet") -> "IntervalSet":
-        """Set intersection via a linear merge of the two sorted lists."""
+    def intersect(self, other: "IntervalSet", atol: float = 0.0) -> "IntervalSet":
+        """Set intersection via a linear merge of the two sorted lists.
+
+        ``atol`` is forwarded to the pairwise
+        :meth:`Interval.intersect`, so members touching within
+        tolerance contribute their degenerate boundary region instead
+        of vanishing (float-rounded crossing times).
+        """
         out: List[Interval] = []
         i = j = 0
         a, b = self._intervals, other._intervals
         while i < len(a) and j < len(b):
-            cap = a[i].intersect(b[j])
+            cap = a[i].intersect(b[j], atol=atol)
             if cap is not None:
                 out.append(cap)
             if a[i].hi <= b[j].hi:

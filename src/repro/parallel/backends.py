@@ -96,7 +96,11 @@ class QuerySpec:
         return (float(self.threshold),) if self.mode == WITHIN else ()
 
     def build(
-        self, db: MovingObjectDatabase, start: float, observe=None
+        self,
+        db: MovingObjectDatabase,
+        start: float,
+        observe=None,
+        curve_store=None,
     ) -> Tuple[SweepEngine, object]:
         """Build one shard engine + view sweeping ``[start, hi]``."""
         engine = SweepEngine(
@@ -105,6 +109,7 @@ class QuerySpec:
             Interval(start, self.hi),
             constants=self.constants,
             observe=observe,
+            curve_store=curve_store,
         )
         if self.mode == KNN:
             view: object = ContinuousKNN(engine, self.k)
@@ -127,14 +132,21 @@ class ShardRuntime:
     """
 
     def __init__(
-        self, db: MovingObjectDatabase, spec: QuerySpec, observe=None
+        self,
+        db: MovingObjectDatabase,
+        spec: QuerySpec,
+        observe=None,
+        curve_store=None,
     ) -> None:
         self._db = db
         self._spec = spec
         self._observe = observe
+        self._curve_store = curve_store
         self._segments: List[ShardAnswer] = []
         self._segment_start = spec.lo
-        self._engine, self._view = spec.build(db, spec.lo, observe=observe)
+        self._engine, self._view = spec.build(
+            db, spec.lo, observe=observe, curve_store=curve_store
+        )
         db.subscribe(self._engine.on_update)
 
     # -- inspection ---------------------------------------------------------
@@ -238,7 +250,10 @@ class ShardRuntime:
         self._salvage(upto=now)
         self._db.unsubscribe(self._engine.on_update)
         self._engine, self._view = self._spec.build(
-            self._db, now, observe=self._observe
+            self._db,
+            now,
+            observe=self._observe,
+            curve_store=self._curve_store,
         )
         self._db.subscribe(self._engine.on_update)
         self._segment_start = now
@@ -310,10 +325,15 @@ class SequentialBackend:
         db: MovingObjectDatabase,
         spec: QuerySpec,
         observe=None,
+        curve_store=None,
     ) -> SequentialShardHost:
-        """Host one shard in-process (``observe`` is threaded through
-        to the shard engine; counters aggregate across shards)."""
-        return SequentialShardHost(ShardRuntime(db, spec, observe=observe))
+        """Host one shard in-process (``observe`` and ``curve_store``
+        are threaded through to the shard engine; counters aggregate
+        across shards, and a shared store lets a rebuilt shard re-hit
+        every curve its objects already paid for)."""
+        return SequentialShardHost(
+            ShardRuntime(db, spec, observe=observe, curve_store=curve_store)
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -426,8 +446,14 @@ class ProcessPoolBackend:
         db: MovingObjectDatabase,
         spec: QuerySpec,
         observe=None,
+        curve_store=None,
     ) -> ProcessShardHost:
-        """Host one shard in a dedicated worker process."""
+        """Host one shard in a dedicated worker process.
+
+        ``curve_store`` is accepted for protocol compatibility but not
+        forwarded: in-process caches cannot span the process boundary,
+        so each worker builds (and keeps) its own curves.
+        """
         return ProcessShardHost(shard_id, db, spec)
 
 

@@ -91,6 +91,7 @@ class ShardedSweepEvaluator:
         batch_size: int = 1,
         self_heal: bool = False,
         observe=None,
+        curve_store=None,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -98,6 +99,12 @@ class ShardedSweepEvaluator:
         self._shards = int(shards)
         self._self_heal = bool(self_heal)
         self._backend = resolve_backend(backend)
+        # Shared across shard engines AND the merge sweep: shards build
+        # curves for disjoint object sets, while the merge layer re-hits
+        # the mirror's instances when a candidate's trajectory never
+        # changed.  The process backend cannot share in-process state
+        # and ignores it (each worker pays its own construction).
+        self._curve_store = curve_store
         # The mirror is the evaluator's authoritative full-universe MOD:
         # it validates updates before they are routed and supplies the
         # candidate trajectories for the merge sweep.  (When the caller
@@ -110,7 +117,9 @@ class ShardedSweepEvaluator:
 
         parts = partition_database(db, self._shards)
         self._hosts = [
-            self._backend.spawn(i, part, spec, observe=observe)
+            self._backend.spawn(
+                i, part, spec, observe=observe, curve_store=curve_store
+            )
             for i, part in enumerate(parts)
         ]
         self._applier = BatchedUpdateApplier(
@@ -179,6 +188,7 @@ class ShardedSweepEvaluator:
         batch_size: int = 1,
         self_heal: bool = False,
         observe=None,
+        curve_store=None,
     ) -> "ShardedSweepEvaluator":
         """A sharded continuous k-NN evaluator starting now (or at
         ``start``)."""
@@ -192,6 +202,7 @@ class ShardedSweepEvaluator:
             batch_size=batch_size,
             self_heal=self_heal,
             observe=observe,
+            curve_store=curve_store,
         )
 
     @classmethod
@@ -207,6 +218,7 @@ class ShardedSweepEvaluator:
         batch_size: int = 1,
         self_heal: bool = False,
         observe=None,
+        curve_store=None,
     ) -> "ShardedSweepEvaluator":
         """A sharded continuous within-range evaluator.
 
@@ -231,6 +243,7 @@ class ShardedSweepEvaluator:
             batch_size=batch_size,
             self_heal=self_heal,
             observe=observe,
+            curve_store=curve_store,
         )
 
     @classmethod
@@ -246,6 +259,7 @@ class ShardedSweepEvaluator:
         batch_size: int = 1,
         self_heal: bool = False,
         observe=None,
+        curve_store=None,
     ) -> "ShardedSweepEvaluator":
         """A sharded evaluator maintaining k-NN answers for several k
         values at once (shards sweep at ``max(ks)``)."""
@@ -265,6 +279,7 @@ class ShardedSweepEvaluator:
             batch_size=batch_size,
             self_heal=self_heal,
             observe=observe,
+            curve_store=curve_store,
         )
 
     # -- inspection ---------------------------------------------------------
@@ -461,6 +476,7 @@ class ShardedSweepEvaluator:
                 spec.k,
                 per_shard,
                 observe=self._instr,
+                curve_store=self._curve_store,
             )
             self._results = {None: merged, spec.k: merged}
         else:
@@ -474,6 +490,7 @@ class ShardedSweepEvaluator:
                     spec.ks,
                     top,
                     observe=self._instr,
+                    curve_store=self._curve_store,
                 )
             )
         self._final_ops = {}

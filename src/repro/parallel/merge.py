@@ -129,18 +129,25 @@ def merge_knn_answers(
     k: int,
     answers: Sequence[SnapshotAnswer],
     observe=None,
+    curve_store=None,
 ) -> SnapshotAnswer:
     """Exact global k-NN answer from per-shard top-k answers.
 
     Runs the second-level sweep over the candidate union — cost
     ``O((m_c + C) log C)`` for ``C`` candidates, independent of the
-    total object count ``N``.
+    total object count ``N``.  The candidate database shares the
+    source's trajectory instances, so a shared ``curve_store`` lets the
+    merge sweep reuse curves already built elsewhere.
     """
     oids = candidate_oids(answers)
     if not oids:
         return SnapshotAnswer({}, interval)
     engine = SweepEngine(
-        _candidate_database(source, oids), gdistance, interval, observe=observe
+        _candidate_database(source, oids),
+        gdistance,
+        interval,
+        observe=observe,
+        curve_store=curve_store,
     )
     view = ContinuousKNN(engine, k)
     engine.run_to_end()
@@ -154,6 +161,7 @@ def merge_multiknn_answers(
     ks: Sequence[int],
     answers: Sequence[SnapshotAnswer],
     observe=None,
+    curve_store=None,
 ) -> Dict[int, SnapshotAnswer]:
     """Exact global answers for several k values from shard answers
     maintained at ``max(ks)``."""
@@ -161,7 +169,11 @@ def merge_multiknn_answers(
     if not oids:
         return {int(k): SnapshotAnswer({}, interval) for k in ks}
     engine = SweepEngine(
-        _candidate_database(source, oids), gdistance, interval, observe=observe
+        _candidate_database(source, oids),
+        gdistance,
+        interval,
+        observe=observe,
+        curve_store=curve_store,
     )
     view = MultiKNN(engine, ks)
     engine.run_to_end()

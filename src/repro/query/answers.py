@@ -170,6 +170,27 @@ class AnswerTimeline:
             self._interval,
         )
 
+    def snapshot(self, time: float) -> SnapshotAnswer:
+        """The answer accumulated so far, closed virtually at ``time``.
+
+        Unlike :meth:`finalize` + :meth:`result` this does not mutate
+        the timeline: open memberships stay open, so the sweep can keep
+        extending the very same answer afterwards (the cache's
+        Theorem 5-style continuation path).  The snapshot covers
+        ``[interval.lo, min(time, interval.hi)]``.
+        """
+        end = min(time, self._interval.hi)
+        memberships: Dict[ObjectId, List[Interval]] = {
+            oid: list(ivs) for oid, ivs in self._closed.items()
+        }
+        for oid, start in self._open.items():
+            if end >= start:
+                memberships.setdefault(oid, []).append(Interval(start, end))
+        return SnapshotAnswer(
+            {oid: IntervalSet(ivs) for oid, ivs in memberships.items()},
+            Interval(self._interval.lo, end),
+        )
+
 
 def snapshot_from_segments(
     segments: Iterable, interval: Interval

@@ -130,6 +130,7 @@ class SupervisedQuerySession:
         backend="sequential",
         batch_size: int = 1,
         self_heal: bool = False,
+        cache=None,
     ) -> "SupervisedQuerySession":
         """A supervised continuous k-NN session.
 
@@ -142,9 +143,17 @@ class SupervisedQuerySession:
         recovery then wraps shard-level parallelism, and
         ``self_heal=True`` additionally lets individual shards rebuild
         themselves without involving the supervisor at all.
+
+        ``cache`` (a :class:`repro.cache.QueryCache`) shares its curve
+        store with every engine the factory builds, so a rebuild's
+        Theorem 5 re-initialization re-hits the curves of untouched
+        objects instead of reconstructing all ``N``.
         """
         gdistance = _as_gdistance(query)
         observe = as_instrumentation(observe)
+        if cache is not None:
+            cache.bind(db)
+        curve_store = None if cache is None else cache.curves
 
         if shards is not None:
             from repro.parallel.evaluator import ShardedSweepEvaluator
@@ -161,6 +170,7 @@ class SupervisedQuerySession:
                     batch_size=batch_size,
                     self_heal=self_heal,
                     observe=observe,
+                    curve_store=curve_store,
                 )
                 return evaluator, evaluator
 
@@ -168,7 +178,11 @@ class SupervisedQuerySession:
 
             def factory(t: float) -> Tuple[SweepEngine, object]:
                 engine = SweepEngine(
-                    db, gdistance, Interval(t, until), observe=observe
+                    db,
+                    gdistance,
+                    Interval(t, until),
+                    observe=observe,
+                    curve_store=curve_store,
                 )
                 return engine, ContinuousKNN(engine, k)
 
@@ -187,13 +201,18 @@ class SupervisedQuerySession:
         backend="sequential",
         batch_size: int = 1,
         self_heal: bool = False,
+        cache=None,
     ) -> "SupervisedQuerySession":
         """A supervised continuous within-range session.
 
-        ``shards`` selects a sharded evaluator as in :meth:`knn`.
+        ``shards`` selects a sharded evaluator and ``cache`` shares a
+        curve store across rebuilds, both as in :meth:`knn`.
         """
         gdistance = _as_gdistance(query)
         observe = as_instrumentation(observe)
+        if cache is not None:
+            cache.bind(db)
+        curve_store = None if cache is None else cache.curves
         threshold = (
             distance * distance
             if not isinstance(query, GDistance)
@@ -215,6 +234,7 @@ class SupervisedQuerySession:
                     batch_size=batch_size,
                     self_heal=self_heal,
                     observe=observe,
+                    curve_store=curve_store,
                 )
                 return evaluator, evaluator
 
@@ -227,6 +247,7 @@ class SupervisedQuerySession:
                     Interval(t, until),
                     constants=[threshold],
                     observe=observe,
+                    curve_store=curve_store,
                 )
                 return engine, ContinuousWithin(engine, threshold)
 

@@ -145,31 +145,67 @@ class WriteAheadLog:
 
 
 def _read_wal(path: str, repair: bool) -> List[Update]:
-    """Parse the WAL, handling a crash-truncated final line."""
+    """Parse the WAL, handling a crash-truncated or garbled tail.
+
+    The file is read as *bytes*: a crash mid-append can leave arbitrary
+    garbage (including invalid UTF-8) in the tail, and a text-mode read
+    would raise ``UnicodeDecodeError`` before any repair logic runs.
+    Each line is decoded individually; a tail of lines that all fail to
+    decode or parse is one partially-written append (garbage bytes may
+    contain newlines, so the artifact is not necessarily a single
+    line) and is skipped — and truncated away under ``repair``.  A
+    corrupt line *followed by an intact one* cannot be a crash
+    artifact and raises :class:`WalCorruptionError`.
+    """
     updates: List[Update] = []
     good_offset = 0
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, "rb") as handle:
         lines = handle.readlines()
-    for index, line in enumerate(lines):
-        stripped = line.strip()
-        if not stripped:
-            good_offset += len(line.encode("utf-8"))
+    for index, raw in enumerate(lines):
+        if not raw.strip():
+            good_offset += len(raw)
             continue
         try:
-            updates.append(update_from_dict(json.loads(stripped)))
-        except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
-            if index == len(lines) - 1:
-                # A process killed mid-append leaves exactly this:
-                # a truncated (or garbled) final line.  Skip it.
-                if repair:
-                    _truncate_file(path, good_offset)
-                return updates
-            raise WalCorruptionError(
-                f"{path}: line {index + 1} is corrupt but is not the "
-                f"final line — not a crash artifact ({exc})"
-            ) from exc
-        good_offset += len(line.encode("utf-8"))
+            updates.append(
+                update_from_dict(json.loads(raw.decode("utf-8")))
+            )
+        except (
+            UnicodeDecodeError,
+            json.JSONDecodeError,
+            KeyError,
+            ValueError,
+            TypeError,
+        ) as exc:
+            for later in lines[index + 1 :]:
+                if _parses_as_update(later):
+                    raise WalCorruptionError(
+                        f"{path}: line {index + 1} is corrupt but intact "
+                        f"entries follow — not a crash artifact ({exc})"
+                    ) from exc
+            # A process killed mid-append leaves exactly this: a
+            # corrupt tail (truncated or garbled, possibly spanning
+            # several newline-split chunks).  Skip it.
+            if repair:
+                _truncate_file(path, good_offset)
+            return updates
+        good_offset += len(raw)
     return updates
+
+
+def _parses_as_update(raw: bytes) -> bool:
+    if not raw.strip():
+        return False
+    try:
+        update_from_dict(json.loads(raw.decode("utf-8")))
+    except (
+        UnicodeDecodeError,
+        json.JSONDecodeError,
+        KeyError,
+        ValueError,
+        TypeError,
+    ):
+        return False
+    return True
 
 
 def _truncate_file(path: str, offset: int) -> None:
@@ -180,7 +216,11 @@ def _truncate_file(path: str, offset: int) -> None:
 
 
 def recover(
-    directory: str, repair: bool = True, observe=None
+    directory: str,
+    repair: bool = True,
+    observe=None,
+    cache=None,
+    gdistances=(),
 ) -> Tuple[MovingObjectDatabase, UpdateLog]:
     """Rebuild ``(database, update log)`` from a durability directory.
 
@@ -194,6 +234,12 @@ def recover(
     removed from the file so the recovered process can keep appending
     to a clean log.  ``observe`` optionally records a ``wal.recover``
     span and replay counters.
+
+    ``cache`` (a :class:`repro.cache.QueryCache`) binds the recovered
+    database and — for each g-distance in ``gdistances`` — pre-builds
+    every object's curve into the cache's curve store, so the first
+    post-recovery query skips the per-object construction work of its
+    Theorem 5 initialization.
     """
     obs = as_instrumentation(observe)
     tracer = obs.tracer if obs is not None else NULL_TRACER
@@ -223,7 +269,15 @@ def recover(
                 "wal_replayed_updates_total",
                 "WAL entries replayed past the checkpoint during recovery.",
             ).inc(replayed)
+        warmed = 0
+        if cache is not None:
+            cache.bind(db)
+            for gdistance in gdistances:
+                for oid, trajectory in db:
+                    cache.curves.curve(gdistance, oid, trajectory)
+                    warmed += 1
         span.set_attribute("checkpoint", had_checkpoint)
         span.set_attribute("recovered", len(updates))
         span.set_attribute("replayed", replayed)
+        span.set_attribute("warmed_curves", warmed)
     return db, UpdateLog(updates)

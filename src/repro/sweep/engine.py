@@ -137,6 +137,12 @@ class SweepEngine:
         order size), a per-update operation-count histogram (the
         Corollary 6 quantity), and an init span.  ``None`` binds no-op
         instruments.
+    curve_store:
+        Optional :class:`~repro.cache.CurveStore` memoizing per-object
+        g-distance curve construction across engines.  Hits are keyed
+        by trajectory identity, so a ``chdir``/``terminate`` (which
+        replaces the trajectory value) naturally misses and refreshes
+        only the touched object's curve.
     """
 
     def __init__(
@@ -147,6 +153,7 @@ class SweepEngine:
         constants: Sequence[float] = (),
         time_terms: Optional[Sequence[Polynomial]] = None,
         observe=None,
+        curve_store=None,
     ) -> None:
         if not gdistance.is_polynomial:
             raise TypeError(
@@ -155,6 +162,7 @@ class SweepEngine:
             )
         self._db = db
         self._gdistance = gdistance
+        self._curve_store = curve_store
         self._interval = interval
         self._horizon = interval.hi
         self._time_terms: List[Polynomial] = (
@@ -323,8 +331,15 @@ class SweepEngine:
                 oids.append(oid)
         return oids
 
+    def _curve_base(self, oid: ObjectId) -> PiecewiseFunction:
+        """The g-distance image of one object, via the store if present."""
+        trajectory = self._db.trajectory(oid)
+        if self._curve_store is None:
+            return self._gdistance(trajectory)
+        return self._curve_store.curve(self._gdistance, oid, trajectory)
+
     def _build_entries(self, oid: ObjectId) -> List[CurveEntry]:
-        base = self._gdistance(self._db.trajectory(oid))
+        base = self._curve_base(oid)
         return [
             CurveEntry.for_object(oid, self._curve_for_term(base, j), j)
             for j in range(len(self._time_terms))
@@ -699,7 +714,7 @@ class SweepEngine:
         entries = self._object_entries.get(update.oid)
         if not entries:
             raise KeyError(f"unknown object {update.oid!r}")
-        base = self._gdistance(self._db.trajectory(update.oid))
+        base = self._curve_base(update.oid)
         for entry in entries:
             old_value = (
                 entry.curve(update.time) if entry.node is not None else None
@@ -757,7 +772,7 @@ class SweepEngine:
         ):
             self._gdistance = gdistance
             for oid, entries in self._object_entries.items():
-                base = gdistance(self._db.trajectory(oid))
+                base = self._curve_base(oid)
                 for entry in entries:
                     entry.curve = self._curve_for_term(
                         base, entry.time_term_index

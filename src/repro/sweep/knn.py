@@ -149,3 +149,13 @@ class ContinuousKNN:
                 " or engine.finalize() first"
             )
         return self._result
+
+    def partial_answer(self, time: float) -> SnapshotAnswer:
+        """The answer accumulated up to ``time``, without finalizing.
+
+        The engine must already have been advanced to ``time``.  Open
+        memberships are closed virtually, so the sweep — and this view —
+        can keep running; the answer cache uses this to snapshot a
+        continuation engine it will extend later.
+        """
+        return self._timeline.snapshot(time)

@@ -133,3 +133,8 @@ class MultiKNN:
                 "the sweep has not been finalized; call engine.run_to_end()"
             )
         return dict(self._results)
+
+    def partial_answers(self, time: float) -> Dict[int, SnapshotAnswer]:
+        """Per-k answers accumulated up to ``time``, without finalizing
+        (see :meth:`ContinuousKNN.partial_answer`)."""
+        return {k: self._timelines[k].snapshot(time) for k in self._ks}

@@ -100,3 +100,8 @@ class ContinuousWithin:
                 " or engine.finalize() first"
             )
         return self._result
+
+    def partial_answer(self, time: float) -> SnapshotAnswer:
+        """The answer accumulated up to ``time``, without finalizing
+        (see :meth:`ContinuousKNN.partial_answer`)."""
+        return self._timeline.snapshot(time)

@@ -129,6 +129,24 @@ class Trajectory:
             return NotImplemented
         return self._pieces == other._pieces
 
+    def fingerprint(self) -> Tuple:
+        """A hashable value identity for caching.
+
+        Two trajectories with equal fingerprints are equal as functions
+        (same pieces on the same intervals), so any derived curve —
+        g-distance image, coordinate function — may be shared between
+        them.
+        """
+        return tuple(
+            (
+                p.interval.lo,
+                p.interval.hi,
+                p.velocity.components,
+                p.offset.components,
+            )
+            for p in self._pieces
+        )
+
     def __repr__(self) -> str:
         body = " v ".join(repr(p) for p in self._pieces)
         return f"Trajectory({body})"

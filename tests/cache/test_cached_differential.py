@@ -1,0 +1,132 @@
+"""Differential tests: cached evaluation must be invisible.
+
+Each seeded oracle scenario is driven through the naive baseline and
+through ``evaluate_*`` with one shared :class:`QueryCache`, issuing
+repeated and overlapping interval queries *between* stream updates so
+the cache serves exact hits, extension hits, and post-invalidation
+recomputations — and every answer is checked against an uncached
+evaluation of the same window.
+"""
+
+import pytest
+
+from repro.cache import QueryCache
+from repro.core.api import evaluate_knn, evaluate_multiknn, evaluate_within
+
+from tests._oracle import (
+    ANSWER_ATOL,
+    KNN,
+    MULTIKNN,
+    WITHIN,
+    answers_equal,
+    generate_scenario,
+    run_naive,
+)
+
+SEEDS = range(12)
+
+
+def cached_eval(mode, db, sc, interval, cache):
+    gd = sc.gdistance()
+    if mode == KNN:
+        return evaluate_knn(db, gd, interval, k=sc.k, cache=cache)
+    if mode == WITHIN:
+        return evaluate_within(db, gd, interval, distance=sc.threshold, cache=cache)
+    return evaluate_multiknn(db, gd, interval, ks=sc.ks, cache=cache)
+
+
+def uncached_eval(mode, db, sc, interval):
+    return cached_eval(mode, db, sc, interval, None)
+
+
+@pytest.mark.parametrize("mode", [KNN, WITHIN, MULTIKNN])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cached_final_answer_matches_naive(mode, seed):
+    from repro.geometry.intervals import Interval
+
+    sc = generate_scenario(seed)
+    expected, _ = run_naive(sc, mode)
+    db = sc.build_db()
+    cache = QueryCache()
+    for update in sc.stream:
+        db.apply(update)
+    window = Interval(sc.start, sc.horizon)
+    cold = cached_eval(mode, db, sc, window, cache)
+    warm = cached_eval(mode, db, sc, window, cache)
+    assert answers_equal(cold, expected), f"{mode} seed {seed}: cold"
+    assert answers_equal(warm, expected), f"{mode} seed {seed}: warm repeat"
+    assert cache.answers.hits >= 1
+
+
+@pytest.mark.parametrize("mode", [KNN, WITHIN])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mid_stream_queries_with_invalidation(mode, seed):
+    """Interleave queries with updates: every cached answer must match
+    an uncached evaluation over the same window on the same state."""
+    from repro.geometry.intervals import Interval
+
+    sc = generate_scenario(seed)
+    db = sc.build_db()
+    cache = QueryCache()
+    lo = sc.start
+    for i, update in enumerate(sc.stream):
+        db.apply(update)
+        hi = update.time
+        if hi <= lo:
+            continue
+        window = Interval(lo, hi)
+        got = cached_eval(mode, db, sc, window, cache)
+        want = uncached_eval(mode, db, sc, window)
+        assert answers_equal(got, want), f"{mode} seed {seed} step {i}: full"
+        # A strictly shorter overlapping window: exact-hit path.
+        mid = lo + 0.5 * (hi - lo)
+        got_sub = cached_eval(mode, db, sc, Interval(lo, mid), cache)
+        want_sub = uncached_eval(mode, db, sc, Interval(lo, mid))
+        assert answers_equal(got_sub, want_sub), (
+            f"{mode} seed {seed} step {i}: sub-interval"
+        )
+    assert cache.answers.hits + cache.answers.misses > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_extension_across_growing_horizons(seed):
+    """Monotonically growing query windows on a static db: every query
+    after the first is an extension of the same continuation engine."""
+    from repro.geometry.intervals import Interval
+
+    sc = generate_scenario(seed)
+    db = sc.build_db()
+    cache = QueryCache()
+    span = sc.horizon - sc.start
+    fractions = (0.25, 0.5, 0.75, 1.0)
+    for frac in fractions:
+        window = Interval(sc.start, sc.start + frac * span)
+        got = cached_eval(KNN, db, sc, window, cache)
+        want = uncached_eval(KNN, db, sc, window)
+        assert answers_equal(got, want), f"seed {seed} frac {frac}"
+    # One miss (the first window), extensions after that.
+    assert cache.answers.misses == 1
+    assert cache.answers.hits == len(fractions) - 1
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_cached_matches_naive(seed):
+    from tests._oracle import run_naive
+
+    from repro.geometry.intervals import Interval
+
+    sc = generate_scenario(seed)
+    expected, _ = run_naive(sc, KNN)
+    db = sc.build_db()
+    for update in sc.stream:
+        db.apply(update)
+    cache = QueryCache()
+    window = Interval(sc.start, sc.horizon)
+    got = evaluate_knn(
+        db, sc.gdistance(), window, k=sc.k, shards=3, cache=cache
+    )
+    assert answers_equal(got, expected)
+    # The stored (engineless) answer serves the repeat without shards.
+    again = evaluate_knn(db, sc.gdistance(), window, k=sc.k, cache=cache)
+    assert answers_equal(again, expected)
+    assert cache.answers.hits >= 1

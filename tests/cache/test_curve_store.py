@@ -1,0 +1,133 @@
+"""Unit tests for the g-distance curve store."""
+
+import pytest
+
+from repro.cache import CurveStore
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.geometry.vectors import Vector
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ChangeDirection, New
+from repro.obs.instrument import Instrumentation
+
+
+def make_db(n=4):
+    db = MovingObjectDatabase(initial_time=0.0)
+    for i in range(n):
+        db.apply(
+            New(
+                f"o{i}",
+                0.001 * (i + 1),
+                velocity=Vector.of(1.0 + i, -0.5 * i),
+                position=Vector.of(float(i), float(-i)),
+            )
+        )
+    return db
+
+
+class TestHitsAndMisses:
+    def test_repeat_lookup_hits(self):
+        db = make_db()
+        gd = SquaredEuclideanDistance([0.0, 0.0])
+        store = CurveStore()
+        first = store.curve(gd, "o0", db.trajectory("o0"))
+        second = store.curve(gd, "o0", db.trajectory("o0"))
+        assert first is second
+        assert store.hits == 1 and store.misses == 1
+        assert store.hit_rate == 0.5
+
+    def test_equal_but_distinct_gdistances_share_entries(self):
+        db = make_db()
+        store = CurveStore()
+        store.curve(SquaredEuclideanDistance([1.0, 2.0]), "o1", db.trajectory("o1"))
+        store.curve(SquaredEuclideanDistance([1.0, 2.0]), "o1", db.trajectory("o1"))
+        assert store.hits == 1 and len(store) == 1
+
+    def test_distinct_queries_do_not_collide(self):
+        db = make_db()
+        store = CurveStore()
+        a = store.curve(SquaredEuclideanDistance([0.0, 0.0]), "o1", db.trajectory("o1"))
+        b = store.curve(SquaredEuclideanDistance([9.0, 9.0]), "o1", db.trajectory("o1"))
+        assert store.misses == 2
+        assert a(1.0) != b(1.0)
+
+    def test_curve_value_matches_direct_construction(self):
+        db = make_db()
+        gd = SquaredEuclideanDistance([3.0, -2.0])
+        store = CurveStore()
+        cached = store.curve(gd, "o2", db.trajectory("o2"))
+        direct = gd(db.trajectory("o2"))
+        for t in (0.1, 0.7, 2.5):
+            assert cached(t) == pytest.approx(direct(t))
+
+
+class TestInvalidation:
+    def test_update_invalidates_only_touched_object(self):
+        db = make_db()
+        gd = SquaredEuclideanDistance([0.0, 0.0])
+        store = CurveStore()
+        for oid in db.object_ids:
+            store.curve(gd, oid, db.trajectory(oid))
+        db.apply(ChangeDirection("o1", 1.0, Vector.of(0.0, 0.0)))
+        # Identity validation: the replaced trajectory misses, the
+        # untouched ones still hit.
+        store.curve(gd, "o1", db.trajectory("o1"))
+        assert store.misses == len(db.object_ids) + 1
+        store.curve(gd, "o0", db.trajectory("o0"))
+        assert store.hits == 1
+
+    def test_stale_entry_is_replaced_not_duplicated(self):
+        db = make_db()
+        gd = SquaredEuclideanDistance([0.0, 0.0])
+        store = CurveStore()
+        store.curve(gd, "o1", db.trajectory("o1"))
+        db.apply(ChangeDirection("o1", 1.0, Vector.of(2.0, 2.0)))
+        store.curve(gd, "o1", db.trajectory("o1"))
+        assert len(store) == 1
+
+    def test_explicit_invalidate_drops_all_curves_of_object(self):
+        db = make_db()
+        store = CurveStore()
+        store.curve(SquaredEuclideanDistance([0.0, 0.0]), "o1", db.trajectory("o1"))
+        store.curve(SquaredEuclideanDistance([5.0, 5.0]), "o1", db.trajectory("o1"))
+        store.curve(SquaredEuclideanDistance([0.0, 0.0]), "o2", db.trajectory("o2"))
+        assert store.invalidate("o1") == 2
+        assert len(store) == 1
+        assert store.invalidate("missing") == 0
+
+
+class TestEviction:
+    def test_lru_eviction_respects_budget(self):
+        db = make_db(8)
+        gd = SquaredEuclideanDistance([0.0, 0.0])
+        one = CurveStore()
+        one.curve(gd, "o0", db.trajectory("o0"))
+        budget = one.nbytes * 3 + 1
+        store = CurveStore(max_bytes=budget)
+        for oid in db.object_ids:
+            store.curve(gd, oid, db.trajectory(oid))
+        assert store.nbytes <= budget
+        assert store.evictions > 0
+        # Most recent entries survive; the oldest were evicted.
+        store.curve(gd, "o7", db.trajectory("o7"))
+        assert store.hits == 1
+        store.curve(gd, "o0", db.trajectory("o0"))
+        assert store.misses == len(db.object_ids) + 1
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            CurveStore(max_bytes=0)
+
+
+class TestMetrics:
+    def test_counters_and_gauges_export(self):
+        db = make_db()
+        obs = Instrumentation()
+        gd = SquaredEuclideanDistance([0.0, 0.0])
+        store = CurveStore(observe=obs)
+        store.curve(gd, "o0", db.trajectory("o0"))
+        store.curve(gd, "o0", db.trajectory("o0"))
+        snap = obs.snapshot()
+        assert snap["cache_curve_hits_total"] == 1
+        assert snap["cache_curve_misses_total"] == 1
+        assert snap["cache_curve_entries"] == 1
+        assert snap["cache_curve_bytes"] == store.nbytes

@@ -184,3 +184,62 @@ class TestIntervalSet:
         a = interval_set_from_pairs([(0, 1), (5, 5)])
         b = interval_set_from_pairs([(0, 1)])
         assert a.approx_equals(b)
+
+
+class TestToleranceParameters:
+    """Regression tests: predicates and algebra accept an explicit
+    ``atol`` so near-miss geometry (accumulated float error at event
+    times) can be absorbed instead of silently dropped."""
+
+    def test_overlaps_within_atol(self):
+        a = Interval(0.0, 1.0)
+        b = Interval(1.0 + 1e-10, 2.0)
+        assert not a.overlaps(b)
+        assert a.overlaps(b, atol=1e-9)
+        assert b.overlaps(a, atol=1e-9)
+
+    def test_overlaps_beyond_atol_still_false(self):
+        a = Interval(0.0, 1.0)
+        b = Interval(1.01, 2.0)
+        assert not a.overlaps(b, atol=1e-9)
+
+    def test_contains_interval_within_atol(self):
+        outer = Interval(0.0, 1.0)
+        inner = Interval(-1e-10, 1.0 + 1e-10)
+        assert not outer.contains_interval(inner)
+        assert outer.contains_interval(inner, atol=1e-9)
+
+    def test_intersect_recovers_sliver(self):
+        a = Interval(0.0, 1.0)
+        b = Interval(1.0 + 1e-10, 2.0)
+        assert a.intersect(b) is None
+        sliver = a.intersect(b, atol=1e-9)
+        assert sliver is not None
+        assert sliver.length == pytest.approx(0.0, abs=1e-9)
+
+    def test_intersect_without_atol_unchanged(self):
+        a = Interval(0.0, 2.0)
+        b = Interval(1.0, 3.0)
+        assert a.intersect(b) == Interval(1.0, 2.0)
+        assert a.intersect(b, atol=1e-9) == Interval(1.0, 2.0)
+
+    def test_interval_set_intersect_forwards_atol(self):
+        a = interval_set_from_pairs([(0, 1)])
+        b = interval_set_from_pairs([(1.0 + 1e-10, 2)])
+        assert a.intersect(b).is_empty
+        assert not a.intersect(b, atol=1e-9).is_empty
+
+
+class TestSamplePointsValidation:
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 1.0).sample_points(0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 1.0).sample_points(-3)
+
+    def test_count_one_still_works(self):
+        pts = Interval(0.0, 1.0).sample_points(1)
+        assert len(pts) == 1
+        assert 0.0 <= pts[0] <= 1.0

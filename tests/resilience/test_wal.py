@@ -155,3 +155,61 @@ class TestCrashArtifacts:
         for update in log.updates:
             replayed.apply(update)
         assert database_to_dict(replayed) == database_to_dict(recovered)
+
+    def test_garbled_binary_tail_is_repairable(self, tmp_path):
+        """Regression: a crash can flush arbitrary bytes — including
+        invalid UTF-8 — into the tail.  A text-mode read died with
+        UnicodeDecodeError before the repair logic ever ran; the WAL is
+        now read as bytes and the garbled tail is treated exactly like
+        a truncated line."""
+        import random
+
+        db = logged_db(str(tmp_path))
+        wal_path = str(tmp_path / WAL_FILENAME)
+        rng = random.Random(0xBAD)
+        garbage = bytes(rng.randrange(256) for _ in range(256))
+        with open(wal_path, "ab") as handle:
+            handle.write(garbage)  # os.urandom-style crash splatter
+        recovered, log = recover(str(tmp_path), repair=True)
+        assert log.updates == sample_updates()
+        assert database_to_dict(recovered) == database_to_dict(db)
+        # Repair truncated the splatter: appends resume cleanly.
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append(Terminate("a", 9.0))
+        recovered2, log2 = recover(str(tmp_path))
+        assert len(log2.updates) == 5
+        assert recovered2.is_terminated("a")
+
+    def test_os_urandom_tail(self, tmp_path):
+        """The literal issue reproducer: os.urandom bytes after the
+        last intact line must not crash recovery."""
+        logged_db(str(tmp_path))
+        wal_path = str(tmp_path / WAL_FILENAME)
+        with open(wal_path, "ab") as handle:
+            handle.write(os.urandom(128))
+        recovered, log = recover(str(tmp_path), repair=True)
+        assert len(log.updates) == 4
+
+
+class TestRecoveryCacheWarming:
+    def test_recover_warms_curve_store(self, tmp_path):
+        from repro.cache import QueryCache
+        from repro.gdist.euclidean import SquaredEuclideanDistance
+
+        logged_db(str(tmp_path))
+        gd = SquaredEuclideanDistance([0.0, 0.0])
+        cache = QueryCache()
+        recovered, _ = recover(str(tmp_path), cache=cache, gdistances=[gd])
+        assert cache.db is recovered
+        assert len(cache.curves) == recovered.object_count
+        # A post-recovery engine re-hits every warmed curve.
+        from repro.geometry.intervals import Interval
+        from repro.sweep.engine import SweepEngine
+
+        engine = SweepEngine(
+            recovered,
+            gd,
+            Interval(recovered.last_update_time, 10.0),
+            curve_store=cache.curves,
+        )
+        assert cache.curves.hits == recovered.object_count

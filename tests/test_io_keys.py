@@ -1,0 +1,116 @@
+"""Property-style round-trips for the io-layer key and bound codecs."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.io import answer_from_dict, answer_to_dict, oid_from_key, oid_to_key
+from repro.query.answers import SnapshotAnswer
+
+# Scalars an oid may legally be built from.  Strings deliberately
+# include ":" (the tag separator) and tag-lookalike prefixes such as
+# "i:123"; floats include signed zeros, subnormals, and infinities.
+scalar_oids = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(10**18), max_value=10**18),
+    st.floats(allow_nan=False),
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",)), max_size=24
+    ),
+    st.sampled_from(["i:123", "s:", "t:[]", "b:1", "f:inf", ":", "::"]),
+)
+
+# Nested-tuple oids (composite ids), up to three levels deep.
+oids = st.recursive(
+    scalar_oids,
+    lambda children: st.tuples(children, children)
+    | st.tuples(children)
+    | st.tuples(children, children, children),
+    max_leaves=6,
+)
+
+
+class TestOidKeyRoundTrip:
+    @settings(max_examples=300)
+    @given(oids)
+    def test_round_trip_preserves_value_and_type(self, oid):
+        back = oid_from_key(oid_to_key(oid))
+        assert back == oid
+        assert type(back) is type(oid)
+
+    @settings(max_examples=300)
+    @given(oids, oids)
+    def test_distinct_oids_get_distinct_keys(self, a, b):
+        if a != b:
+            assert oid_to_key(a) != oid_to_key(b)
+
+    def test_bool_does_not_collapse_to_int(self):
+        # bool is an int subclass: True must not come back as 1.
+        assert oid_from_key(oid_to_key(True)) is True
+        assert oid_from_key(oid_to_key(1)) == 1
+        assert oid_to_key(True) != oid_to_key(1)
+
+    def test_string_with_colons_survives(self):
+        for oid in ("a:b:c", "i:42", "t:[nested]", ":"):
+            assert oid_from_key(oid_to_key(oid)) == oid
+
+    def test_nested_tuple_mixing_types(self):
+        oid = (("fleet", 7), (True, -0.0), "leg:3")
+        back = oid_from_key(oid_to_key(oid))
+        assert back == oid
+        assert isinstance(back[1][0], bool)
+
+    def test_legacy_untagged_keys_decode_as_strings(self):
+        assert oid_from_key("plain") == "plain"
+        assert oid_from_key("vehicle-12") == "vehicle-12"
+        # An unrecognized tag is a legacy string too, not an error.
+        assert oid_from_key("x:whatever") == "x:whatever"
+
+
+class TestAnswerBoundRoundTrip:
+    def test_infinite_bounds_survive_json(self):
+        answer = SnapshotAnswer(
+            {
+                "a": IntervalSet([Interval(-math.inf, 0.0)]),
+                "b": IntervalSet([Interval(1.0, math.inf)]),
+            },
+            Interval(-math.inf, math.inf),
+        )
+        back = answer_from_dict(answer_to_dict(answer))
+        assert back.interval == Interval(-math.inf, math.inf)
+        assert back.intervals_for("a") == answer.intervals_for("a")
+        assert back.intervals_for("b") == answer.intervals_for("b")
+
+    def test_dict_form_is_json_safe(self):
+        import json
+
+        answer = SnapshotAnswer(
+            {"a": IntervalSet([Interval(0.0, math.inf)])},
+            Interval(0.0, math.inf),
+        )
+        text = json.dumps(answer_to_dict(answer))
+        assert "Infinity" not in text
+        assert answer_from_dict(json.loads(text)).interval.hi == math.inf
+
+    @settings(max_examples=100)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(0, 50, allow_nan=False),
+            ),
+            min_size=0,
+            max_size=4,
+        )
+    )
+    def test_finite_membership_round_trip(self, spans):
+        memberships = {
+            f"o{i}": IntervalSet([Interval(lo, lo + width)])
+            for i, (lo, width) in enumerate(spans)
+        }
+        answer = SnapshotAnswer(memberships, Interval(-200.0, 200.0))
+        back = answer_from_dict(answer_to_dict(answer))
+        for oid in answer.objects:
+            assert back.intervals_for(oid) == answer.intervals_for(oid)
