@@ -9,7 +9,13 @@ computations) — never wall-clock time:
   performs O(N log N) primitive operations;
 - **Corollary 6 (updates)** — with bounded support changes between
   updates, per-update maintenance performs O(log N) amortized
-  primitive operations.
+  primitive operations;
+- **Sharded maintenance** — hash partitioning across S shards keeps
+  the banded per-update envelope at O(log N) (each update touches one
+  shard's order of size N/S);
+- **Cached lookups** — a warm answer cache serves an exact repeat
+  with O(1) sweep work: the hit path must count *zero* new primitive
+  operations regardless of N.
 
 Also measures the overhead of the *enabled* metrics path (engine built
 with ``observe=``) against the disabled path on the Theorem 5 workload;
@@ -84,6 +90,72 @@ def audit_corollary6_updates(audit: ComplexityAudit, sizes, updates=50) -> None:
         )
 
 
+def audit_sharded_updates(audit: ComplexityAudit, sizes, updates=50, shards=4) -> None:
+    """Record sharded per-update op counts per N (O(log N) envelope).
+
+    Same banded workload as the Corollary 6 audit, driven through a
+    :class:`ShardedSweepEvaluator` with per-update flushes: partitioning
+    must not break the amortized bound.
+    """
+    from repro.parallel.evaluator import ShardedSweepEvaluator
+
+    for n in sizes:
+        db = banded_mod(n, seed=n + 1, band_gap=5.0, jitter_speed=0.2)
+        evaluator = ShardedSweepEvaluator.knn(
+            db,
+            SquaredEuclideanDistance([0.0, 0.0]),
+            k=1,
+            until=300.0,
+            shards=shards,
+            batch_size=1,
+        )
+        db.subscribe(evaluator.on_update)
+        stream = UpdateStream(
+            db,
+            seed=n + 2,
+            mean_gap=0.25,
+            periodic=True,
+            speed=0.2,
+            weights=(0.0, 0.0, 1.0),
+        )
+        before = evaluator.primitive_ops()
+        stream.run(updates)
+        audit.record(
+            "Sharded per-update ops",
+            n,
+            (evaluator.primitive_ops() - before) / updates,
+        )
+        evaluator.shutdown()
+
+
+def audit_cached_hits(sizes) -> list:
+    """Exact-repeat cache hits must cost zero new sweep operations.
+
+    Returns ``(n, ops)`` rows; any nonzero entry is a failure — the
+    hit path would be re-running part of the Theorem 5 work it exists
+    to avoid.
+    """
+    from repro.cache import QueryCache
+    from repro.core.api import evaluate_knn
+    from repro.obs.explain import explain
+
+    rows = []
+    for n in sizes:
+        db = random_linear_mod(n, seed=n, extent=200.0, speed=5.0)
+        cache = QueryCache()
+        evaluate_knn(db, [0.0, 0.0], Interval(0.0, 20.0), k=2, cache=cache)
+        report = explain(
+            db, [0.0, 0.0], Interval(0.0, 20.0), "knn", k=2, cache=cache
+        )
+        ops = 0
+        for stage in report.to_dict()["stages"]:
+            ops += stage.get("attrs", {}).get("ops", 0)
+            for child in stage.get("children", []):
+                ops += child.get("attrs", {}).get("ops", 0)
+        rows.append((n, ops))
+    return rows
+
+
 def measure_overhead(n=512, updates=50, repeats=3):
     """Median wall-clock of the update loop, observed vs unobserved."""
 
@@ -143,10 +215,14 @@ def main(argv=None) -> int:
     audit = ComplexityAudit()
     audit_theorem5_init(audit, init_sizes)
     audit_corollary6_updates(audit, update_sizes, updates=updates)
+    audit_sharded_updates(audit, update_sizes, updates=updates)
     init_result = audit.check("Thm 5 init ops", "n log n")
     update_result = audit.check("Cor 6 per-update ops", "log n")
+    sharded_result = audit.check("Sharded per-update ops", "log n")
+    cached_rows = audit_cached_hits(init_sizes)
+    cached_ok = all(ops == 0 for _, ops in cached_rows)
 
-    failed = not audit.all_passed
+    failed = not audit.all_passed or not cached_ok
     overhead = None
     if args.overhead and not args.quick:
         disabled, enabled = measure_overhead()
@@ -168,6 +244,10 @@ def main(argv=None) -> int:
                 }
                 for r in audit.results
             ],
+            "cached_hit_ops": [
+                {"n": n, "ops": ops} for n, ops in cached_rows
+            ],
+            "cached_hits_free": cached_ok,
             "overhead": overhead,
             "passed": not failed,
         }
@@ -177,6 +257,12 @@ def main(argv=None) -> int:
         print()
         print(init_result.describe())
         print(update_result.describe())
+        print(sharded_result.describe())
+        print(
+            "cached exact-repeat hit ops: "
+            + ", ".join(f"N={n}: {ops}" for n, ops in cached_rows)
+            + ("  (free — OK)" if cached_ok else "  (NONZERO — FAILED)")
+        )
         if overhead is not None:
             print(
                 f"instrumentation overhead: {overhead:+.2%} "

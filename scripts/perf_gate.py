@@ -1,0 +1,346 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over deterministic cost measures.
+
+Re-measures three headline experiments at CI-friendly scale and
+compares each metric against the committed baselines under
+``benchmarks/baselines/`` with per-metric tolerance bands:
+
+- **E-SH** (``BENCH_ESH.json``) — sharded vs single-engine per-update
+  primitive ops on a crossing-rich chdir stream (Theorem 5
+  maintenance, hash-partitioned);
+- **E-AC** (``BENCH_EAC.json``) — answer-cache hit rate and the
+  cached-pass op fraction on a repeated/overlapping kNN workload
+  (Theorem 5 init amortization);
+- **T5** (``BENCH_T5.json``) — Theorem 5 initialization ops at fixed N
+  and Corollary 6 per-update maintenance ops on a banded workload.
+
+Every measure counts *primitive sweep operations* or hit rates — never
+wall-clock — so the gate is deterministic across machines; tolerances
+exist to absorb intentional small algorithmic drift, not timer noise.
+The cache/ops measures are taken through :func:`repro.obs.explain`,
+so the gate also exercises the profiler's stage attribution end to
+end.
+
+Exit status is non-zero when any metric leaves its band.  After an
+*intentional* performance change, regenerate the baselines with::
+
+    PYTHONPATH=src python scripts/perf_gate.py --update-baselines
+
+and commit the refreshed ``benchmarks/baselines/*.json`` alongside the
+change (the diff documents the accepted shift).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.cache import QueryCache
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.obs.explain import explain
+from repro.parallel.evaluator import ShardedSweepEvaluator
+from repro.sweep.engine import SweepEngine
+from repro.workloads.generator import (
+    UpdateStream,
+    banded_mod,
+    random_linear_mod,
+)
+
+BASELINE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks",
+    "baselines",
+)
+
+ORIGIN = SquaredEuclideanDistance([0.0, 0.0])
+
+# E-SH at gate scale: large enough that sharding's 1 - 1/S event
+# reduction shows, small enough for seconds-not-minutes CI runs.
+ESH_N = 1000
+ESH_UPDATES = 60
+ESH_SHARDS = 4
+ESH_BATCH = 16
+ESH_MEAN_GAP = 0.003
+ESH_HORIZON = 500.0
+
+EAC_N = 120
+EAC_WINDOW = Interval(0.0, 12.0)
+EAC_K = 3
+
+T5_N = 512
+T5_UPDATES = 80
+
+
+def _stage_ops(report, *names):
+    """Summed ``ops`` annotations over the named top-level stages."""
+    total = 0
+    for stage in report.to_dict()["stages"]:
+        if stage["name"] in names:
+            total += stage.get("attrs", {}).get("ops", 0)
+        for child in stage.get("children", []):
+            if child["name"] in names:
+                total += child.get("attrs", {}).get("ops", 0)
+    return total
+
+
+def measure_esh() -> dict:
+    """Sharded vs single per-update maintenance ops (E-SH)."""
+
+    def mod():
+        return random_linear_mod(
+            ESH_N, seed=ESH_N, extent=300.0, speed=2.0
+        )
+
+    def stream(db):
+        return UpdateStream(
+            db,
+            seed=97,
+            mean_gap=ESH_MEAN_GAP,
+            periodic=True,
+            extent=300.0,
+            speed=2.0,
+            weights=(0.0, 0.0, 1.0),
+        )
+
+    db = mod()
+    engine = SweepEngine(db, ORIGIN, Interval(0.0, ESH_HORIZON))
+    db.subscribe(engine.on_update)
+    before = engine.primitive_ops()
+    stream(db).run(ESH_UPDATES)
+    engine.advance_to(db.last_update_time + ESH_MEAN_GAP)
+    single = (engine.primitive_ops() - before) / ESH_UPDATES
+
+    db = mod()
+    evaluator = ShardedSweepEvaluator.knn(
+        db,
+        ORIGIN,
+        k=1,
+        until=ESH_HORIZON,
+        shards=ESH_SHARDS,
+        batch_size=ESH_BATCH,
+    )
+    db.subscribe(evaluator.on_update)
+    before = evaluator.primitive_ops()
+    stream(db).run(ESH_UPDATES)
+    evaluator.advance_to(db.last_update_time + ESH_MEAN_GAP)
+    sharded = (evaluator.primitive_ops() - before) / ESH_UPDATES
+    evaluator.shutdown()
+
+    return {
+        "single_ops_per_update": single,
+        "sharded_ops_per_update": sharded,
+        "ops_ratio": sharded / single,
+    }
+
+
+def measure_eac() -> dict:
+    """Answer-cache hit rate and cached-pass op fraction (E-AC)."""
+    db = random_linear_mod(EAC_N, seed=EAC_N, extent=150.0, speed=3.0)
+    # Repeats, a zoom, and two horizon extensions per query point.
+    schedule = []
+    for x in (-30.0, 0.0, 30.0):
+        gd = SquaredEuclideanDistance([x, 0.0])
+        schedule.append((gd, EAC_WINDOW))
+        schedule.append((gd, EAC_WINDOW))
+        schedule.append((gd, Interval(2.0, 8.0)))
+        schedule.append((gd, Interval(0.0, EAC_WINDOW.hi + 2.0)))
+        schedule.append((gd, Interval(0.0, EAC_WINDOW.hi + 4.0)))
+
+    def run(cache):
+        ops = 0
+        for gd, interval in schedule:
+            report = explain(db, gd, interval, "knn", k=EAC_K, cache=cache)
+            ops += _stage_ops(report, "init", "sweep", "cache.extend")
+        return ops
+
+    cold_ops = run(None)
+    cache = QueryCache()
+    cached_ops = run(cache)
+    stats = cache.stats()
+    return {
+        "answer_hit_rate": stats["answer_hit_rate"],
+        "cold_ops": cold_ops,
+        "cached_ops": cached_ops,
+        "cached_ops_fraction": cached_ops / cold_ops,
+    }
+
+
+def measure_t5() -> dict:
+    """Theorem 5 init ops and Corollary 6 per-update ops."""
+    db = random_linear_mod(T5_N, seed=T5_N, extent=200.0, speed=5.0)
+    engine = SweepEngine(db, ORIGIN, Interval(0.0, 300.0))
+    init_ops = engine.primitive_ops()
+
+    db = banded_mod(T5_N, seed=T5_N + 1, band_gap=5.0, jitter_speed=0.2)
+    engine = SweepEngine(db, ORIGIN, Interval(0.0, 300.0))
+    db.subscribe(engine.on_update)
+    stream = UpdateStream(
+        db,
+        seed=T5_N + 2,
+        mean_gap=0.25,
+        periodic=True,
+        speed=0.2,
+        weights=(0.0, 0.0, 1.0),
+    )
+    before = engine.primitive_ops()
+    stream.run(T5_UPDATES)
+    per_update = (engine.primitive_ops() - before) / T5_UPDATES
+    return {
+        "init_ops": init_ops,
+        "update_ops_per_update": per_update,
+    }
+
+
+SUITES = {
+    "esh": (measure_esh, "BENCH_ESH.json"),
+    "eac": (measure_eac, "BENCH_EAC.json"),
+    "t5": (measure_t5, "BENCH_T5.json"),
+}
+
+# Per-metric gate policy: direction "max" fails when the current value
+# exceeds baseline * (1 + tolerance) — lower is better; "min" fails
+# below baseline * (1 - tolerance) — higher is better.
+POLICY = {
+    "esh": {
+        "single_ops_per_update": ("max", 0.15),
+        "sharded_ops_per_update": ("max", 0.15),
+        "ops_ratio": ("max", 0.15),
+    },
+    "eac": {
+        "answer_hit_rate": ("min", 0.05),
+        "cold_ops": ("max", 0.15),
+        "cached_ops": ("max", 0.15),
+        "cached_ops_fraction": ("max", 0.15),
+    },
+    "t5": {
+        "init_ops": ("max", 0.10),
+        "update_ops_per_update": ("max", 0.15),
+    },
+}
+
+
+def compare(suite: str, current: dict, baseline: dict) -> list:
+    """Per-metric verdicts for one suite; a row per gated metric."""
+    rows = []
+    for name, (direction, tolerance) in POLICY[suite].items():
+        base = baseline["metrics"][name]
+        value = current[name]
+        if direction == "max":
+            limit = base * (1.0 + tolerance)
+            ok = value <= limit
+        else:
+            limit = base * (1.0 - tolerance)
+            ok = value >= limit
+        rows.append(
+            {
+                "suite": suite,
+                "metric": name,
+                "current": value,
+                "baseline": base,
+                "limit": limit,
+                "direction": direction,
+                "tolerance": tolerance,
+                "ok": ok,
+            }
+        )
+    return rows
+
+
+def baseline_path(suite: str, directory: str) -> str:
+    return os.path.join(directory, SUITES[suite][1])
+
+
+def write_baseline(suite: str, current: dict, directory: str) -> None:
+    os.makedirs(directory, exist_ok=True)
+    payload = {
+        "suite": suite,
+        "metrics": current,
+        "policy": {
+            name: {"direction": d, "tolerance": t}
+            for name, (d, t) in POLICY[suite].items()
+        },
+    }
+    with open(baseline_path(suite, directory), "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def run_gate(suites, directory: str, update: bool = False):
+    """Measure the requested suites; returns (rows, failed)."""
+    rows = []
+    failed = False
+    for suite in suites:
+        measure, filename = SUITES[suite]
+        current = measure()
+        if update:
+            write_baseline(suite, current, directory)
+            continue
+        path = baseline_path(suite, directory)
+        if not os.path.exists(path):
+            raise SystemExit(
+                f"missing baseline {path}; run with --update-baselines"
+            )
+        with open(path, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        suite_rows = compare(suite, current, baseline)
+        rows.extend(suite_rows)
+        failed = failed or not all(r["ok"] for r in suite_rows)
+    return rows, failed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate CI on deterministic perf measures vs baselines."
+    )
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES),
+        action="append",
+        help="restrict to one suite (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=BASELINE_DIR,
+        help="directory holding BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="rewrite the baselines from current measures (after an "
+        "intentional perf change) instead of gating",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    args = parser.parse_args(argv)
+    suites = args.suite or sorted(SUITES)
+
+    rows, failed = run_gate(
+        suites, args.baseline_dir, update=args.update_baselines
+    )
+    if args.update_baselines:
+        print(f"baselines rewritten under {args.baseline_dir}")
+        return 0
+
+    if args.json:
+        print(json.dumps({"rows": rows, "passed": not failed}, indent=2))
+    else:
+        width = max(len(r["metric"]) for r in rows)
+        for row in rows:
+            arrow = "<=" if row["direction"] == "max" else ">="
+            print(
+                f"[{'ok' if row['ok'] else 'FAIL':4}] "
+                f"{row['suite']}/{row['metric']:<{width}}  "
+                f"current {row['current']:12.4f}  {arrow} limit "
+                f"{row['limit']:12.4f}  (baseline {row['baseline']:.4f} "
+                f"±{row['tolerance']:.0%})"
+            )
+        print("perf gate:", "FAILED" if failed else "passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

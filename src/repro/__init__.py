@@ -51,10 +51,17 @@ from repro.mod.log import RecordingDatabase, UpdateLog
 from repro.mod.updates import ChangeDirection, New, Terminate
 from repro.obs import (
     ComplexityAudit,
+    ExplainReport,
     Instrumentation,
     MetricsRegistry,
+    QueryProfile,
+    QueryProfiler,
+    SlowQueryLog,
+    TraceContext,
     Tracer,
+    WorkloadAttribution,
     as_instrumentation,
+    explain,
 )
 from repro.query.answers import SnapshotAnswer
 from repro.query.query import Query, knn_query, within_query
@@ -74,6 +81,7 @@ __all__ = [
     "ComplexityAudit",
     "ContinuousQuerySession",
     "CoordinateValue",
+    "ExplainReport",
     "GDistance",
     "IngestPipeline",
     "IngestStats",
@@ -87,9 +95,12 @@ __all__ = [
     "PolynomialApproximation",
     "Query",
     "QueryCache",
+    "QueryProfile",
+    "QueryProfiler",
     "RecordingDatabase",
     "RejectedUpdate",
     "ShardedSweepEvaluator",
+    "SlowQueryLog",
     "SnapshotAnswer",
     "SquaredArrivalTimeGDistance",
     "SquaredEuclideanDistance",
@@ -97,17 +108,20 @@ __all__ = [
     "SupervisorStats",
     "SweepEngine",
     "Terminate",
+    "TraceContext",
     "Tracer",
     "Trajectory",
     "UpdateLog",
     "Vector",
     "WeightedSquaredDistance",
+    "WorkloadAttribution",
     "WriteAheadLog",
     "as_instrumentation",
     "evaluate_knn",
     "evaluate_multiknn",
     "evaluate_query",
     "evaluate_within",
+    "explain",
     "from_waypoints",
     "knn_query",
     "linear_from",

@@ -86,7 +86,12 @@ def closest_approach(
             value = poly(t)
             if value < best_value:
                 best_value, best_time = value, t
-    return ClosestApproach(best_time, math.sqrt(max(best_value, 0.0)))
+    # Report the separation recomputed from the trajectories at the
+    # chosen time: near-zero minima amplify polynomial-evaluation error
+    # through the sqrt, so sqrt(poly(t)) can disagree with the distance
+    # actually attained at t by more than the caller's tolerance.
+    attained = a.position(best_time).distance_to(b.position(best_time))
+    return ClosestApproach(best_time, attained)
 
 
 def _violation_intervals(

@@ -125,11 +125,21 @@ class QueryCache:
 
     # -- lookups ------------------------------------------------------------
     def lookup(
-        self, kind: str, gdistance, interval: Interval, **params
+        self,
+        kind: str,
+        gdistance,
+        interval: Interval,
+        profile=None,
+        **params,
     ) -> Optional[Payload]:
-        """The cached answer for one query over ``interval``, or None."""
+        """The cached answer for one query over ``interval``, or None.
+
+        ``profile`` (a :class:`~repro.obs.profile.QueryProfile`)
+        attributes hit-path work — restriction clips, Theorem 5 sweep
+        continuations — to the owning query's stage tree.
+        """
         fp = query_fingerprint(kind, gdistance, **params)
-        return self.answers.get(fp, interval)
+        return self.answers.get(fp, interval, profile=profile)
 
     def store(
         self,

@@ -41,9 +41,14 @@ from repro.geometry.tolerance import DEFAULT_ATOL
 from repro.mod.updates import ObjectId, Update
 from repro.obs.instrument import as_instrumentation
 from repro.obs.metrics import NULL_COUNTER
+from repro.obs.profile import NULL_STAGE
 from repro.query.answers import SnapshotAnswer
 
 __all__ = ["AnswerCache", "clip_payload", "restrict_payload"]
+
+
+def _stage(profile, name: str):
+    return NULL_STAGE if profile is None else profile.stage(name)
 
 Payload = Union[SnapshotAnswer, Dict[int, SnapshotAnswer]]
 
@@ -234,12 +239,16 @@ class AnswerCache:
         ]
 
     # -- lookups ------------------------------------------------------------
-    def get(self, fingerprint, interval: Interval) -> Optional[Payload]:
+    def get(
+        self, fingerprint, interval: Interval, profile=None
+    ) -> Optional[Payload]:
         """The answer over ``interval``, or None on a miss.
 
         Serves exact sub-interval hits by restriction and forward
         extensions by sweep continuation; either way the returned
-        payload covers exactly ``interval``.
+        payload covers exactly ``interval``.  ``profile`` (a
+        :class:`~repro.obs.profile.QueryProfile`) attributes the
+        restriction clip and any sweep continuation to their stages.
         """
         atol = self._atol
         best_ext: Optional[_Entry] = None
@@ -254,7 +263,8 @@ class AnswerCache:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 self._c_hit_exact.inc()
-                return restrict_payload(entry.payload, interval, atol)
+                with _stage(profile, "clip"):
+                    return restrict_payload(entry.payload, interval, atol)
             if (
                 entry.engine is not None
                 and entry.lo - atol <= interval.lo
@@ -263,10 +273,15 @@ class AnswerCache:
             ):
                 best_ext = entry
         if best_ext is not None:
-            payload = self._extend(best_ext, interval.hi)
+            engine = best_ext.engine
+            with _stage(profile, "cache.extend") as st:
+                ops_before = engine.primitive_ops()
+                payload = self._extend(best_ext, interval.hi)
+                st.annotate(ops=engine.primitive_ops() - ops_before)
             self.hits += 1
             self._c_hit_extension.inc()
-            return restrict_payload(payload, interval, atol)
+            with _stage(profile, "clip"):
+                return restrict_payload(payload, interval, atol)
         self.misses += 1
         self._c_misses.inc()
         return None

@@ -18,6 +18,8 @@ from repro.gdist.base import GDistance
 from repro.gdist.euclidean import SquaredEuclideanDistance
 from repro.mod.database import MovingObjectDatabase
 from repro.mod.updates import ObjectId
+from repro.obs.instrument import as_instrumentation
+from repro.obs.profile import NULL_STAGE
 from repro.query.answers import SnapshotAnswer
 from repro.query.query import Query
 from repro.sweep.engine import SweepEngine
@@ -36,6 +38,16 @@ def _as_gdistance(query: QueryLike) -> GDistance:
     return SquaredEuclideanDistance(query)
 
 
+def _profile_of(observe):
+    """The query profile riding an ``observe=`` bundle, or None."""
+    return None if observe is None else observe.profile
+
+
+def _stage(profile, name: str):
+    """A profile stage, or the free null stage when unprofiled."""
+    return NULL_STAGE if profile is None else profile.stage(name)
+
+
 def _sharded_evaluator(
     mode: str,
     db: MovingObjectDatabase,
@@ -52,23 +64,35 @@ def _sharded_evaluator(
 
     Imported lazily so ``repro.core`` has no hard dependency on
     ``repro.parallel`` (which itself imports this module).
+
+    When the ``observe`` bundle carries a profile, the three phases
+    land in top-level stages (``shards.init`` / ``shards.sweep`` /
+    ``shards.finalize``) with the evaluator's per-shard and merge
+    stages nested inside.
     """
     from repro.parallel.evaluator import ShardedSweepEvaluator
 
+    profile = _profile_of(observe)
     factory = getattr(ShardedSweepEvaluator, mode)
-    evaluator = factory(
-        db,
-        query,
-        until=interval.hi,
-        start=interval.lo,
-        shards=shards,
-        backend=backend,
-        batch_size=batch_size,
-        observe=observe,
-        curve_store=curve_store,
-        **params,
-    )
-    evaluator.run_to_end()
+    with _stage(profile, "shards.init"):
+        evaluator = factory(
+            db,
+            query,
+            until=interval.hi,
+            start=interval.lo,
+            shards=shards,
+            backend=backend,
+            batch_size=batch_size,
+            observe=observe,
+            curve_store=curve_store,
+            **params,
+        )
+    with _stage(profile, "shards.sweep"):
+        evaluator.advance_to(interval.hi)
+    with _stage(profile, "shards.finalize") as st:
+        evaluator.finalize()
+        if profile is not None:
+            st.annotate(ops=evaluator.primitive_ops())
     return evaluator
 
 
@@ -94,24 +118,68 @@ def _cached_sweep(
     identical to the finalized answer of a ``[lo, hi]`` engine (events
     beyond ``hi`` are scheduled but never processed).
     """
-    engine = SweepEngine(
-        db,
-        gdistance,
-        Interval.at_least(interval.lo),
-        constants=constants,
-        observe=observe,
-        curve_store=cache.curves,
-    )
-    view = view_factory(engine)
-    engine.advance_to(interval.hi)
-    if hasattr(view, "partial_answers"):
-        payload = view.partial_answers(interval.hi)
-    else:
-        payload = view.partial_answer(interval.hi)
-    cache.store(
-        kind, gdistance, interval, payload, engine=engine, view=view, **params
-    )
+    profile = _profile_of(observe)
+    with _stage(profile, "init") as st:
+        engine = SweepEngine(
+            db,
+            gdistance,
+            Interval.at_least(interval.lo),
+            constants=constants,
+            observe=observe,
+            curve_store=cache.curves,
+        )
+        view = view_factory(engine)
+        if profile is not None:
+            st.annotate(ops=engine.primitive_ops())
+    init_ops = engine.primitive_ops() if profile is not None else 0
+    with _stage(profile, "sweep") as st:
+        engine.advance_to(interval.hi)
+        if profile is not None:
+            st.annotate(ops=engine.primitive_ops() - init_ops)
+    with _stage(profile, "answer"):
+        if hasattr(view, "partial_answers"):
+            payload = view.partial_answers(interval.hi)
+        else:
+            payload = view.partial_answer(interval.hi)
+    with _stage(profile, "cache.store"):
+        cache.store(
+            kind,
+            gdistance,
+            interval,
+            payload,
+            engine=engine,
+            view=view,
+            **params,
+        )
     return payload
+
+
+def _single_sweep(
+    db: MovingObjectDatabase,
+    gdistance: GDistance,
+    interval: Interval,
+    view_factory,
+    observe,
+    constants: Sequence[float] = (),
+):
+    """One plain (uncached, unsharded) sweep with stage attribution."""
+    profile = _profile_of(observe)
+    with _stage(profile, "init") as st:
+        engine = SweepEngine(
+            db, gdistance, interval, constants=constants, observe=observe
+        )
+        view = view_factory(engine)
+        if profile is not None:
+            st.annotate(ops=engine.primitive_ops())
+    init_ops = engine.primitive_ops() if profile is not None else 0
+    with _stage(profile, "sweep") as st:
+        engine.run_to_end()
+        if profile is not None:
+            st.annotate(ops=engine.primitive_ops() - init_ops)
+    with _stage(profile, "answer"):
+        if hasattr(view, "answers"):
+            return view.answers()
+        return view.answer()
 
 
 def evaluate_knn(
@@ -146,9 +214,13 @@ def evaluate_knn(
     cache binds to ``db`` and invalidates itself on every update.
     """
     gdistance = _as_gdistance(query)
+    observe = as_instrumentation(observe)
+    profile = _profile_of(observe)
     if cache is not None and interval.is_bounded:
         cache.bind(db)
-        hit = cache.lookup("knn", gdistance, interval, k=k)
+        with _stage(profile, "cache.probe") as st:
+            hit = cache.lookup("knn", gdistance, interval, profile=profile, k=k)
+            st.annotate(hit=hit is not None)
         if hit is not None:
             return hit
         if shards is None:
@@ -176,12 +248,16 @@ def evaluate_knn(
             k=k,
         ).answer()
         if cache is not None and interval.is_bounded:
-            cache.store("knn", gdistance, interval, answer, k=k)
+            with _stage(profile, "cache.store"):
+                cache.store("knn", gdistance, interval, answer, k=k)
         return answer
-    engine = SweepEngine(db, gdistance, interval, observe=observe)
-    view = ContinuousKNN(engine, k)
-    engine.run_to_end()
-    return view.answer()
+    return _single_sweep(
+        db,
+        gdistance,
+        interval,
+        lambda engine: ContinuousKNN(engine, k),
+        observe,
+    )
 
 
 def evaluate_within(
@@ -208,9 +284,19 @@ def evaluate_within(
     threshold = (
         distance * distance if not isinstance(query, GDistance) else float(distance)
     )
+    observe = as_instrumentation(observe)
+    profile = _profile_of(observe)
     if cache is not None and interval.is_bounded:
         cache.bind(db)
-        hit = cache.lookup("within", gdistance, interval, threshold=threshold)
+        with _stage(profile, "cache.probe") as st:
+            hit = cache.lookup(
+                "within",
+                gdistance,
+                interval,
+                profile=profile,
+                threshold=threshold,
+            )
+            st.annotate(hit=hit is not None)
         if hit is not None:
             return hit
         if shards is None:
@@ -239,16 +325,19 @@ def evaluate_within(
             distance=distance,
         ).answer()
         if cache is not None and interval.is_bounded:
-            cache.store(
-                "within", gdistance, interval, answer, threshold=threshold
-            )
+            with _stage(profile, "cache.store"):
+                cache.store(
+                    "within", gdistance, interval, answer, threshold=threshold
+                )
         return answer
-    engine = SweepEngine(
-        db, gdistance, interval, constants=[threshold], observe=observe
+    return _single_sweep(
+        db,
+        gdistance,
+        interval,
+        lambda engine: ContinuousWithin(engine, threshold),
+        observe,
+        constants=[threshold],
     )
-    view = ContinuousWithin(engine, threshold)
-    engine.run_to_end()
-    return view.answer()
 
 
 def evaluate_multiknn(
@@ -271,9 +360,15 @@ def evaluate_multiknn(
     queries as in :func:`evaluate_knn`.
     """
     gdistance = _as_gdistance(query)
+    observe = as_instrumentation(observe)
+    profile = _profile_of(observe)
     if cache is not None and interval.is_bounded:
         cache.bind(db)
-        hit = cache.lookup("multiknn", gdistance, interval, ks=ks)
+        with _stage(profile, "cache.probe") as st:
+            hit = cache.lookup(
+                "multiknn", gdistance, interval, profile=profile, ks=ks
+            )
+            st.annotate(hit=hit is not None)
         if hit is not None:
             return hit
         if shards is None:
@@ -301,12 +396,16 @@ def evaluate_multiknn(
             ks=ks,
         ).answers()
         if cache is not None and interval.is_bounded:
-            cache.store("multiknn", gdistance, interval, answers, ks=ks)
+            with _stage(profile, "cache.store"):
+                cache.store("multiknn", gdistance, interval, answers, ks=ks)
         return answers
-    engine = SweepEngine(db, gdistance, interval, observe=observe)
-    view = MultiKNN(engine, ks)
-    engine.run_to_end()
-    return view.answers()
+    return _single_sweep(
+        db,
+        gdistance,
+        interval,
+        lambda engine: MultiKNN(engine, ks),
+        observe,
+    )
 
 
 def evaluate_query(

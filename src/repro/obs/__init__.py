@@ -18,7 +18,14 @@ package makes them *observable*:
   goodness-of-fit, turning the theorems into executable assertions;
 - :mod:`repro.obs.instrument` — the :class:`Instrumentation` bundle
   (registry + tracer) accepted by every ``observe=`` hook in the
-  engine, resilience, and workload layers.
+  engine, resilience, and workload layers;
+- :mod:`repro.obs.profile` — :class:`QueryProfiler` /
+  :class:`QueryProfile`, which assign every evaluation a ``query_id``,
+  propagate a :class:`TraceContext` across shards, caches, and the
+  WAL, attribute wall time and primitive ops to a per-stage tree, and
+  feed a :class:`SlowQueryLog` and :class:`WorkloadAttribution`;
+- :mod:`repro.obs.explain` — :func:`explain`, the EXPLAIN-style entry
+  point returning an :class:`ExplainReport` (text or JSON).
 
 Everything is pure-Python stdlib; enabling metrics on the sweep hot
 path costs a bound-counter increment per event, and passing
@@ -26,6 +33,7 @@ path costs a bound-counter increment per event, and passing
 """
 
 from repro.obs.audit import AuditResult, ComplexityAudit, fit_envelope
+from repro.obs.explain import ExplainReport, explain
 from repro.obs.instrument import Instrumentation, as_instrumentation
 from repro.obs.metrics import (
     Counter,
@@ -33,6 +41,16 @@ from repro.obs.metrics import (
     Histogram,
     MetricError,
     MetricsRegistry,
+)
+from repro.obs.profile import (
+    NULL_STAGE,
+    ContextTracer,
+    QueryProfile,
+    QueryProfiler,
+    SlowQueryLog,
+    Stage,
+    TraceContext,
+    WorkloadAttribution,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -45,17 +63,27 @@ from repro.obs.tracing import (
 __all__ = [
     "AuditResult",
     "ComplexityAudit",
+    "ContextTracer",
     "Counter",
+    "ExplainReport",
     "Gauge",
     "Histogram",
     "Instrumentation",
     "JsonlSink",
     "MetricError",
     "MetricsRegistry",
+    "NULL_STAGE",
     "NULL_TRACER",
     "NullTracer",
+    "QueryProfile",
+    "QueryProfiler",
     "RingBufferSink",
+    "SlowQueryLog",
+    "Stage",
+    "TraceContext",
     "Tracer",
+    "WorkloadAttribution",
     "as_instrumentation",
+    "explain",
     "fit_envelope",
 ]

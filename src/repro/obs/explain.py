@@ -1,0 +1,201 @@
+"""EXPLAIN for moving-object queries: run, profile, and render.
+
+:func:`explain` evaluates a query through the real
+:func:`~repro.core.api.evaluate_knn` / ``evaluate_within`` /
+``evaluate_multiknn`` path — same answers, same code — under a
+:class:`~repro.obs.profile.QueryProfile`, and returns an
+:class:`ExplainReport` pairing the answer with the per-stage cost
+breakdown: wall time, primitive-op counts, cache hit/miss, and
+per-shard skew.  The report renders as an ``EXPLAIN``-style text tree
+(:meth:`ExplainReport.text`) or as JSON (:meth:`ExplainReport.to_json`).
+
+The stages map onto the paper's cost terms (see
+``docs/paper_mapping.md``):
+
+========================  ====================================================
+stage                     paper cost term
+========================  ====================================================
+``cache.probe``           answer reuse — avoids both Theorem 5 halves
+``clip``                  Section 4 finite representation: exact restriction
+``cache.extend``          Theorem 5 maintenance: ``O(m log N)`` continuation
+``init`` / ``curves``     Theorem 5 initialization: ``O(N log N)``
+``sweep``                 Theorem 4 event loop: ``O((m + N) log N)``
+``shards.*`` / ``shard.*``  the same terms at shard size ``N/S``
+``merge``                 second-level sweep over accumulated candidates
+``cache.store``           deposit for later reuse
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from repro.geometry.intervals import Interval
+from repro.obs.profile import QueryProfile, QueryProfiler
+
+__all__ = ["ExplainReport", "explain"]
+
+
+class ExplainReport:
+    """The outcome of :func:`explain`: answer + profile, renderable."""
+
+    def __init__(self, profile: QueryProfile, answer) -> None:
+        self.profile = profile
+        self.answer = answer
+
+    @property
+    def query_id(self) -> str:
+        """The profiled query's id."""
+        return self.profile.query_id
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end wall time of the evaluation."""
+        return self.profile.total_seconds
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of wall time the top-level stages account for."""
+        return self.profile.coverage
+
+    def shard_skew(self) -> Optional[dict]:
+        """Per-shard primitive-op skew (None for unsharded queries)."""
+        return self.profile.shard_skew()
+
+    def to_dict(self) -> dict:
+        """The full JSON-ready report."""
+        return self.profile.report()
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def text(self) -> str:
+        """An EXPLAIN-style indented stage tree."""
+        prof = self.profile
+        prof.finish()
+        lines = [
+            f"EXPLAIN {prof.kind} [{prof.query_id}]"
+            + (f"  {_meta_text(prof.meta)}" if prof.meta else ""),
+            f"total: {_ms(prof.total_seconds)}  "
+            f"(stage coverage {prof.coverage * 100.0:.1f}%)",
+        ]
+        for key in sorted(
+            prof.root.children,
+            key=lambda k: (k[0], k[1] is not None, k[1] or 0),
+        ):
+            _render(prof.root.children[key], lines, depth=1)
+        skew = prof.shard_skew()
+        if skew is not None:
+            lines.append(
+                f"shards: {skew['shards']}  max/mean ops "
+                f"{skew['max_ops']:.0f}/{skew['mean_ops']:.0f}  "
+                f"skew {skew['skew']:.2f}x"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.text()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExplainReport({self.query_id!r}, "
+            f"{self.total_seconds * 1e3:.3f} ms)"
+        )
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f} ms"
+
+
+def _meta_text(meta: dict) -> str:
+    return " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+
+
+def _render(stage, lines, depth: int) -> None:
+    label = stage.name
+    if stage.shard is not None:
+        label += f"[shard {stage.shard}]"
+    bits = [f"{'  ' * depth}-> {label}: {_ms(stage.wall_seconds)}"]
+    if stage.count > 1:
+        bits.append(f"x{stage.count}")
+    for key in sorted(stage.attrs):
+        value = stage.attrs[key]
+        if isinstance(value, float) and value == int(value):
+            value = int(value)
+        bits.append(f"{key}={value}")
+    lines.append("  ".join(bits))
+    for key in sorted(
+        stage.children, key=lambda k: (k[0], k[1] is not None, k[1] or 0)
+    ):
+        _render(stage.children[key], lines, depth + 1)
+
+
+def explain(
+    db,
+    query,
+    interval: Interval,
+    kind: str = "knn",
+    *,
+    k: int = 1,
+    distance: Optional[float] = None,
+    ks: Optional[Sequence[int]] = None,
+    shards: Optional[int] = None,
+    backend="sequential",
+    batch_size: int = 1,
+    cache=None,
+    profiler: Optional[QueryProfiler] = None,
+    query_id: Optional[str] = None,
+) -> ExplainReport:
+    """Evaluate one query with full per-stage cost attribution.
+
+    ``kind`` selects the query (``"knn"``, ``"within"``, or
+    ``"multiknn"``); the remaining arguments mirror the corresponding
+    ``evaluate_*`` function.  Pass an existing ``profiler`` to keep its
+    id sequence, slow-query log, and workload attribution across many
+    explains; otherwise a throwaway profiler is used.
+    """
+    from repro.core.api import (
+        evaluate_knn,
+        evaluate_multiknn,
+        evaluate_within,
+    )
+
+    if kind == "within" and distance is None:
+        raise ValueError("within queries need a distance")
+    if kind == "multiknn" and not ks:
+        raise ValueError("multiknn queries need ks")
+    if kind not in ("knn", "within", "multiknn"):
+        raise ValueError(f"unknown query kind {kind!r}")
+    if profiler is None:
+        profiler = QueryProfiler()
+    meta = {
+        "interval": [interval.lo, interval.hi],
+        "shards": shards,
+        "backend": backend if shards is not None else None,
+        "cache": cache is not None,
+    }
+    if kind == "knn":
+        meta["k"] = k
+    elif kind == "within":
+        meta["distance"] = distance
+    else:
+        meta["ks"] = list(ks)
+    with profiler.profile(kind, query_id=query_id, **meta) as prof:
+        common = dict(
+            observe=prof.observe,
+            shards=shards,
+            backend=backend,
+            batch_size=batch_size,
+            cache=cache,
+        )
+        if kind == "knn":
+            answer = evaluate_knn(db, query, interval, k=k, **common)
+        elif kind == "within":
+            answer = evaluate_within(
+                db, query, interval, distance=distance, **common
+            )
+        else:
+            answer = evaluate_multiknn(db, query, interval, ks=ks, **common)
+        prof.record_answer(answer)
+    return ExplainReport(prof, answer)

@@ -16,12 +16,24 @@ event.  Otherwise the argument is coerced by :func:`as_instrumentation`:
 - a bare :class:`~repro.obs.metrics.MetricsRegistry` enables metrics
   with tracing off;
 - a bare :class:`~repro.obs.tracing.Tracer` enables tracing with a
-  private registry.
+  private registry;
+- any object exposing an :class:`Instrumentation` as its ``.observe``
+  attribute (a :class:`~repro.obs.profile.QueryProfile`, say) is
+  unwrapped — so ``evaluate_knn(..., observe=profile)`` reads
+  naturally.
 
 Sharing one :class:`Instrumentation` (or one registry) across several
 components aggregates their counters into one namespace — by design:
 a fault injector, an ingest pipeline, and a supervised session wired to
 the same registry produce a single coherent metrics snapshot.
+
+Profiling rides the same bundle: when a
+:class:`~repro.obs.profile.QueryProfile` builds its instrumentation it
+sets the optional :attr:`Instrumentation.profile` (stage attribution)
+and :attr:`Instrumentation.context` (the query's
+:class:`~repro.obs.profile.TraceContext`) slots, and every layer that
+receives the bundle can attribute its work to the owning query without
+new plumbing.
 """
 
 from __future__ import annotations
@@ -35,17 +47,27 @@ __all__ = ["Instrumentation", "as_instrumentation"]
 
 
 class Instrumentation:
-    """A metrics registry and a tracer, bundled for ``observe=`` hooks."""
+    """A metrics registry and a tracer, bundled for ``observe=`` hooks.
 
-    __slots__ = ("metrics", "tracer")
+    The optional ``profile`` / ``context`` slots are populated when the
+    bundle belongs to one profiled query (see
+    :mod:`repro.obs.profile`); they are ``None`` on plain telemetry
+    bundles and every consumer must treat them as optional.
+    """
+
+    __slots__ = ("metrics", "tracer", "profile", "context")
 
     def __init__(
         self,
         metrics: Optional[MetricsRegistry] = None,
         tracer: Optional[Union[Tracer, NullTracer]] = None,
+        profile=None,
+        context=None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.profile = profile
+        self.context = context
 
     def snapshot(self):
         """Convenience: the registry's flat snapshot."""
@@ -53,9 +75,10 @@ class Instrumentation:
 
     def __repr__(self) -> str:
         tracing = "on" if getattr(self.tracer, "enabled", False) else "off"
+        profiled = "" if self.profile is None else ", profiled"
         return (
             f"Instrumentation(metrics={len(self.metrics.families())} "
-            f"families, tracing {tracing})"
+            f"families, tracing {tracing}{profiled})"
         )
 
 
@@ -68,7 +91,11 @@ def as_instrumentation(observe) -> Optional[Instrumentation]:
         return Instrumentation(metrics=observe)
     if isinstance(observe, (Tracer, NullTracer)):
         return Instrumentation(tracer=observe)
+    inner = getattr(observe, "observe", None)
+    if isinstance(inner, Instrumentation):
+        return inner
     raise TypeError(
         "observe= expects an Instrumentation, MetricsRegistry, Tracer, "
-        f"or None; got {type(observe).__name__}"
+        "an object with an Instrumentation `.observe` attribute, or "
+        f"None; got {type(observe).__name__}"
     )

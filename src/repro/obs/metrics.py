@@ -140,10 +140,16 @@ class Histogram:
     exponents -20..30) one histogram covers ~1e-6 through ~1e9, which
     spans both sub-millisecond fsync timings and per-sweep operation
     counts.  Also tracks count, sum, min, and max exactly.
+
+    Empty-histogram semantics: with no observations there is no
+    meaningful statistic, so :attr:`mean`, :meth:`quantile`,
+    :attr:`min`, and :attr:`max` all return ``NaN`` — never the
+    internal ``±inf`` seeds.  Exports (snapshot / Prometheus / JSON)
+    stay finite: they carry only ``_count``/``_sum``/buckets.
     """
 
     kind = "histogram"
-    __slots__ = ("_bounds", "_counts", "count", "sum", "min", "max")
+    __slots__ = ("_bounds", "_counts", "count", "sum", "_min", "_max")
 
     def __init__(
         self, base: float = 2.0, min_exp: int = -20, max_exp: int = 30
@@ -158,23 +164,33 @@ class Histogram:
         self._counts: List[int] = [0] * (len(self._bounds) + 1)
         self.count = 0
         self.sum = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
+        self._min = float("inf")
+        self._max = float("-inf")
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         self._counts[bisect_left(self._bounds, value)] += 1
         self.count += 1
         self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (``NaN`` when empty)."""
+        return self._min if self.count else float("nan")
+
+    @property
+    def max(self) -> float:
+        """Largest observation (``NaN`` when empty)."""
+        return self._max if self.count else float("nan")
 
     @property
     def mean(self) -> float:
-        """Mean of all observations (0 when empty)."""
-        return self.sum / self.count if self.count else 0.0
+        """Mean of all observations (``NaN`` when empty)."""
+        return self.sum / self.count if self.count else float("nan")
 
     def buckets(self) -> List[Tuple[float, int]]:
         """Non-empty ``(upper_bound, cumulative_count)`` pairs."""
@@ -192,12 +208,12 @@ class Histogram:
 
         Returns the upper bound of the bucket containing the quantile —
         an overestimate by at most one bucket width (a factor of
-        ``base``).  0 when empty.
+        ``base``).  ``NaN`` when empty.
         """
         if not 0.0 <= q <= 1.0:
             raise MetricError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
-            return 0.0
+            return float("nan")
         target = q * self.count
         cumulative = 0
         bounds = self._bounds + [float("inf")]
@@ -212,8 +228,8 @@ class Histogram:
         self._counts = [0] * len(self._counts)
         self.count = 0
         self.sum = 0.0
-        self.min = float("inf")
-        self.max = float("-inf")
+        self._min = float("inf")
+        self._max = float("-inf")
 
     def _samples(self) -> Iterable[Tuple[str, float]]:
         yield "_count", float(self.count)
@@ -268,11 +284,20 @@ NULL_GAUGE = _NullGauge()
 NULL_HISTOGRAM = _NullHistogram()
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double quote, and line feed."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _series_name(name: str, suffix: str, key: Tuple[str, ...], label_names: Tuple[str, ...]) -> str:
     if not label_names:
         return name + suffix
     inner = ",".join(
-        f'{ln}="{lv}"' for ln, lv in zip(label_names, key)
+        f'{ln}="{_escape_label_value(lv)}"'
+        for ln, lv in zip(label_names, key)
     )
     return f"{name}{suffix}{{{inner}}}"
 
@@ -438,7 +463,7 @@ class MetricsRegistry:
                 if family.kind == "histogram":
                     for bound, cumulative in child.buckets():
                         label_bits = [
-                            f'{ln}="{lv}"'
+                            f'{ln}="{_escape_label_value(lv)}"'
                             for ln, lv in zip(family.label_names, key)
                         ] + [f'le="{_fmt_bound(bound)}"']
                         out[
@@ -477,9 +502,15 @@ class MetricsRegistry:
             lines.append(f"# TYPE {family.name} {family.kind}")
             for key, child in sorted(family.children().items()):
                 if family.kind == "histogram":
-                    for bound, cumulative in child.buckets():
+                    # The text format requires the +Inf bucket on every
+                    # histogram (cumulative == _count), even when no
+                    # observation overflowed — append it if absent.
+                    buckets = child.buckets()
+                    if not buckets or buckets[-1][0] != float("inf"):
+                        buckets.append((float("inf"), child.count))
+                    for bound, cumulative in buckets:
                         label_bits = [
-                            f'{ln}="{lv}"'
+                            f'{ln}="{_escape_label_value(lv)}"'
                             for ln, lv in zip(family.label_names, key)
                         ] + [f'le="{_fmt_bound(bound)}"']
                         lines.append(
@@ -507,7 +538,10 @@ class MetricsRegistry:
                             "labels": labels,
                             "count": child.count,
                             "sum": child.sum,
-                            "mean": child.mean,
+                            # Keep the JSON view finite: an empty
+                            # histogram's mean is NaN, which strict
+                            # JSON cannot carry.
+                            "mean": child.mean if child.count else 0.0,
                             "buckets": [
                                 {"le": _fmt_bound(b), "count": c}
                                 for b, c in child.buckets()

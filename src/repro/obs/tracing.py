@@ -79,11 +79,24 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """Append records as JSON lines to a file (one record per line)."""
+    """Append records as JSON lines to a file (one record per line).
 
-    def __init__(self, path: str) -> None:
+    ``buffer`` sets how many records may sit in the userspace buffer
+    before a flush: the default ``1`` flushes every record (the durable
+    choice), larger values amortize the write syscalls for
+    high-frequency tracing.  With ``buffer > 1`` the producer must
+    :meth:`flush` (or :meth:`close`) at the end of a run or the tail of
+    the buffer is lost — :class:`Tracer` forwards its own ``flush()``
+    and ``close()`` here for exactly that reason.
+    """
+
+    def __init__(self, path: str, buffer: int = 1) -> None:
+        if buffer < 1:
+            raise ValueError("buffer must be positive")
         self._path = str(path)
         self._handle = open(self._path, "a", encoding="utf-8")
+        self._buffer = buffer
+        self._unflushed = 0
         self._closed = False
 
     @property
@@ -92,16 +105,26 @@ class JsonlSink:
         return self._path
 
     def emit(self, record: dict) -> None:
-        """Write one record as a JSON line and flush."""
+        """Write one record as a JSON line (flushed per ``buffer``)."""
         if self._closed:
             raise RuntimeError("sink is closed")
         self._handle.write(
             json.dumps(record, separators=(",", ":"), default=repr) + "\n"
         )
-        self._handle.flush()
+        self._unflushed += 1
+        if self._unflushed >= self._buffer:
+            self._handle.flush()
+            self._unflushed = 0
+
+    def flush(self) -> None:
+        """Push buffered records to the OS (idempotent, no-op when
+        closed)."""
+        if not self._closed:
+            self._handle.flush()
+            self._unflushed = 0
 
     def close(self) -> None:
-        """Close the file handle (idempotent)."""
+        """Flush and close the file handle (idempotent)."""
         if not self._closed:
             self._closed = True
             self._handle.close()
@@ -237,6 +260,31 @@ class Tracer:
         parent = self._stack[-1].span_id if self._stack else None
         self._emit_event(name, parent, attrs)
 
+    # -- lifecycle ----------------------------------------------------------
+    def flush(self) -> None:
+        """Forward a flush to the sink (no-op for sinks without one).
+
+        A buffered :class:`JsonlSink` only persists its tail on flush;
+        call this (or :meth:`close`) at the end of a run so JSONL
+        traces are never truncated mid-buffer.
+        """
+        flush = getattr(self._sink, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        """Flush and close the sink (idempotent for the stock sinks)."""
+        self.flush()
+        close = getattr(self._sink, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- internals ----------------------------------------------------------
     def _emit_event(
         self, name: str, parent_id: Optional[int], attrs: Dict[str, object]
@@ -279,6 +327,18 @@ class NullTracer:
 
     def event(self, name: str, **attrs: object) -> None:
         """Discard the event."""
+
+    def flush(self) -> None:
+        """Nothing to flush."""
+
+    def close(self) -> None:
+        """Nothing to close."""
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
 
 
 NULL_TRACER = NullTracer()

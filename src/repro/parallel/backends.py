@@ -310,6 +310,11 @@ class SequentialShardHost:
     def operation_counts(self) -> Dict[str, int]:
         return self.runtime.operation_counts()
 
+    def profile_snapshot(self) -> Optional[dict]:
+        """Sequential shards share the caller's registry in-process;
+        there is nothing separate to absorb."""
+        return None
+
     def close(self) -> None:
         self.runtime.close()
 
@@ -343,13 +348,37 @@ class SequentialBackend:
 # single-worker executor, so exactly one ShardRuntime lives per worker
 # process and a module global is unambiguous.
 _WORKER_RUNTIME: Optional[ShardRuntime] = None
+# Worker-side telemetry bundle, built only when the parent ships a
+# serialized TraceContext: (instrumentation, ring sink).  The registry
+# and sink never cross the boundary live — _w_profile() exports them as
+# plain dicts/lists for the parent to absorb.
+_WORKER_OBS: Optional[tuple] = None
 
 
-def _w_build(db_dict: dict, spec_bytes: bytes) -> bool:
-    global _WORKER_RUNTIME
+def _w_build(
+    db_dict: dict, spec_bytes: bytes, context: Optional[dict] = None
+) -> bool:
+    global _WORKER_RUNTIME, _WORKER_OBS
     db = database_from_dict(db_dict)
     spec = pickle.loads(spec_bytes)
-    _WORKER_RUNTIME = ShardRuntime(db, spec)
+    observe = None
+    if context is not None:
+        from repro.obs.instrument import Instrumentation
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.profile import ContextTracer, TraceContext
+        from repro.obs.tracing import RingBufferSink, Tracer
+
+        ctx = TraceContext.from_dict(context)
+        sink = RingBufferSink()
+        observe = Instrumentation(
+            metrics=MetricsRegistry(),
+            tracer=ContextTracer(Tracer(sink), ctx),
+            context=ctx,
+        )
+        _WORKER_OBS = (observe, sink)
+    else:
+        _WORKER_OBS = None
+    _WORKER_RUNTIME = ShardRuntime(db, spec, observe=observe)
     return True
 
 
@@ -381,6 +410,17 @@ def _w_op_counts() -> Dict[str, int]:
     return _WORKER_RUNTIME.operation_counts()
 
 
+def _w_profile() -> Optional[dict]:
+    """Export the worker's telemetry as plain values for absorption."""
+    if _WORKER_OBS is None:
+        return None
+    observe, sink = _WORKER_OBS
+    return {
+        "metrics": observe.metrics.snapshot(),
+        "records": sink.records,
+    }
+
+
 class ProcessShardHost:
     """A shard pinned to one single-worker process pool.
 
@@ -391,12 +431,17 @@ class ProcessShardHost:
     """
 
     def __init__(
-        self, shard_id: int, db: MovingObjectDatabase, spec: QuerySpec
+        self,
+        shard_id: int,
+        db: MovingObjectDatabase,
+        spec: QuerySpec,
+        context: Optional[dict] = None,
     ) -> None:
         self.shard_id = shard_id
         self._pool = ProcessPoolExecutor(max_workers=1)
         self._closed = False
-        self._call(_w_build, database_to_dict(db), pickle.dumps(spec))
+        self._profiled = context is not None
+        self._call(_w_build, database_to_dict(db), pickle.dumps(spec), context)
 
     def _call(self, fn, *args):
         if self._closed:
@@ -424,6 +469,13 @@ class ProcessShardHost:
     def operation_counts(self) -> Dict[str, int]:
         return self._call(_w_op_counts)
 
+    def profile_snapshot(self) -> Optional[dict]:
+        """The worker's exported telemetry (metrics snapshot + trace
+        records), or ``None`` when the shard is unprofiled."""
+        if not self._profiled:
+            return None
+        return self._call(_w_profile)
+
     def close(self) -> None:
         if not self._closed:
             self._closed = True
@@ -433,9 +485,14 @@ class ProcessShardHost:
 class ProcessPoolBackend:
     """One pinned single-worker process per shard.
 
-    Telemetry is per-process, so the parent's ``observe`` registry is
-    *not* threaded into worker engines; the evaluator's own merge and
-    batching metrics still apply.
+    A live registry cannot be shared across processes, so the parent's
+    ``observe`` is not threaded through as an object.  What *does*
+    cross is the query's serialized
+    :class:`~repro.obs.profile.TraceContext` (when the bundle carries
+    one): the worker builds its own registry + context tracer, stamps
+    every worker-side span with the owning ``query_id``, and the
+    evaluator re-absorbs the exported snapshot at finalize via
+    :meth:`ProcessShardHost.profile_snapshot`.
     """
 
     name = "process"
@@ -454,7 +511,13 @@ class ProcessPoolBackend:
         forwarded: in-process caches cannot span the process boundary,
         so each worker builds (and keeps) its own curves.
         """
-        return ProcessShardHost(shard_id, db, spec)
+        from repro.obs.instrument import as_instrumentation
+
+        instr = as_instrumentation(observe)
+        context = None
+        if instr is not None and instr.context is not None:
+            context = instr.context.to_dict()
+        return ProcessShardHost(shard_id, db, spec, context=context)
 
 
 def resolve_backend(backend):

@@ -46,6 +46,7 @@ from repro.mod.database import MovingObjectDatabase
 from repro.mod.updates import ObjectId, Update
 from repro.obs.instrument import as_instrumentation
 from repro.obs.metrics import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM
+from repro.obs.profile import NULL_STAGE
 from repro.parallel.backends import (
     KNN,
     MULTIKNN,
@@ -63,6 +64,13 @@ from repro.parallel.merge import (
 )
 from repro.parallel.sharding import shard_of
 from repro.query.answers import SnapshotAnswer
+
+
+def _ops_total(counts: Dict[str, int]) -> int:
+    """One shard's primitive-op total, tolerating a "total" rollup key."""
+    if "total" in counts:
+        return counts["total"]
+    return sum(counts.values())
 
 __all__ = ["ShardedSweepEvaluator"]
 
@@ -112,16 +120,23 @@ class ShardedSweepEvaluator:
         # tracks it.)
         self._mirror = db.clone()
         self._instr = as_instrumentation(observe)
+        self._profile = None if self._instr is None else self._instr.profile
         self._bind_metrics()
         from repro.parallel.sharding import partition_database
 
         parts = partition_database(db, self._shards)
-        self._hosts = [
-            self._backend.spawn(
-                i, part, spec, observe=observe, curve_store=curve_store
-            )
-            for i, part in enumerate(parts)
-        ]
+        self._hosts = []
+        for i, part in enumerate(parts):
+            with self._stage("shard.init", shard=i):
+                self._hosts.append(
+                    self._backend.spawn(
+                        i,
+                        part,
+                        spec,
+                        observe=self._instr,
+                        curve_store=curve_store,
+                    )
+                )
         self._applier = BatchedUpdateApplier(
             self._route, self._apply_shard, batch_size=batch_size
         )
@@ -134,6 +149,12 @@ class ShardedSweepEvaluator:
         self._final_ops: Optional[Dict[str, int]] = None
         self.rebuilds = 0
         self._g_shards.set(self._shards)
+
+    def _stage(self, name: str, shard: Optional[int] = None):
+        """The profiled query's stage hook, or the free null stage."""
+        if self._profile is None:
+            return NULL_STAGE
+        return self._profile.stage(name, shard=shard)
 
     def _bind_metrics(self) -> None:
         if self._instr is None:
@@ -380,12 +401,13 @@ class ShardedSweepEvaluator:
         self._c_rebuilds.inc()
 
     def _advance_hosts(self, t: float) -> None:
-        for host in self._hosts:
-            try:
-                host.advance_to(t)
-            except Exception:
-                self._heal_or_raise(host)
-                host.advance_to(t)
+        for i, host in enumerate(self._hosts):
+            with self._stage("shard.sweep", shard=i):
+                try:
+                    host.advance_to(t)
+                except Exception:
+                    self._heal_or_raise(host)
+                    host.advance_to(t)
 
     def advance_to(self, t: float) -> Set[ObjectId]:
         """Advance every shard sweep to ``t`` (never backwards) and
@@ -457,51 +479,64 @@ class ShardedSweepEvaluator:
         self._finalized = True
         end = self._clock
         per_shard = []
-        for host in self._hosts:
-            try:
-                per_shard.append(host.finalize(end))
-            except Exception:
-                self._heal_or_raise(host)
-                per_shard.append(host.finalize(end))
+        shard_counts: List[Dict[str, int]] = []
+        for i, host in enumerate(self._hosts):
+            with self._stage("shard.finalize", shard=i) as st:
+                try:
+                    per_shard.append(host.finalize(end))
+                except Exception:
+                    self._heal_or_raise(host)
+                    per_shard.append(host.finalize(end))
+                counts = host.operation_counts()
+                shard_counts.append(counts)
+                st.annotate(ops=_ops_total(counts))
         window = Interval(self._spec.lo, end)
         spec = self._spec
-        if spec.mode == WITHIN:
-            self._results = {None: union_answers(per_shard, window)}
-        elif spec.mode == KNN:
-            self._h_candidates.observe(len(candidate_oids(per_shard)))
-            merged = merge_knn_answers(
-                self._mirror,
-                spec.gdistance,
-                window,
-                spec.k,
-                per_shard,
-                observe=self._instr,
-                curve_store=self._curve_store,
-            )
-            self._results = {None: merged, spec.k: merged}
-        else:
-            top = [answers[max(spec.ks)] for answers in per_shard]
-            self._h_candidates.observe(len(candidate_oids(top)))
-            self._results = dict(
-                merge_multiknn_answers(
+        with self._stage("merge") as st:
+            if spec.mode == WITHIN:
+                self._results = {None: union_answers(per_shard, window)}
+            elif spec.mode == KNN:
+                n_candidates = len(candidate_oids(per_shard))
+                self._h_candidates.observe(n_candidates)
+                st.annotate(candidates=n_candidates)
+                merged = merge_knn_answers(
                     self._mirror,
                     spec.gdistance,
                     window,
-                    spec.ks,
-                    top,
+                    spec.k,
+                    per_shard,
                     observe=self._instr,
                     curve_store=self._curve_store,
                 )
-            )
+                self._results = {None: merged, spec.k: merged}
+            else:
+                top = [answers[max(spec.ks)] for answers in per_shard]
+                n_candidates = len(candidate_oids(top))
+                self._h_candidates.observe(n_candidates)
+                st.annotate(candidates=n_candidates)
+                self._results = dict(
+                    merge_multiknn_answers(
+                        self._mirror,
+                        spec.gdistance,
+                        window,
+                        spec.ks,
+                        top,
+                        observe=self._instr,
+                        curve_store=self._curve_store,
+                    )
+                )
         self._final_ops = {}
-        for i, host in enumerate(self._hosts):
-            counts = host.operation_counts()
+        for i, counts in enumerate(shard_counts):
             for op, n in counts.items():
                 self._final_ops[op] = self._final_ops.get(op, 0) + n
             if self._g_shard_ops is not None:
                 self._g_shard_ops.labels(shard=str(i)).set(
-                    sum(counts.values())
+                    _ops_total(counts)
                 )
+        if self._profile is not None:
+            for i, host in enumerate(self._hosts):
+                snapshot = getattr(host, "profile_snapshot", lambda: None)()
+                self._profile.absorb_shard(i, snapshot)
         self.shutdown()
 
     def run_to_end(self) -> None:

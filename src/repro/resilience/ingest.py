@@ -429,6 +429,9 @@ class IngestPipeline:
         self.stats._count_reason(reason)
         if self._f_quarantined is not None:
             self._f_quarantined.labels(reason=reason).inc()
+            self.observe.tracer.event(
+                "ingest.quarantine", reason=reason, detail=detail
+            )
         self.rejected.append(
             RejectedUpdate(update, reason, detail, self._seq)
         )

@@ -210,6 +210,7 @@ class SweepEngine:
         last.
         """
         obs = self.observe
+        self._profile = None if obs is None else obs.profile
         if obs is None:
             self._tracer = _NULL_TRACER
             self._c_ev_intersection = NULL_COUNTER
@@ -323,8 +324,11 @@ class SweepEngine:
             self._schedule_pair(below, above)
 
     def _all_oids(self) -> List[ObjectId]:
-        live = set(self._db.object_ids)
-        oids = list(live)
+        # Database insertion order, not set order: hash-randomized
+        # iteration would make init op counts vary across processes,
+        # which the perf gate's deterministic baselines cannot absorb.
+        oids = list(self._db.object_ids)
+        live = set(oids)
         # Terminated objects may still intersect the query interval.
         for oid, _ in self._db.all_items():
             if oid not in live:
@@ -334,9 +338,17 @@ class SweepEngine:
     def _curve_base(self, oid: ObjectId) -> PiecewiseFunction:
         """The g-distance image of one object, via the store if present."""
         trajectory = self._db.trajectory(oid)
-        if self._curve_store is None:
-            return self._gdistance(trajectory)
-        return self._curve_store.curve(self._gdistance, oid, trajectory)
+        if self._profile is None:
+            if self._curve_store is None:
+                return self._gdistance(trajectory)
+            return self._curve_store.curve(self._gdistance, oid, trajectory)
+        # Profiled path: attribute curve materialization to its own
+        # stage (N calls merge into one aggregated node).
+        with self._profile.stage("curves") as st:
+            st.annotate(curves=1)
+            if self._curve_store is None:
+                return self._gdistance(trajectory)
+            return self._curve_store.curve(self._gdistance, oid, trajectory)
 
     def _build_entries(self, oid: ObjectId) -> List[CurveEntry]:
         base = self._curve_base(oid)

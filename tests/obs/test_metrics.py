@@ -98,8 +98,32 @@ class TestHistogram:
         with pytest.raises(MetricError):
             h.quantile(1.5)
 
-    def test_empty_quantile_is_zero(self):
-        assert Histogram().quantile(0.5) == 0.0
+    def test_empty_histogram_statistics_are_nan(self):
+        """No observations means no meaningful statistic: NaN across
+        the board, never the internal ±inf seeds."""
+        h = Histogram()
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(h.mean)
+        assert math.isnan(h.min)
+        assert math.isnan(h.max)
+
+    def test_empty_histogram_exports_stay_finite(self):
+        reg = MetricsRegistry()
+        reg.histogram("idle", min_exp=0, max_exp=4)
+        for value in reg.snapshot().values():
+            assert math.isfinite(value)
+        for token in reg.to_prometheus().split():
+            assert token not in ("inf", "-inf", "nan", "NaN")
+        json.loads(reg.to_json())  # strict JSON: would choke on NaN/inf
+
+    def test_min_max_reset_then_reobserve(self):
+        h = Histogram()
+        h.observe(5.0)
+        h._reset()
+        assert math.isnan(h.min) and math.isnan(h.max)
+        h.observe(2.0)
+        assert h.min == 2.0
+        assert h.max == 2.0
 
     def test_invalid_construction(self):
         with pytest.raises(MetricError):
@@ -220,3 +244,68 @@ class TestRegistry:
         assert "present_total" in reg
         assert reg["present_total"].kind == "counter"
         assert "absent_total" not in reg
+
+
+class TestPrometheusConformance:
+    """Text-exposition-format details scrapers actually depend on."""
+
+    def test_histogram_emits_sum_and_count_series(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_seconds", min_exp=0, max_exp=4)
+        h.observe(1.5)
+        h.observe(2.5)
+        lines = reg.to_prometheus().splitlines()
+        assert "latency_seconds_count 2" in lines
+        assert "latency_seconds_sum 4" in lines
+
+    def test_labeled_histogram_sum_count_carry_labels(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("ops", labels=("stage",), min_exp=0, max_exp=4)
+        fam.labels(stage="sweep").observe(3.0)
+        text = reg.to_prometheus()
+        assert 'ops_count{stage="sweep"} 1' in text
+        assert 'ops_sum{stage="sweep"} 3' in text
+
+    def test_inf_bucket_always_present(self):
+        """The +Inf bucket must exist with cumulative == _count even
+        when no observation overflowed the finite bounds — and on an
+        empty histogram, with cumulative 0."""
+        reg = MetricsRegistry()
+        h = reg.histogram("small", min_exp=0, max_exp=10)
+        h.observe(2.0)  # lands well inside the finite buckets
+        reg.histogram("empty", min_exp=0, max_exp=10)
+        text = reg.to_prometheus()
+        assert 'small_bucket{le="+Inf"} 1' in text
+        assert 'empty_bucket{le="+Inf"} 0' in text
+
+    def test_inf_bucket_not_duplicated_when_overflowed(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("wide", min_exp=0, max_exp=2)
+        h.observe(100.0)  # overflows 2**2, lands in +Inf natively
+        text = reg.to_prometheus()
+        assert text.count('wide_bucket{le="+Inf"}') == 1
+        assert 'wide_bucket{le="+Inf"} 1' in text
+
+    def test_label_value_escaping(self):
+        """Backslash, double quote, and newline must be escaped in
+        label values (the format's three mandated escapes)."""
+        reg = MetricsRegistry()
+        fam = reg.counter("odd_total", labels=("path",))
+        fam.labels(path='C:\\tmp\\"a"\nb').inc()
+        text = reg.to_prometheus()
+        assert 'odd_total{path="C:\\\\tmp\\\\\\"a\\"\\nb"} 1' in text
+        # The raw (unescaped) forms must not leak into the exposition.
+        assert "\n".join(
+            line for line in text.splitlines() if "odd_total{" in line
+        ).count("\n") == 0
+
+    def test_label_escaping_in_snapshot_and_buckets(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("h", labels=("q",), min_exp=0, max_exp=4)
+        fam.labels(q='say "hi"').observe(1.0)
+        snap = reg.snapshot()
+        assert 'h_count{q="say \\"hi\\""}' in snap
+        assert any(
+            key.startswith('h_bucket{q="say \\"hi\\""')
+            for key in snap
+        )

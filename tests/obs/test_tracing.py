@@ -57,6 +57,64 @@ class TestJsonlSink:
         with pytest.raises(RuntimeError):
             sink.emit({"type": "event"})
 
+    def test_buffered_sink_defers_then_flushes(self, tmp_path):
+        path = tmp_path / "buffered.jsonl"
+        sink = JsonlSink(path, buffer=10)
+        for i in range(3):
+            sink.emit({"type": "event", "name": f"e{i}"})
+        # Three records sit in the userspace buffer; nothing durable yet.
+        assert path.read_text() == ""
+        sink.flush()
+        assert len(path.read_text().strip().splitlines()) == 3
+        sink.close()
+
+    def test_buffer_threshold_triggers_flush(self, tmp_path):
+        path = tmp_path / "threshold.jsonl"
+        sink = JsonlSink(path, buffer=2)
+        sink.emit({"type": "event", "name": "a"})
+        sink.emit({"type": "event", "name": "b"})  # hits the threshold
+        assert len(path.read_text().strip().splitlines()) == 2
+        sink.close()
+
+    def test_rejects_nonpositive_buffer(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "bad.jsonl", buffer=0)
+
+
+class TestTracerLifecycle:
+    """Regression for truncated JSONL traces: the tracer must forward
+    flush/close to its sink so a buffered run never loses its tail."""
+
+    def test_tracer_close_flushes_buffered_sink(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer(JsonlSink(path, buffer=100))
+        with tracer.span("work"):
+            tracer.event("step")
+        # Without the forwarded close, both records would be lost here.
+        tracer.close()
+        records = [
+            json.loads(line)
+            for line in path.read_text().strip().splitlines()
+        ]
+        assert [r["type"] for r in records] == ["event", "span"]
+
+    def test_tracer_as_context_manager(self, tmp_path):
+        path = tmp_path / "cm.jsonl"
+        with Tracer(JsonlSink(path, buffer=100)) as tracer:
+            with tracer.span("scoped"):
+                pass
+        assert json.loads(path.read_text().strip())["name"] == "scoped"
+
+    def test_flush_tolerates_sinks_without_flush(self):
+        tracer = Tracer(RingBufferSink())
+        tracer.flush()  # RingBufferSink has neither flush nor close
+        tracer.close()
+
+    def test_null_tracer_lifecycle_is_inert(self):
+        with NullTracer() as tracer:
+            tracer.flush()
+        NULL_TRACER.close()
+
 
 class TestSpanNesting:
     def test_parent_ids(self):

@@ -277,3 +277,28 @@ class TestRandomizedEquivalence:
         )
         with pytest.raises(ValueError, match=REASON_OUT_OF_ORDER):
             pipe.submit_all(faulty)
+
+
+class TestIngestCorrelation:
+    def test_quarantine_event_carries_query_id(self):
+        """An ingest pipeline run under a QueryProfile stamps its
+        quarantine events with the owning query id, like every other
+        observed layer."""
+        from repro.obs.profile import QueryProfile
+
+        db = MovingObjectDatabase()
+        prof = QueryProfile("q-ingest", "session")
+        pipe = IngestPipeline(db, policy="quarantine", observe=prof.observe)
+        pipe.submit(new("a", 1.0))
+        assert pipe.submit(new("a", 2.0)) == QUARANTINED
+        events = [r for r in prof.spans if r["name"] == "ingest.quarantine"]
+        assert len(events) == 1
+        assert events[0]["attrs"]["query_id"] == "q-ingest"
+        assert events[0]["attrs"]["reason"] == REASON_ALREADY_EXISTS
+
+    def test_unobserved_quarantine_emits_nothing(self):
+        db = MovingObjectDatabase()
+        pipe = IngestPipeline(db, policy="quarantine")
+        pipe.submit(new("a", 1.0))
+        assert pipe.submit(new("a", 2.0)) == QUARANTINED
+        assert pipe.stats.quarantined == 1

@@ -213,3 +213,20 @@ class TestRecoveryCacheWarming:
             curve_store=cache.curves,
         )
         assert cache.curves.hits == recovered.object_count
+
+
+class TestRecoveryCorrelation:
+    def test_recover_span_carries_query_id(self, tmp_path):
+        """A recovery run under a QueryProfile correlates like any
+        other stage: its ``wal.recover`` span is stamped with the
+        owning query id, no WAL-side changes required."""
+        from repro.obs.profile import QueryProfile
+
+        logged_db(str(tmp_path))
+        prof = QueryProfile("q-recovery", "recover")
+        with prof:
+            recover(str(tmp_path), observe=prof.observe)
+        spans = [r for r in prof.spans if r["name"] == "wal.recover"]
+        assert len(spans) == 1
+        assert spans[0]["attrs"]["query_id"] == "q-recovery"
+        assert spans[0]["attrs"]["recovered"] == 4
