@@ -1,0 +1,205 @@
+"""E-MQ: multi-tenant server fan-out vs per-session evaluation.
+
+Q mixed-kind continuous queries (knn / multiknn / within over one
+g-distance) are maintained twice against the same live MOD and the
+same chdir-heavy update stream:
+
+- **per-session** — Q independent eager sessions, each paying
+  Theorem 5's ``O(m log N)`` maintenance for every update;
+- **shared** — one :class:`~repro.server.QueryServer`, which sweeps
+  each update once per *engine group* (all rank queries share one
+  sentinel-free pool; within queries group per threshold) and serves
+  every session off the shared timelines.
+
+The headline metric is the primitive-op ratio per update — how many
+times more sweep work the per-session layout pays — and the benchmark
+asserts the issue's floor: **>= 3x at Q = 32**.  Every run also
+closes both layouts at the same horizon and asserts the answers are
+equal pairwise, so the speedup is never bought with divergence.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.core.api import ContinuousQuerySession, serve
+from repro.geometry.intervals import Interval
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.obs import Instrumentation
+from repro.sweep.engine import SweepEngine
+from repro.sweep.multiknn import MultiKNN
+from repro.workloads.generator import UpdateStream, random_linear_mod
+
+from _support import publish_metrics, publish_table
+
+N_OBJECTS = 64
+UPDATES = 40
+MEAN_GAP = 0.15
+SESSION_COUNTS = [4, 8, 16, 32]
+REQUIRED_RATIO_AT_32 = 3.0
+
+# Eight spec templates, cycled: four knn ks + two multiknn mixes share
+# one rank pool; two within thresholds add one group each.
+SPEC_CYCLE = [
+    ("knn", {"k": 1}),
+    ("knn", {"k": 2}),
+    ("multiknn", {"ks": (1, 3)}),
+    ("within", {"threshold": 900.0}),
+    ("knn", {"k": 3}),
+    ("multiknn", {"ks": (2, 4)}),
+    ("within", {"threshold": 2500.0}),
+    ("knn", {"k": 4}),
+]
+
+
+def _specs(q):
+    return [SPEC_CYCLE[i % len(SPEC_CYCLE)] for i in range(q)]
+
+
+class _StandaloneMulti:
+    """A bare engine + MultiKNN view (no session constructor exists)."""
+
+    def __init__(self, db, gd, ks):
+        self._db = db
+        self.ks = list(ks)
+        self.engine = SweepEngine(
+            db, gd, Interval.at_least(db.last_update_time)
+        )
+        self._view = MultiKNN(self.engine, self.ks)
+        db.subscribe(self.engine.on_update)
+
+    def close(self, at):
+        self._db.unsubscribe(self.engine.on_update)
+        self.engine.advance_to(at)
+        self.engine.finalize()
+        return self._view.answers()
+
+
+def _standalone(db, gd, spec):
+    kind, params = spec
+    if kind == "knn":
+        return ContinuousQuerySession.knn(db, gd, k=params["k"])
+    if kind == "within":
+        return ContinuousQuerySession.within(db, gd, params["threshold"])
+    return _StandaloneMulti(db, gd, params["ks"])
+
+
+def _register(server, gd, spec):
+    kind, params = spec
+    if kind == "knn":
+        return server.register_knn(gd, k=params["k"])
+    if kind == "within":
+        return server.register_within(gd, params["threshold"])
+    return server.register_multiknn(gd, params["ks"])
+
+
+def _answers_equal(a, b, atol=1e-6):
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(
+            a[k].approx_equals(b[k], atol=atol) for k in a
+        )
+    return a.approx_equals(b, atol=atol)
+
+
+def run_fanout(q, observe=None):
+    """Maintain ``q`` sessions both ways over one stream; returns the
+    per-update op costs, the ratio, and the server's group count."""
+    db = random_linear_mod(N_OBJECTS, seed=7, extent=80.0, speed=4.0)
+    gd = SquaredEuclideanDistance([0.0, 0.0])
+    specs = _specs(q)
+    standalone = [_standalone(db, gd, spec) for spec in specs]
+    server = serve(db, observe=observe)
+    sessions = [_register(server, gd, spec) for spec in specs]
+
+    alone_base = sum(s.engine.primitive_ops() for s in standalone)
+    server_base = server.primitive_ops()
+    UpdateStream(
+        db,
+        seed=11,
+        mean_gap=MEAN_GAP,
+        periodic=True,
+        extent=80.0,
+        speed=4.0,
+        weights=(0.0, 0.0, 1.0),
+    ).run(UPDATES)
+    alone_ops = (
+        sum(s.engine.primitive_ops() for s in standalone) - alone_base
+    )
+    server_ops = server.primitive_ops() - server_base
+    groups = server.group_count
+
+    # Differential equality *inside* the benchmark: the shared layout
+    # must produce the very answers the per-session layout does.
+    horizon = db.last_update_time + 2.0
+    for spec, shared, alone in zip(specs, sessions, standalone):
+        got = shared.close(at=horizon)
+        want = alone.close(at=horizon)
+        assert _answers_equal(got, want), (
+            f"server answer diverged from per-session answer for {spec}"
+        )
+    server.shutdown()
+    return {
+        "sessions": q,
+        "groups": groups,
+        "per_session_ops_per_update": alone_ops / UPDATES,
+        "server_ops_per_update": server_ops / UPDATES,
+        "ops_ratio": alone_ops / server_ops,
+    }
+
+
+def test_server_fanout_scaling(benchmark):
+    """The op ratio grows with Q (sweeps amortize over tenants) and
+    clears the 3x floor at Q=32."""
+    observe = Instrumentation()
+
+    def sweep():
+        return [
+            run_fanout(q, observe=observe if q == 32 else None)
+            for q in SESSION_COUNTS
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = [
+        (
+            r["sessions"],
+            r["groups"],
+            round(r["per_session_ops_per_update"], 1),
+            round(r["server_ops_per_update"], 1),
+            round(r["ops_ratio"], 2),
+        )
+        for r in rows
+    ]
+    publish_table(
+        "server_fanout",
+        format_table(
+            [
+                "sessions",
+                "groups",
+                "per-session ops/update",
+                "server ops/update",
+                "ratio",
+            ],
+            table,
+            title="E-MQ: shared-sweep fan-out vs per-session maintenance",
+        ),
+    )
+    publish_metrics(
+        "server_fanout",
+        observe,
+        extra={"rows": rows},
+    )
+    by_q = {r["sessions"]: r for r in rows}
+    # More tenants, same groups -> better amortization.
+    assert by_q[32]["ops_ratio"] > by_q[4]["ops_ratio"]
+    assert by_q[32]["ops_ratio"] >= REQUIRED_RATIO_AT_32, (
+        f"E-MQ floor missed: {by_q[32]['ops_ratio']:.2f}x < "
+        f"{REQUIRED_RATIO_AT_32}x at Q=32"
+    )
+
+
+@pytest.mark.parametrize("q", [8, 32])
+def test_server_fanout_single_q(benchmark, q):
+    result = benchmark.pedantic(
+        lambda: run_fanout(q), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(result)
+    assert result["ops_ratio"] > 1.0

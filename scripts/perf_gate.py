@@ -12,7 +12,11 @@ compares each metric against the committed baselines under
   cached-pass op fraction on a repeated/overlapping kNN workload
   (Theorem 5 init amortization);
 - **T5** (``BENCH_T5.json``) — Theorem 5 initialization ops at fixed N
-  and Corollary 6 per-update maintenance ops on a banded workload.
+  and Corollary 6 per-update maintenance ops on a banded workload;
+- **E-MQ** (``BENCH_EMQ.json``) — multi-tenant server fan-out: the
+  per-update primitive-op ratio of 32 independent sessions vs one
+  :class:`~repro.server.QueryServer` sharing sweeps across engine
+  groups (answers are asserted equal inside the measure).
 
 Every measure counts *primitive sweep operations* or hit rates — never
 wall-clock — so the gate is deterministic across machines; tolerances
@@ -72,6 +76,22 @@ EAC_K = 3
 
 T5_N = 512
 T5_UPDATES = 80
+
+EMQ_N = 64
+EMQ_UPDATES = 40
+EMQ_SESSIONS = 32
+# Four knn ks + two multiknn mixes share one rank pool; two within
+# thresholds add one engine group each -> 3 groups for any Q >= 7.
+EMQ_SPEC_CYCLE = (
+    ("knn", {"k": 1}),
+    ("knn", {"k": 2}),
+    ("multiknn", {"ks": (1, 3)}),
+    ("within", {"threshold": 900.0}),
+    ("knn", {"k": 3}),
+    ("multiknn", {"ks": (2, 4)}),
+    ("within", {"threshold": 2500.0}),
+    ("knn", {"k": 4}),
+)
 
 
 def _stage_ops(report, *names):
@@ -194,10 +214,76 @@ def measure_t5() -> dict:
     }
 
 
+def measure_emq() -> dict:
+    """Shared-server fan-out vs per-session maintenance ops (E-MQ)."""
+    from repro.core.api import ContinuousQuerySession, serve
+    from repro.sweep.engine import SweepEngine
+    from repro.sweep.multiknn import MultiKNN
+
+    db = random_linear_mod(EMQ_N, seed=7, extent=80.0, speed=4.0)
+    specs = [
+        EMQ_SPEC_CYCLE[i % len(EMQ_SPEC_CYCLE)]
+        for i in range(EMQ_SESSIONS)
+    ]
+
+    standalone = []
+    for kind, params in specs:
+        if kind == "knn":
+            session = ContinuousQuerySession.knn(db, ORIGIN, k=params["k"])
+            engine = session.engine
+        elif kind == "within":
+            session = ContinuousQuerySession.within(
+                db, ORIGIN, params["threshold"]
+            )
+            engine = session.engine
+        else:
+            engine = SweepEngine(
+                db, ORIGIN, Interval.at_least(db.last_update_time)
+            )
+            MultiKNN(engine, list(params["ks"]))
+            db.subscribe(engine.on_update)
+        standalone.append(engine)
+
+    server = serve(db)
+    sessions = []
+    for kind, params in specs:
+        if kind == "knn":
+            sessions.append(server.register_knn(ORIGIN, k=params["k"]))
+        elif kind == "within":
+            sessions.append(
+                server.register_within(ORIGIN, params["threshold"])
+            )
+        else:
+            sessions.append(server.register_multiknn(ORIGIN, params["ks"]))
+
+    alone_base = sum(e.primitive_ops() for e in standalone)
+    server_base = server.primitive_ops()
+    UpdateStream(
+        db,
+        seed=11,
+        mean_gap=0.15,
+        periodic=True,
+        extent=80.0,
+        speed=4.0,
+        weights=(0.0, 0.0, 1.0),
+    ).run(EMQ_UPDATES)
+    alone_ops = sum(e.primitive_ops() for e in standalone) - alone_base
+    server_ops = server.primitive_ops() - server_base
+    for session in sessions:
+        session.close(at=db.last_update_time + 1.0)
+    server.shutdown()
+    return {
+        "per_session_ops_per_update": alone_ops / EMQ_UPDATES,
+        "server_ops_per_update": server_ops / EMQ_UPDATES,
+        "ops_ratio": alone_ops / server_ops,
+    }
+
+
 SUITES = {
     "esh": (measure_esh, "BENCH_ESH.json"),
     "eac": (measure_eac, "BENCH_EAC.json"),
     "t5": (measure_t5, "BENCH_T5.json"),
+    "emq": (measure_emq, "BENCH_EMQ.json"),
 }
 
 # Per-metric gate policy: direction "max" fails when the current value
@@ -218,6 +304,12 @@ POLICY = {
     "t5": {
         "init_ops": ("max", 0.10),
         "update_ops_per_update": ("max", 0.15),
+    },
+    "emq": {
+        "per_session_ops_per_update": ("max", 0.15),
+        "server_ops_per_update": ("max", 0.15),
+        # Higher is better: the fan-out amortization must not erode.
+        "ops_ratio": ("min", 0.15),
     },
 }
 

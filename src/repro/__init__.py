@@ -37,6 +37,7 @@ from repro.core.api import (
     evaluate_multiknn,
     evaluate_query,
     evaluate_within,
+    serve,
 )
 from repro.geometry.intervals import Interval, IntervalSet
 from repro.geometry.poly import Polynomial
@@ -69,6 +70,17 @@ from repro.resilience.ingest import IngestPipeline, IngestStats, RejectedUpdate
 from repro.resilience.supervisor import SupervisedQuerySession, SupervisorStats
 from repro.resilience.wal import WriteAheadLog, recover
 from repro.parallel.evaluator import ShardedSweepEvaluator
+from repro.server import (
+    AdmissionError,
+    QueryServer,
+    ServerConfig,
+    ServerError,
+    ServerSession,
+    SessionClosedError,
+    SessionQuarantinedError,
+    SessionQueuedError,
+    SessionShedError,
+)
 from repro.sweep.engine import SweepEngine
 from repro.trajectory.builder import from_waypoints, linear_from, stationary
 from repro.trajectory.trajectory import Trajectory
@@ -76,6 +88,7 @@ from repro.trajectory.trajectory import Trajectory
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "ArrivalTimeGDistance",
     "ChangeDirection",
     "ComplexityAudit",
@@ -97,8 +110,16 @@ __all__ = [
     "QueryCache",
     "QueryProfile",
     "QueryProfiler",
+    "QueryServer",
     "RecordingDatabase",
     "RejectedUpdate",
+    "ServerConfig",
+    "ServerError",
+    "ServerSession",
+    "SessionClosedError",
+    "SessionQuarantinedError",
+    "SessionQueuedError",
+    "SessionShedError",
     "ShardedSweepEvaluator",
     "SlowQueryLog",
     "SnapshotAnswer",
@@ -126,6 +147,7 @@ __all__ = [
     "knn_query",
     "linear_from",
     "recover",
+    "serve",
     "stationary",
     "within_query",
 ]

@@ -408,6 +408,28 @@ def evaluate_multiknn(
     )
 
 
+def serve(
+    db: MovingObjectDatabase,
+    config=None,
+    observe=None,
+    cache=None,
+):
+    """A multi-tenant :class:`~repro.server.QueryServer` over ``db``.
+
+    Register many concurrent continuous queries (knn / within /
+    multiknn, mixed) and pay each update's Theorem 5 maintenance once
+    per distinct engine group instead of once per session.  ``config``
+    is a :class:`~repro.server.ServerConfig` (admission control, load
+    shedding, batching, default shards); ``observe`` and ``cache`` are
+    shared by every engine the server hosts.  Imported lazily so
+    ``repro.core`` has no hard dependency on ``repro.server`` (which
+    imports this module).
+    """
+    from repro.server import QueryServer
+
+    return QueryServer(db, config=config, observe=observe, cache=cache)
+
+
 def evaluate_query(
     db: MovingObjectDatabase,
     gdistance: GDistance,

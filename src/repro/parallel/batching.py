@@ -13,16 +13,25 @@ routes and groups, and a callback applies one shard's chronological
 sub-batch.  :class:`~repro.parallel.evaluator.ShardedSweepEvaluator`
 owns the callback (and flushes implicitly before every read, so
 buffering never changes observable answers).
+
+A router may also *fan out*: returning a ``list`` of keys sends the
+same update to several co-hosted destinations in one buffered pass —
+this is how :class:`~repro.server.QueryServer` feeds every engine
+group from a single database subscription.  Keys are then arbitrary
+sortable hashables (the server uses ``(group_id, shard)`` tuples), not
+just shard indices.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Hashable, List, Union
 
 from repro.mod.updates import Update
 
 __all__ = ["BatchStats", "BatchedUpdateApplier"]
+
+ShardKey = Hashable
 
 
 @dataclass
@@ -32,9 +41,10 @@ class BatchStats:
     submitted: int = 0
     flushes: int = 0
     applied: int = 0
+    fanout: int = 0  # (key, update) applications; == applied sans fan-out
     max_batch: int = 0
     shard_touches: int = 0  # sum over flushes of |shards touched|
-    per_shard: Dict[int, int] = field(default_factory=dict)
+    per_shard: Dict[ShardKey, int] = field(default_factory=dict)
 
 
 class BatchedUpdateApplier:
@@ -43,10 +53,13 @@ class BatchedUpdateApplier:
     Parameters
     ----------
     router:
-        Maps an update to its owning shard index.
+        Maps an update to its owning shard key — or to a ``list`` of
+        keys to fan the update out to several co-hosted destinations
+        (an empty list drops it).  Any other return value, tuples
+        included, is one key.
     apply:
-        Called as ``apply(shard, updates)`` with one shard's sub-batch
-        in chronological order.
+        Called as ``apply(key, updates)`` with one destination's
+        sub-batch in chronological order.
     batch_size:
         Flush automatically once this many updates are buffered.
         ``1`` degenerates to unbatched routing (every submit flushes);
@@ -55,8 +68,8 @@ class BatchedUpdateApplier:
 
     def __init__(
         self,
-        router: Callable[[Update], int],
-        apply: Callable[[int, List[Update]], None],
+        router: Callable[[Update], Union[ShardKey, List[ShardKey]]],
+        apply: Callable[[ShardKey, List[Update]], None],
         batch_size: int = 1,
     ) -> None:
         if batch_size < 1:
@@ -98,9 +111,15 @@ class BatchedUpdateApplier:
         if not self._pending:
             return 0
         batch, self._pending = self._pending, []
-        grouped: Dict[int, List[Update]] = {}
+        grouped: Dict[ShardKey, List[Update]] = {}
+        fanout = 0
         for update in batch:
-            grouped.setdefault(self._router(update), []).append(update)
+            keys = self._router(update)
+            if not isinstance(keys, list):
+                keys = [keys]
+            fanout += len(keys)
+            for key in keys:
+                grouped.setdefault(key, []).append(update)
         for shard in sorted(grouped):
             self._apply(shard, grouped[shard])
             self.stats.per_shard[shard] = self.stats.per_shard.get(
@@ -108,6 +127,7 @@ class BatchedUpdateApplier:
             ) + len(grouped[shard])
         self.stats.flushes += 1
         self.stats.applied += len(batch)
+        self.stats.fanout += fanout
         self.stats.max_batch = max(self.stats.max_batch, len(batch))
         self.stats.shard_touches += len(grouped)
         return len(batch)

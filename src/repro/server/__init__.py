@@ -1,0 +1,36 @@
+"""Multi-tenant serving of continuous moving-object queries.
+
+Many concurrent continuous queries (knn / within / multiknn, mixed)
+against one MOD, with each incoming update swept **once per engine
+group** instead of once per session — see
+:class:`~repro.server.server.QueryServer` for the architecture and
+``docs/paper_mapping.md`` ("Serving many queries") for the mapping
+onto Theorem 5's shared per-update maintenance.
+"""
+
+from repro.server.config import ServerConfig
+from repro.server.errors import (
+    AdmissionError,
+    ServerError,
+    SessionClosedError,
+    SessionQuarantinedError,
+    SessionQueuedError,
+    SessionShedError,
+)
+from repro.server.group import EngineGroup
+from repro.server.server import QueryServer, ServerStats
+from repro.server.session import ServerSession
+
+__all__ = [
+    "AdmissionError",
+    "EngineGroup",
+    "QueryServer",
+    "ServerConfig",
+    "ServerError",
+    "ServerSession",
+    "ServerStats",
+    "SessionClosedError",
+    "SessionQuarantinedError",
+    "SessionQueuedError",
+    "SessionShedError",
+]

@@ -1,0 +1,48 @@
+"""Typed errors for the multi-tenant query server.
+
+Every admission/lifecycle failure surfaces as a distinct subclass of
+:class:`ServerError`, so tenants can distinguish "the server declined
+you" (:class:`AdmissionError`), "you already finished"
+(:class:`SessionClosedError`), "you were load-shed"
+(:class:`SessionShedError`), "your engine group died and could not be
+healed" (:class:`SessionQuarantinedError`), and "you are still waiting
+for capacity" (:class:`SessionQueuedError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServerError",
+    "AdmissionError",
+    "SessionClosedError",
+    "SessionShedError",
+    "SessionQuarantinedError",
+    "SessionQueuedError",
+]
+
+
+class ServerError(RuntimeError):
+    """Base class for all query-server errors."""
+
+
+class AdmissionError(ServerError):
+    """The server declined to register a new session (budget exhausted
+    under the ``reject`` policy, or the admission queue is full)."""
+
+
+class SessionClosedError(ServerError):
+    """A read or advance on a session that has already been closed."""
+
+
+class SessionShedError(ServerError):
+    """A read or advance on a session removed by load shedding."""
+
+
+class SessionQuarantinedError(ServerError):
+    """A read or advance on a session whose engine group failed and
+    could not be rebuilt (or exceeded the failure budget)."""
+
+
+class SessionQueuedError(ServerError):
+    """A read or advance on a session still waiting in the admission
+    queue (it has no engine state yet)."""

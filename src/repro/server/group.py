@@ -1,0 +1,300 @@
+"""One shared shard-engine pool serving many co-registered sessions.
+
+Sessions grouped by (g-distance fingerprint, shard count, sentinel
+constants) share *everything* below the answer-view layer: the shard
+databases, the sweep engines, and — for sessions with identical
+``(kind, params)`` — the views and answer timelines themselves.  Each
+incoming update is therefore swept **once per group**, not once per
+session: Theorem 5's ``O(m log N)`` maintenance cost is paid by the
+group and amortized over all its tenants.
+
+Per-session answers fall out by clipping: a session that joined at
+``t0`` owns the shared timeline restricted to ``[t0, close]``, which
+equals a fresh engine started at ``t0`` because snapshot memberships
+open before ``t0`` clip to exactly the span a ``t0`` bootstrap would
+have opened.
+
+The knn/multiknn views require sentinel-free engines while within
+views require their threshold among the engine's constants, so the
+sentinel signature is part of the group key: all rank queries (knn +
+multiknn, any k) co-tenant one sentinel-free pool, and within queries
+group per threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.geometry.intervals import Interval
+from repro.gdist.base import GDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ObjectId, Update
+from repro.parallel.merge import (
+    clip_answer,
+    merge_knn_answers,
+    merge_multiknn_answers,
+    select_top_k,
+    union_answers,
+)
+from repro.parallel.sharding import partition_database
+from repro.query.answers import SnapshotAnswer
+from repro.sweep.engine import SweepEngine
+from repro.sweep.knn import ContinuousKNN
+from repro.sweep.multiknn import MultiKNN
+from repro.sweep.within import ContinuousWithin
+
+__all__ = ["EngineGroup"]
+
+
+class _Slot:
+    """One shard: a private sub-database with its subscribed engine."""
+
+    __slots__ = ("db", "engine")
+
+    def __init__(self, db: MovingObjectDatabase, engine: SweepEngine) -> None:
+        self.db = db
+        self.engine = engine
+
+
+def _make_view(engine: SweepEngine, key: Tuple):
+    kind = key[0]
+    if kind == "knn":
+        return ContinuousKNN(engine, key[1])
+    if kind == "within":
+        return ContinuousWithin(engine, key[1])
+    return MultiKNN(engine, list(key[1]))
+
+
+class EngineGroup:
+    """Shared sweep state for all sessions of one (gdistance, shards,
+    constants) equivalence class."""
+
+    def __init__(
+        self,
+        gid: int,
+        source: MovingObjectDatabase,
+        gdistance: GDistance,
+        shards: int,
+        constants: Sequence[float] = (),
+        observe=None,
+        curve_store=None,
+    ) -> None:
+        self.gid = gid
+        self.key = None  # set by the owning server (its group-map key)
+        self.gdistance = gdistance
+        self.shards = shards
+        self._source = source
+        self._constants = tuple(float(c) for c in constants)
+        self._observe = observe
+        self._curve_store = curve_store
+        self._slots: List[_Slot] = []
+        self._views: Dict[Tuple, List] = {}
+        self._refs: Dict[Tuple, int] = {}
+        self.clock = source.last_update_time
+        self.epoch_start = self.clock
+        self.failures = 0
+        self.rebuilds = 0
+        self._build(self.clock)
+
+    # -- construction -----------------------------------------------------
+    def _build(self, start: float) -> None:
+        slots: List[_Slot] = []
+        for part in partition_database(self._source, self.shards):
+            engine = SweepEngine(
+                part,
+                self.gdistance,
+                Interval.at_least(start),
+                constants=self._constants,
+                observe=self._observe,
+                curve_store=self._curve_store,
+            )
+            part.subscribe(engine.on_update)
+            slots.append(_Slot(part, engine))
+        self._slots = slots
+
+    # -- shared-view refcounting ------------------------------------------
+    def acquire(self, key: Tuple) -> None:
+        """Attach one more session to the ``key`` view family, building
+        it (one view per slot, bootstrapped mid-sweep) on first use."""
+        if key not in self._views:
+            self._views[key] = [
+                _make_view(slot.engine, key) for slot in self._slots
+            ]
+            self._refs[key] = 0
+        self._refs[key] += 1
+
+    def release(self, key: Tuple) -> None:
+        """Detach one session; the last detach unhooks the views from
+        the engines so they stop paying per-event bookkeeping."""
+        self._refs[key] -= 1
+        if self._refs[key] <= 0:
+            for slot, view in zip(self._slots, self._views[key]):
+                slot.engine.remove_listener(view)
+            del self._views[key]
+            del self._refs[key]
+
+    @property
+    def tenant_count(self) -> int:
+        """Total sessions currently attached across view families."""
+        return sum(self._refs.values())
+
+    @property
+    def current_time(self) -> float:
+        return self.clock
+
+    # -- update and clock path --------------------------------------------
+    def apply(self, shard: int, updates: Sequence[Update]) -> None:
+        """Apply one shard's chronological sub-batch.
+
+        Updates at or before the shard database's ``tau`` are skipped:
+        the source stream is strictly chronological, so a stale time
+        can only mean the slot was just rebuilt from the source MOD
+        (which already contained the rest of the in-flight batch).
+        """
+        slot = self._slots[shard]
+        for update in updates:
+            if update.time <= slot.db.last_update_time:
+                continue
+            slot.db.apply(update)
+            if update.time > self.clock:
+                self.clock = update.time
+
+    def advance_to(self, t: float) -> None:
+        """Move the group clock (monotone) and bring every slot engine
+        up to it."""
+        if t > self.clock:
+            self.clock = t
+        for slot in self._slots:
+            if self.clock > slot.engine.current_time:
+                slot.engine.advance_to(self.clock)
+
+    # -- instant answers ---------------------------------------------------
+    def members(self, key: Tuple):
+        """The current answer of one view family at the group clock."""
+        self.advance_to(self.clock)
+        kind = key[0]
+        views = self._views[key]
+        if kind == "within":
+            out: Set[ObjectId] = set()
+            for view in views:
+                out |= view.members
+            return out
+        if kind == "knn":
+            if len(views) == 1:
+                return views[0].members
+            return set(select_top_k(self._candidates(key, views), key[1]))
+        ks = key[1]
+        if len(views) == 1:
+            return {k: views[0].members(k) for k in ks}
+        t = self.clock
+        out = {}
+        for k in ks:
+            cands = []
+            for slot, view in zip(self._slots, views):
+                for oid in view.members(k):
+                    cands.append((oid, slot.engine.entry_for(oid).curve(t)))
+            out[k] = set(select_top_k(cands, k))
+        return out
+
+    def _candidates(self, key: Tuple, views) -> List[Tuple[ObjectId, float]]:
+        t = self.clock
+        cands: List[Tuple[ObjectId, float]] = []
+        for slot, view in zip(self._slots, views):
+            for oid in view.members:
+                cands.append((oid, slot.engine.entry_for(oid).curve(t)))
+        return cands
+
+    # -- windowed answers --------------------------------------------------
+    def partial(self, key: Tuple, t0: float, end: float):
+        """The exact answer of one view family over ``[t0, end]``,
+        read non-destructively off the current epoch's timelines.
+
+        Single-slot groups clip the shared timeline directly; sharded
+        groups clip per-slot partials and run the standard candidate
+        merge (within = disjoint union, knn/multiknn = second-level
+        sweep), identical to the sharded evaluator's finalize path.
+        """
+        kind = key[0]
+        views = self._views[key]
+        window = Interval(t0, end)
+        if kind == "within":
+            parts = [v.partial_answer(end) for v in views]
+            if len(parts) == 1:
+                return clip_answer(parts[0], t0, end)
+            return clip_answer(union_answers(parts, window), t0, end)
+        if kind == "knn":
+            parts = [v.partial_answer(end) for v in views]
+            if len(parts) == 1:
+                return clip_answer(parts[0], t0, end)
+            clipped = [clip_answer(p, t0, end) for p in parts]
+            return merge_knn_answers(
+                self._source,
+                self.gdistance,
+                window,
+                key[1],
+                clipped,
+                observe=self._observe,
+                curve_store=self._curve_store,
+            )
+        ks = list(key[1])
+        parts = [v.partial_answers(end) for v in views]
+        if len(parts) == 1:
+            return {k: clip_answer(parts[0][k], t0, end) for k in ks}
+        top = max(ks)
+        clipped = [clip_answer(p[top], t0, end) for p in parts]
+        return merge_multiknn_answers(
+            self._source,
+            self.gdistance,
+            window,
+            ks,
+            clipped,
+            observe=self._observe,
+            curve_store=self._curve_store,
+        )
+
+    def salvage(self, key: Tuple, t0: float, upto: float):
+        """Best-effort partial answer for a failing group, or ``None``.
+
+        Timeline snapshots touch no engine structures, so they usually
+        survive a poisoned engine; anything that still raises means the
+        span is lost (the caller counts it)."""
+        try:
+            return self.partial(key, t0, upto)
+        except Exception:
+            return None
+
+    # -- heal (Theorem 5 re-initialization) --------------------------------
+    def rebuild(self) -> None:
+        """Rebuild every slot and view from the source MOD's current
+        state — the supervisor's heal step at group granularity.
+
+        The fresh engines start at the source ``tau`` (all turns are at
+        or before it, so Theorem 5 initialization applies verbatim) and
+        are immediately re-advanced to the group clock so tenants keep
+        their monotone view of time."""
+        now = self._source.last_update_time
+        keys = list(self._views)
+        self._build(now)
+        for key in keys:
+            self._views[key] = [
+                _make_view(slot.engine, key) for slot in self._slots
+            ]
+        self.epoch_start = now
+        self.rebuilds += 1
+        if self.clock > now:
+            for slot in self._slots:
+                slot.engine.advance_to(self.clock)
+        else:
+            self.clock = now
+
+    def primitive_ops(self) -> int:
+        """Summed primitive sweep operations across the group's slots
+        (resets on rebuild; consumers must clamp deltas)."""
+        return sum(slot.engine.primitive_ops() for slot in self._slots)
+
+    def shutdown(self) -> None:
+        """Drop all slots and views (quarantine/retire path).  The slot
+        databases are private clones, so nothing external holds them."""
+        self._slots = []
+        self._views = {}
+        self._refs = {}

@@ -1,0 +1,647 @@
+"""The multi-tenant query server: many continuous queries, one sweep
+per engine group per update.
+
+A standalone :class:`~repro.core.api.ContinuousQuerySession` pays
+Theorem 5's ``O(m log N)`` maintenance *per session* for every update.
+:class:`QueryServer` subscribes to the MOD exactly once and fans each
+update out through one shared
+:class:`~repro.parallel.batching.BatchedUpdateApplier` to one
+:class:`~repro.server.group.EngineGroup` per distinct (g-distance
+fingerprint, shards, sentinel constants) class — so per-update cost
+scales with the number of *distinct engine groups*, not the number of
+registered sessions.  Sessions with identical query parameters go
+further and share the very same view timelines; their per-session
+answers are clipped out at read/close time.
+
+Degradation is layered on top:
+
+- **admission control** — an active-session budget with ``reject`` or
+  FIFO-``queue`` backpressure;
+- **load shedding** — when the mean primitive-op rate per update over a
+  moving window exceeds a configured ceiling, the lowest-priority
+  active session is shed (typed error on its next read);
+- **fault isolation** — an engine-group failure is healed by the
+  supervisor pattern (salvage the tenants' answer spans up to ``tau``,
+  Theorem 5 re-initialize from the MOD state, stitch at close); groups
+  that fail beyond ``quarantine_after`` are quarantined without
+  touching co-tenant groups.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.fingerprint import (
+    gdistance_fingerprint,
+    is_identity_fingerprint,
+)
+from repro.geometry.intervals import Interval
+from repro.gdist.base import GDistance
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import Update
+from repro.obs.instrument import as_instrumentation
+from repro.obs.metrics import NULL_COUNTER, NULL_HISTOGRAM
+from repro.obs.profile import NULL_STAGE
+from repro.parallel.batching import BatchedUpdateApplier
+from repro.parallel.merge import union_answers
+from repro.parallel.sharding import shard_of
+from repro.server.config import ServerConfig
+from repro.server.errors import AdmissionError, ServerError
+from repro.server.group import EngineGroup
+from repro.server.session import (
+    ACTIVE,
+    CLOSED,
+    QUARANTINED,
+    QUEUED,
+    SHED,
+    ServerSession,
+)
+
+__all__ = ["QueryServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Plain counters for one server (always on; metrics mirror them)."""
+
+    registered: int = 0
+    queued: int = 0
+    activated: int = 0
+    rejected: int = 0
+    closed: int = 0
+    shed: int = 0
+    cancelled: int = 0
+    updates: int = 0
+    rebuilds: int = 0
+    quarantines: int = 0
+    salvage_losses: int = 0
+
+
+def _stage(profile, name: str):
+    return NULL_STAGE if profile is None else profile.stage(name)
+
+
+class QueryServer:
+    """Serve many concurrent continuous queries over one MOD.
+
+    Parameters
+    ----------
+    db:
+        The live moving-object database; the server subscribes once and
+        fans updates out to its engine groups.
+    config:
+        A :class:`~repro.server.ServerConfig` (default: unbounded
+        admission, no shedding, one shard, unbatched).
+    observe:
+        Optional instrumentation bundle shared by every engine the
+        server hosts; adds ``server_*`` metrics and — when the bundle
+        carries a profile — ``server.*`` stages.
+    cache:
+        Optional :class:`~repro.cache.QueryCache`.  Its curve store is
+        shared across all groups (one curve build per object per
+        g-distance, server-wide) and closing sessions deposit their
+        final answers for later one-shot reuse.
+    """
+
+    def __init__(
+        self,
+        db: MovingObjectDatabase,
+        config: Optional[ServerConfig] = None,
+        observe=None,
+        cache=None,
+    ) -> None:
+        self._db = db
+        self._config = config if config is not None else ServerConfig()
+        self._observe = as_instrumentation(observe)
+        self._profile = (
+            None if self._observe is None else self._observe.profile
+        )
+        self._cache = cache
+        if cache is not None:
+            cache.bind(db)
+        self._curve_store = None if cache is None else cache.curves
+        self._groups: Dict[Tuple, EngineGroup] = {}
+        self._groups_by_id: Dict[int, EngineGroup] = {}
+        self._sessions: Dict[int, ServerSession] = {}
+        self._pending: deque = deque()
+        self._pinned: Dict[Tuple, GDistance] = {}
+        self._next_sid = count(1)
+        self._next_gid = count(1)
+        self._applier = BatchedUpdateApplier(
+            self._route, self._apply_group, batch_size=self._config.batch_size
+        )
+        self._ops_marker = 0
+        self._applied_marker = 0
+        self._window: deque = deque(maxlen=self._config.op_rate_window)
+        self._shutdown = False
+        self.stats = ServerStats()
+        self._bind_instruments()
+        db.subscribe(self._on_update)
+
+    # -- instruments ------------------------------------------------------
+    def _bind_instruments(self) -> None:
+        obs = self._observe
+        if obs is None:
+            self._c_session = lambda event: NULL_COUNTER
+            self._h_fanout = NULL_HISTOGRAM
+            self._h_update_ops = NULL_HISTOGRAM
+            return
+        m = obs.metrics
+        sessions = m.counter(
+            "server_sessions_total",
+            "Session lifecycle events, by kind.",
+            labels=("event",),
+        )
+        self._c_session = lambda event: sessions.labels(event=event)
+        self._h_fanout = m.histogram(
+            "server_update_fanout",
+            "Engine groups each incoming update fans out to.",
+        )
+        self._h_update_ops = m.histogram(
+            "server_update_primitive_ops",
+            "Primitive sweep ops per applied update, summed over all "
+            "engine groups (the shedding measurement).",
+        )
+        m.gauge(
+            "server_active_sessions", "Sessions currently active."
+        ).set_function(
+            lambda: sum(
+                1 for s in self._sessions.values() if s.state == ACTIVE
+            )
+        )
+        m.gauge(
+            "server_groups", "Distinct engine groups currently hosted."
+        ).set_function(lambda: len(self._groups))
+        m.gauge(
+            "server_pending_sessions", "Sessions waiting in the admission queue."
+        ).set_function(lambda: len(self._pending))
+
+    # -- registration -----------------------------------------------------
+    def register_knn(
+        self,
+        query,
+        k: int = 1,
+        priority: int = 0,
+        shards: Optional[int] = None,
+    ) -> ServerSession:
+        """Register a continuous k-NN session starting now."""
+        from repro.core.api import _as_gdistance
+
+        return self._register(
+            "knn", _as_gdistance(query), {"k": int(k)}, (), priority, shards
+        )
+
+    def register_within(
+        self,
+        query,
+        distance: float,
+        priority: int = 0,
+        shards: Optional[int] = None,
+    ) -> ServerSession:
+        """Register a continuous within-range session starting now.
+
+        As in :func:`~repro.core.api.evaluate_within`, a trajectory or
+        point query squares ``distance`` internally; a custom
+        g-distance is compared against it as-is.
+        """
+        from repro.core.api import _as_gdistance
+
+        gdistance = _as_gdistance(query)
+        threshold = (
+            float(distance)
+            if isinstance(query, GDistance)
+            else float(distance) * float(distance)
+        )
+        return self._register(
+            "within",
+            gdistance,
+            {"threshold": threshold},
+            (threshold,),
+            priority,
+            shards,
+        )
+
+    def register_multiknn(
+        self,
+        query,
+        ks,
+        priority: int = 0,
+        shards: Optional[int] = None,
+    ) -> ServerSession:
+        """Register a multi-k k-NN session starting now (per-k answers
+        from one shared sweep)."""
+        from repro.core.api import _as_gdistance
+
+        values = tuple(sorted(set(int(k) for k in ks)))
+        if not values:
+            raise ValueError("need at least one k")
+        return self._register(
+            "multiknn", _as_gdistance(query), {"ks": values}, (), priority, shards
+        )
+
+    def _register(
+        self,
+        kind: str,
+        gdistance: GDistance,
+        params: dict,
+        constants: Tuple[float, ...],
+        priority: int,
+        shards: Optional[int],
+    ) -> ServerSession:
+        if self._shutdown:
+            raise ServerError("server is shut down")
+        with _stage(self._profile, "server.register"):
+            # New groups clone the MOD's *current* state, so nothing may
+            # still be buffered when one is built.
+            self._applier.flush()
+            session = ServerSession(
+                self,
+                next(self._next_sid),
+                kind,
+                gdistance,
+                params,
+                priority,
+                self._config.shards if shards is None else int(shards),
+            )
+            session._constants = constants
+            self.stats.registered += 1
+            self._c_session("register").inc()
+            budget = self._config.max_sessions
+            if budget is not None and self._active_count() >= budget:
+                if self._config.admission_policy == "reject":
+                    self.stats.rejected += 1
+                    self._c_session("reject").inc()
+                    raise AdmissionError(
+                        f"session budget ({budget}) exhausted"
+                    )
+                if len(self._pending) >= self._config.max_queued:
+                    self.stats.rejected += 1
+                    self._c_session("reject").inc()
+                    raise AdmissionError(
+                        f"admission queue full ({self._config.max_queued})"
+                    )
+                self._sessions[session.session_id] = session
+                self._pending.append(session)
+                self.stats.queued += 1
+                self._c_session("queue").inc()
+                return session
+            self._sessions[session.session_id] = session
+            self._activate(session)
+            return session
+
+    def _active_count(self) -> int:
+        return sum(1 for s in self._sessions.values() if s.state == ACTIVE)
+
+    def _group_key(self, session: ServerSession) -> Tuple:
+        fp = gdistance_fingerprint(session.gdistance)
+        if is_identity_fingerprint(fp):
+            # Identity fingerprints key on id(); pin the object so the
+            # key cannot be recycled while the server lives.
+            self._pinned[fp] = session.gdistance
+        return (fp, session.shards, session._constants)
+
+    def _activate(self, session: ServerSession) -> None:
+        key = self._group_key(session)
+        group = self._groups.get(key)
+        if group is None:
+            group = EngineGroup(
+                next(self._next_gid),
+                self._db,
+                session.gdistance,
+                session.shards,
+                constants=session._constants,
+                observe=self._observe,
+                curve_store=self._curve_store,
+            )
+            group.key = key
+            self._groups[key] = group
+            self._groups_by_id[group.gid] = group
+            self._ops_marker = self._total_ops()
+        group.acquire(session.view_key)
+        session.group = group
+        session.start = session.segment_start = group.current_time
+        session.state = ACTIVE
+        self.stats.activated += 1
+        self._c_session("activate").inc()
+
+    def _activate_pending(self) -> None:
+        budget = self._config.max_sessions
+        while self._pending and (
+            budget is None or self._active_count() < budget
+        ):
+            session = self._pending.popleft()
+            if session.state != QUEUED:
+                continue
+            self._activate(session)
+
+    def _cancel_queued(self, session: ServerSession) -> None:
+        try:
+            self._pending.remove(session)
+        except ValueError:
+            pass
+        session.state = CLOSED
+        self.stats.cancelled += 1
+        self._c_session("cancel").inc()
+
+    # -- the single fan-out path ------------------------------------------
+    def _route(self, update: Update) -> List[Tuple[int, int]]:
+        return [
+            (group.gid, shard_of(update.oid, group.shards))
+            for group in self._groups.values()
+        ]
+
+    def _apply_group(self, key: Tuple[int, int], updates) -> None:
+        gid, shard = key
+        group = self._groups_by_id.get(gid)
+        if group is None:
+            return  # group retired between buffering and flush
+        try:
+            group.apply(shard, updates)
+        except Exception:
+            self._heal(group)
+
+    def _on_update(self, update: Update) -> None:
+        if self._shutdown:
+            return
+        self.stats.updates += 1
+        self._h_fanout.observe(len(self._groups))
+        with _stage(self._profile, "server.fanout"):
+            flushed = self._applier.submit(update)
+        if flushed:
+            self._account_flush()
+
+    def _total_ops(self) -> int:
+        return sum(g.primitive_ops() for g in self._groups.values())
+
+    def _account_flush(self) -> None:
+        ops = self._total_ops()
+        delta = ops - self._ops_marker
+        self._ops_marker = ops
+        if delta < 0:
+            delta = 0  # a rebuild reset some group's counters
+        applied = self._applier.stats.applied
+        batch = applied - self._applied_marker
+        self._applied_marker = applied
+        if batch <= 0:
+            return
+        self._h_update_ops.observe(delta / batch)
+        ceiling = self._config.op_rate_ceiling
+        if ceiling is None:
+            return
+        self._window.append((batch, delta))
+        updates = sum(u for u, _ in self._window)
+        if updates < self._config.op_rate_window:
+            return
+        total = sum(o for _, o in self._window)
+        if total / updates > ceiling:
+            self._shed_lowest()
+            self._window.clear()
+            self._ops_marker = self._total_ops()
+
+    def _shed_lowest(self) -> None:
+        actives = [
+            s for s in self._sessions.values() if s.state == ACTIVE
+        ]
+        if not actives:
+            return
+        # Lowest priority first; among equals, the youngest session
+        # (most recently registered) is the least-sunk-cost victim.
+        victim = min(actives, key=lambda s: (s.priority, -s.session_id))
+        self._detach(victim, SHED)
+        self.stats.shed += 1
+        self._c_session("shed").inc()
+
+    # -- session operations (called through ServerSession) ----------------
+    def _detach(self, session: ServerSession, state: str) -> None:
+        group = session.group
+        session.group = None
+        session.state = state
+        if group is not None:
+            group.release(session.view_key)
+            if group.tenant_count == 0:
+                self._retire(group)
+
+    def _retire(self, group: EngineGroup) -> None:
+        self._groups.pop(group.key, None)
+        self._groups_by_id.pop(group.gid, None)
+        group.shutdown()
+        self._ops_marker = self._total_ops()
+        self._window.clear()
+
+    def _members(self, session: ServerSession):
+        self._applier.flush()
+        session._check_readable()
+        group = session.group
+        try:
+            return group.members(session.view_key)
+        except Exception:
+            self._heal(group)
+            session._check_readable()
+            return session.group.members(session.view_key)
+
+    def _advance(self, session: ServerSession, t: float):
+        self._applier.flush()
+        session._check_readable()
+        with _stage(self._profile, "server.advance"):
+            group = session.group
+            try:
+                group.advance_to(t)
+            except Exception:
+                self._heal(group)
+                session._check_readable()
+                session.group.advance_to(t)
+        return self._members(session)
+
+    def _close(self, session: ServerSession, at: Optional[float]):
+        self._applier.flush()
+        session._check_readable()
+        with _stage(self._profile, "server.close") as st:
+            group = session.group
+            end = group.current_time if at is None else float(at)
+            if end < group.current_time:
+                end = group.current_time
+            if end > group.current_time:
+                try:
+                    group.advance_to(end)
+                except Exception:
+                    self._heal(group)
+                    session._check_readable()
+                    session.group.advance_to(end)
+            group = session.group
+            live = group.partial(
+                session.view_key, session.segment_start, end
+            )
+            window = Interval(session.start, end)
+            if session.kind == "multiknn":
+                ks = list(session.params["ks"])
+                answer = {
+                    k: union_answers(
+                        [seg[k] for seg in session.segments] + [live[k]],
+                        window,
+                    )
+                    for k in ks
+                }
+            else:
+                answer = union_answers(session.segments + [live], window)
+            if st is not NULL_STAGE:
+                st.annotate(
+                    session=session.session_id,
+                    segments=len(session.segments) + 1,
+                )
+        self._detach(session, CLOSED)
+        session._answer = answer
+        self.stats.closed += 1
+        self._c_session("close").inc()
+        self._deposit(session, answer, window)
+        self._activate_pending()
+        return answer
+
+    def _deposit(self, session, answer, window: Interval) -> None:
+        """Give the cache the closed session's swept span for one-shot
+        reuse (same contract as ContinuousQuerySession.close)."""
+        if self._cache is None:
+            return
+        if not (math.isfinite(window.lo) and math.isfinite(window.hi)):
+            return
+        self._cache.store(
+            session.kind,
+            session.gdistance,
+            window,
+            answer,
+            **session.params,
+        )
+
+    # -- heal path (supervisor pattern at group granularity) ---------------
+    def _heal(self, group: EngineGroup) -> None:
+        with _stage(self._profile, "server.heal"):
+            group.failures += 1
+            tenants = [
+                s
+                for s in self._sessions.values()
+                if s.group is group and s.state == ACTIVE
+            ]
+            # Only the span up to the MOD's tau is trustworthy; the
+            # rebuilt engines re-cover everything after it.
+            upto = min(group.current_time, self._db.last_update_time)
+            for session in tenants:
+                if upto <= session.segment_start:
+                    continue
+                segment = group.salvage(
+                    session.view_key, session.segment_start, upto
+                )
+                if segment is None:
+                    session.lost_spans += 1
+                    self.stats.salvage_losses += 1
+                else:
+                    session.segments.append(segment)
+            if group.failures > self._config.quarantine_after:
+                self._quarantine(group, tenants)
+                return
+            try:
+                group.rebuild()
+            except Exception:
+                self._quarantine(group, tenants)
+                return
+            self.stats.rebuilds += 1
+            self._c_session("rebuild").inc()
+            for session in tenants:
+                session.segment_start = max(
+                    session.start, group.epoch_start
+                )
+            self._ops_marker = self._total_ops()
+            self._window.clear()
+
+    def _quarantine(self, group: EngineGroup, tenants) -> None:
+        for session in tenants:
+            session.group = None
+            session.state = QUARANTINED
+        self._groups.pop(group.key, None)
+        self._groups_by_id.pop(group.gid, None)
+        group.shutdown()
+        self.stats.quarantines += 1
+        self._c_session("quarantine").inc()
+        self._ops_marker = self._total_ops()
+        self._window.clear()
+
+    # -- inspection and lifecycle ------------------------------------------
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def db(self) -> MovingObjectDatabase:
+        return self._db
+
+    def sessions(self) -> List[ServerSession]:
+        """Every session ever registered, in registration order."""
+        return [self._sessions[sid] for sid in sorted(self._sessions)]
+
+    def active_sessions(self) -> List[ServerSession]:
+        return [s for s in self.sessions() if s.state == ACTIVE]
+
+    @property
+    def group_count(self) -> int:
+        """Distinct engine groups currently hosted — the fan-out width
+        every update pays (vs. one sweep per session without sharing)."""
+        return len(self._groups)
+
+    def primitive_ops(self) -> int:
+        """Total primitive sweep ops across all hosted groups."""
+        self._applier.flush()
+        return self._total_ops()
+
+    @property
+    def applier(self) -> BatchedUpdateApplier:
+        """The shared fan-out applier (stats carry fan-out counters)."""
+        return self._applier
+
+    def explain_close(
+        self,
+        session: ServerSession,
+        at: Optional[float] = None,
+        profiler=None,
+        query_id: Optional[str] = None,
+    ):
+        """Close one session under a profiler and return the
+        :class:`~repro.obs.explain.ExplainReport` — ``server.*`` stages
+        (fanout/advance/close, plus heal if one occurred) appear in the
+        EXPLAIN tree alongside any engine stages."""
+        from repro.obs.explain import ExplainReport
+        from repro.obs.profile import QueryProfiler
+
+        if profiler is None:
+            profiler = QueryProfiler()
+        meta = {
+            "session": session.session_id,
+            "shards": session.shards,
+            **{k: list(v) if isinstance(v, tuple) else v
+               for k, v in session.params.items()},
+        }
+        with profiler.profile(
+            f"server.{session.kind}", query_id=query_id, **meta
+        ) as prof:
+            previous = self._profile
+            self._profile = prof
+            try:
+                answer = self._close(session, at)
+            finally:
+                self._profile = previous
+            recorded = (
+                answer[max(answer)] if isinstance(answer, dict) else answer
+            )
+            prof.record_answer(recorded)
+        return ExplainReport(prof, answer)
+
+    def shutdown(self) -> None:
+        """Detach from the database.  Sessions keep their terminal
+        state (closed answers stay readable); active sessions simply
+        stop receiving updates."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        self._applier.flush()
+        self._db.unsubscribe(self._on_update)

@@ -1,0 +1,172 @@
+"""One tenant's handle on a shared engine group.
+
+A :class:`ServerSession` owns no sweep state of its own: it names a
+shared per-group view (``(kind, params)``) plus the time its answer
+window opened, and the server clips the shared view's timeline to that
+window on every read.  The session's lifecycle is a small state
+machine::
+
+    queued -> active -> closed
+                 |-> shed          (load shedding)
+                 |-> quarantined   (group failure beyond the heal budget)
+
+Reads in any state but ``active`` raise the matching typed error from
+:mod:`repro.server.errors`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Union
+
+from repro.gdist.base import GDistance
+from repro.mod.updates import ObjectId
+from repro.query.answers import SnapshotAnswer
+from repro.server.errors import (
+    SessionClosedError,
+    SessionQuarantinedError,
+    SessionQueuedError,
+    SessionShedError,
+)
+
+__all__ = ["ServerSession", "QUEUED", "ACTIVE", "CLOSED", "SHED", "QUARANTINED"]
+
+QUEUED = "queued"
+ACTIVE = "active"
+CLOSED = "closed"
+SHED = "shed"
+QUARANTINED = "quarantined"
+
+Answer = Union[SnapshotAnswer, Dict[int, SnapshotAnswer]]
+Members = Union[Set[ObjectId], Dict[int, Set[ObjectId]]]
+
+
+class ServerSession:
+    """A registered continuous query, served from shared sweep state.
+
+    Obtained from :meth:`~repro.server.QueryServer.register_knn` /
+    ``register_within`` / ``register_multiknn`` — never constructed
+    directly.  ``members`` / :meth:`advance_to` mirror
+    :class:`~repro.core.api.ContinuousQuerySession`; multi-k sessions
+    return per-k dicts where single-k sessions return one set/answer.
+    """
+
+    def __init__(
+        self,
+        server,
+        session_id: int,
+        kind: str,
+        gdistance: GDistance,
+        params: dict,
+        priority: int,
+        shards: int,
+    ) -> None:
+        self._server = server
+        self.session_id = session_id
+        self.kind = kind
+        self.gdistance = gdistance
+        self.params = dict(params)
+        self.priority = priority
+        self.shards = shards
+        self.state = QUEUED
+        self.start: Optional[float] = None
+        # Start of the current engine epoch's answer span; advances past
+        # ``start`` when the group is rebuilt after a failure.
+        self.segment_start: Optional[float] = None
+        self.group = None
+        self.segments: list = []  # salvaged pre-rebuild answer pieces
+        self.lost_spans = 0
+        self._answer: Optional[Answer] = None
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def view_key(self):
+        """The shared-view key: sessions with equal keys (and equal
+        groups) read the very same timelines."""
+        if self.kind == "knn":
+            return ("knn", self.params["k"])
+        if self.kind == "within":
+            return ("within", self.params["threshold"])
+        return ("multiknn", tuple(self.params["ks"]))
+
+    def spec(self) -> dict:
+        """Enough to re-register an equivalent session (WAL rebuilds)."""
+        return {
+            "kind": self.kind,
+            "query": self.gdistance,
+            "priority": self.priority,
+            "shards": self.shards,
+            **self.params,
+        }
+
+    # -- state gates ------------------------------------------------------
+    def _check_readable(self) -> None:
+        if self.state == ACTIVE:
+            return
+        if self.state == CLOSED:
+            raise SessionClosedError(
+                f"session {self.session_id} is closed"
+            )
+        if self.state == SHED:
+            raise SessionShedError(
+                f"session {self.session_id} was load-shed "
+                f"(priority {self.priority})"
+            )
+        if self.state == QUARANTINED:
+            raise SessionQuarantinedError(
+                f"session {self.session_id} was quarantined after its "
+                f"engine group failed beyond the heal budget"
+            )
+        raise SessionQueuedError(
+            f"session {self.session_id} is still queued for admission"
+        )
+
+    # -- reads ------------------------------------------------------------
+    @property
+    def members(self) -> Members:
+        """The current answer set (per-k dict for multiknn sessions)."""
+        self._check_readable()
+        return self._server._members(self)
+
+    @property
+    def current_time(self) -> float:
+        """The owning group's sweep position."""
+        self._check_readable()
+        return self.group.current_time
+
+    def advance_to(self, t: float) -> Members:
+        """Move the group's clock forward and return the answer at
+        ``t`` (a MOD clock tick; co-tenants of the group observe the
+        same advancement)."""
+        self._check_readable()
+        return self._server._advance(self, t)
+
+    def close(self, at: Optional[float] = None) -> Optional[Answer]:
+        """Detach and return the snapshot answer over
+        ``[start, at]`` (default: the group's current time).
+
+        Closing a still-queued session cancels it and returns ``None``
+        (it never had an answer window).  Closing twice raises
+        :class:`~repro.server.SessionClosedError`; shed or quarantined
+        sessions cannot produce a trustworthy answer and raise their
+        typed error instead.
+        """
+        if self.state == QUEUED:
+            self._server._cancel_queued(self)
+            return None
+        self._check_readable()
+        return self._server._close(self, at)
+
+    @property
+    def answer(self) -> Answer:
+        """The final answer (after :meth:`close`)."""
+        if self.state != CLOSED or self._answer is None:
+            raise RuntimeError(
+                f"session {self.session_id} has no final answer yet"
+            )
+        return self._answer
+
+    def __repr__(self) -> str:
+        return (
+            f"ServerSession(#{self.session_id}, {self.kind}, "
+            f"{self.state}, priority={self.priority})"
+        )

@@ -471,6 +471,15 @@ class SweepEngine:
         as the sweep progresses."""
         self._listeners.append(listener)
 
+    def remove_listener(self, listener: object) -> None:
+        """Detach a view; unknown listeners are a no-op (mirrors the
+        database's ``unsubscribe`` contract, so teardown paths need not
+        track whether registration ever happened)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _emit(self, method: str, *args) -> None:
         """Notify listeners mid-sweep, never letting one abort the loop.
 

@@ -2,12 +2,15 @@
 
 One seeded scenario — an initial MOD population plus a chronological
 ``new``/``terminate``/``chdir`` update stream — is driven identically
-through three evaluation paths:
+through four evaluation paths:
 
 - the **naive baseline** (O(N^2) recomputation from trajectories),
 - a **single** :class:`~repro.sweep.engine.SweepEngine`,
 - a :class:`~repro.parallel.evaluator.ShardedSweepEvaluator` at any
   shard count / backend / batch size,
+- a shared :class:`~repro.server.QueryServer` hosting the probed
+  session *alongside co-tenant sessions of every other kind* (so the
+  server path also checks that fan-out sharing never perturbs answers),
 
 and each path reports the same two artifacts: the final snapshot
 answer over the whole session and the instant answer sets at a fixed
@@ -287,6 +290,58 @@ def run_sharded(
     finally:
         db.unsubscribe(evaluator.on_update)
         evaluator.shutdown()
+    return final, probes
+
+
+def run_server(
+    sc: Scenario,
+    mode: str,
+    shards: int = 1,
+    batch_size: int = 1,
+) -> Tuple[
+    Union[SnapshotAnswer, Dict[int, SnapshotAnswer]], List[ProbeRecord]
+]:
+    """Final answer + probe answers from a shared QueryServer session.
+
+    The probed session is co-registered with one session of *each
+    other* kind (same g-distance, so knn/multiknn co-tenant the probed
+    session's rank pool and within adds a sentinel group): sharing the
+    sweep with unrelated tenants must never change the probed answers.
+    """
+    from repro.core.api import serve
+    from repro.server import ServerConfig
+
+    db = sc.build_db()
+    gd = sc.gdistance()
+    server = serve(
+        db, ServerConfig(shards=shards, batch_size=batch_size)
+    )
+    sessions = {
+        KNN: server.register_knn(gd, k=sc.k),
+        # gd is a GDistance, so the threshold is compared as-is — the
+        # same bit-identical constant every other path uses.
+        WITHIN: server.register_within(gd, sc.threshold),
+        MULTIKNN: server.register_multiknn(gd, sc.ks),
+    }
+    session = sessions[mode]
+    probes: List[ProbeRecord] = []
+    try:
+        for update, probe in sc.schedule():
+            db.apply(update)
+            if probe is not None:
+                members = session.advance_to(probe)
+                if mode == MULTIKNN:
+                    probes.append(
+                        (probe, {k: set(members[k]) for k in sc.ks})
+                    )
+                else:
+                    probes.append((probe, set(members)))
+        final = session.close(at=sc.horizon)
+        for other in sessions.values():
+            if other is not session:
+                other.close(at=sc.horizon)
+    finally:
+        server.shutdown()
     return final, probes
 
 

@@ -1,10 +1,12 @@
-"""Randomized differential tests: sharded vs single-engine vs naive.
+"""Randomized differential tests: server vs sharded vs single vs naive.
 
 Every seeded scenario drives one identical update stream through the
-naive O(N^2) baseline, a single eager :class:`SweepEngine`, and
-:class:`ShardedSweepEvaluator` at S in {1, 2, 7} — asserting that the
-final snapshot answers and the instant answer sets at every probe time
-are equal across all paths, for kNN, within-range, and multiknn.
+naive O(N^2) baseline, a single eager :class:`SweepEngine`,
+:class:`ShardedSweepEvaluator` at S in {1, 2, 7}, and a shared
+:class:`~repro.server.QueryServer` session co-registered with tenants
+of every other query kind — asserting that the final snapshot answers
+and the instant answer sets at every probe time are equal across all
+four paths, for kNN, within-range, and multiknn.
 
 210 seeded cases run by default (90 kNN + 60 within + 60 multiknn);
 the process-pool backend is exercised on a smaller seed slice since
@@ -21,6 +23,7 @@ from tests._oracle import (
     assert_probes_equal,
     generate_scenario,
     run_naive,
+    run_server,
     run_sharded,
     run_single,
 )
@@ -33,7 +36,13 @@ MULTIKNN_SEEDS = range(2000, 2060)
 PROCESS_SEEDS = (3, 1017, 2042)
 
 
-def _differential(seed: int, mode: str, backend="sequential", shard_counts=SHARD_COUNTS):
+def _differential(
+    seed: int,
+    mode: str,
+    backend="sequential",
+    shard_counts=SHARD_COUNTS,
+    server=True,
+):
     sc = generate_scenario(seed)
     naive_final, naive_probes = run_naive(sc, mode)
     single_final, single_probes = run_single(sc, mode)
@@ -54,6 +63,19 @@ def _differential(seed: int, mode: str, backend="sequential", shard_counts=SHARD
             sharded_final, naive_final
         ), f"{label}: sharded disagrees with naive baseline"
         assert_probes_equal(sharded_probes, naive_probes, label)
+        if not server:
+            continue
+        server_final, server_probes = run_server(
+            sc, mode, shards=shards, batch_size=batch
+        )
+        label = f"seed {seed} server S={shards} batch={batch}"
+        assert answers_equal(
+            server_final, single_final
+        ), f"{label}: shared server disagrees with single engine"
+        assert answers_equal(
+            server_final, naive_final
+        ), f"{label}: shared server disagrees with naive baseline"
+        assert_probes_equal(server_probes, naive_probes, label)
 
 
 @pytest.mark.parametrize("seed", KNN_SEEDS)
@@ -76,4 +98,4 @@ def test_process_backend_differential(seed):
     """The process-pool backend produces the same answers (small seed
     slice: every run spins up one worker process per shard)."""
     mode = (KNN, WITHIN, MULTIKNN)[seed % 3]
-    _differential(seed, mode, backend="process", shard_counts=(2,))
+    _differential(seed, mode, backend="process", shard_counts=(2,), server=False)

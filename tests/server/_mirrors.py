@@ -1,0 +1,63 @@
+"""Per-session mirror evaluations for server differential tests.
+
+A :class:`Mirror` is the *unshared* twin of one server session: a
+standalone :class:`~repro.core.api.ContinuousQuerySession` (or a bare
+engine + MultiKNN view — there is no multiknn session constructor)
+over its own copy of the database, started at exactly the server
+session's ``start``.  Server answers must equal mirror answers at
+every probe and at close; since the mirror pays one full sweep per
+session, agreement proves the shared fan-out never perturbs answers.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import ContinuousQuerySession
+from repro.geometry.intervals import Interval
+from repro.sweep.engine import SweepEngine
+from repro.sweep.multiknn import MultiKNN
+
+__all__ = ["Mirror"]
+
+
+class Mirror:
+    """One standalone continuous query mirroring a server session.
+
+    ``gdistance`` must already be a :class:`~repro.gdist.base.GDistance`
+    and ``params`` the server session's ``params`` dict — thresholds are
+    therefore compared as-is on both sides (no one-sided squaring).
+    """
+
+    def __init__(self, db, kind, gdistance, params, start):
+        self.kind = kind
+        self._db = db
+        if kind == "multiknn":
+            self.ks = list(params["ks"])
+            self._engine = SweepEngine(
+                db, gdistance, Interval.at_least(start)
+            )
+            self._view = MultiKNN(self._engine, self.ks)
+            db.subscribe(self._engine.on_update)
+        elif kind == "knn":
+            self._sess = ContinuousQuerySession.knn(
+                db, gdistance, k=params["k"], start=start
+            )
+        elif kind == "within":
+            self._sess = ContinuousQuerySession.within(
+                db, gdistance, params["threshold"], start=start
+            )
+        else:
+            raise ValueError(f"unknown kind {kind!r}")
+
+    def advance_to(self, t):
+        if self.kind == "multiknn":
+            self._engine.advance_to(t)
+            return {k: set(self._view.members(k)) for k in self.ks}
+        return set(self._sess.advance_to(t))
+
+    def close(self, at):
+        if self.kind == "multiknn":
+            self._db.unsubscribe(self._engine.on_update)
+            self._engine.advance_to(at)
+            self._engine.finalize()
+            return self._view.answers()
+        return self._sess.close(at=at)
