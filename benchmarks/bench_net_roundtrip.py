@@ -1,0 +1,208 @@
+"""E-NET: networked serving round-trips vs in-process sessions.
+
+Q mixed-kind continuous queries are served twice from twin seeded
+MODs fed the same update stream: once through an in-process
+:class:`~repro.server.QueryServer`, once over a real loopback socket
+via :func:`~repro.core.api.serve_tcp` and
+:class:`~repro.net.RemoteQueryClient`.  A fixed slice of the remote
+sessions subscribes to the push stream, so the benchmark exercises
+both the request/response path and the unsolicited ``answer_change``
+fan-out.
+
+The table reports the wire cost of the remote layout — requests,
+pushed events, and bytes per direction — as Q grows.  Every run closes
+both layouts at the same horizon and asserts the answers are
+byte-identical as dicts, so the networked numbers are never bought
+with divergence.
+"""
+
+import pytest
+
+from repro.bench.harness import format_table
+from repro.core.api import serve, serve_tcp
+from repro.geometry.vectors import Vector
+from repro.mod.updates import New
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.io import answer_to_dict
+from repro.net import connect
+from repro.obs import Instrumentation
+from repro.workloads.generator import UpdateStream, random_linear_mod
+
+from _support import publish_metrics, publish_table
+
+N_OBJECTS = 24
+UPDATES = 10
+MEAN_GAP = 0.2
+SESSION_COUNTS = [4, 8, 16]
+SUBSCRIBE_EVERY = 4  # every 4th remote session joins the push stream
+POINT = [0.0, 0.0]
+
+SPEC_CYCLE = [
+    ("knn", {"k": 1}),
+    ("within", {"threshold": 900.0}),
+    ("multiknn", {"ks": (1, 3)}),
+    ("knn", {"k": 3}),
+]
+
+
+def _specs(q):
+    return [SPEC_CYCLE[i % len(SPEC_CYCLE)] for i in range(q)]
+
+
+def _db():
+    return random_linear_mod(N_OBJECTS, seed=7, extent=60.0, speed=3.0)
+
+
+def _register(server, gd, spec):
+    kind, params = spec
+    if kind == "knn":
+        return server.register_knn(gd, k=params["k"])
+    if kind == "within":
+        return server.register_within(gd, params["threshold"])
+    return server.register_multiknn(gd, params["ks"])
+
+
+def _open_remote(client, spec):
+    kind, params = spec
+    if kind == "knn":
+        return client.open_knn(POINT, k=params["k"])
+    if kind == "within":
+        return client.open_within(POINT, threshold=params["threshold"])
+    return client.open_multiknn(POINT, ks=list(params["ks"]))
+
+
+def _stream(db):
+    UpdateStream(
+        db,
+        seed=11,
+        mean_gap=MEAN_GAP,
+        periodic=True,
+        extent=60.0,
+        speed=3.0,
+        weights=(0.0, 0.0, 1.0),
+    ).run(UPDATES)
+    # Newborns right on the query point displace every session's
+    # nearest neighbors — each one is a guaranteed answer change for
+    # the push stream to carry.
+    base = db.last_update_time
+    for i in range(3):
+        db.apply(
+            New(
+                f"nb{i}",
+                base + 0.1 * (i + 1),
+                position=Vector.of(0.01 / (i + 1), 0.0),
+                velocity=Vector.of(0.0, 0.0),
+            )
+        )
+
+
+def run_roundtrip(q, observe=None):
+    """Serve ``q`` sessions in-process and over TCP from twin MODs;
+    returns the wire-cost counters after asserting answer equality."""
+    db_local, db_remote = _db(), _db()
+    gd = SquaredEuclideanDistance(POINT)
+    local = serve(db_local)
+    specs = _specs(q)
+    reference = [_register(local, gd, spec) for spec in specs]
+
+    net = serve_tcp(db_remote, observe=observe)
+    client = None
+    try:
+        client = connect(*net.address)
+        remote = [_open_remote(client, spec) for spec in specs]
+        subscribed = remote[::SUBSCRIBE_EVERY]
+        for session in subscribed:
+            session.subscribe()
+
+        _stream(db_local)
+        _stream(db_remote)
+
+        pushed = sum(
+            1
+            for session in subscribed
+            for e in session.changes(poll=0.5)
+            if e["event"] == "answer_change"
+        )
+
+        horizon = db_remote.last_update_time + 1.0
+        for spec, rem, ref in zip(specs, remote, reference):
+            got = rem.close(at=horizon)
+            want = ref.close(at=horizon)
+            if isinstance(want, dict):
+                assert set(got) == set(want), spec
+                for k in want:
+                    assert answer_to_dict(got[k]) == answer_to_dict(
+                        want[k]
+                    ), (spec, k)
+            else:
+                assert answer_to_dict(got) == answer_to_dict(want), spec
+
+        stats = net.stats
+        return {
+            "sessions": q,
+            "requests": stats.requests,
+            "pushes": stats.pushes,
+            "events_received": pushed,
+            "bytes_in": stats.bytes_in,
+            "bytes_out": stats.bytes_out,
+            "bytes_out_per_request": stats.bytes_out / stats.requests,
+        }
+    finally:
+        if client is not None:
+            client.close()
+        net.close()
+        local.shutdown()
+
+
+def test_net_roundtrip_scaling(benchmark):
+    """Wire cost grows linearly in Q while answers stay identical."""
+    observe = Instrumentation()
+
+    def sweep():
+        return [
+            run_roundtrip(q, observe=observe if q == 16 else None)
+            for q in SESSION_COUNTS
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = [
+        (
+            r["sessions"],
+            r["requests"],
+            r["pushes"],
+            r["bytes_in"],
+            r["bytes_out"],
+            round(r["bytes_out_per_request"], 1),
+        )
+        for r in rows
+    ]
+    publish_table(
+        "net_roundtrip",
+        format_table(
+            [
+                "sessions",
+                "requests",
+                "pushes",
+                "bytes in",
+                "bytes out",
+                "bytes out/req",
+            ],
+            table,
+            title="E-NET: TCP frontend wire cost vs session count",
+        ),
+    )
+    publish_metrics("net_roundtrip", observe, extra={"rows": rows})
+    by_q = {r["sessions"]: r for r in rows}
+    # One open + one close per session dominates: requests scale with Q.
+    assert by_q[16]["requests"] > by_q[4]["requests"]
+    # Subscribed sessions actually received their pushed changes.
+    assert all(r["events_received"] > 0 for r in rows)
+
+
+@pytest.mark.parametrize("q", [4, 16])
+def test_net_roundtrip_single_q(benchmark, q):
+    result = benchmark.pedantic(
+        lambda: run_roundtrip(q), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(result)
+    assert result["requests"] >= 2 * q

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Networked serving smoke test: remote sessions over a real socket.
+
+Run with no arguments (CI does).  The script starts a
+:func:`repro.core.api.serve_tcp` frontend on an ephemeral loopback
+port, drives all three query kinds through
+:class:`repro.net.RemoteQueryClient`, and asserts:
+
+1. every remote answer is byte-identical (as dicts) to the answer an
+   in-process :class:`~repro.server.QueryServer` produces for the same
+   session over a twin database;
+2. a subscribed session receives pushed ``answer_change`` events whose
+   final membership matches a fresh ``members`` request;
+3. remote EXPLAIN reports carry the ``net.decode`` / ``net.dispatch``
+   / ``net.encode`` stages with ``server.close`` nested under
+   dispatch;
+4. graceful drain hands every still-open session its final answer.
+
+Exit status 0 means all assertions held.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.api import serve, serve_tcp  # noqa: E402
+from repro.geometry.vectors import Vector  # noqa: E402
+from repro.gdist.euclidean import SquaredEuclideanDistance  # noqa: E402
+from repro.io import answer_to_dict  # noqa: E402
+from repro.mod.updates import New  # noqa: E402
+from repro.net import connect  # noqa: E402
+from repro.workloads.generator import random_linear_mod  # noqa: E402
+
+SEED = 7
+OBJECTS = 10
+POINT = [0.0, 0.0]
+HORIZON = 6.0
+
+
+def _db():
+    return random_linear_mod(OBJECTS, seed=SEED, extent=30.0, speed=3.0)
+
+
+def _newborns(db, times):
+    for i, t in enumerate(times):
+        db.apply(
+            New(
+                f"nb{i}",
+                t,
+                position=Vector.of(0.01 / (i + 1), 0.0),
+                velocity=Vector.of(0.0, 0.0),
+            )
+        )
+
+
+def main():
+    db_remote, db_local = _db(), _db()
+    gd = SquaredEuclideanDistance(POINT)
+    local = serve(db_local)
+    reference = {
+        "knn": local.register_knn(gd, k=2),
+        "within": local.register_within(gd, 60.0),
+        "multiknn": local.register_multiknn(gd, (1, 3)),
+    }
+
+    net = serve_tcp(db_remote)
+    client = connect(*net.address)
+    remote = {
+        "knn": client.open_knn(POINT, k=2),
+        "within": client.open_within(POINT, threshold=60.0),
+        "multiknn": client.open_multiknn(POINT, ks=[1, 3]),
+    }
+
+    # (2) live push stream on the knn session
+    baseline = remote["knn"].subscribe()
+    assert baseline == remote["knn"].members
+
+    times = [1.0, 2.0, 3.0]
+    _newborns(db_remote, times)
+    _newborns(db_local, times)
+
+    changes = [
+        e
+        for e in remote["knn"].changes(poll=0.5)
+        if e["event"] == "answer_change"
+    ]
+    assert changes, "no answer_change events pushed"
+    assert changes[-1]["members"] == remote["knn"].members
+
+    # (3) EXPLAIN crosses the wire with the net stages attached
+    report = remote["multiknn"].explain_close(at=HORIZON)
+    names = {stage["name"] for stage in report.stages}
+    assert {"net.decode", "net.dispatch", "net.encode"} <= names
+    dispatch = next(
+        s for s in report.stages if s["name"] == "net.dispatch"
+    )
+    assert "server.close" in {
+        child["name"] for child in dispatch.get("children", [])
+    }
+    expected_multi = reference["multiknn"].close(at=HORIZON)
+    assert {
+        k: answer_to_dict(a) for k, a in report.answer.items()
+    } == {k: answer_to_dict(a) for k, a in expected_multi.items()}
+
+    # (1) remote ≡ in-process for the explicit closes
+    for kind in ("knn", "within"):
+        got = remote[kind].close(at=HORIZON)
+        want = reference[kind].close(at=HORIZON)
+        assert answer_to_dict(got) == answer_to_dict(want), kind
+
+    # (4) drain a second wave of sessions mid-flight
+    second = client.open_knn(POINT, k=1)
+    drained = net.drain()
+    assert set(drained) == {second.session_id}
+    final = drained[second.session_id]
+    ref2 = serve(db_local).register_knn(gd, k=1)
+    assert answer_to_dict(final) == answer_to_dict(ref2.close())
+    drain_events = [
+        e for e in second.changes(poll=0.5) if e["event"] == "drain"
+    ]
+    assert len(drain_events) == 1
+    assert answer_to_dict(drain_events[0]["answer"]) == answer_to_dict(
+        final
+    )
+
+    stats = net.stats
+    net.close()
+    local.shutdown()
+    print(
+        "netserve smoke OK: "
+        f"{stats.requests} requests, {stats.pushes} pushes, "
+        f"{stats.bytes_in}B in / {stats.bytes_out}B out, "
+        f"{stats.drained} drained, 0 replays needed"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,10 +16,15 @@ compares each metric against the committed baselines under
 - **E-MQ** (``BENCH_EMQ.json``) — multi-tenant server fan-out: the
   per-update primitive-op ratio of 32 independent sessions vs one
   :class:`~repro.server.QueryServer` sharing sweeps across engine
-  groups (answers are asserted equal inside the measure).
+  groups (answers are asserted equal inside the measure);
+- **E-NET** (``BENCH_ENET.json``) — TCP frontend wire cost: requests,
+  pushed answer changes, and bytes per direction for a fixed remote
+  session mix over loopback (remote answers are asserted equal to an
+  in-process twin inside the measure).
 
-Every measure counts *primitive sweep operations* or hit rates — never
-wall-clock — so the gate is deterministic across machines; tolerances
+Every measure counts *primitive sweep operations*, hit rates, or wire
+frames/bytes — never wall-clock — so the gate is deterministic across
+machines; tolerances
 exist to absorb intentional small algorithmic drift, not timer noise.
 The cache/ops measures are taken through :func:`repro.obs.explain`,
 so the gate also exercises the profiler's stage attribution end to
@@ -91,6 +96,17 @@ EMQ_SPEC_CYCLE = (
     ("multiknn", {"ks": (2, 4)}),
     ("within", {"threshold": 2500.0}),
     ("knn", {"k": 4}),
+)
+
+ENET_N = 16
+ENET_UPDATES = 8
+ENET_SESSIONS = 8
+ENET_SUBSCRIBE_EVERY = 4
+ENET_SPEC_CYCLE = (
+    ("knn", {"k": 1}),
+    ("within", {"threshold": 900.0}),
+    ("multiknn", {"ks": (1, 3)}),
+    ("knn", {"k": 3}),
 )
 
 
@@ -279,11 +295,124 @@ def measure_emq() -> dict:
     }
 
 
+def measure_enet() -> dict:
+    """Wire cost of the TCP serving frontend (E-NET).
+
+    Every metric is a frame or byte count off :class:`repro.net.NetStats`
+    for a fully deterministic session mix — request ids are fixed-width,
+    the update stream is seeded, and pushes fire only on real answer
+    changes — so the numbers are bit-stable across machines.
+    """
+    from repro.core.api import serve, serve_tcp
+    from repro.geometry.vectors import Vector
+    from repro.io import answer_to_dict
+    from repro.mod.updates import New
+    from repro.net import connect
+
+    def build_db():
+        db = random_linear_mod(ENET_N, seed=7, extent=60.0, speed=3.0)
+        return db
+
+    def stir(db):
+        UpdateStream(
+            db,
+            seed=11,
+            mean_gap=0.2,
+            periodic=True,
+            extent=60.0,
+            speed=3.0,
+            weights=(0.0, 0.0, 1.0),
+        ).run(ENET_UPDATES)
+        base = db.last_update_time
+        for i in range(3):
+            db.apply(
+                New(
+                    f"nb{i}",
+                    base + 0.1 * (i + 1),
+                    position=Vector.of(0.01 / (i + 1), 0.0),
+                    velocity=Vector.of(0.0, 0.0),
+                )
+            )
+
+    specs = [
+        ENET_SPEC_CYCLE[i % len(ENET_SPEC_CYCLE)]
+        for i in range(ENET_SESSIONS)
+    ]
+    db_local, db_remote = build_db(), build_db()
+    local = serve(db_local)
+    reference = []
+    for kind, params in specs:
+        if kind == "knn":
+            reference.append(local.register_knn(ORIGIN, k=params["k"]))
+        elif kind == "within":
+            reference.append(
+                local.register_within(ORIGIN, params["threshold"])
+            )
+        else:
+            reference.append(
+                local.register_multiknn(ORIGIN, params["ks"])
+            )
+
+    net = serve_tcp(db_remote)
+    client = connect(*net.address)
+    try:
+        remote = []
+        for kind, params in specs:
+            if kind == "knn":
+                remote.append(
+                    client.open_knn([0.0, 0.0], k=params["k"])
+                )
+            elif kind == "within":
+                remote.append(
+                    client.open_within(
+                        [0.0, 0.0], threshold=params["threshold"]
+                    )
+                )
+            else:
+                remote.append(
+                    client.open_multiknn(
+                        [0.0, 0.0], ks=list(params["ks"])
+                    )
+                )
+        for session in remote[::ENET_SUBSCRIBE_EVERY]:
+            session.subscribe()
+
+        stir(db_local)
+        stir(db_remote)
+
+        horizon = db_remote.last_update_time + 1.0
+        for (kind, _), rem, ref in zip(specs, remote, reference):
+            got = rem.close(at=horizon)
+            want = ref.close(at=horizon)
+            if kind == "multiknn":
+                assert set(got) == set(want)
+                for k in want:
+                    assert answer_to_dict(got[k]) == answer_to_dict(
+                        want[k]
+                    )
+            else:
+                assert answer_to_dict(got) == answer_to_dict(want)
+
+        stats = net.stats
+        return {
+            "requests": float(stats.requests),
+            "pushes": float(stats.pushes),
+            "replays": float(stats.replays),
+            "bytes_in_per_request": stats.bytes_in / stats.requests,
+            "bytes_out_per_request": stats.bytes_out / stats.requests,
+        }
+    finally:
+        client.close()
+        net.close()
+        local.shutdown()
+
+
 SUITES = {
     "esh": (measure_esh, "BENCH_ESH.json"),
     "eac": (measure_eac, "BENCH_EAC.json"),
     "t5": (measure_t5, "BENCH_T5.json"),
     "emq": (measure_emq, "BENCH_EMQ.json"),
+    "enet": (measure_enet, "BENCH_ENET.json"),
 }
 
 # Per-metric gate policy: direction "max" fails when the current value
@@ -310,6 +439,15 @@ POLICY = {
         "server_ops_per_update": ("max", 0.15),
         # Higher is better: the fan-out amortization must not erode.
         "ops_ratio": ("min", 0.15),
+    },
+    "enet": {
+        # More frames for the same session mix = chattier protocol.
+        "requests": ("max", 0.10),
+        "pushes": ("max", 0.25),
+        # A clean loopback run must never need the retry path.
+        "replays": ("max", 0.0),
+        "bytes_in_per_request": ("max", 0.15),
+        "bytes_out_per_request": ("max", 0.15),
     },
 }
 

@@ -38,6 +38,7 @@ from repro.core.api import (
     evaluate_query,
     evaluate_within,
     serve,
+    serve_tcp,
 )
 from repro.geometry.intervals import Interval, IntervalSet
 from repro.geometry.poly import Polynomial
@@ -74,6 +75,7 @@ from repro.server import (
     AdmissionError,
     QueryServer,
     ServerConfig,
+    ServerClosedError,
     ServerError,
     ServerSession,
     SessionClosedError,
@@ -113,6 +115,7 @@ __all__ = [
     "QueryServer",
     "RecordingDatabase",
     "RejectedUpdate",
+    "ServerClosedError",
     "ServerConfig",
     "ServerError",
     "ServerSession",
@@ -148,6 +151,7 @@ __all__ = [
     "linear_from",
     "recover",
     "serve",
+    "serve_tcp",
     "stationary",
     "within_query",
 ]

@@ -430,6 +430,39 @@ def serve(
     return QueryServer(db, config=config, observe=observe, cache=cache)
 
 
+def serve_tcp(
+    db: MovingObjectDatabase,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config=None,
+    net_config=None,
+    observe=None,
+    cache=None,
+):
+    """Serve ``db`` to remote clients over TCP.
+
+    Builds a :func:`serve` query server and wraps it in a
+    :class:`~repro.net.QueryNetServer`: an asyncio frontend speaking
+    the length-prefixed JSON protocol of :mod:`repro.net.protocol`,
+    with idempotent request retries, per-connection push backpressure,
+    and graceful drain.  ``port=0`` binds an ephemeral port — read the
+    actual address from ``.address``.  ``config`` is the
+    :class:`~repro.server.ServerConfig`; ``net_config`` the
+    :class:`~repro.net.NetConfig` wire policy.
+
+    Returns the started :class:`~repro.net.QueryNetServer` (a context
+    manager; leaving the ``with`` block drains and closes)::
+
+        net = serve_tcp(db)
+        client = connect(*net.address)
+        session = client.open_knn([0.0, 0.0], k=2)
+    """
+    from repro.net import QueryNetServer
+
+    server = serve(db, config=config, observe=observe, cache=cache)
+    return QueryNetServer(server, config=net_config).start(host, port)
+
+
 def evaluate_query(
     db: MovingObjectDatabase,
     gdistance: GDistance,

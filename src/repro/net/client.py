@@ -1,0 +1,507 @@
+"""Synchronous client for the networked serving frontend.
+
+:class:`RemoteQueryClient` opens one TCP connection to a
+:class:`~repro.net.QueryNetServer`, performs the protocol-version
+handshake, and exposes the server's verbs as typed Python calls.  Each
+request carries a client-generated idempotent id; on a lost connection
+the client reconnects with bounded exponential backoff and **resends
+the same id**, so the server replays its cached response rather than
+applying the verb twice.  Per-request timeouts abandon the attempt
+(and its socket — a half-read frame cannot be resynchronized) and
+surface :class:`~repro.net.errors.RequestTimeoutError`.
+
+Typed errors mirror the in-process API: a remote ``AdmissionError`` /
+``SessionShedError`` / ``ValueError`` re-raises as that very class
+(:func:`repro.net.errors.raise_from_wire`).
+
+:class:`RemoteQuerySession` mirrors the in-process
+:class:`~repro.server.session.ServerSession` surface — ``advance_to``
+/ ``members`` / ``close`` / ``explain_close`` — plus ``subscribe`` and
+:meth:`RemoteQuerySession.changes` for the continuous-query push
+stream (pushed events are read either as a by-product of any request,
+or explicitly via :meth:`RemoteQueryClient.poll_events`).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+from itertools import count
+from typing import Any, Dict, List, Optional, Sequence
+from uuid import uuid4
+
+from repro.net.errors import (
+    ConnectionLostError,
+    NetError,
+    ProtocolError,
+    RequestTimeoutError,
+    raise_from_wire,
+)
+from repro.net.protocol import (
+    HEADER,
+    MAX_FRAME,
+    PROTOCOL_VERSION,
+    answer_from_wire,
+    decode_payload,
+    encode_frame,
+    members_from_wire,
+)
+from repro.obs.explain import render_report
+
+__all__ = ["RemoteQueryClient", "RemoteQuerySession", "RemoteExplain", "connect"]
+
+
+def connect(host: str, port: int, **kwargs) -> "RemoteQueryClient":
+    """Open a client connection (``kwargs`` pass to the constructor)."""
+    return RemoteQueryClient(host, port, **kwargs)
+
+
+class RemoteExplain:
+    """An EXPLAIN report that crossed the wire: decoded answer plus the
+    JSON-ready report dict, rendered locally with
+    :func:`repro.obs.explain.render_report` (identical to the server's
+    own rendering)."""
+
+    def __init__(self, answer, report: dict) -> None:
+        self.answer = answer
+        self.report = report
+
+    @property
+    def query_id(self) -> Optional[str]:
+        return self.report.get("query_id")
+
+    @property
+    def stages(self) -> list:
+        """The stage tree as JSON-ready dicts (top-level stages)."""
+        return self.report.get("stages", [])
+
+    def text(self) -> str:
+        return render_report(self.report)
+
+    def __str__(self) -> str:
+        return self.text()
+
+
+class RemoteQueryClient:
+    """One connection's worth of remote query sessions.
+
+    Parameters
+    ----------
+    host, port:
+        The net server's bound address (``net.address``).
+    timeout:
+        Per-request seconds before :class:`RequestTimeoutError`.
+    retries:
+        How many times a failed request is retried (reconnecting with
+        the *same* request id) before the typed transport error
+        surfaces.  ``0`` disables retries.
+    backoff, max_backoff:
+        Exponential backoff seconds between retries: ``backoff * 2**n``
+        capped at ``max_backoff``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 5.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        max_backoff: float = 1.0,
+        max_frame: int = MAX_FRAME,
+    ) -> None:
+        self._host = host
+        self._port = int(port)
+        self._timeout = float(timeout)
+        self._retries = int(retries)
+        self._backoff = float(backoff)
+        self._max_backoff = float(max_backoff)
+        self._max_frame = int(max_frame)
+        self._sock: Optional[socket.socket] = None
+        self._tag = uuid4().hex[:8]
+        self._next_seq = count(1)
+        # sid (or None for connection-wide) -> pushed event frames
+        self._events: Dict[Optional[int], deque] = {}
+        self._closed = False
+        self._connect()
+
+    # -- socket plumbing ---------------------------------------------------
+    def _connect(self) -> None:
+        if self._closed:
+            raise NetError("client is closed")
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        hello = {
+            "id": self._new_id(),
+            "verb": "hello",
+            "version": PROTOCOL_VERSION,
+            "client": "repro-net/1",
+        }
+        self._send_payload(hello)
+        frame = self._await_response(hello["id"])
+        if not frame.get("ok"):
+            self._drop_socket()
+            raise_from_wire(frame.get("error") or {})
+
+    def _drop_socket(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _new_id(self) -> str:
+        return f"{self._tag}-{next(self._next_seq):06d}"
+
+    def _send_payload(self, payload: dict) -> None:
+        if self._sock is None:
+            raise ConnectionError("not connected")
+        self._sock.sendall(encode_frame(payload, self._max_frame))
+
+    def _recv_exact(self, n: int) -> bytes:
+        assert self._sock is not None
+        chunks = []
+        remaining = n
+        while remaining > 0:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ConnectionError("connection closed by server")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_frame(self) -> dict:
+        header = self._recv_exact(HEADER.size)
+        (length,) = HEADER.unpack(header)
+        if length > self._max_frame:
+            raise ProtocolError(
+                f"server announced a {length}-byte frame beyond the "
+                f"{self._max_frame}-byte cap"
+            )
+        return decode_payload(self._recv_exact(length))
+
+    def _await_response(self, rid: str) -> dict:
+        """Read frames until ``rid``'s response; route events, drop
+        stale responses to abandoned earlier attempts."""
+        while True:
+            frame = self._read_frame()
+            if "event" in frame:
+                self._route_event(frame)
+                continue
+            if frame.get("id") == rid:
+                return frame
+            # A response to a request a previous attempt abandoned.
+
+    # -- the request engine ------------------------------------------------
+    def request(
+        self,
+        verb: str,
+        args: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Issue one verb; returns the ``result`` dict.
+
+        Transport failures reconnect and resend the *same* request id
+        (bounded exponential backoff); the server's idempotency cache
+        guarantees at-most-once application.  Application errors
+        re-raise as their original exception class.
+        """
+        if self._closed:
+            raise NetError("client is closed")
+        rid = self._new_id()
+        payload = {"id": rid, "verb": verb, **(args or {})}
+        attempts = self._retries + 1
+        delay = self._backoff
+        last_exc: Optional[BaseException] = None
+        for attempt in range(attempts):
+            try:
+                if self._sock is None:
+                    self._connect()
+                if timeout is not None:
+                    self._sock.settimeout(timeout)
+                try:
+                    self._send_payload(payload)
+                    frame = self._await_response(rid)
+                finally:
+                    if timeout is not None and self._sock is not None:
+                        self._sock.settimeout(self._timeout)
+            except TimeoutError as exc:
+                # A half-read frame can't be resynchronized: the socket
+                # is dead to us.  The retry resends the same id.
+                self._drop_socket()
+                last_exc = exc
+            except (ConnectionError, OSError) as exc:
+                self._drop_socket()
+                last_exc = exc
+            else:
+                if frame.get("ok"):
+                    return frame.get("result")
+                raise_from_wire(frame.get("error") or {})
+            if attempt + 1 < attempts:
+                time.sleep(delay)
+                delay = min(delay * 2, self._max_backoff)
+        if isinstance(last_exc, TimeoutError):
+            raise RequestTimeoutError(
+                f"{verb!r} got no response within {timeout or self._timeout}s "
+                f"({attempts} attempt(s))"
+            ) from last_exc
+        raise ConnectionLostError(
+            f"{verb!r} failed after {attempts} attempt(s): {last_exc}"
+        ) from last_exc
+
+    # -- events ------------------------------------------------------------
+    def _route_event(self, frame: dict) -> None:
+        sid = frame.get("session")
+        queue = self._events.setdefault(sid, deque())
+        queue.append(frame)
+        if frame.get("event") == "shed":
+            # A shed notice names every affected session.
+            for shed_sid in frame.get("sessions", ()):
+                self._events.setdefault(shed_sid, deque()).append(frame)
+
+    def poll_events(self, timeout: float = 0.05) -> int:
+        """Read pushed frames for up to ``timeout`` seconds; returns
+        how many events were routed.  Responses to requests are only
+        read during :meth:`request`, so this never steals them."""
+        if self._sock is None or self._closed:
+            return 0
+        deadline = time.monotonic() + timeout
+        routed = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                self._sock.settimeout(max(remaining, 0.001))
+                frame = self._read_frame()
+            except TimeoutError:
+                break
+            except (ConnectionError, OSError):
+                self._drop_socket()
+                break
+            finally:
+                if self._sock is not None:
+                    self._sock.settimeout(self._timeout)
+            if "event" in frame:
+                self._route_event(frame)
+                routed += 1
+        return routed
+
+    def events_for(self, sid: Optional[int]) -> List[dict]:
+        """Drain (and return) the buffered events for one session, or
+        the connection-wide events for ``None`` (``goodbye`` etc.)."""
+        queue = self._events.get(sid)
+        if not queue:
+            return []
+        drained = list(queue)
+        queue.clear()
+        return drained
+
+    # -- session verbs -----------------------------------------------------
+    def _open(self, args: dict) -> "RemoteQuerySession":
+        result = self.request("open", args)
+        return RemoteQuerySession(
+            self,
+            int(result["session"]),
+            str(result["kind"]),
+            str(result["state"]),
+            result.get("start"),
+        )
+
+    def open_knn(
+        self,
+        query: Sequence[float],
+        k: int = 1,
+        priority: int = 0,
+        shards: Optional[int] = None,
+    ) -> "RemoteQuerySession":
+        """Register a continuous k-NN query at the fixed point
+        ``query`` (coordinates)."""
+        args: dict = {"kind": "knn", "query": list(query), "k": int(k)}
+        if priority:
+            args["priority"] = int(priority)
+        if shards is not None:
+            args["shards"] = int(shards)
+        return self._open(args)
+
+    def open_within(
+        self,
+        query: Sequence[float],
+        distance: Optional[float] = None,
+        threshold: Optional[float] = None,
+        priority: int = 0,
+        shards: Optional[int] = None,
+    ) -> "RemoteQuerySession":
+        """Register a continuous within-range query.
+
+        Pass ``distance`` for Euclidean semantics (squared server-side,
+        like the in-process point-query API) or ``threshold`` for raw
+        g-distance units compared as-is.
+        """
+        if (distance is None) == (threshold is None):
+            raise ValueError("pass exactly one of distance / threshold")
+        args = {"kind": "within", "query": list(query)}
+        if distance is not None:
+            args["distance"] = float(distance)
+        else:
+            args["threshold"] = float(threshold)
+        if priority:
+            args["priority"] = int(priority)
+        if shards is not None:
+            args["shards"] = int(shards)
+        return self._open(args)
+
+    def open_multiknn(
+        self,
+        query: Sequence[float],
+        ks: Sequence[int],
+        priority: int = 0,
+        shards: Optional[int] = None,
+    ) -> "RemoteQuerySession":
+        """Register a multi-k k-NN query (per-k answers, one sweep)."""
+        args = {
+            "kind": "multiknn",
+            "query": list(query),
+            "ks": [int(k) for k in ks],
+        }
+        if priority:
+            args["priority"] = int(priority)
+        if shards is not None:
+            args["shards"] = int(shards)
+        return self._open(args)
+
+    # -- service verbs -----------------------------------------------------
+    def ping(self) -> float:
+        """Round-trip the server; returns its MOD clock (``tau``)."""
+        return self.request("ping")["tau"]
+
+    def stats(self) -> dict:
+        """Server + net + applier counters, as one dict."""
+        return self.request("stats")
+
+    def close(self) -> None:
+        """Close the connection (sessions survive server-side)."""
+        self._closed = True
+        self._drop_socket()
+
+    def __enter__(self) -> "RemoteQueryClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class RemoteQuerySession:
+    """A server-side session, driven over the wire.
+
+    Mirrors :class:`~repro.server.session.ServerSession`: the session
+    (and its answer window) lives on the server; this handle survives
+    client reconnects because every verb names the session id.
+    """
+
+    def __init__(
+        self,
+        client: RemoteQueryClient,
+        session_id: int,
+        kind: str,
+        state: str,
+        start: Optional[float],
+    ) -> None:
+        self._client = client
+        self.session_id = session_id
+        self.kind = kind
+        self.state = state
+        self.start = start
+        self._answer = None
+
+    # -- reads -------------------------------------------------------------
+    @property
+    def members(self):
+        """The current answer set (per-k dict for multiknn)."""
+        result = self._client.request(
+            "members", {"session": self.session_id}
+        )
+        return members_from_wire(result["members"])
+
+    def advance_to(self, t: float):
+        """Advance the shared sweep to ``t``; returns the answer there."""
+        result = self._client.request(
+            "advance", {"session": self.session_id, "to": float(t)}
+        )
+        return members_from_wire(result["members"])
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self, at: Optional[float] = None):
+        """Close and return the final snapshot answer over
+        ``[start, at]`` (decoded; ``None`` for cancelled queued
+        sessions)."""
+        args: dict = {"session": self.session_id}
+        if at is not None:
+            args["at"] = float(at)
+        result = self._client.request("close", args)
+        self.state = result["state"]
+        self._answer = answer_from_wire(result["answer"])
+        return self._answer
+
+    def explain_close(self, at: Optional[float] = None) -> RemoteExplain:
+        """Close with EXPLAIN: final answer plus the remote profile
+        (``net.decode`` / ``net.dispatch`` / ``net.encode`` wrapping
+        the server's own ``server.*`` stages)."""
+        args: dict = {"session": self.session_id}
+        if at is not None:
+            args["at"] = float(at)
+        result = self._client.request("explain", args)
+        self.state = result["state"]
+        self._answer = answer_from_wire(result["answer"])
+        return RemoteExplain(self._answer, result["report"])
+
+    @property
+    def answer(self):
+        """The final answer (after :meth:`close`)."""
+        if self._answer is None:
+            raise RuntimeError(
+                f"remote session {self.session_id} has no final answer yet"
+            )
+        return self._answer
+
+    # -- push stream -------------------------------------------------------
+    def subscribe(self):
+        """Subscribe this connection to answer-change pushes; returns
+        the baseline members."""
+        result = self._client.request(
+            "subscribe", {"session": self.session_id}
+        )
+        return members_from_wire(result["members"])
+
+    def unsubscribe(self) -> None:
+        self._client.request("unsubscribe", {"session": self.session_id})
+
+    def changes(self, poll: float = 0.0) -> List[dict]:
+        """Drain buffered push events for this session (optionally
+        polling the socket for up to ``poll`` seconds first).
+
+        Each returned dict carries ``event`` plus decoded payloads:
+        ``members`` for ``answer_change``, ``answer`` for ``drain``.
+        """
+        if poll > 0:
+            self._client.poll_events(poll)
+        events = []
+        for frame in self._client.events_for(self.session_id):
+            event = dict(frame)
+            if "members" in event:
+                event["members"] = members_from_wire(event["members"])
+            if event.get("event") == "drain":
+                event["answer"] = answer_from_wire(event.get("answer"))
+            events.append(event)
+        return events
+
+    def __repr__(self) -> str:
+        return (
+            f"RemoteQuerySession(#{self.session_id}, {self.kind}, "
+            f"{self.state})"
+        )

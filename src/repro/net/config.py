@@ -1,0 +1,52 @@
+"""Tuning knobs for the networked serving frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.protocol import MAX_FRAME
+
+__all__ = ["NetConfig"]
+
+
+@dataclass(frozen=True)
+class NetConfig:
+    """Policy for one :class:`~repro.net.QueryNetServer`.
+
+    Parameters
+    ----------
+    max_frame:
+        Hard cap on a single frame body, both directions; oversized
+        frames fail with ``FrameTooLargeError`` before allocation.
+    max_push_queue:
+        Per-connection bound on buffered *push* frames (answer-change
+        events).  A connection whose queue is full when the next push
+        arrives is a slow consumer: its subscribed sessions are shed
+        through the server's admission controller (same degradation
+        path as op-rate shedding) and a final ``shed`` notice is
+        force-queued.  Responses to explicit requests are never
+        dropped — the bound only governs the unsolicited stream.
+    handshake_timeout:
+        Seconds a fresh connection gets to complete the ``hello``
+        protocol-version handshake before it is dropped.
+    idempotency_cache:
+        How many request-id → response entries the server remembers
+        for retry deduplication (FIFO eviction).  Each retried request
+        with a remembered id replays the stored response without
+        re-applying the verb.
+    """
+
+    max_frame: int = MAX_FRAME
+    max_push_queue: int = 64
+    handshake_timeout: float = 5.0
+    idempotency_cache: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_frame < 64:
+            raise ValueError("max_frame must be at least 64 bytes")
+        if self.max_push_queue < 1:
+            raise ValueError("max_push_queue must be positive")
+        if self.handshake_timeout <= 0:
+            raise ValueError("handshake_timeout must be positive")
+        if self.idempotency_cache < 1:
+            raise ValueError("idempotency_cache must be positive")

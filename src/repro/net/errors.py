@@ -1,0 +1,95 @@
+"""Typed errors for the networked serving frontend.
+
+Two families meet here.  The *transport* family (:class:`NetError` and
+subclasses) covers failures of the wire itself — malformed frames,
+protocol-version mismatches, lost connections, request timeouts.  The
+*application* family is the existing :mod:`repro.server.errors`
+hierarchy: the server serializes the exception's type name over the
+wire and the client re-raises the very same class, so remote callers
+catch ``AdmissionError`` / ``SessionShedError`` / … exactly as
+in-process callers do.
+"""
+
+from __future__ import annotations
+
+from repro.server import errors as server_errors
+
+__all__ = [
+    "NetError",
+    "ProtocolError",
+    "FrameTooLargeError",
+    "VersionMismatchError",
+    "ConnectionLostError",
+    "RequestTimeoutError",
+    "RemoteError",
+    "error_to_wire",
+    "raise_from_wire",
+]
+
+
+class NetError(RuntimeError):
+    """Base class for transport-level failures of the net frontend."""
+
+
+class ProtocolError(NetError):
+    """A malformed frame, an unknown verb, or a handshake violation."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame announced a length beyond the configured maximum."""
+
+
+class VersionMismatchError(ProtocolError):
+    """The peer speaks an incompatible protocol version."""
+
+
+class ConnectionLostError(NetError):
+    """The connection died and bounded reconnect retries ran out."""
+
+
+class RequestTimeoutError(NetError):
+    """No response arrived within the per-request timeout (and retries,
+    if any, also timed out)."""
+
+
+class RemoteError(NetError):
+    """The server raised an exception type this client cannot map; the
+    original type name and message ride in the error text."""
+
+
+# Exception classes allowed to cross the wire *as themselves*: the
+# whole typed server hierarchy plus the built-ins its API documents
+# (ValueError for bad close windows, KeyError/TypeError for bad args).
+_WIRE_TYPES = {
+    name: getattr(server_errors, name) for name in server_errors.__all__
+}
+_WIRE_TYPES.update(
+    {
+        "ValueError": ValueError,
+        "KeyError": KeyError,
+        "TypeError": TypeError,
+        "RuntimeError": RuntimeError,
+        "ProtocolError": ProtocolError,
+        "VersionMismatchError": VersionMismatchError,
+        "FrameTooLargeError": FrameTooLargeError,
+    }
+)
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    """Serialize an exception for an error response frame."""
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def raise_from_wire(error: dict) -> None:
+    """Re-raise a wire error as its original (registered) type.
+
+    Unregistered types degrade to :class:`RemoteError` carrying the
+    original type name, so nothing is ever silently swallowed.
+    """
+    name = str(error.get("type", "RemoteError"))
+    message = str(error.get("message", ""))
+    cls = _WIRE_TYPES.get(name)
+    if cls is None:
+        raise RemoteError(f"{name}: {message}")
+    raise cls(message)

@@ -1,0 +1,161 @@
+"""The wire protocol: length-prefixed JSON frames over TCP.
+
+Every message is one *frame*: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON.  Three frame shapes exist:
+
+- **requests** — ``{"id": <hex>, "verb": <name>, ...args}``; the ``id``
+  is client-generated and idempotent (the server caches responses per
+  id, so a retried request is applied at most once);
+- **responses** — ``{"id": <hex>, "ok": true, "result": {...}}`` or
+  ``{"id": <hex>, "ok": false, "error": {"type", "message"}}``;
+- **events** — ``{"event": <name>, ...}``, pushed server→client with
+  no id (continuous-query answer changes, shed notices, drain
+  deliveries).
+
+The first request on a connection must be the ``hello`` handshake
+carrying :data:`PROTOCOL_VERSION`; mismatches are rejected before any
+session verb runs.
+
+Answer payloads ride the type-preserving oid keys of
+:func:`repro.io.oid_to_key` (int / str / tuple object ids survive the
+round trip) and the ``inf``-safe interval bounds of :mod:`repro.io`,
+so a remotely-served :class:`~repro.query.answers.SnapshotAnswer`
+reconstructs bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Optional, Set, Union
+
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.io import _bound_from_json, _bound_to_json, oid_from_key, oid_to_key
+from repro.net.errors import FrameTooLargeError, ProtocolError
+from repro.query.answers import SnapshotAnswer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME",
+    "HEADER",
+    "encode_frame",
+    "decode_payload",
+    "members_to_wire",
+    "members_from_wire",
+    "answer_to_wire",
+    "answer_from_wire",
+]
+
+PROTOCOL_VERSION = 1
+MAX_FRAME = 8 * 1024 * 1024
+HEADER = struct.Struct(">I")
+
+Members = Union[Set[Any], Dict[int, Set[Any]]]
+Answer = Union[SnapshotAnswer, Dict[int, SnapshotAnswer]]
+
+
+def encode_frame(payload: dict, max_frame: int = MAX_FRAME) -> bytes:
+    """One message as ``len || utf-8 json`` bytes."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_frame:
+        raise FrameTooLargeError(
+            f"frame of {len(body)} bytes exceeds the {max_frame}-byte cap"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """The JSON object inside one frame body."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must carry a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Instant answers (member sets)
+# ---------------------------------------------------------------------------
+def members_to_wire(members: Members) -> Union[list, dict]:
+    """Encode an instant answer: a sorted oid-key list, or per-k lists
+    for multiknn sessions."""
+    if isinstance(members, dict):
+        return {
+            str(int(k)): sorted(oid_to_key(oid) for oid in v)
+            for k, v in members.items()
+        }
+    return sorted(oid_to_key(oid) for oid in members)
+
+
+def members_from_wire(wire: Union[list, dict]) -> Members:
+    """Decode an instant answer back to set / per-k dict-of-sets."""
+    if isinstance(wire, dict):
+        return {
+            int(k): {oid_from_key(key) for key in v}
+            for k, v in wire.items()
+        }
+    return {oid_from_key(key) for key in wire}
+
+
+# ---------------------------------------------------------------------------
+# Snapshot answers
+# ---------------------------------------------------------------------------
+def _single_answer_to_wire(answer: SnapshotAnswer) -> dict:
+    return {
+        "interval": [
+            _bound_to_json(answer.interval.lo),
+            _bound_to_json(answer.interval.hi),
+        ],
+        "memberships": {
+            oid_to_key(oid): [
+                [_bound_to_json(iv.lo), _bound_to_json(iv.hi)]
+                for iv in answer.intervals_for(oid)
+            ]
+            for oid in sorted(answer.objects, key=oid_to_key)
+        },
+    }
+
+
+def _single_answer_from_wire(wire: dict) -> SnapshotAnswer:
+    interval = Interval(
+        _bound_from_json(wire["interval"][0]),
+        _bound_from_json(wire["interval"][1]),
+    )
+    memberships = {
+        oid_from_key(key): IntervalSet(
+            Interval(_bound_from_json(lo), _bound_from_json(hi))
+            for lo, hi in pairs
+        )
+        for key, pairs in wire["memberships"].items()
+    }
+    return SnapshotAnswer(memberships, interval)
+
+
+def answer_to_wire(answer: Optional[Answer]) -> Optional[dict]:
+    """Encode a snapshot answer (or a multiknn per-k dict of them)."""
+    if answer is None:
+        return None
+    if isinstance(answer, dict):
+        return {
+            "ks": {
+                str(int(k)): _single_answer_to_wire(v)
+                for k, v in answer.items()
+            }
+        }
+    return _single_answer_to_wire(answer)
+
+
+def answer_from_wire(wire: Optional[dict]) -> Optional[Answer]:
+    """Decode a snapshot answer written by :func:`answer_to_wire`."""
+    if wire is None:
+        return None
+    if "ks" in wire:
+        return {
+            int(k): _single_answer_from_wire(v)
+            for k, v in wire["ks"].items()
+        }
+    return _single_answer_from_wire(wire)

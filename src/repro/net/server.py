@@ -1,0 +1,827 @@
+"""The networked serving frontend: asyncio TCP over a QueryServer.
+
+:class:`QueryNetServer` puts a wire on PR 6's multi-tenant
+:class:`~repro.server.QueryServer`: a single asyncio event loop (run on
+a dedicated daemon thread) accepts length-prefixed JSON connections,
+speaks the :mod:`repro.net.protocol` verbs — ``hello`` / ``open`` /
+``advance`` / ``members`` / ``close`` / ``explain`` / ``subscribe`` /
+``unsubscribe`` / ``ping`` / ``stats`` — and serializes **all** access
+to the query server on that loop thread, so the engine groups never
+see concurrent mutation.
+
+Update ingestion is marshaled the same way: the frontend replaces the
+query server's database subscription with one that blocks the applying
+thread until the loop thread has fanned the update out and pushed
+answer-change events to subscribed connections.  ``db.apply(update)``
+therefore keeps its synchronous contract — when it returns, every
+session (local or remote) reflects the update.
+
+Robustness is built in rather than bolted on:
+
+- **idempotent retries** — responses to mutating verbs are cached per
+  client-generated request id, so a client that resends after a lost
+  connection gets the stored response and the verb is applied at most
+  once;
+- **backpressure** — each connection's unsolicited push stream rides a
+  bounded queue; a slow consumer's subscribed sessions are shed
+  through the query server's admission controller (the same typed
+  degradation as op-rate shedding) and a ``shed`` notice is delivered;
+- **graceful drain** — :meth:`QueryNetServer.drain` stops accepting,
+  flushes the shared applier, closes every live session, pushes each
+  final answer to its owning connection, and only then shuts the query
+  server down — no write or answer is dropped silently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from itertools import count
+from typing import Dict, Optional, Set, Tuple
+
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.net.config import NetConfig
+from repro.net.errors import (
+    FrameTooLargeError,
+    NetError,
+    ProtocolError,
+    VersionMismatchError,
+    error_to_wire,
+)
+from repro.net.protocol import (
+    HEADER,
+    PROTOCOL_VERSION,
+    answer_to_wire,
+    decode_payload,
+    encode_frame,
+    members_to_wire,
+)
+from repro.obs.metrics import NULL_COUNTER
+from repro.server.errors import ServerClosedError, ServerError
+from repro.server.server import QueryServer
+from repro.server.session import ACTIVE, QUEUED
+
+__all__ = ["NetStats", "QueryNetServer"]
+
+SERVER_SOFTWARE = "repro-net/1"
+
+# Verbs whose responses are remembered for request-id replay; the
+# read-only verbs are safe to re-execute.
+_MUTATING = frozenset({"open", "advance", "close", "explain"})
+
+
+@dataclass
+class NetStats:
+    """Plain counters for one net frontend (metrics mirror them)."""
+
+    connections: int = 0
+    handshake_failures: int = 0
+    requests: int = 0
+    replays: int = 0
+    errors: int = 0
+    pushes: int = 0
+    sheds: int = 0
+    drained: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+
+class _Connection:
+    """One accepted TCP connection: framing state + push queue."""
+
+    __slots__ = (
+        "cid",
+        "reader",
+        "writer",
+        "queue",
+        "wake",
+        "subscriptions",
+        "sessions",
+        "closing",
+        "paused",
+        "writer_task",
+        "last_frame_bytes",
+        "last_decode_seconds",
+    )
+
+    def __init__(self, cid: int, reader, writer) -> None:
+        self.cid = cid
+        self.reader = reader
+        self.writer = writer
+        self.queue: deque = deque()
+        self.wake = asyncio.Event()
+        # sid -> last pushed members wire (the change-detection baseline)
+        self.subscriptions: Dict[int, object] = {}
+        self.sessions: Set[int] = set()
+        self.closing = False
+        # Test/flow-control hook: a paused connection's writer holds
+        # back, letting the push queue fill deterministically.
+        self.paused = False
+        self.writer_task = None
+        self.last_frame_bytes = 0
+        self.last_decode_seconds = 0.0
+
+
+class QueryNetServer:
+    """Serve a :class:`~repro.server.QueryServer` over TCP.
+
+    Build one via :func:`repro.core.api.serve_tcp` (which also
+    constructs the query server), or wrap an existing server and call
+    :meth:`start`.  The instance is a context manager: leaving the
+    ``with`` block drains and closes.
+    """
+
+    def __init__(
+        self,
+        server: QueryServer,
+        config: Optional[NetConfig] = None,
+    ) -> None:
+        self._server = server
+        self._config = config if config is not None else NetConfig()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._thread_ident: Optional[int] = None
+        self._asyncio_server = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._connections: Set[_Connection] = set()
+        self._sessions: Dict[int, object] = {}
+        self._owners: Dict[int, _Connection] = {}
+        self._replies: "OrderedDict[str, dict]" = OrderedDict()
+        self._next_cid = count(1)
+        self._closed = False
+        self._draining = False
+        self.stats = NetStats()
+        self._bind_instruments()
+
+    # -- instruments ------------------------------------------------------
+    def _bind_instruments(self) -> None:
+        obs = self._server.observe
+        if obs is None:
+            self._c_request = lambda verb: NULL_COUNTER
+            self._c_event = lambda event: NULL_COUNTER
+            self._c_bytes = lambda direction: NULL_COUNTER
+            return
+        m = obs.metrics
+        requests = m.counter(
+            "net_requests_total", "Requests dispatched, by verb.",
+            labels=("verb",),
+        )
+        self._c_request = lambda verb: requests.labels(verb=verb)
+        events = m.counter(
+            "net_events_total",
+            "Frontend lifecycle events (connect / replay / push / "
+            "shed / drain / error).",
+            labels=("event",),
+        )
+        self._c_event = lambda event: events.labels(event=event)
+        nbytes = m.counter(
+            "net_bytes_total", "Frame bytes moved, by direction.",
+            labels=("direction",),
+        )
+        self._c_bytes = lambda direction: nbytes.labels(direction=direction)
+        m.gauge(
+            "net_connections_open", "Currently accepted connections."
+        ).set_function(lambda: len(self._connections))
+        m.gauge(
+            "net_subscriptions", "Live push subscriptions."
+        ).set_function(
+            lambda: sum(len(c.subscriptions) for c in self._connections)
+        )
+
+    # -- lifecycle --------------------------------------------------------
+    def start(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> "QueryNetServer":
+        """Bind, start the loop thread, and take over update ingestion."""
+        if self._loop is not None:
+            raise NetError("net server already started")
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-net", daemon=True
+        )
+        self._thread.start()
+        self._call(self._start_async(host, port))
+        # Updates now route through the loop thread: the applying
+        # thread blocks until fan-out + pushes are done, keeping
+        # db.apply's synchronous contract for remote consumers too.
+        db = self._server.db
+        db.unsubscribe(self._server._on_update)
+        db.subscribe(self._ingest)
+        return self
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._thread_ident = threading.get_ident()
+        self._loop.run_forever()
+        self._loop.close()
+
+    def _call(self, coro, timeout: float = 30.0):
+        """Run a coroutine on the loop thread and wait for it."""
+        if self._loop is None:
+            raise NetError("net server is not running")
+        if threading.get_ident() == self._thread_ident:
+            raise NetError("cannot block on the loop thread")
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout)
+
+    async def _start_async(self, host: str, port: int) -> None:
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port
+        )
+        self._address = self._asyncio_server.sockets[0].getsockname()[:2]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        if self._address is None:
+            raise NetError("net server is not started")
+        return self._address
+
+    @property
+    def server(self) -> QueryServer:
+        """The wrapped multi-tenant query server."""
+        return self._server
+
+    @property
+    def config(self) -> NetConfig:
+        return self._config
+
+    def __enter__(self) -> "QueryNetServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- ingestion (any thread -> loop thread) ----------------------------
+    def _ingest(self, update) -> None:
+        if self._closed:
+            raise ServerClosedError(
+                f"update at t={update.time} reached a closed net server"
+            )
+        if threading.get_ident() == self._thread_ident:
+            self._ingest_on_loop(update)
+        else:
+            self._call(self._aingest(update))
+
+    async def _aingest(self, update) -> None:
+        self._ingest_on_loop(update)
+
+    def _ingest_on_loop(self, update) -> None:
+        self._server._on_update(update)
+        if self._server.applier.pending == 0:
+            # The batch flushed: subscribed connections see the world
+            # move.  (Buffered updates push at their flush instead.)
+            self._push_answer_changes()
+
+    # -- connection handling ----------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        conn = _Connection(next(self._next_cid), reader, writer)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                import socket as _socket
+
+                sock.setsockopt(
+                    _socket.IPPROTO_TCP, _socket.TCP_NODELAY, 1
+                )
+            except OSError:
+                pass
+        self.stats.connections += 1
+        self._c_event("connect").inc()
+        self._connections.add(conn)
+        conn.writer_task = asyncio.get_event_loop().create_task(
+            self._writer_loop(conn)
+        )
+        try:
+            if await self._handshake(conn):
+                await self._request_loop(conn)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+        ):
+            pass
+        finally:
+            conn.closing = True
+            conn.wake.set()
+            try:
+                await conn.writer_task
+            except asyncio.CancelledError:
+                pass
+            try:
+                writer.close()
+            except Exception:
+                pass
+            self._connections.discard(conn)
+            conn.subscriptions.clear()
+            # Sessions deliberately survive the connection: a client
+            # that reconnects can resume (and retry) them by id.
+
+    async def _read_frame(self, conn: _Connection) -> dict:
+        header = await conn.reader.readexactly(HEADER.size)
+        (length,) = HEADER.unpack(header)
+        if length > self._config.max_frame:
+            # Skip the announced body so framing stays intact, then
+            # report; the connection keeps working.
+            remaining = length
+            while remaining > 0:
+                chunk = await conn.reader.read(min(remaining, 1 << 16))
+                if not chunk:
+                    raise asyncio.IncompleteReadError(b"", remaining)
+                remaining -= len(chunk)
+            raise FrameTooLargeError(
+                f"request frame of {length} bytes exceeds the "
+                f"{self._config.max_frame}-byte cap"
+            )
+        body = await conn.reader.readexactly(length)
+        self.stats.bytes_in += HEADER.size + length
+        self._c_bytes("in").inc(HEADER.size + length)
+        started = time.perf_counter()
+        payload = decode_payload(body)
+        conn.last_decode_seconds = time.perf_counter() - started
+        conn.last_frame_bytes = length
+        return payload
+
+    async def _handshake(self, conn: _Connection) -> bool:
+        try:
+            request = await asyncio.wait_for(
+                self._read_frame(conn), self._config.handshake_timeout
+            )
+        except (asyncio.TimeoutError, ProtocolError):
+            self.stats.handshake_failures += 1
+            return False
+        rid = request.get("id")
+        if request.get("verb") != "hello":
+            self._fail_handshake(
+                conn, rid, ProtocolError("first frame must be 'hello'")
+            )
+            return False
+        version = request.get("version")
+        if version != PROTOCOL_VERSION:
+            self._fail_handshake(
+                conn,
+                rid,
+                VersionMismatchError(
+                    f"server speaks protocol {PROTOCOL_VERSION}, "
+                    f"client sent {version!r}"
+                ),
+            )
+            return False
+        self._send(
+            conn,
+            {
+                "id": rid,
+                "ok": True,
+                "result": {
+                    "version": PROTOCOL_VERSION,
+                    "server": SERVER_SOFTWARE,
+                },
+            },
+            force=True,
+        )
+        return True
+
+    def _fail_handshake(self, conn, rid, exc) -> None:
+        self.stats.handshake_failures += 1
+        self._send(
+            conn,
+            {"id": rid, "ok": False, "error": error_to_wire(exc)},
+            force=True,
+        )
+
+    async def _request_loop(self, conn: _Connection) -> None:
+        while not conn.closing:
+            try:
+                request = await self._read_frame(conn)
+            except FrameTooLargeError as exc:
+                self._send(
+                    conn,
+                    {"id": None, "ok": False, "error": error_to_wire(exc)},
+                    force=True,
+                )
+                continue
+            except ProtocolError as exc:
+                self._send(
+                    conn,
+                    {"id": None, "ok": False, "error": error_to_wire(exc)},
+                    force=True,
+                )
+                continue
+            response = self._dispatch(conn, request)
+            self._send(conn, response, force=True)
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch(self, conn: _Connection, request: dict) -> dict:
+        rid = request.get("id")
+        verb = request.get("verb")
+        self.stats.requests += 1
+        self._c_request(verb if isinstance(verb, str) else "?").inc()
+        if rid is not None and rid in self._replies:
+            # Idempotent retry: replay without re-applying.
+            self.stats.replays += 1
+            self._c_event("replay").inc()
+            return self._replies[rid]
+        handler = self._VERBS.get(verb)
+        try:
+            if handler is None:
+                raise ProtocolError(f"unknown verb {verb!r}")
+            result = handler(self, conn, request)
+            response = {"id": rid, "ok": True, "result": result}
+        except Exception as exc:  # typed over the wire, never fatal
+            self.stats.errors += 1
+            self._c_event("error").inc()
+            response = {"id": rid, "ok": False, "error": error_to_wire(exc)}
+        if rid is not None and verb in _MUTATING:
+            self._remember(str(rid), response)
+        return response
+
+    def _remember(self, rid: str, response: dict) -> None:
+        self._replies[rid] = response
+        while len(self._replies) > self._config.idempotency_cache:
+            self._replies.popitem(last=False)
+
+    def _get_session(self, conn: _Connection, request: dict):
+        try:
+            sid = int(request["session"])
+        except (KeyError, TypeError, ValueError):
+            raise ProtocolError("request needs an integer 'session'")
+        session = self._sessions.get(sid)
+        if session is None:
+            raise KeyError(f"unknown session {sid}")
+        # The most recent connection to touch a session owns it for
+        # push/drain delivery (reconnected clients take over).
+        self._owners[sid] = conn
+        return session
+
+    # -- verbs -------------------------------------------------------------
+    def _verb_open(self, conn: _Connection, request: dict) -> dict:
+        kind = request.get("kind")
+        coords = request.get("query")
+        if not isinstance(coords, (list, tuple)) or not coords:
+            raise ProtocolError(
+                "open needs 'query': the fixed query point's coordinates"
+            )
+        gdistance = SquaredEuclideanDistance([float(c) for c in coords])
+        priority = int(request.get("priority", 0))
+        shards = request.get("shards")
+        shards = None if shards is None else int(shards)
+        server = self._server
+        if kind == "knn":
+            session = server.register_knn(
+                gdistance,
+                k=int(request.get("k", 1)),
+                priority=priority,
+                shards=shards,
+            )
+        elif kind == "within":
+            if "threshold" in request:
+                # g-distance units, compared as-is.
+                threshold = float(request["threshold"])
+            elif "distance" in request:
+                distance = float(request["distance"])
+                threshold = distance * distance
+            else:
+                raise ProtocolError(
+                    "within needs 'distance' (Euclidean) or "
+                    "'threshold' (g-distance units)"
+                )
+            session = server.register_within(
+                gdistance, threshold, priority=priority, shards=shards
+            )
+        elif kind == "multiknn":
+            session = server.register_multiknn(
+                gdistance,
+                [int(k) for k in request.get("ks", ())],
+                priority=priority,
+                shards=shards,
+            )
+        else:
+            raise ProtocolError(f"unknown query kind {kind!r}")
+        sid = session.session_id
+        self._sessions[sid] = session
+        self._owners[sid] = conn
+        conn.sessions.add(sid)
+        return {
+            "session": sid,
+            "kind": kind,
+            "state": session.state,
+            "start": session.start,
+        }
+
+    def _verb_advance(self, conn: _Connection, request: dict) -> dict:
+        session = self._get_session(conn, request)
+        members = session.advance_to(float(request["to"]))
+        return {"members": members_to_wire(members)}
+
+    def _verb_members(self, conn: _Connection, request: dict) -> dict:
+        session = self._get_session(conn, request)
+        return {"members": members_to_wire(session.members)}
+
+    def _verb_close(self, conn: _Connection, request: dict) -> dict:
+        session = self._get_session(conn, request)
+        at = request.get("at")
+        answer = session.close(at=None if at is None else float(at))
+        self._drop_subscriptions(session.session_id)
+        return {"state": session.state, "answer": answer_to_wire(answer)}
+
+    def _verb_explain(self, conn: _Connection, request: dict) -> dict:
+        from repro.obs.explain import ExplainReport
+        from repro.obs.profile import QueryProfiler
+
+        session = self._get_session(conn, request)
+        at = request.get("at")
+        meta = {
+            "session": session.session_id,
+            "shards": session.shards,
+            **{
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in session.params.items()
+            },
+        }
+        profiler = QueryProfiler()
+        with profiler.profile(
+            f"net.{session.kind}",
+            query_id=request.get("query_id"),
+            **meta,
+        ) as prof:
+            # The frame was decoded before anyone knew it asked for an
+            # EXPLAIN; attribute the eagerly-measured cost after the
+            # fact.
+            decode = prof.root.child("net.decode")
+            decode.add_time(conn.last_decode_seconds)
+            decode.annotate(bytes=conn.last_frame_bytes)
+            with prof.stage("net.dispatch"):
+                answer = self._server.close_with_profile(
+                    session, None if at is None else float(at), prof
+                )
+            with prof.stage("net.encode") as stage:
+                wire = answer_to_wire(answer)
+                stage.annotate(bytes=len(json.dumps(wire)))
+            recorded = (
+                answer[max(answer)] if isinstance(answer, dict) else answer
+            )
+            prof.record_answer(recorded)
+        report = ExplainReport(prof, answer)
+        self._drop_subscriptions(session.session_id)
+        return {
+            "state": session.state,
+            "answer": wire,
+            "report": report.to_dict(),
+        }
+
+    def _verb_subscribe(self, conn: _Connection, request: dict) -> dict:
+        session = self._get_session(conn, request)
+        baseline = members_to_wire(session.members)
+        conn.subscriptions[session.session_id] = baseline
+        return {"subscribed": session.session_id, "members": baseline}
+
+    def _verb_unsubscribe(self, conn: _Connection, request: dict) -> dict:
+        sid = int(request["session"])
+        conn.subscriptions.pop(sid, None)
+        return {"unsubscribed": sid}
+
+    def _verb_ping(self, conn: _Connection, request: dict) -> dict:
+        return {"pong": True, "tau": self._server.db.last_update_time}
+
+    def _verb_stats(self, conn: _Connection, request: dict) -> dict:
+        server_stats = self._server.stats
+        return {
+            "server": {
+                field: getattr(server_stats, field)
+                for field in server_stats.__dataclass_fields__
+            },
+            "net": {
+                field: getattr(self.stats, field)
+                for field in self.stats.__dataclass_fields__
+            },
+            "groups": self._server.group_count,
+            "applier": {
+                "applied": self._server.applier.stats.applied,
+                "fanout": self._server.applier.stats.fanout,
+                "pending_high_water": (
+                    self._server.applier.stats.pending_high_water
+                ),
+            },
+        }
+
+    _VERBS = {
+        "open": _verb_open,
+        "advance": _verb_advance,
+        "members": _verb_members,
+        "close": _verb_close,
+        "explain": _verb_explain,
+        "subscribe": _verb_subscribe,
+        "unsubscribe": _verb_unsubscribe,
+        "ping": _verb_ping,
+        "stats": _verb_stats,
+    }
+
+    # -- push stream --------------------------------------------------------
+    def _push_answer_changes(self) -> None:
+        if not any(conn.subscriptions for conn in self._connections):
+            return
+        tau = self._server.db.last_update_time
+        for conn in list(self._connections):
+            if conn.closing:
+                continue
+            for sid in list(conn.subscriptions):
+                session = self._sessions.get(sid)
+                if session is None or session.state != ACTIVE:
+                    conn.subscriptions.pop(sid, None)
+                    continue
+                try:
+                    wire = members_to_wire(session.members)
+                except ServerError as exc:
+                    # The session died under us (shed / quarantined):
+                    # one final typed notice, then the stream ends.
+                    conn.subscriptions.pop(sid, None)
+                    self._send(
+                        conn,
+                        {
+                            "event": "lost",
+                            "session": sid,
+                            "error": error_to_wire(exc),
+                        },
+                        force=True,
+                    )
+                    continue
+                if wire != conn.subscriptions.get(sid):
+                    conn.subscriptions[sid] = wire
+                    delivered = self._send(
+                        conn,
+                        {
+                            "event": "answer_change",
+                            "session": sid,
+                            "time": tau,
+                            "members": wire,
+                        },
+                    )
+                    if delivered:
+                        self.stats.pushes += 1
+                        self._c_event("push").inc()
+                    else:
+                        break  # connection was just shed or closed
+
+    def _send(
+        self, conn: _Connection, payload: dict, force: bool = False
+    ) -> bool:
+        """Queue one frame; bounded for pushes, unconditional for
+        responses.  Returns False when the frame was not queued."""
+        if conn.closing:
+            return False
+        if (
+            not force
+            and len(conn.queue) >= self._config.max_push_queue
+        ):
+            self._shed_slow_consumer(conn)
+            return False
+        frame = encode_frame(payload, self._config.max_frame)
+        conn.queue.append(frame)
+        # Counted at enqueue, not at flush: once a frame is committed
+        # to the wire its bytes are part of the protocol's cost, and
+        # the counters stay deterministic regardless of writer timing.
+        self.stats.bytes_out += len(frame)
+        self._c_bytes("out").inc(len(frame))
+        conn.wake.set()
+        return True
+
+    def _shed_slow_consumer(self, conn: _Connection) -> None:
+        """A full push queue means the consumer cannot keep up: shed
+        its subscribed sessions through the admission controller and
+        tell it why (the notice is force-queued)."""
+        shed_sids = []
+        for sid in list(conn.subscriptions):
+            conn.subscriptions.pop(sid, None)
+            session = self._sessions.get(sid)
+            if session is not None and session.state == ACTIVE:
+                self._server.shed(session)
+                shed_sids.append(sid)
+        self.stats.sheds += 1
+        self._c_event("shed").inc()
+        self._send(
+            conn,
+            {
+                "event": "shed",
+                "sessions": shed_sids,
+                "reason": (
+                    f"push queue exceeded {self._config.max_push_queue} "
+                    f"frames (slow consumer)"
+                ),
+            },
+            force=True,
+        )
+
+    def _drop_subscriptions(self, sid: int) -> None:
+        for conn in self._connections:
+            conn.subscriptions.pop(sid, None)
+
+    async def _writer_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                while conn.paused and not conn.closing:
+                    await asyncio.sleep(0.005)
+                if conn.queue:
+                    frame = conn.queue.popleft()
+                    conn.writer.write(frame)
+                    await conn.writer.drain()
+                    continue
+                if conn.closing:
+                    return
+                conn.wake.clear()
+                if conn.queue or conn.closing:
+                    continue
+                await conn.wake.wait()
+        except (ConnectionError, OSError):
+            conn.closing = True
+
+    # -- drain and close ----------------------------------------------------
+    def drain(self) -> Dict[int, object]:
+        """Gracefully wind the service down.
+
+        Stops accepting, flushes the shared applier, closes every live
+        session (queued ones are cancelled), pushes each final answer
+        to the session's owning connection as a ``drain`` event, says
+        ``goodbye``, and shuts the query server down.  Returns the
+        final answers by session id.
+        """
+        return self._call(self._drain_async(), timeout=60.0)
+
+    async def _drain_async(self) -> Dict[int, object]:
+        if self._draining:
+            return {}
+        self._draining = True
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+            self._asyncio_server = None
+        self._server.applier.flush()
+        drained: Dict[int, object] = {}
+        # Cancel the admission queue first: closing an active session
+        # below would otherwise promote a queued one mid-drain and
+        # hand it a zero-width answer window.
+        for session in sorted(
+            self._sessions.values(), key=lambda s: s.session_id
+        ):
+            if session.state == QUEUED:
+                session.close()  # cancel; it never had an answer window
+        for sid, session in sorted(self._sessions.items()):
+            if session.state != ACTIVE:
+                continue
+            answer = session.close()
+            drained[sid] = answer
+            self.stats.drained += 1
+            self._c_event("drain").inc()
+            owner = self._owners.get(sid)
+            if owner is not None and not owner.closing:
+                self._send(
+                    owner,
+                    {
+                        "event": "drain",
+                        "session": sid,
+                        "answer": answer_to_wire(answer),
+                    },
+                    force=True,
+                )
+        for conn in list(self._connections):
+            self._send(
+                conn, {"event": "goodbye", "reason": "drain"}, force=True
+            )
+            conn.closing = True
+            conn.wake.set()
+        for conn in list(self._connections):
+            if conn.writer_task is not None:
+                try:
+                    await conn.writer_task
+                except asyncio.CancelledError:
+                    pass
+            try:
+                conn.writer.close()
+            except Exception:
+                pass
+        self._server.shutdown()
+        return drained
+
+    def close(self) -> None:
+        """Tear the frontend down (draining first if needed).
+
+        Idempotent.  Afterwards the database no longer routes updates
+        through the frontend, the loop thread is joined, and the
+        wrapped query server is shut down.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._server.db.unsubscribe(self._ingest)
+        if self._loop is not None:
+            try:
+                self._call(self._drain_async(), timeout=60.0)
+            except Exception:
+                pass
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+        self._server.shutdown()

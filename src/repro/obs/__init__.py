@@ -33,7 +33,7 @@ path costs a bound-counter increment per event, and passing
 """
 
 from repro.obs.audit import AuditResult, ComplexityAudit, fit_envelope
-from repro.obs.explain import ExplainReport, explain
+from repro.obs.explain import ExplainReport, explain, render_report
 from repro.obs.instrument import Instrumentation, as_instrumentation
 from repro.obs.metrics import (
     Counter,
@@ -86,4 +86,5 @@ __all__ = [
     "as_instrumentation",
     "explain",
     "fit_envelope",
+    "render_report",
 ]

@@ -34,7 +34,7 @@ from typing import Optional, Sequence
 from repro.geometry.intervals import Interval
 from repro.obs.profile import QueryProfile, QueryProfiler
 
-__all__ = ["ExplainReport", "explain"]
+__all__ = ["ExplainReport", "explain", "render_report"]
 
 
 class ExplainReport:
@@ -72,27 +72,8 @@ class ExplainReport:
 
     def text(self) -> str:
         """An EXPLAIN-style indented stage tree."""
-        prof = self.profile
-        prof.finish()
-        lines = [
-            f"EXPLAIN {prof.kind} [{prof.query_id}]"
-            + (f"  {_meta_text(prof.meta)}" if prof.meta else ""),
-            f"total: {_ms(prof.total_seconds)}  "
-            f"(stage coverage {prof.coverage * 100.0:.1f}%)",
-        ]
-        for key in sorted(
-            prof.root.children,
-            key=lambda k: (k[0], k[1] is not None, k[1] or 0),
-        ):
-            _render(prof.root.children[key], lines, depth=1)
-        skew = prof.shard_skew()
-        if skew is not None:
-            lines.append(
-                f"shards: {skew['shards']}  max/mean ops "
-                f"{skew['max_ops']:.0f}/{skew['mean_ops']:.0f}  "
-                f"skew {skew['skew']:.2f}x"
-            )
-        return "\n".join(lines)
+        self.profile.finish()
+        return render_report(self.to_dict())
 
     def __str__(self) -> str:
         return self.text()
@@ -112,23 +93,50 @@ def _meta_text(meta: dict) -> str:
     return " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
 
 
-def _render(stage, lines, depth: int) -> None:
-    label = stage.name
-    if stage.shard is not None:
-        label += f"[shard {stage.shard}]"
-    bits = [f"{'  ' * depth}-> {label}: {_ms(stage.wall_seconds)}"]
-    if stage.count > 1:
-        bits.append(f"x{stage.count}")
-    for key in sorted(stage.attrs):
-        value = stage.attrs[key]
+def _render(stage: dict, lines, depth: int) -> None:
+    label = stage["name"]
+    if stage.get("shard") is not None:
+        label += f"[shard {stage['shard']}]"
+    bits = [f"{'  ' * depth}-> {label}: {_ms(stage['wall_seconds'])}"]
+    if stage.get("count", 1) > 1:
+        bits.append(f"x{stage['count']}")
+    attrs = stage.get("attrs", {})
+    for key in sorted(attrs):
+        value = attrs[key]
         if isinstance(value, float) and value == int(value):
             value = int(value)
         bits.append(f"{key}={value}")
     lines.append("  ".join(bits))
-    for key in sorted(
-        stage.children, key=lambda k: (k[0], k[1] is not None, k[1] or 0)
-    ):
-        _render(stage.children[key], lines, depth + 1)
+    for child in stage.get("children", ()):
+        _render(child, lines, depth + 1)
+
+
+def render_report(report: dict) -> str:
+    """Render a report *dict* (:meth:`ExplainReport.to_dict` output) as
+    the EXPLAIN-style text tree.
+
+    Operating on the JSON-ready dict rather than live
+    :class:`~repro.obs.profile.Stage` objects means a report that
+    crossed a process or network boundary — e.g. one returned by the
+    :mod:`repro.net` frontend's ``explain`` verb — renders exactly like
+    a local one.
+    """
+    lines = [
+        f"EXPLAIN {report['kind']} [{report['query_id']}]"
+        + (f"  {_meta_text(report['meta'])}" if report.get("meta") else ""),
+        f"total: {_ms(report['total_seconds'])}  "
+        f"(stage coverage {report['coverage'] * 100.0:.1f}%)",
+    ]
+    for stage in report.get("stages", ()):
+        _render(stage, lines, depth=1)
+    skew = report.get("shard_skew")
+    if skew is not None:
+        lines.append(
+            f"shards: {skew['shards']}  max/mean ops "
+            f"{skew['max_ops']:.0f}/{skew['mean_ops']:.0f}  "
+            f"skew {skew['skew']:.2f}x"
+        )
+    return "\n".join(lines)
 
 
 def explain(

@@ -179,6 +179,17 @@ class Stage:
             else:
                 self.attrs[key] = value
 
+    def add_time(self, seconds: float) -> None:
+        """Fold an *externally measured* wall-time span into this stage.
+
+        Some costs are paid before the profile exists — the networked
+        frontend decodes a request frame before it can know the request
+        asks for an EXPLAIN — so the measurement is taken eagerly and
+        attributed here after the fact.  Counts as one (re-)entry.
+        """
+        self.wall_seconds += float(seconds)
+        self.count += 1
+
     def child(self, name: str, shard: Optional[int] = None) -> "Stage":
         """The (possibly pre-existing) child stage for this key."""
         key = (name, shard)

@@ -43,6 +43,7 @@ class BatchStats:
     applied: int = 0
     fanout: int = 0  # (key, update) applications; == applied sans fan-out
     max_batch: int = 0
+    pending_high_water: int = 0  # deepest the buffer ever got
     shard_touches: int = 0  # sum over flushes of |shards touched|
     per_shard: Dict[ShardKey, int] = field(default_factory=dict)
 
@@ -94,6 +95,8 @@ class BatchedUpdateApplier:
         """Buffer one update; returns True when this submit flushed."""
         self.stats.submitted += 1
         self._pending.append(update)
+        if len(self._pending) > self.stats.pending_high_water:
+            self.stats.pending_high_water = len(self._pending)
         if len(self._pending) >= self._batch_size:
             self.flush()
             return True

@@ -11,6 +11,7 @@ onto Theorem 5's shared per-update maintenance.
 from repro.server.config import ServerConfig
 from repro.server.errors import (
     AdmissionError,
+    ServerClosedError,
     ServerError,
     SessionClosedError,
     SessionQuarantinedError,
@@ -25,6 +26,7 @@ __all__ = [
     "AdmissionError",
     "EngineGroup",
     "QueryServer",
+    "ServerClosedError",
     "ServerConfig",
     "ServerError",
     "ServerSession",

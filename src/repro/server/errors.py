@@ -14,6 +14,7 @@ from __future__ import annotations
 __all__ = [
     "ServerError",
     "AdmissionError",
+    "ServerClosedError",
     "SessionClosedError",
     "SessionShedError",
     "SessionQuarantinedError",
@@ -23,6 +24,13 @@ __all__ = [
 
 class ServerError(RuntimeError):
     """Base class for all query-server errors."""
+
+
+class ServerClosedError(ServerError):
+    """An operation (registration or update delivery) reached a server
+    that has already shut down.  Raised instead of silently dropping
+    the work, so writes are never lost unreported — drain paths must
+    detach the server from the database *before* declaring it down."""
 
 
 class AdmissionError(ServerError):

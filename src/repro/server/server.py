@@ -47,10 +47,14 @@ from repro.obs.instrument import as_instrumentation
 from repro.obs.metrics import NULL_COUNTER, NULL_HISTOGRAM
 from repro.obs.profile import NULL_STAGE
 from repro.parallel.batching import BatchedUpdateApplier
-from repro.parallel.merge import union_answers
+from repro.parallel.merge import clip_answer, union_answers
 from repro.parallel.sharding import shard_of
 from repro.server.config import ServerConfig
-from repro.server.errors import AdmissionError, ServerError
+from repro.server.errors import (
+    AdmissionError,
+    ServerClosedError,
+    ServerError,
+)
 from repro.server.group import EngineGroup
 from repro.server.session import (
     ACTIVE,
@@ -83,6 +87,25 @@ class ServerStats:
 
 def _stage(profile, name: str):
     return NULL_STAGE if profile is None else profile.stage(name)
+
+
+# Exception types a failing sweep engine legitimately surfaces — only
+# these engage the heal/quarantine supervisor.  Anything else (e.g. a
+# ``TypeError`` raised by a user-supplied g-distance callable) is a
+# caller bug, not a group fault, and propagates unchanged; the typed
+# ``ServerError`` family is excluded explicitly because it subclasses
+# ``RuntimeError``.
+ENGINE_FAULTS = (
+    ArithmeticError,
+    AssertionError,
+    LookupError,
+    RuntimeError,
+    ValueError,
+)
+
+
+def _is_engine_fault(exc: BaseException) -> bool:
+    return isinstance(exc, ENGINE_FAULTS) and not isinstance(exc, ServerError)
 
 
 class QueryServer:
@@ -147,6 +170,7 @@ class QueryServer:
         obs = self._observe
         if obs is None:
             self._c_session = lambda event: NULL_COUNTER
+            self._c_heal = lambda error, outcome: NULL_COUNTER
             self._h_fanout = NULL_HISTOGRAM
             self._h_update_ops = NULL_HISTOGRAM
             return
@@ -157,6 +181,15 @@ class QueryServer:
             labels=("event",),
         )
         self._c_session = lambda event: sessions.labels(event=event)
+        heals = m.counter(
+            "server_heal_total",
+            "Engine-group heal attempts, by triggering error type and "
+            "outcome (rebuilt / quarantined).",
+            labels=("error", "outcome"),
+        )
+        self._c_heal = lambda error, outcome: heals.labels(
+            error=error, outcome=outcome
+        )
         self._h_fanout = m.histogram(
             "server_update_fanout",
             "Engine groups each incoming update fans out to.",
@@ -253,7 +286,7 @@ class QueryServer:
         shards: Optional[int],
     ) -> ServerSession:
         if self._shutdown:
-            raise ServerError("server is shut down")
+            raise ServerClosedError("server is shut down")
         with _stage(self._profile, "server.register"):
             # New groups clone the MOD's *current* state, so nothing may
             # still be buffered when one is built.
@@ -361,12 +394,21 @@ class QueryServer:
             return  # group retired between buffering and flush
         try:
             group.apply(shard, updates)
-        except Exception:
-            self._heal(group)
+        except Exception as exc:
+            if not _is_engine_fault(exc):
+                raise
+            self._heal(group, exc)
 
     def _on_update(self, update: Update) -> None:
         if self._shutdown:
-            return
+            # Never swallow a write: the database believes the update
+            # was delivered, so dropping it silently would desynchronize
+            # every consumer that trusts the subscription.  Shutdown
+            # paths must unsubscribe before (or as) they set the flag.
+            raise ServerClosedError(
+                f"update at t={update.time} reached a shut-down server; "
+                f"no engine group will reflect it"
+            )
         self.stats.updates += 1
         self._h_fanout.observe(len(self._groups))
         with _stage(self._profile, "server.fanout"):
@@ -410,8 +452,20 @@ class QueryServer:
             return
         # Lowest priority first; among equals, the youngest session
         # (most recently registered) is the least-sunk-cost victim.
-        victim = min(actives, key=lambda s: (s.priority, -s.session_id))
-        self._detach(victim, SHED)
+        self.shed(min(actives, key=lambda s: (s.priority, -s.session_id)))
+
+    def shed(self, session: ServerSession) -> None:
+        """Forcibly load-shed one active session.
+
+        The op-rate controller sheds the lowest-priority victim through
+        here; the networked frontend routes its slow-consumer policy
+        through the same path, so a shed session always carries the
+        same typed :class:`~repro.server.SessionShedError` state no
+        matter which controller pulled the trigger.
+        """
+        if session.state != ACTIVE:
+            return
+        self._detach(session, SHED)
         self.stats.shed += 1
         self._c_session("shed").inc()
 
@@ -438,8 +492,10 @@ class QueryServer:
         group = session.group
         try:
             return group.members(session.view_key)
-        except Exception:
-            self._heal(group)
+        except Exception as exc:
+            if not _is_engine_fault(exc):
+                raise
+            self._heal(group, exc)
             session._check_readable()
             return session.group.members(session.view_key)
 
@@ -450,8 +506,10 @@ class QueryServer:
             group = session.group
             try:
                 group.advance_to(t)
-            except Exception:
-                self._heal(group)
+            except Exception as exc:
+                if not _is_engine_fault(exc):
+                    raise
+                self._heal(group, exc)
                 session._check_readable()
                 session.group.advance_to(t)
         return self._members(session)
@@ -462,31 +520,50 @@ class QueryServer:
         with _stage(self._profile, "server.close") as st:
             group = session.group
             end = group.current_time if at is None else float(at)
-            if end < group.current_time:
-                end = group.current_time
+            if end < session.start:
+                raise ValueError(
+                    f"close(at={end}) precedes session "
+                    f"{session.session_id}'s start ({session.start}); "
+                    f"the answer window [start, at] would be empty"
+                )
             if end > group.current_time:
                 try:
                     group.advance_to(end)
-                except Exception:
-                    self._heal(group)
+                except Exception as exc:
+                    if not _is_engine_fault(exc):
+                        raise
+                    self._heal(group, exc)
                     session._check_readable()
                     session.group.advance_to(end)
+            # The answer covers exactly [start, at]: a close at a time
+            # the group's shared clock has already passed (a co-tenant
+            # advanced it) clips the shared timelines down to the
+            # requested window rather than widening the answer.
             group = session.group
+            sweep_end = max(end, group.current_time)
             live = group.partial(
-                session.view_key, session.segment_start, end
+                session.view_key, session.segment_start, sweep_end
             )
             window = Interval(session.start, end)
             if session.kind == "multiknn":
                 ks = list(session.params["ks"])
                 answer = {
-                    k: union_answers(
-                        [seg[k] for seg in session.segments] + [live[k]],
-                        window,
+                    k: clip_answer(
+                        union_answers(
+                            [seg[k] for seg in session.segments] + [live[k]],
+                            window,
+                        ),
+                        session.start,
+                        end,
                     )
                     for k in ks
                 }
             else:
-                answer = union_answers(session.segments + [live], window)
+                answer = clip_answer(
+                    union_answers(session.segments + [live], window),
+                    session.start,
+                    end,
+                )
             if st is not NULL_STAGE:
                 st.annotate(
                     session=session.session_id,
@@ -516,8 +593,14 @@ class QueryServer:
         )
 
     # -- heal path (supervisor pattern at group granularity) ---------------
-    def _heal(self, group: EngineGroup) -> None:
-        with _stage(self._profile, "server.heal"):
+    def _heal(
+        self, group: EngineGroup, cause: Optional[BaseException] = None
+    ) -> None:
+        error = type(cause).__name__ if cause is not None else "unknown"
+        message = "" if cause is None else str(cause)
+        with _stage(self._profile, "server.heal") as st:
+            if st is not NULL_STAGE:
+                st.annotate(group=group.gid, error=error)
             group.failures += 1
             tenants = [
                 s
@@ -539,15 +622,17 @@ class QueryServer:
                 else:
                     session.segments.append(segment)
             if group.failures > self._config.quarantine_after:
-                self._quarantine(group, tenants)
+                self._quarantine(group, tenants, error, message)
                 return
             try:
                 group.rebuild()
             except Exception:
-                self._quarantine(group, tenants)
+                self._quarantine(group, tenants, error, message)
                 return
             self.stats.rebuilds += 1
             self._c_session("rebuild").inc()
+            self._c_heal(error, "rebuilt").inc()
+            self._trace_heal("rebuilt", group, error, message)
             for session in tenants:
                 session.segment_start = max(
                     session.start, group.epoch_start
@@ -555,7 +640,13 @@ class QueryServer:
             self._ops_marker = self._total_ops()
             self._window.clear()
 
-    def _quarantine(self, group: EngineGroup, tenants) -> None:
+    def _quarantine(
+        self,
+        group: EngineGroup,
+        tenants,
+        error: str = "unknown",
+        message: str = "",
+    ) -> None:
         for session in tenants:
             session.group = None
             session.state = QUARANTINED
@@ -564,8 +655,25 @@ class QueryServer:
         group.shutdown()
         self.stats.quarantines += 1
         self._c_session("quarantine").inc()
+        self._c_heal(error, "quarantined").inc()
+        self._trace_heal("quarantined", group, error, message)
         self._ops_marker = self._total_ops()
         self._window.clear()
+
+    def _trace_heal(
+        self, outcome: str, group: EngineGroup, error: str, message: str
+    ) -> None:
+        """Record one heal/quarantine outcome — with the triggering
+        exception's type and message — in the trace stream."""
+        if self._observe is not None:
+            self._observe.tracer.event(
+                "server.heal",
+                outcome=outcome,
+                group=group.gid,
+                failures=group.failures,
+                error=error,
+                message=message,
+            )
 
     # -- inspection and lifecycle ------------------------------------------
     @property
@@ -575,6 +683,11 @@ class QueryServer:
     @property
     def db(self) -> MovingObjectDatabase:
         return self._db
+
+    @property
+    def observe(self):
+        """The server's instrumentation bundle (None when disabled)."""
+        return self._observe
 
     def sessions(self) -> List[ServerSession]:
         """Every session ever registered, in registration order."""
@@ -624,17 +737,26 @@ class QueryServer:
         with profiler.profile(
             f"server.{session.kind}", query_id=query_id, **meta
         ) as prof:
-            previous = self._profile
-            self._profile = prof
-            try:
-                answer = self._close(session, at)
-            finally:
-                self._profile = previous
+            answer = self.close_with_profile(session, at, prof)
             recorded = (
                 answer[max(answer)] if isinstance(answer, dict) else answer
             )
             prof.record_answer(recorded)
         return ExplainReport(prof, answer)
+
+    def close_with_profile(
+        self, session: ServerSession, at: Optional[float], profile
+    ):
+        """Close one session attributing its ``server.*`` stages to an
+        externally-owned :class:`~repro.obs.profile.QueryProfile` (the
+        EXPLAIN path above and the networked frontend's ``explain``
+        verb both stitch server stages into a larger stage tree)."""
+        previous = self._profile
+        self._profile = profile
+        try:
+            return self._close(session, at)
+        finally:
+            self._profile = previous
 
     def shutdown(self) -> None:
         """Detach from the database.  Sessions keep their terminal
@@ -642,6 +764,8 @@ class QueryServer:
         stop receiving updates."""
         if self._shutdown:
             return
-        self._shutdown = True
-        self._applier.flush()
+        # Detach before declaring down: once the flag is set, a stray
+        # delivery raises ServerClosedError instead of dropping writes.
         self._db.unsubscribe(self._on_update)
+        self._applier.flush()
+        self._shutdown = True

@@ -141,8 +141,15 @@ class ServerSession:
         return self._server._advance(self, t)
 
     def close(self, at: Optional[float] = None) -> Optional[Answer]:
-        """Detach and return the snapshot answer over
+        """Detach and return the snapshot answer over exactly
         ``[start, at]`` (default: the group's current time).
+
+        ``at`` beyond the group clock advances the sweep to it; ``at``
+        *behind* the group clock (a co-tenant advanced the shared
+        sweep further) clips the shared timelines down to the requested
+        window — the answer is never silently widened.  ``at`` before
+        the session's own start raises :class:`ValueError` (the window
+        would be empty).
 
         Closing a still-queued session cancels it and returns ``None``
         (it never had an answer window).  Closing twice raises

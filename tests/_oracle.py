@@ -345,6 +345,115 @@ def run_server(
     return final, probes
 
 
+def run_netserve(
+    sc: Scenario,
+    mode: str,
+    shards: int = 1,
+    batch_size: int = 1,
+    drop_every: Optional[int] = None,
+    force_heal: bool = False,
+    stats_out: Optional[dict] = None,
+) -> Tuple[
+    Union[SnapshotAnswer, Dict[int, SnapshotAnswer]], List[ProbeRecord]
+]:
+    """Final answer + probe answers through the TCP serving frontend.
+
+    Mirrors :func:`run_server` — the probed session is co-registered
+    with one session of each other kind — but every verb crosses the
+    wire: registration, probes, and the final close are issued by a
+    :class:`~repro.net.RemoteQueryClient` against a
+    :func:`~repro.core.api.serve_tcp` frontend, so this path also
+    checks the protocol's answer encodings and the loop-thread
+    ingestion marshaling.
+
+    ``drop_every=n`` hard-closes the client's socket before every nth
+    request — the client must reconnect and retry with the same
+    request id, and the answers must still match.  ``force_heal``
+    opens a decoy session in its own engine group (distinct
+    g-distance), advances it far past the MOD clock mid-stream, and
+    lets the next accepted update poison it — the server must heal
+    the decoy's group without perturbing the probed answers.
+
+    ``stats_out``, if given, receives server/net counters observed
+    before shutdown (``rebuilds``, ``replays``, ``requests``).
+    """
+    from repro.core.api import serve_tcp
+    from repro.net.client import RemoteQueryClient
+    from repro.server import ServerConfig
+
+    class _DroppyClient(RemoteQueryClient):
+        """Drops its own socket before every nth request."""
+
+        _sent = 0
+
+        def request(self, verb, args=None, timeout=None):
+            self._sent = self._sent + 1
+            if drop_every and self._sent % drop_every == 0:
+                self._drop_socket()
+            return super().request(verb, args, timeout)
+
+    db = sc.build_db()
+    # The poisoned decoy group re-fails on every update after the
+    # poison (its rebuilt clock stays past the MOD's), so the forced
+    # heal run needs a budget that outlasts the stream.
+    config = ServerConfig(
+        shards=shards,
+        batch_size=batch_size,
+        quarantine_after=(
+            len(sc.stream) + 1 if force_heal else ServerConfig.quarantine_after
+        ),
+    )
+    net = serve_tcp(db, config=config)
+    probes: List[ProbeRecord] = []
+    try:
+        client = _DroppyClient(*net.address, retries=4)
+        sessions = {
+            KNN: client.open_knn(list(sc.point), k=sc.k),
+            # threshold= is raw g-distance units, compared as-is —
+            # the same bit-identical constant every other path uses.
+            WITHIN: client.open_within(
+                list(sc.point), threshold=sc.threshold
+            ),
+            MULTIKNN: client.open_multiknn(list(sc.point), ks=list(sc.ks)),
+        }
+        session = sessions[mode]
+        decoy = None
+        if force_heal:
+            # Its own group: a different g-distance fingerprint.
+            decoy = client.open_knn(
+                [sc.point[0] + 1000.0, sc.point[1] - 1000.0], k=1
+            )
+        for i, (update, probe) in enumerate(sc.schedule()):
+            if decoy is not None and i == 2:
+                # Push only the decoy's group far past the MOD clock;
+                # the next accepted update is then in *its* past and
+                # the server must heal that group in-line.
+                decoy.advance_to(sc.horizon + 50.0)
+            db.apply(update)
+            if probe is not None:
+                members = session.advance_to(probe)
+                if mode == MULTIKNN:
+                    probes.append(
+                        (probe, {k: set(members[k]) for k in sc.ks})
+                    )
+                else:
+                    probes.append((probe, set(members)))
+        final = session.close(at=sc.horizon)
+        for other in sessions.values():
+            if other is not session:
+                other.close(at=sc.horizon)
+        if decoy is not None:
+            decoy.close(at=sc.horizon)
+        if stats_out is not None:
+            stats_out["rebuilds"] = net.server.stats.rebuilds
+            stats_out["replays"] = net.stats.replays
+            stats_out["requests"] = net.stats.requests
+        client.close()
+    finally:
+        net.close()
+    return final, probes
+
+
 # ---------------------------------------------------------------------------
 # Comparison helpers
 # ---------------------------------------------------------------------------

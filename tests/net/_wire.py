@@ -1,0 +1,53 @@
+"""Raw-socket helpers for protocol-level tests.
+
+These speak the frame format directly (no RemoteQueryClient), so the
+tests can violate the protocol on purpose — wrong versions, replayed
+ids, oversized frames — and observe exactly what the server answers.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.net.protocol import HEADER, PROTOCOL_VERSION, decode_payload, encode_frame
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    chunks = []
+    remaining = HEADER.size
+    while remaining:
+        chunk = sock.recv(remaining)
+        assert chunk, "server closed the connection mid-frame"
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    (length,) = HEADER.unpack(b"".join(chunks))
+    body = b""
+    while len(body) < length:
+        chunk = sock.recv(length - len(body))
+        assert chunk, "server closed the connection mid-frame"
+        body += chunk
+    return decode_payload(body)
+
+
+def recv_response(sock: socket.socket, rid) -> dict:
+    """Skip pushed events until the response for ``rid`` arrives."""
+    while True:
+        frame = recv_frame(sock)
+        if "event" in frame:
+            continue
+        if frame.get("id") == rid:
+            return frame
+
+
+def raw_connect(
+    address, version: int = PROTOCOL_VERSION, timeout: float = 5.0
+) -> tuple:
+    """A handshaken raw socket; returns ``(sock, hello_response)``."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    send_frame(sock, {"id": "hello-0", "verb": "hello", "version": version})
+    return sock, recv_response(sock, "hello-0")

@@ -1,0 +1,232 @@
+"""Fault injection against the TCP frontend.
+
+The cases the wire adds beyond in-process serving: connections dying
+mid-request (retry + idempotent replay), slow push consumers (bounded
+queues + shed-through-admission), and graceful drain under load.
+"""
+
+import socket as socketlib
+import time
+
+import pytest
+
+from repro.core.api import serve_tcp
+from repro.geometry.vectors import Vector
+from repro.mod.updates import New
+from repro.net import (
+    ConnectionLostError,
+    NetConfig,
+    RemoteQueryClient,
+    connect,
+)
+from repro.server import ServerClosedError, SessionShedError
+from repro.workloads.generator import random_linear_mod
+from tests.net._wire import raw_connect, recv_response, send_frame
+
+
+def _db(count=8, seed=7):
+    return random_linear_mod(count, seed=seed, extent=30.0, speed=3.0)
+
+
+def _newborn(oid, t, x, y):
+    return New(
+        oid, t, position=Vector.of(x, y), velocity=Vector.of(0.0, 0.0)
+    )
+
+
+class _ResponseLossClient(RemoteQueryClient):
+    """Simulates a connection dying between the server processing a
+    request and the client reading the response: sends normally, then
+    kills its own socket instead of reading, forcing the retry path to
+    reconnect and resend the *same* request id."""
+
+    lose_next = 0
+
+    def _await_response(self, rid):
+        if self.lose_next > 0:
+            self.lose_next -= 1
+            self._drop_socket()
+            raise ConnectionError("injected: response lost")
+        return super()._await_response(rid)
+
+
+class TestRetryIdempotency:
+    def test_lost_close_response_replays_the_same_answer(self):
+        db = _db()
+        with serve_tcp(db) as net:
+            client = _ResponseLossClient(*net.address, retries=3)
+            session = client.open_knn([0.0, 0.0], k=2)
+            db.apply(_newborn("nb1", 1.0, 0.01, 0.0))
+            # The server WILL process this close; the client loses the
+            # response and must retry with the same id.  Without the
+            # idempotency cache the retry would hit SessionClosedError.
+            client.lose_next = 1
+            answer = session.close(at=2.0)
+            assert answer is not None
+            assert answer.interval.hi == 2.0
+            assert net.stats.replays == 1
+            assert net.server.stats.closed == 1  # applied exactly once
+
+    def test_mid_request_drop_retries_until_success(self):
+        db = _db()
+        with serve_tcp(db) as net:
+            client = _ResponseLossClient(*net.address, retries=4)
+            session = client.open_knn([0.0, 0.0], k=1)
+            client.lose_next = 2  # two consecutive losses, then succeed
+            members = session.advance_to(1.5)
+            assert members == session.members
+
+    def test_retries_exhausted_surfaces_typed_transport_error(self):
+        db = _db()
+        with serve_tcp(db) as net:
+            client = _ResponseLossClient(
+                *net.address, retries=1, backoff=0.01
+            )
+            session = client.open_knn([0.0, 0.0], k=1)
+            client.lose_next = 10
+            with pytest.raises(ConnectionLostError):
+                session.advance_to(1.0)
+
+    def test_raw_replay_returns_cached_response_verbatim(self):
+        db = _db()
+        with serve_tcp(db) as net:
+            sock, _ = raw_connect(net.address)
+            send_frame(
+                sock,
+                {
+                    "id": "rid-1",
+                    "verb": "open",
+                    "kind": "knn",
+                    "query": [0.0, 0.0],
+                    "k": 1,
+                },
+            )
+            first = recv_response(sock, "rid-1")
+            assert first["ok"]
+            sock.close()
+            # a "new client" retrying the same id after reconnect
+            sock2, _ = raw_connect(net.address)
+            send_frame(
+                sock2,
+                {
+                    "id": "rid-1",
+                    "verb": "open",
+                    "kind": "knn",
+                    "query": [0.0, 0.0],
+                    "k": 1,
+                },
+            )
+            second = recv_response(sock2, "rid-1")
+            assert second == first
+            assert net.server.stats.registered == 1  # not re-applied
+            sock2.close()
+
+
+class TestSlowConsumerShed:
+    def test_full_push_queue_sheds_subscribed_sessions(self):
+        db = _db()
+        with serve_tcp(
+            db, net_config=NetConfig(max_push_queue=2)
+        ) as net:
+            client = connect(*net.address)
+            session = client.open_knn([0.0, 0.0], k=1)
+            session.subscribe()
+            # Stall the connection's writer so pushes pile up in the
+            # bounded queue instead of draining into the OS buffer.
+            (conn,) = net._connections
+            conn.paused = True
+            # Each newborn closer than the last changes the k=1 answer.
+            for i in range(5):
+                db.apply(
+                    _newborn(f"nb{i}", 1.0 + i, 0.01 / (i + 1), 0.0)
+                )
+            assert net.stats.sheds >= 1
+            assert net.server.stats.shed >= 1
+            conn.paused = False
+            # The shed notice reached the client, typed like in-process.
+            events = session.changes(poll=0.5)
+            assert any(e["event"] == "shed" for e in events)
+            with pytest.raises(SessionShedError):
+                _ = session.members
+
+    def test_responses_survive_push_overflow(self):
+        db = _db()
+        with serve_tcp(
+            db, net_config=NetConfig(max_push_queue=2)
+        ) as net:
+            client = connect(*net.address)
+            victim = client.open_knn([0.0, 0.0], k=1, priority=0)
+            bystander = client.open_knn([5.0, 5.0], k=1, priority=5)
+            victim.subscribe()
+            (conn,) = net._connections
+            conn.paused = True
+            for i in range(5):
+                db.apply(
+                    _newborn(f"nb{i}", 1.0 + i, 0.01 / (i + 1), 0.0)
+                )
+            conn.paused = False
+            # The connection still answers requests: only the victim's
+            # unsolicited stream was shed, not the wire itself.
+            assert bystander.members is not None
+            answer = bystander.close(at=10.0)
+            assert answer.interval.hi == 10.0
+
+
+class TestDrainUnderLoad:
+    def test_updates_after_drain_raise_instead_of_vanishing(self):
+        db = _db()
+        net = serve_tcp(db)
+        client = connect(*net.address)
+        client.open_knn([0.0, 0.0], k=1)
+        net.drain()
+        # The frontend is still subscribed (close() detaches it); a
+        # write now reaches a shut-down server and must NOT be dropped
+        # silently — this is the ServerClosedError regression surface.
+        with pytest.raises(ServerClosedError):
+            db.apply(_newborn("late", 50.0, 1.0, 1.0))
+        net.close()
+        # After close() the frontend is detached: writes flow again.
+        db.apply(_newborn("later", 51.0, 1.0, 1.0))
+
+    def test_drain_with_queued_session_cancels_it(self):
+        from repro.server import ServerConfig
+
+        db = _db()
+        net = serve_tcp(
+            db,
+            config=ServerConfig(max_sessions=1, admission_policy="queue"),
+        )
+        client = connect(*net.address)
+        active = client.open_knn([0.0, 0.0], k=1)
+        waiting = client.open_knn([1.0, 1.0], k=1)
+        assert waiting.state == "queued"
+        drained = net.drain()
+        assert set(drained) == {active.session_id}
+        assert net.server.stats.cancelled == 1
+        net.close()
+
+
+class TestConnectionLifecycle:
+    def test_sessions_survive_their_connection(self):
+        db = _db()
+        with serve_tcp(db) as net:
+            first = connect(*net.address)
+            session = first.open_knn([0.0, 0.0], k=2)
+            sid = session.session_id
+            first.close()
+            time.sleep(0.05)
+            second = connect(*net.address)
+            result = second.request("members", {"session": sid})
+            assert isinstance(result["members"], list)
+
+    def test_handshake_timeout_drops_silent_connections(self):
+        db = _db()
+        with serve_tcp(
+            db, net_config=NetConfig(handshake_timeout=0.2)
+        ) as net:
+            sock = socketlib.create_connection(net.address, timeout=5.0)
+            sock.settimeout(2.0)
+            # say nothing: the server must hang up on its own
+            assert sock.recv(1) == b""
+            sock.close()
+            assert net.stats.handshake_failures == 1

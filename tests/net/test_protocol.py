@@ -1,0 +1,115 @@
+"""Wire-format unit tests: framing, fidelity, versioning, errors."""
+
+import pytest
+
+from repro.geometry.intervals import Interval, IntervalSet
+from repro.io import answer_to_dict
+from repro.net.errors import (
+    FrameTooLargeError,
+    ProtocolError,
+    RemoteError,
+    error_to_wire,
+    raise_from_wire,
+)
+from repro.net.protocol import (
+    HEADER,
+    PROTOCOL_VERSION,
+    answer_from_wire,
+    answer_to_wire,
+    decode_payload,
+    encode_frame,
+    members_from_wire,
+    members_to_wire,
+)
+from repro.query.answers import SnapshotAnswer
+from repro.server.errors import AdmissionError, SessionShedError
+
+
+class TestFraming:
+    def test_round_trip(self):
+        payload = {"id": "a-1", "verb": "ping", "x": [1, 2.5, None]}
+        frame = encode_frame(payload)
+        (length,) = HEADER.unpack(frame[: HEADER.size])
+        assert length == len(frame) - HEADER.size
+        assert decode_payload(frame[HEADER.size:]) == payload
+
+    def test_oversized_frame_refused_at_encode(self):
+        with pytest.raises(FrameTooLargeError):
+            encode_frame({"blob": "x" * 300}, max_frame=128)
+
+    def test_undecodable_bodies(self):
+        with pytest.raises(ProtocolError):
+            decode_payload(b"{not json")
+        with pytest.raises(ProtocolError):
+            decode_payload(b"[1, 2, 3]")  # not an object
+        with pytest.raises(ProtocolError):
+            decode_payload(b"\xff\xfe")  # not UTF-8
+
+
+class TestMembersWire:
+    def test_oid_types_survive(self):
+        members = {"car-7", 42, ("depot", 3)}
+        wire = members_to_wire(members)
+        assert wire == sorted(wire)  # deterministic order
+        assert members_from_wire(wire) == members
+
+    def test_multiknn_per_k(self):
+        members = {1: {"a"}, 3: {"a", "b", 9}}
+        wire = members_to_wire(members)
+        assert set(wire) == {"1", "3"}
+        assert members_from_wire(wire) == members
+
+
+class TestAnswerWire:
+    def _answer(self):
+        return SnapshotAnswer(
+            {
+                "a": IntervalSet([Interval(0.0, 1.5), Interval(2.0, 3.0)]),
+                7: IntervalSet([Interval(0.5, 2.5)]),
+            },
+            Interval(0.0, 3.0),
+        )
+
+    def test_single_answer_round_trips_bit_exactly(self):
+        answer = self._answer()
+        decoded = answer_from_wire(answer_to_wire(answer))
+        assert answer_to_dict(decoded) == answer_to_dict(answer)
+
+    def test_infinite_bounds_survive(self):
+        answer = SnapshotAnswer(
+            {"ever": IntervalSet([Interval(float("-inf"), float("inf"))])},
+            Interval(float("-inf"), float("inf")),
+        )
+        decoded = answer_from_wire(answer_to_wire(answer))
+        assert answer_to_dict(decoded) == answer_to_dict(answer)
+
+    def test_multiknn_answer_dict(self):
+        answer = {1: self._answer(), 3: self._answer()}
+        decoded = answer_from_wire(answer_to_wire(answer))
+        assert set(decoded) == {1, 3}
+        for k in decoded:
+            assert answer_to_dict(decoded[k]) == answer_to_dict(answer[k])
+
+    def test_none_passes_through(self):
+        assert answer_to_wire(None) is None
+        assert answer_from_wire(None) is None
+
+
+class TestErrorRegistry:
+    def test_server_errors_cross_as_themselves(self):
+        for exc in (
+            AdmissionError("budget"),
+            SessionShedError("shed"),
+            ValueError("window"),
+        ):
+            wire = error_to_wire(exc)
+            assert wire["type"] == type(exc).__name__
+            with pytest.raises(type(exc)):
+                raise_from_wire(wire)
+
+    def test_unknown_types_degrade_to_remote_error(self):
+        with pytest.raises(RemoteError, match="WeirdError: boom"):
+            raise_from_wire({"type": "WeirdError", "message": "boom"})
+
+    def test_version_constant_is_an_int(self):
+        assert isinstance(PROTOCOL_VERSION, int)

@@ -1,0 +1,227 @@
+"""Regression tests for three silent-failure bugs in the QueryServer.
+
+1. ``_close`` used to clamp an ``at`` behind the shared group clock up
+   to ``group.current_time`` — silently *widening* the requested
+   answer window whenever a co-tenant had advanced the shared sweep
+   further.  It must clip the answer to exactly ``[start, at]`` and
+   raise ``ValueError`` for ``at < start``.
+2. The heal paths caught ``except Exception`` bare: the triggering
+   exception's type/message were discarded (undiagnosable from
+   telemetry) and non-engine faults — e.g. a ``TypeError`` from a
+   user-supplied g-distance — were laundered into rebuilds instead of
+   propagating.
+3. ``_on_update`` silently dropped updates arriving after
+   ``shutdown()``, desynchronizing the server from the database's
+   belief that the update was delivered.  It must raise
+   ``ServerClosedError``.
+"""
+
+import random
+
+import pytest
+
+from repro.core.api import serve
+from repro.geometry.vectors import Vector
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.io import answer_to_dict
+from repro.mod.database import MovingObjectDatabase
+from repro.mod.updates import ChangeDirection, New
+from repro.obs import Instrumentation, Tracer
+from repro.obs.tracing import RingBufferSink
+from repro.server import ServerClosedError
+from tests._oracle import answers_equal
+
+
+def _gd(x=0.0, y=0.0):
+    return SquaredEuclideanDistance([x, y])
+
+
+def _fresh_db(n=8, seed=13):
+    rng = random.Random(seed)
+    db = MovingObjectDatabase(initial_time=0.0)
+    for i in range(n):
+        db.apply(
+            New(
+                f"o{i}",
+                0.01 * (i + 1),
+                velocity=Vector.of(rng.uniform(-3, 3), rng.uniform(-3, 3)),
+                position=Vector.of(
+                    rng.uniform(-15, 15), rng.uniform(-15, 15)
+                ),
+            )
+        )
+    return db
+
+
+def _stir(db, times, seed=0):
+    rng = random.Random(seed)
+    oids = sorted(db.object_ids)
+    for t in times:
+        db.apply(
+            ChangeDirection(
+                rng.choice(oids),
+                t,
+                Vector.of(rng.uniform(-3, 3), rng.uniform(-3, 3)),
+            )
+        )
+
+
+class TestCloseWindowClipping:
+    def test_close_behind_shared_clock_clips_not_clamps(self):
+        """A co-tenant advancing the shared sweep must not widen
+        another tenant's close window."""
+        db = _fresh_db()
+        server = serve(db)
+        gd = _gd()
+        victim = server.register_knn(gd, k=2)
+        cotenant = server.register_knn(gd, k=2)  # same group, same view
+        _stir(db, [1.0, 2.0])
+        cotenant.advance_to(10.0)  # shared clock now far past 5.0
+        answer = victim.close(at=5.0)
+        assert answer.interval.lo == victim.start
+        assert answer.interval.hi == 5.0  # exactly as requested
+        for oid in answer.objects:
+            for iv in answer.intervals_for(oid):
+                assert iv.hi <= 5.0
+        # Bitwise-identical to a run where nobody advanced past 5.0.
+        db2 = _fresh_db()
+        server2 = serve(db2)
+        control = server2.register_knn(_gd(), k=2)
+        _stir(db2, [1.0, 2.0])
+        expected = control.close(at=5.0)
+        assert answer_to_dict(answer) == answer_to_dict(expected)
+        server.shutdown()
+        server2.shutdown()
+
+    def test_close_behind_clock_multiknn_clips_every_k(self):
+        db = _fresh_db()
+        server = serve(db)
+        gd = _gd()
+        victim = server.register_multiknn(gd, (1, 3))
+        cotenant = server.register_knn(gd, k=1)
+        _stir(db, [1.0])
+        cotenant.advance_to(9.0)
+        answers = victim.close(at=3.0)
+        for k, answer in answers.items():
+            assert answer.interval.hi == 3.0, f"k={k}"
+        server.shutdown()
+
+    def test_close_before_start_raises_value_error(self):
+        db = _fresh_db()
+        server = serve(db)
+        session = server.register_knn(_gd(), k=1)
+        with pytest.raises(ValueError, match="precedes session"):
+            session.close(at=session.start - 0.5)
+        # the session is still usable after the rejected close
+        assert session.state == "active"
+        session.close(at=session.start + 1.0)
+        server.shutdown()
+
+
+class TestHealRecordsCause:
+    def _poisoned_run(self):
+        sink = RingBufferSink()
+        observe = Instrumentation(tracer=Tracer(sink))
+        db = _fresh_db()
+        server = serve(db, observe=observe)
+        gd = _gd()
+        knn = server.register_knn(gd, k=2)
+        within = server.register_within(gd, 60.0)  # co-tenant group
+        _stir(db, [1.0])
+        knn.advance_to(50.0)  # poison: sweep far past the MOD clock
+        _stir(db, [2.0])  # accepted by the MOD, in the knn sweep's past
+        return server, sink, observe, knn, within
+
+    def test_heal_trace_names_the_exception(self):
+        server, sink, observe, knn, within = self._poisoned_run()
+        assert server.stats.rebuilds >= 1
+        events = sink.events("server.heal")
+        assert events, "no server.heal trace event recorded"
+        attrs = events[0]["attrs"]
+        assert attrs["outcome"] == "rebuilt"
+        # The bare-except bug discarded these: the triggering type and
+        # message must be preserved for diagnosis.
+        assert attrs["error"] not in ("", "unknown")
+        assert attrs["message"]
+        assert attrs["group"] == 1
+        assert attrs["failures"] >= 1
+        server.shutdown()
+
+    def test_heal_metric_carries_error_and_outcome_labels(self):
+        server, sink, observe, knn, within = self._poisoned_run()
+        snap = observe.metrics.snapshot()
+        heal_series = {
+            key: value
+            for key, value in snap.items()
+            if key.startswith("server_heal_total")
+        }
+        assert heal_series, "server_heal_total never incremented"
+        assert any(
+            'outcome="rebuilt"' in key and 'error="unknown"' not in key
+            for key in heal_series
+        )
+        server.shutdown()
+
+    def test_non_engine_faults_propagate_instead_of_healing(self):
+        """A TypeError (user-code bug, not an engine fault) must reach
+        the caller, not be laundered into a rebuild."""
+        db = _fresh_db()
+        server = serve(db)
+        session = server.register_knn(_gd(), k=1)
+        group = session.group
+
+        def explode(*args, **kwargs):
+            raise TypeError("user gdistance returned a string")
+
+        group.apply = explode
+        with pytest.raises(TypeError, match="user gdistance"):
+            _stir(db, [1.0])
+        # No heal was attempted: the group is untouched and the
+        # session still serves.
+        assert server.stats.rebuilds == 0
+        assert server.stats.quarantines == 0
+        assert session.state == "active"
+        server.shutdown()
+
+    def test_engine_faults_still_heal_transparently(self):
+        server, sink, observe, knn, within = self._poisoned_run()
+        # the victim keeps serving through the heal
+        final = knn.close(at=50.0)
+        assert final is not None
+        assert within.close(at=3.0) is not None
+        server.shutdown()
+
+
+class TestShutdownRefusesUpdates:
+    def test_on_update_after_shutdown_raises(self):
+        db = _fresh_db()
+        server = serve(db)
+        server.register_knn(_gd(), k=1)
+        server.shutdown()
+        late = New(
+            "late",
+            99.0,
+            position=Vector.of(0.0, 0.0),
+            velocity=Vector.of(0.0, 0.0),
+        )
+        with pytest.raises(ServerClosedError, match="shut-down server"):
+            server._on_update(late)
+
+    def test_register_after_shutdown_raises_typed(self):
+        db = _fresh_db()
+        server = serve(db)
+        server.shutdown()
+        with pytest.raises(ServerClosedError):
+            server.register_knn(_gd(), k=1)
+
+    def test_normal_shutdown_detaches_cleanly(self):
+        """The regular path is unaffected: shutdown unsubscribes, so
+        later database writes flow without reaching the server."""
+        db = _fresh_db()
+        server = serve(db)
+        session = server.register_knn(_gd(), k=1)
+        _stir(db, [1.0])
+        session.close(at=2.0)
+        server.shutdown()
+        _stir(db, [3.0])  # no listener left; must not raise
+        assert db.last_update_time == 3.0
