@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Failover smoke test: chaos scenarios over the durable serving stack.
+
+Run with no arguments (CI does).  Drives the seeded chaos harness in
+:mod:`repro.workloads.chaos` through three fault families:
+
+1. **primary kill + transparent failover** — a durable primary and a
+   warm standby serve a failover-aware client; the primary is killed
+   abruptly (no drain, no checkpoint) at a seeded update index, the
+   standby auto-promotes, and the client finishes the session on the
+   promoted replica.  Probe sets and the final answer must match an
+   uninterrupted in-process mirror *and* the naive baseline.
+2. **replication frame loss** — the standby's replication link is cut
+   mid-stream before the kill; the pump must resume from its applied
+   watermark (no record applied twice) and still survive the failover.
+3. **torn WAL tail** — a crashed primary's server WAL is truncated at
+   a seeded byte offset; recovery must succeed on the surviving prefix
+   and match a mirror that only ever saw the surviving updates.
+
+Exit status 0 means every seeded scenario's three-way differential
+held.  Pass ``--seeds N`` to widen the sweep (CI default below keeps
+the job under a minute).
+"""
+
+import argparse
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.workloads.chaos import (  # noqa: E402
+    run_failover_chaos,
+    run_truncation_chaos,
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=4,
+        help="scenarios per fault family (default 4)",
+    )
+    args = parser.parse_args()
+
+    failures = 0
+    for seed in range(args.seeds):
+        report = run_failover_chaos(seed)
+        status = "OK " if report.ok else "FAIL"
+        print(
+            f"[{status}] kill      seed={seed} mode={report.mode:8s} "
+            f"kill@{report.kill_after}/{report.updates} "
+            f"failovers={report.failovers} "
+            f"promoted={report.promoted_seconds:.2f}s "
+            f"probes={report.probes} (after kill {report.probes_after_kill})"
+        )
+        if not report.ok:
+            failures += 1
+            for mismatch in report.mismatches:
+                print(f"        - {mismatch}")
+
+    for seed in range(args.seeds):
+        report = run_failover_chaos(seed, drop_link_every=2)
+        status = "OK " if report.ok else "FAIL"
+        print(
+            f"[{status}] framedrop seed={seed} mode={report.mode:8s} "
+            f"cuts={report.link_cuts} failovers={report.failovers}"
+        )
+        if not report.ok:
+            failures += 1
+            for mismatch in report.mismatches:
+                print(f"        - {mismatch}")
+
+    for seed in range(args.seeds * 2):
+        report = run_truncation_chaos(seed)
+        status = "OK " if report.ok else "FAIL"
+        print(
+            f"[{status}] torn-tail seed={seed} mode={report.mode:8s} "
+            f"cut={report.cut_bytes}B survivors={report.records_after} "
+            f"replayed={report.recovered_tail}"
+        )
+        if not report.ok:
+            failures += 1
+            for mismatch in report.mismatches:
+                print(f"        - {mismatch}")
+
+    if failures:
+        print(f"failover smoke: {failures} scenario(s) FAILED")
+        return 1
+    print("failover smoke OK: every scenario matched mirror + naive")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,12 @@ compares each metric against the committed baselines under
 - **E-NET** (``BENCH_ENET.json``) — TCP frontend wire cost: requests,
   pushed answer changes, and bytes per direction for a fixed remote
   session mix over loopback (remote answers are asserted equal to an
-  in-process twin inside the measure).
+  in-process twin inside the measure);
+- **E-REC** (``BENCH_EREC.json``) — crash-recovery cost: journal
+  records replayed at two checkpoint placements (exact counts) and
+  recovery sweep ops relative to uninterrupted live ingestion
+  (recovered answers are asserted equal to a live mirror inside the
+  measure).
 
 Every measure counts *primitive sweep operations*, hit rates, or wire
 frames/bytes — never wall-clock — so the gate is deterministic across
@@ -107,6 +112,17 @@ ENET_SPEC_CYCLE = (
     ("within", {"threshold": 900.0}),
     ("multiknn", {"ks": (1, 3)}),
     ("knn", {"k": 3}),
+)
+
+EREC_N = 48
+EREC_UPDATES = 64
+EREC_SEED = 29
+EREC_TAIL_SHORT = 8
+EREC_TAIL_LONG = 48
+EREC_SPEC_CYCLE = (
+    ("knn", {"k": 2}),
+    ("within", {"threshold": 900.0}),
+    ("multiknn", {"ks": (1, 3)}),
 )
 
 
@@ -407,12 +423,124 @@ def measure_enet() -> dict:
         local.shutdown()
 
 
+def measure_erec() -> dict:
+    """Crash-recovery replay cost vs checkpoint placement (E-REC).
+
+    Every metric is a record or primitive-op count off seeded replays
+    — never wall-clock.  The recovered servers' sessions are asserted
+    to close to the same answers as an uninterrupted in-process
+    mirror, so the gate re-proves the (snapshot, tail) reconstruction
+    while it prices it.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.api import serve
+    from repro.io import answer_to_dict
+    from repro.replication import DurableQueryServer, recover_server
+
+    def build_db():
+        return random_linear_mod(
+            EREC_N, seed=EREC_SEED, extent=80.0, speed=4.0
+        )
+
+    def register(server):
+        sessions = []
+        for kind, params in EREC_SPEC_CYCLE:
+            if kind == "knn":
+                sessions.append(server.register_knn(ORIGIN, k=params["k"]))
+            elif kind == "within":
+                sessions.append(
+                    server.register_within(ORIGIN, params["threshold"])
+                )
+            else:
+                sessions.append(
+                    server.register_multiknn(ORIGIN, params["ks"])
+                )
+        return sessions
+
+    scratch = build_db()
+    updates = []
+    scratch.subscribe(updates.append)
+    UpdateStream(
+        scratch, seed=EREC_SEED + 1, extent=80.0, speed=4.0
+    ).run(EREC_UPDATES)
+    horizon = scratch.last_update_time + 1.0
+
+    def close_all(sessions):
+        return [s.close(at=horizon) for s in sessions]
+
+    mirror = serve(build_db())
+    want = None
+    live_ops = None
+    try:
+        mirror_sessions = register(mirror)
+        for update in updates:
+            mirror.db.apply(update)
+        live_ops = mirror.primitive_ops()
+        want = close_all(mirror_sessions)
+    finally:
+        mirror.shutdown()
+
+    def recover_with_tail(tail, directory):
+        server = DurableQueryServer(
+            build_db(),
+            directory=directory,
+            sync="flush",
+            checkpoint_interval=None,
+        )
+        register(server)
+        cut = len(updates) - tail
+        for i, update in enumerate(updates):
+            server.db.apply(update)
+            if i + 1 == cut:
+                server.checkpoint()
+        server.journal.close()  # simulated kill
+        recovered = recover_server(directory, checkpoint_on_recover=False)
+        replayed = recovered.recovered_tail
+        ops = recovered.primitive_ops()
+        got = close_all(recovered.sessions())
+        for g, w in zip(got, want):
+            if isinstance(w, dict):
+                assert set(g) == set(w)
+                for k in w:
+                    assert answer_to_dict(g[k]) == answer_to_dict(w[k])
+            else:
+                assert answer_to_dict(g) == answer_to_dict(w)
+        recovered.shutdown()
+        return replayed, ops
+
+    workdir = tempfile.mkdtemp(prefix="erec-gate-")
+    try:
+        _, restore_ops = recover_with_tail(
+            0, os.path.join(workdir, "tail-0")
+        )
+        tail_short, ops_short = recover_with_tail(
+            EREC_TAIL_SHORT, os.path.join(workdir, "tail-short")
+        )
+        tail_long, ops_long = recover_with_tail(
+            EREC_TAIL_LONG, os.path.join(workdir, "tail-long")
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    return {
+        "tail_short": float(tail_short),
+        "tail_long": float(tail_long),
+        "restore_only_ops": float(restore_ops),
+        "recovery_ops_short": float(ops_short),
+        "recovery_ops_long": float(ops_long),
+        "recovery_vs_live_ratio": ops_long / live_ops,
+    }
+
+
 SUITES = {
     "esh": (measure_esh, "BENCH_ESH.json"),
     "eac": (measure_eac, "BENCH_EAC.json"),
     "t5": (measure_t5, "BENCH_T5.json"),
     "emq": (measure_emq, "BENCH_EMQ.json"),
     "enet": (measure_enet, "BENCH_ENET.json"),
+    "erec": (measure_erec, "BENCH_EREC.json"),
 }
 
 # Per-metric gate policy: direction "max" fails when the current value
@@ -448,6 +576,18 @@ POLICY = {
         "replays": ("max", 0.0),
         "bytes_in_per_request": ("max", 0.15),
         "bytes_out_per_request": ("max", 0.15),
+    },
+    "erec": {
+        # Replayed-record counts are exact by construction: any drift
+        # means checkpoint coverage accounting broke.
+        "tail_short": ("max", 0.0),
+        "tail_long": ("max", 0.0),
+        "restore_only_ops": ("max", 0.15),
+        "recovery_ops_short": ("max", 0.15),
+        "recovery_ops_long": ("max", 0.15),
+        # Recovery must keep costing ~live ingestion, not multiples
+        # of it (the back-dated rebuild re-sweeps history once).
+        "recovery_vs_live_ratio": ("max", 0.15),
     },
 }
 

@@ -27,6 +27,7 @@ from repro.net.errors import (
     ConnectionLostError,
     FrameTooLargeError,
     NetError,
+    NotPrimaryError,
     ProtocolError,
     RemoteError,
     RequestTimeoutError,
@@ -57,6 +58,7 @@ __all__ = [
     "FrameTooLargeError",
     "VersionMismatchError",
     "ConnectionLostError",
+    "NotPrimaryError",
     "RequestTimeoutError",
     "RemoteError",
     "PROTOCOL_VERSION",

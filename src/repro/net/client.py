@@ -20,20 +20,36 @@ Typed errors mirror the in-process API: a remote ``AdmissionError`` /
 :meth:`RemoteQuerySession.changes` for the continuous-query push
 stream (pushed events are read either as a by-product of any request,
 or explicitly via :meth:`RemoteQueryClient.poll_events`).
+
+**Failover.**  The client optionally holds a *list* of endpoints
+(primary first, warm standbys after).  Transport failures and
+``NotPrimaryError`` rejections advance round-robin to the next
+endpoint before the retry — so when a primary dies and its standby is
+promoted, in-flight requests replay (same idempotent id) against the
+new primary and the caller never sees the switch.  Session ids are
+assigned by the primary and mirrored by the standby through the
+replication stream, so remote session handles survive failover.  A
+heartbeat-stall watchdog (:class:`RemoteQueryClient` with
+``heartbeat_timeout`` against a server pushing heartbeats) detects a
+silently dead push stream, re-subscribes on the surviving endpoint,
+and raises :class:`~repro.net.errors.ConnectionLostError` only when
+every endpoint is gone.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from collections import deque
 from itertools import count
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 from uuid import uuid4
 
 from repro.net.errors import (
     ConnectionLostError,
     NetError,
+    NotPrimaryError,
     ProtocolError,
     RequestTimeoutError,
     raise_from_wire,
@@ -89,7 +105,8 @@ class RemoteQueryClient:
     Parameters
     ----------
     host, port:
-        The net server's bound address (``net.address``).
+        The net server's bound address (``net.address``).  May be
+        omitted when ``endpoints`` is given.
     timeout:
         Per-request seconds before :class:`RequestTimeoutError`.
     retries:
@@ -99,42 +116,112 @@ class RemoteQueryClient:
     backoff, max_backoff:
         Exponential backoff seconds between retries: ``backoff * 2**n``
         capped at ``max_backoff``.
+    endpoints:
+        Optional ordered ``(host, port)`` pairs — the primary first,
+        warm standbys after.  Transport failures and
+        ``NotPrimaryError`` rejections advance round-robin before the
+        next retry attempt, so a promoted standby picks up the retried
+        (idempotent) request.
+    jitter:
+        Fraction of each backoff sleep randomly *shaved off* (never
+        added), de-synchronizing thundering-herd reconnects after a
+        failover.  ``0`` restores fully deterministic backoff.
+    seed:
+        Seed for the jitter RNG — pass one for reproducible retry
+        timing in tests and chaos harnesses.
+    heartbeat_timeout:
+        Seconds of push-stream silence (no frame of any kind — the
+        server's ``heartbeat`` events count) before
+        :meth:`poll_events` declares the connection dead, fails over,
+        and re-subscribes; :class:`ConnectionLostError` surfaces only
+        when every endpoint is unreachable.  Requires a server with
+        ``heartbeat_interval`` set.  ``None`` disables the watchdog.
     """
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         timeout: float = 5.0,
         retries: int = 3,
         backoff: float = 0.05,
         max_backoff: float = 1.0,
         max_frame: int = MAX_FRAME,
+        endpoints: Optional[Sequence[Tuple[str, int]]] = None,
+        jitter: float = 0.25,
+        seed: Optional[int] = None,
+        heartbeat_timeout: Optional[float] = None,
     ) -> None:
-        self._host = host
-        self._port = int(port)
+        if endpoints:
+            self._endpoints: List[Tuple[str, int]] = [
+                (str(h), int(p)) for h, p in endpoints
+            ]
+        elif host is not None and port is not None:
+            self._endpoints = [(str(host), int(port))]
+        else:
+            raise ValueError("pass host/port or a non-empty endpoints list")
+        self._endpoint_index = 0
         self._timeout = float(timeout)
         self._retries = int(retries)
         self._backoff = float(backoff)
         self._max_backoff = float(max_backoff)
         self._max_frame = int(max_frame)
+        if not 0.0 <= float(jitter) < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self._jitter = float(jitter)
+        self._rng = random.Random(seed)
+        self._heartbeat_timeout = (
+            None if heartbeat_timeout is None else float(heartbeat_timeout)
+        )
         self._sock: Optional[socket.socket] = None
         self._tag = uuid4().hex[:8]
         self._next_seq = count(1)
         # sid (or None for connection-wide) -> pushed event frames
         self._events: Dict[Optional[int], deque] = {}
+        self._subscribed: set = set()
+        self._last_frame_at = time.monotonic()
+        self.failovers = 0
         self._closed = False
-        self._connect()
+        try:
+            self._connect()
+        except (NotPrimaryError, TimeoutError, ConnectionError, OSError):
+            # A dead (or not-yet-promoted) first endpoint must not fail
+            # construction: failover clients are built precisely for
+            # that moment.  Rotate and let the first request reconnect
+            # its way through the endpoint list.
+            self._drop_socket()
+            self._advance_endpoint()
 
     # -- socket plumbing ---------------------------------------------------
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        """The endpoint the client currently targets."""
+        return self._endpoints[self._endpoint_index % len(self._endpoints)]
+
+    @property
+    def connected(self) -> bool:
+        """Whether a live socket is held (reconnects are lazy)."""
+        return self._sock is not None and not self._closed
+
+    def _advance_endpoint(self) -> None:
+        if len(self._endpoints) > 1:
+            self._endpoint_index = (self._endpoint_index + 1) % len(
+                self._endpoints
+            )
+            self.failovers += 1
+
+    def _sleep_for(self, delay: float) -> float:
+        """Jittered backoff: shave up to ``jitter`` off, never add."""
+        return delay * (1.0 - self._jitter * self._rng.random())
+
     def _connect(self) -> None:
         if self._closed:
             raise NetError("client is closed")
-        sock = socket.create_connection(
-            (self._host, self._port), timeout=self._timeout
-        )
+        host, port = self.endpoint
+        sock = socket.create_connection((host, port), timeout=self._timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
+        self._last_frame_at = time.monotonic()
         hello = {
             "id": self._new_id(),
             "verb": "hello",
@@ -146,6 +233,25 @@ class RemoteQueryClient:
         if not frame.get("ok"):
             self._drop_socket()
             raise_from_wire(frame.get("error") or {})
+        if self._subscribed:
+            self._resubscribe()
+
+    def _resubscribe(self) -> None:
+        """Re-arm push subscriptions on a fresh connection.
+
+        Sessions that meanwhile died (closed, shed) fall out of the
+        set; a ``NotPrimaryError`` propagates so the caller advances
+        to the next endpoint — a standby cannot serve subscriptions.
+        """
+        for sid in sorted(self._subscribed):
+            rid = self._new_id()
+            self._send_payload({"id": rid, "verb": "subscribe", "session": sid})
+            frame = self._await_response(rid)
+            if not frame.get("ok"):
+                error = frame.get("error") or {}
+                if error.get("type") == "NotPrimaryError":
+                    raise_from_wire(error)
+                self._subscribed.discard(sid)
 
     def _drop_socket(self) -> None:
         sock, self._sock = self._sock, None
@@ -183,7 +289,9 @@ class RemoteQueryClient:
                 f"server announced a {length}-byte frame beyond the "
                 f"{self._max_frame}-byte cap"
             )
-        return decode_payload(self._recv_exact(length))
+        frame = decode_payload(self._recv_exact(length))
+        self._last_frame_at = time.monotonic()
+        return frame
 
     def _await_response(self, rid: str) -> dict:
         """Read frames until ``rid``'s response; route events, drop
@@ -235,27 +343,57 @@ class RemoteQueryClient:
                 # is dead to us.  The retry resends the same id.
                 self._drop_socket()
                 last_exc = exc
+            except NotPrimaryError as exc:
+                # Raised while reconnecting (re-subscribe hit a
+                # standby): probe the next endpoint.
+                self._drop_socket()
+                self._advance_endpoint()
+                last_exc = exc
             except (ConnectionError, OSError) as exc:
                 self._drop_socket()
+                self._advance_endpoint()
                 last_exc = exc
             else:
                 if frame.get("ok"):
+                    self._note_success(verb, args)
                     return frame.get("result")
-                raise_from_wire(frame.get("error") or {})
+                error = frame.get("error") or {}
+                if error.get("type") == "NotPrimaryError":
+                    # A standby answered: retryable — the promoted
+                    # primary is (or will be) at another endpoint.
+                    self._drop_socket()
+                    self._advance_endpoint()
+                    last_exc = NotPrimaryError(str(error.get("message", "")))
+                else:
+                    raise_from_wire(error)
             if attempt + 1 < attempts:
-                time.sleep(delay)
+                time.sleep(self._sleep_for(delay))
                 delay = min(delay * 2, self._max_backoff)
         if isinstance(last_exc, TimeoutError):
             raise RequestTimeoutError(
                 f"{verb!r} got no response within {timeout or self._timeout}s "
                 f"({attempts} attempt(s))"
             ) from last_exc
+        if isinstance(last_exc, NotPrimaryError):
+            # Every endpoint probed answered "standby" — the link is
+            # fine, so surface the typed refusal, not a transport error.
+            raise last_exc
         raise ConnectionLostError(
             f"{verb!r} failed after {attempts} attempt(s): {last_exc}"
         ) from last_exc
 
+    def _note_success(self, verb: str, args: Optional[dict]) -> None:
+        """Track push subscriptions so reconnects can re-arm them."""
+        if verb == "subscribe" and args and "session" in args:
+            self._subscribed.add(int(args["session"]))
+        elif verb == "unsubscribe" and args and "session" in args:
+            self._subscribed.discard(int(args["session"]))
+
     # -- events ------------------------------------------------------------
     def _route_event(self, frame: dict) -> None:
+        if frame.get("event") == "heartbeat":
+            # Liveness only — _read_frame already stamped the clock.
+            return
         sid = frame.get("session")
         queue = self._events.setdefault(sid, deque())
         queue.append(frame)
@@ -267,30 +405,79 @@ class RemoteQueryClient:
     def poll_events(self, timeout: float = 0.05) -> int:
         """Read pushed frames for up to ``timeout`` seconds; returns
         how many events were routed.  Responses to requests are only
-        read during :meth:`request`, so this never steals them."""
-        if self._sock is None or self._closed:
+        read during :meth:`request`, so this never steals them.
+
+        With ``heartbeat_timeout`` set and live subscriptions, a push
+        stream silent past the deadline (or a dead socket) triggers
+        failover: reconnect through the endpoint list, re-subscribe,
+        and only raise :class:`ConnectionLostError` when retries run
+        out everywhere.
+        """
+        if self._closed:
             return 0
-        deadline = time.monotonic() + timeout
         routed = 0
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                break
-            try:
-                self._sock.settimeout(max(remaining, 0.001))
-                frame = self._read_frame()
-            except TimeoutError:
-                break
-            except (ConnectionError, OSError):
-                self._drop_socket()
-                break
-            finally:
-                if self._sock is not None:
-                    self._sock.settimeout(self._timeout)
-            if "event" in frame:
-                self._route_event(frame)
-                routed += 1
+        if self._sock is not None:
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    self._sock.settimeout(max(remaining, 0.001))
+                    frame = self._read_frame()
+                except TimeoutError:
+                    break
+                except (ConnectionError, OSError):
+                    self._drop_socket()
+                    break
+                finally:
+                    if self._sock is not None:
+                        self._sock.settimeout(self._timeout)
+                if "event" in frame:
+                    self._route_event(frame)
+                    routed += 1
+        self._check_watchdog()
         return routed
+
+    def _check_watchdog(self) -> None:
+        """Heartbeat-stall detection for the push stream."""
+        if self._heartbeat_timeout is None or not self._subscribed:
+            return
+        stalled = (
+            time.monotonic() - self._last_frame_at > self._heartbeat_timeout
+        )
+        if self._sock is not None and not stalled:
+            return
+        self._drop_socket()
+        self._recover_stream()
+
+    def _recover_stream(self) -> None:
+        """Reconnect (and re-subscribe) after a dead push stream,
+        probing endpoints round-robin with jittered backoff."""
+        attempts = self._retries + 1
+        delay = self._backoff
+        last_exc: Optional[BaseException] = None
+        for attempt in range(attempts):
+            try:
+                self._connect()
+            except (
+                NotPrimaryError,
+                TimeoutError,
+                ConnectionError,
+                OSError,
+            ) as exc:
+                self._drop_socket()
+                self._advance_endpoint()
+                last_exc = exc
+            else:
+                return
+            if attempt + 1 < attempts:
+                time.sleep(self._sleep_for(delay))
+                delay = min(delay * 2, self._max_backoff)
+        raise ConnectionLostError(
+            f"push stream stalled past {self._heartbeat_timeout}s and "
+            f"reconnection failed after {attempts} attempt(s): {last_exc}"
+        ) from last_exc
 
     def events_for(self, sid: Optional[int]) -> List[dict]:
         """Drain (and return) the buffered events for one session, or

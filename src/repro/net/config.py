@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.net.protocol import MAX_FRAME
 
@@ -34,12 +35,32 @@ class NetConfig:
         for retry deduplication (FIFO eviction).  Each retried request
         with a remembered id replays the stored response without
         re-applying the verb.
+    heartbeat_interval:
+        Seconds between server-pushed ``heartbeat`` events on
+        connections with live subscriptions (and replication links).
+        ``None`` (the default) disables heartbeats — clients relying on
+        the heartbeat-stall watchdog for failure detection must run
+        against a server with this set.
+    repl_sync:
+        When True (the default), a request whose dispatch appended
+        journal records — and every ingested update — only completes
+        after every connected replica acknowledged those records.  An
+        acknowledged write therefore survives a primary kill: it is
+        already applied on the standby.  False makes replication
+        asynchronous (the lag watermark still tracks it).
+    repl_ack_timeout:
+        Seconds the synchronous barrier waits for a replica's ack
+        before dropping it as dead (the barrier must never wedge the
+        primary behind a crashed standby).
     """
 
     max_frame: int = MAX_FRAME
     max_push_queue: int = 64
     handshake_timeout: float = 5.0
     idempotency_cache: int = 1024
+    heartbeat_interval: Optional[float] = None
+    repl_sync: bool = True
+    repl_ack_timeout: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_frame < 64:
@@ -50,3 +71,7 @@ class NetConfig:
             raise ValueError("handshake_timeout must be positive")
         if self.idempotency_cache < 1:
             raise ValueError("idempotency_cache must be positive")
+        if self.heartbeat_interval is not None and self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive (or None)")
+        if self.repl_ack_timeout <= 0:
+            raise ValueError("repl_ack_timeout must be positive")

@@ -20,6 +20,7 @@ __all__ = [
     "FrameTooLargeError",
     "VersionMismatchError",
     "ConnectionLostError",
+    "NotPrimaryError",
     "RequestTimeoutError",
     "RemoteError",
     "error_to_wire",
@@ -44,7 +45,14 @@ class VersionMismatchError(ProtocolError):
 
 
 class ConnectionLostError(NetError):
-    """The connection died and bounded reconnect retries ran out."""
+    """The connection died (or its push stream stalled past the
+    heartbeat watchdog) and bounded reconnect retries ran out."""
+
+
+class NotPrimaryError(NetError):
+    """The addressed server is a warm standby: it replicates but does
+    not serve session verbs until promoted.  Failover-aware clients
+    treat this as retryable and advance to the next endpoint."""
 
 
 class RequestTimeoutError(NetError):
@@ -72,6 +80,7 @@ _WIRE_TYPES.update(
         "ProtocolError": ProtocolError,
         "VersionMismatchError": VersionMismatchError,
         "FrameTooLargeError": FrameTooLargeError,
+        "NotPrimaryError": NotPrimaryError,
     }
 )
 

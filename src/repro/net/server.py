@@ -48,6 +48,7 @@ from repro.net.config import NetConfig
 from repro.net.errors import (
     FrameTooLargeError,
     NetError,
+    NotPrimaryError,
     ProtocolError,
     VersionMismatchError,
     error_to_wire,
@@ -72,6 +73,20 @@ SERVER_SOFTWARE = "repro-net/1"
 # Verbs whose responses are remembered for request-id replay; the
 # read-only verbs are safe to re-execute.
 _MUTATING = frozenset({"open", "advance", "close", "explain"})
+
+# Verbs a warm standby refuses until promotion (service verbs — ping /
+# stats / repl.* — keep working so health checks and replication run).
+_SESSION_VERBS = frozenset(
+    {
+        "open",
+        "advance",
+        "members",
+        "close",
+        "explain",
+        "subscribe",
+        "unsubscribe",
+    }
+)
 
 
 @dataclass
@@ -106,6 +121,10 @@ class _Connection:
         "writer_task",
         "last_frame_bytes",
         "last_decode_seconds",
+        "replica",
+        "acked_seq",
+        "sent_seq",
+        "ack_event",
     )
 
     def __init__(self, cid: int, reader, writer) -> None:
@@ -124,6 +143,13 @@ class _Connection:
         self.writer_task = None
         self.last_frame_bytes = 0
         self.last_decode_seconds = 0.0
+        # Replication-link state (``repl.subscribe`` flips replica on):
+        # journal records already streamed / acknowledged, and the
+        # event the sync barrier parks on until the next ack.
+        self.replica = False
+        self.acked_seq = 0
+        self.sent_seq = 0
+        self.ack_event = asyncio.Event()
 
 
 class QueryNetServer:
@@ -139,9 +165,11 @@ class QueryNetServer:
         self,
         server: QueryServer,
         config: Optional[NetConfig] = None,
+        standby: bool = False,
     ) -> None:
         self._server = server
         self._config = config if config is not None else NetConfig()
+        self._standby = bool(standby)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._thread_ident: Optional[int] = None
@@ -154,6 +182,12 @@ class QueryNetServer:
         self._next_cid = count(1)
         self._closed = False
         self._draining = False
+        self._heartbeat_task = None
+        # Sync-replication reconnect grace: when a replica drops, the
+        # ack barrier holds through this window instead of silently
+        # degrading to async (loop clock; 0.0 = no grace pending).
+        self._repl_grace_until = 0.0
+        self._repl_attach_event = asyncio.Event()
         self.stats = NetStats()
         self._bind_instruments()
 
@@ -205,6 +239,11 @@ class QueryNetServer:
         )
         self._thread.start()
         self._call(self._start_async(host, port))
+        # A recovered (or replicated) query server already carries
+        # sessions and journaled idempotent replies: adopt them so
+        # reconnecting clients find their session ids and retried
+        # request ids exactly where they left them.
+        self._adopt_server_state()
         # Updates now route through the loop thread: the applying
         # thread blocks until fan-out + pushes are done, keeping
         # db.apply's synchronous contract for remote consumers too.
@@ -213,10 +252,27 @@ class QueryNetServer:
         db.subscribe(self._ingest)
         return self
 
+    def _adopt_server_state(self) -> None:
+        for session in self._server.sessions():
+            self._sessions.setdefault(session.session_id, session)
+        replies = getattr(self._server, "replay_replies", None)
+        if replies:
+            for rid, response in replies.items():
+                self._remember(str(rid), response)
+
     def _run_loop(self) -> None:
         asyncio.set_event_loop(self._loop)
         self._thread_ident = threading.get_ident()
         self._loop.run_forever()
+        # Retire whatever the stop left behind (a kill cancels tasks
+        # without waiting) so the loop closes without leaking them.
+        pending = asyncio.all_tasks(self._loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
         self._loop.close()
 
     def _call(self, coro, timeout: float = 30.0):
@@ -233,6 +289,23 @@ class QueryNetServer:
             self._handle_connection, host=host, port=port
         )
         self._address = self._asyncio_server.sockets[0].getsockname()[:2]
+        if self._config.heartbeat_interval is not None:
+            self._heartbeat_task = asyncio.get_event_loop().create_task(
+                self._heartbeat_loop()
+            )
+
+    async def _heartbeat_loop(self) -> None:
+        """Periodically push ``heartbeat`` events so subscribed clients
+        (and replicas) can detect a stalled or dead server by silence."""
+        interval = self._config.heartbeat_interval
+        while not (self._closed or self._draining):
+            await asyncio.sleep(interval)
+            tau = self._server.db.last_update_time
+            for conn in list(self._connections):
+                if conn.subscriptions or conn.replica:
+                    self._send(
+                        conn, {"event": "heartbeat", "tau": tau}, force=True
+                    )
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -249,6 +322,38 @@ class QueryNetServer:
     @property
     def config(self) -> NetConfig:
         return self._config
+
+    @property
+    def is_standby(self) -> bool:
+        """True while this frontend refuses session verbs (replicating
+        warm standby awaiting promotion)."""
+        return self._standby
+
+    def promote(self) -> "QueryNetServer":
+        """Flip a warm standby into a serving primary.
+
+        Adopts every replicated session and journaled idempotent reply
+        into the frontend maps, so clients that fail over keep their
+        session ids and retried request ids transparently.  Idempotent
+        to call on the loop's schedule; raises
+        :class:`~repro.replication.PromotionError` when this frontend
+        was never a standby.
+        """
+        from repro.replication.errors import PromotionError
+
+        if not self._standby:
+            raise PromotionError("this frontend is already a primary")
+        if self._loop is not None:
+            self._call(self._promote_async())
+        else:
+            self._standby = False
+            self._adopt_server_state()
+        return self
+
+    async def _promote_async(self) -> None:
+        self._standby = False
+        self._adopt_server_state()
+        self._c_event("promote").inc()
 
     def __enter__(self) -> "QueryNetServer":
         return self
@@ -269,6 +374,10 @@ class QueryNetServer:
 
     async def _aingest(self, update) -> None:
         self._ingest_on_loop(update)
+        # db.apply's synchronous contract now extends to replicas: the
+        # applying thread only unblocks once every standby acknowledged
+        # the journal records this update produced.
+        await self._repl_barrier()
 
     def _ingest_on_loop(self, update) -> None:
         self._server._on_update(update)
@@ -276,6 +385,139 @@ class QueryNetServer:
             # The batch flushed: subscribed connections see the world
             # move.  (Buffered updates push at their flush instead.)
             self._push_answer_changes()
+        self._flush_repl()
+
+    # -- replication stream -------------------------------------------------
+    def _journal_of(self):
+        return getattr(self._server, "journal", None)
+
+    def _replica_conns(self):
+        return [
+            conn
+            for conn in self._connections
+            if conn.replica and not conn.closing
+        ]
+
+    def _flush_repl(self) -> None:
+        """Stream journal records appended since each replica's last
+        flush, one batch frame per flush boundary.
+
+        Batching at flush boundaries (not per append) keeps compound
+        operations — a ``close`` record and its ``reply`` record, say —
+        atomic on the wire: a standby holds either both or neither, so
+        a primary kill between them cannot strand a half-applied pair.
+        """
+        journal = self._journal_of()
+        if journal is None:
+            return
+        for conn in self._replica_conns():
+            records = journal.records_since(conn.sent_seq)
+            if records is None:
+                # The suffix fell off retention (journal handover after
+                # a recovery); the replica must re-sync from scratch.
+                self._drop_replica(conn, "resume window lost")
+                continue
+            if records:
+                conn.sent_seq = records[-1]["seq"]
+                self._send(
+                    conn,
+                    {"event": "repl.append", "records": records},
+                    force=True,
+                )
+        self._update_retain_floor()
+
+    def _update_retain_floor(self) -> None:
+        """Pin the journal's in-memory retention at the slowest live
+        replica's streamed position, so checkpoints never evict records
+        a standby could still resume from."""
+        journal = self._journal_of()
+        if journal is None:
+            return
+        replicas = self._replica_conns()
+        if replicas:
+            journal.set_retain_floor(min(c.sent_seq for c in replicas))
+            return
+        if (
+            self._loop is not None
+            and self._loop.time() < self._repl_grace_until
+        ):
+            # A replica dropped moments ago and may resume: keep the
+            # floor pinned where it was so its suffix outlives the
+            # reconnect window instead of falling to a checkpoint.
+            return
+        journal.set_retain_floor(None)
+
+    async def _repl_barrier(self) -> None:
+        """Block (on the loop, never the loop thread's callers) until
+        every replica acknowledged the journal's current sequence, or
+        its ack timeout expires and it is dropped as dead.
+
+        A replica that dropped moments ago is expected back: with no
+        replica attached, the barrier holds through the reconnect
+        grace window (one ack timeout from the drop) and re-runs
+        against whatever re-subscribes, instead of silently degrading
+        to async replication — so a primary kill inside a standby's
+        reconnect window cannot lose an acknowledged write no standby
+        ever saw."""
+        journal = self._journal_of()
+        if journal is None or not self._config.repl_sync:
+            return
+        target = journal.seq
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + self._config.repl_ack_timeout
+        while True:
+            replicas = self._replica_conns()
+            for conn in replicas:
+                while conn.acked_seq < target and not conn.closing:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        self._drop_replica(conn, "ack timeout")
+                        break
+                    conn.ack_event.clear()
+                    if conn.acked_seq >= target:
+                        break
+                    try:
+                        await asyncio.wait_for(
+                            conn.ack_event.wait(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        self._drop_replica(conn, "ack timeout")
+                        break
+            if replicas:
+                return
+            remaining = min(deadline, self._repl_grace_until) - loop.time()
+            if remaining <= 0:
+                return
+            self._repl_attach_event.clear()
+            if self._replica_conns():
+                continue
+            try:
+                await asyncio.wait_for(
+                    self._repl_attach_event.wait(), remaining
+                )
+            except asyncio.TimeoutError:
+                return
+
+    def _arm_repl_grace(self) -> None:
+        """A replica just went away: open the reconnect window the ack
+        barrier honors while no replica is attached."""
+        if self._loop is not None:
+            self._repl_grace_until = (
+                self._loop.time() + self._config.repl_ack_timeout
+            )
+
+    def _drop_replica(self, conn: _Connection, reason: str) -> None:
+        conn.replica = False
+        self._c_event("replica_drop").inc()
+        self._arm_repl_grace()
+        self._send(
+            conn,
+            {"event": "repl.dropped", "reason": reason},
+            force=True,
+        )
+        conn.closing = True
+        conn.wake.set()
+        self._update_retain_floor()
 
     # -- connection handling ----------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
@@ -318,6 +560,13 @@ class QueryNetServer:
                 pass
             self._connections.discard(conn)
             conn.subscriptions.clear()
+            if conn.replica:
+                # A replica link died without a protocol-level drop
+                # (EOF, reset): open the reconnect grace window so the
+                # sync-ack barrier keeps holding while it comes back.
+                conn.replica = False
+                self._arm_repl_grace()
+                self._update_retain_floor()
             # Sessions deliberately survive the connection: a client
             # that reconnects can resume (and retry) them by id.
 
@@ -411,7 +660,16 @@ class QueryNetServer:
                     force=True,
                 )
                 continue
+            journal = self._journal_of()
+            seq_before = journal.seq if journal is not None else 0
             response = self._dispatch(conn, request)
+            if journal is not None and journal.seq > seq_before:
+                # The verb journaled something: stream it to replicas
+                # and (under sync replication) hold the response until
+                # they acknowledge — a response the client saw is a
+                # response the promoted standby can replay.
+                self._flush_repl()
+                await self._repl_barrier()
             self._send(conn, response, force=True)
 
     # -- dispatch ----------------------------------------------------------
@@ -429,6 +687,11 @@ class QueryNetServer:
         try:
             if handler is None:
                 raise ProtocolError(f"unknown verb {verb!r}")
+            if self._standby and verb in _SESSION_VERBS:
+                raise NotPrimaryError(
+                    "this server is a warm standby; retry against the "
+                    "primary (or wait for promotion)"
+                )
             result = handler(self, conn, request)
             response = {"id": rid, "ok": True, "result": result}
         except Exception as exc:  # typed over the wire, never fatal
@@ -437,6 +700,13 @@ class QueryNetServer:
             response = {"id": rid, "ok": False, "error": error_to_wire(exc)}
         if rid is not None and verb in _MUTATING:
             self._remember(str(rid), response)
+            if response.get("ok"):
+                # Journal the reply next to the ops it answered: after
+                # a failover, the promoted standby replays it verbatim
+                # to the retried request id instead of re-executing.
+                journal_reply = getattr(self._server, "journal_reply", None)
+                if journal_reply is not None:
+                    journal_reply(str(rid), response)
         return response
 
     def _remember(self, rid: str, response: dict) -> None:
@@ -589,7 +859,7 @@ class QueryNetServer:
 
     def _verb_stats(self, conn: _Connection, request: dict) -> dict:
         server_stats = self._server.stats
-        return {
+        out = {
             "server": {
                 field: getattr(server_stats, field)
                 for field in server_stats.__dataclass_fields__
@@ -606,6 +876,71 @@ class QueryNetServer:
                     self._server.applier.stats.pending_high_water
                 ),
             },
+            "standby": self._standby,
+        }
+        journal = self._journal_of()
+        if journal is not None:
+            acked = [c.acked_seq for c in self._replica_conns()]
+            out["replication"] = {
+                "seq": journal.seq,
+                "snapshot_seq": journal.snapshot_seq,
+                "replicas": len(acked),
+                "min_acked": min(acked) if acked else None,
+                # The staleness watermark: journal records a freshly
+                # promoted laggard replica would still be missing.
+                "lag": journal.seq - min(acked) if acked else None,
+            }
+        return out
+
+    def _verb_repl_subscribe(self, conn: _Connection, request: dict) -> dict:
+        """Attach this connection as a replica.
+
+        ``from`` names the last journal seq the replica already holds:
+        ``0`` (a cold standby) receives a full snapshot to bootstrap
+        from; a resuming replica receives the missed record suffix when
+        the journal still retains it, and a snapshot otherwise.  Either
+        way the response pins ``conn.sent_seq``, and every journal
+        record after it streams as ``repl.append`` event batches.
+        """
+        journal = self._journal_of()
+        if journal is None:
+            raise ProtocolError(
+                "this server has no journal; nothing to replicate"
+            )
+        from_seq = int(request.get("from", 0))
+        conn.replica = True
+        self._c_event("replica_attach").inc()
+        # Wake any sync-ack barrier holding through the reconnect
+        # grace window: it re-runs against this replica's ack stream.
+        self._repl_attach_event.set()
+        records = (
+            journal.records_since(from_seq) if from_seq > 0 else None
+        )
+        if records is None:
+            snapshot = self._server.snapshot_state()
+            conn.sent_seq = conn.acked_seq = int(snapshot["seq"])
+            self._update_retain_floor()
+            return {
+                "mode": "snapshot",
+                "snapshot": snapshot,
+                "seq": journal.seq,
+            }
+        conn.sent_seq = journal.seq if not records else records[-1]["seq"]
+        conn.acked_seq = from_seq
+        self._update_retain_floor()
+        return {"mode": "records", "records": records, "seq": journal.seq}
+
+    def _verb_repl_ack(self, conn: _Connection, request: dict) -> dict:
+        if not conn.replica:
+            raise ProtocolError("repl.ack from a non-replica connection")
+        seq = int(request["seq"])
+        if seq > conn.acked_seq:
+            conn.acked_seq = seq
+        conn.ack_event.set()
+        journal = self._journal_of()
+        return {
+            "acked": conn.acked_seq,
+            "seq": journal.seq if journal is not None else None,
         }
 
     _VERBS = {
@@ -618,6 +953,8 @@ class QueryNetServer:
         "unsubscribe": _verb_unsubscribe,
         "ping": _verb_ping,
         "stats": _verb_stats,
+        "repl.subscribe": _verb_repl_subscribe,
+        "repl.ack": _verb_repl_ack,
     }
 
     # -- push stream --------------------------------------------------------
@@ -786,6 +1123,13 @@ class QueryNetServer:
                     },
                     force=True,
                 )
+        # Stream the drain's close records before saying goodbye, so a
+        # standby mirrors the drained (terminal) state.
+        self._flush_repl()
+        await self._repl_barrier()
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
         for conn in list(self._connections):
             self._send(
                 conn, {"event": "goodbye", "reason": "drain"}, force=True
@@ -825,3 +1169,48 @@ class QueryNetServer:
             if self._thread is not None:
                 self._thread.join(timeout=10.0)
         self._server.shutdown()
+
+    def kill(self) -> None:
+        """Die abruptly — the chaos-testing crash.
+
+        No drain, no goodbye, no final checkpoint, no session closes:
+        sockets are aborted and the loop stops, exactly as if the
+        process had been SIGKILLed mid-flight.  Whatever the journal
+        (and any acked replica) holds is all that survives — which is
+        precisely the guarantee recovery and failover are tested
+        against.  Idempotent; a killed frontend cannot be restarted.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._server.db.unsubscribe(self._ingest)
+        except Exception:
+            pass
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._kill_on_loop)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=10.0)
+
+    def _kill_on_loop(self) -> None:
+        # A simulated crash is deliberately ungraceful: suppress the
+        # loop's complaints about the tasks we are about to tear down.
+        self._loop.set_exception_handler(lambda loop, context: None)
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            self._asyncio_server = None
+        for conn in list(self._connections):
+            conn.closing = True
+            conn.wake.set()
+            transport = getattr(conn.writer, "transport", None)
+            if transport is not None:
+                try:
+                    transport.abort()
+                except Exception:
+                    pass
+        for task in asyncio.all_tasks(self._loop):
+            task.cancel()

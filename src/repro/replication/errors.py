@@ -1,0 +1,20 @@
+"""Typed errors for the durability / replication layer."""
+
+from __future__ import annotations
+
+__all__ = ["ReplicationError", "NotDurableError", "PromotionError"]
+
+
+class ReplicationError(RuntimeError):
+    """Base class for durability / replication failures."""
+
+
+class NotDurableError(ReplicationError):
+    """An operation needed durable journaling but the server has none,
+    or a session parameter (e.g. an opaque g-distance callable) cannot
+    be serialized into the journal."""
+
+
+class PromotionError(ReplicationError):
+    """A standby could not be promoted (already primary, or its
+    replication link is in an unpromotable state)."""

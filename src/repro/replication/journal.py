@@ -1,0 +1,332 @@
+"""The server-level write-ahead log: sequenced records + snapshots.
+
+Where :class:`repro.resilience.WriteAheadLog` journals the *database*
+(one update per line), :class:`ServerWal` journals the whole serving
+layer: applied updates **and** session lifecycle ops (open / advance /
+close / cancel / shed) plus the net frontend's idempotent-reply cache
+entries.  Every record carries a monotone ``seq``; a snapshot records
+the seq it covers, so recovery replays exactly the tail — Theorem 5's
+(checkpoint, suffix-of-updates) reconstruction discipline applied to
+the server's entire answer state.
+
+The journal doubles as the replication feed: listeners subscribe and
+see every appended record (the net frontend streams them to warm
+standbys as ``repl.append`` events), and :meth:`records_since` serves
+resume-after-reconnect without a fresh snapshot.
+
+``directory=None`` runs the journal memory-only — still sequenced,
+still streamable to replicas — for primaries that want warm-standby
+replication without local disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.gdist.base import GDistance
+from repro.gdist.euclidean import SquaredEuclideanDistance
+from repro.io import trajectory_from_dict, trajectory_to_dict
+from repro.obs.instrument import as_instrumentation
+from repro.obs.metrics import NULL_COUNTER
+from repro.replication.errors import NotDurableError
+from repro.resilience.wal import read_jsonl_records
+
+__all__ = [
+    "SERVER_WAL_FILENAME",
+    "SERVER_CHECKPOINT_FILENAME",
+    "ServerWal",
+    "gdistance_to_record",
+    "gdistance_from_record",
+    "load_server_state",
+]
+
+SERVER_WAL_FILENAME = "server_wal.jsonl"
+SERVER_CHECKPOINT_FILENAME = "server_checkpoint.json"
+
+SNAPSHOT_FORMAT = 1
+
+# Record ops a journal may carry.  ``update`` is an applied database
+# update; the rest are session lifecycle / serving-layer ops.
+RECORD_OPS = (
+    "update",
+    "open",
+    "advance",
+    "close",
+    "cancel",
+    "shed",
+    "reply",
+)
+
+
+def gdistance_to_record(gdistance: GDistance) -> dict:
+    """Serialize a session's g-distance for the journal.
+
+    Only :class:`~repro.gdist.euclidean.SquaredEuclideanDistance`
+    (fixed points and trajectory queries alike — both reduce to a
+    query trajectory) is durable; an opaque g-distance callable cannot
+    be reconstructed after a crash and raises
+    :class:`~repro.replication.errors.NotDurableError` at registration
+    time, not at recovery time.
+    """
+    if isinstance(gdistance, SquaredEuclideanDistance):
+        return {
+            "type": "sqeuclid",
+            "trajectory": trajectory_to_dict(gdistance.query_trajectory),
+        }
+    raise NotDurableError(
+        f"cannot journal g-distance {type(gdistance).__name__}; durable "
+        f"serving requires a SquaredEuclideanDistance (point or "
+        f"trajectory query)"
+    )
+
+
+def gdistance_from_record(data: dict) -> GDistance:
+    """Rebuild a journaled g-distance."""
+    if data.get("type") == "sqeuclid":
+        return SquaredEuclideanDistance(
+            trajectory_from_dict(data["trajectory"])
+        )
+    raise NotDurableError(
+        f"unknown journaled g-distance type {data.get('type')!r}"
+    )
+
+
+def _decode_record(data: dict) -> dict:
+    """Validate one journal line (the tail-repair reader's codec)."""
+    if not isinstance(data, dict):
+        raise TypeError("journal record must be a JSON object")
+    seq = data["seq"]
+    op = data["op"]
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 1:
+        raise ValueError(f"bad journal seq {seq!r}")
+    if op not in RECORD_OPS:
+        raise ValueError(f"unknown journal op {op!r}")
+    return data
+
+
+class ServerWal:
+    """Sequenced server journal with atomic snapshot checkpoints.
+
+    Parameters
+    ----------
+    directory:
+        Durability directory (``server_wal.jsonl`` +
+        ``server_checkpoint.json``), or ``None`` for a memory-only
+        journal (replication feed without local durability).
+    sync:
+        Per-append policy for the JSONL file: ``none`` / ``flush`` /
+        ``fsync`` (see :class:`repro.resilience.WriteAheadLog`).  The
+        default ``flush`` survives process crashes; snapshots always
+        fsync — and fsync the WAL too — so checkpoints are durability
+        boundaries regardless (the fsync-at-checkpoint policy).
+    start_seq:
+        First seq to assign minus one — recovery passes the last
+        journaled seq so appends continue the sequence.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        sync: str = "flush",
+        observe=None,
+        start_seq: int = 0,
+    ) -> None:
+        if sync not in ("none", "flush", "fsync"):
+            raise ValueError(
+                f"sync must be none/flush/fsync, got {sync!r}"
+            )
+        self._directory = None if directory is None else str(directory)
+        self._sync = sync
+        self._seq = int(start_seq)
+        self._snapshot_seq = 0
+        self._records: List[dict] = []  # retained for replica resume
+        self._retain_floor: Optional[int] = None
+        self._listeners: List[Callable[[dict], None]] = []
+        self._handle = None
+        self._closed = False
+        if self._directory is not None:
+            os.makedirs(self._directory, exist_ok=True)
+            self._handle = open(self.wal_path, "a", encoding="utf-8")
+        obs = as_instrumentation(observe)
+        if obs is None:
+            self._c_records = lambda op: NULL_COUNTER
+            self._c_checkpoints = NULL_COUNTER
+        else:
+            m = obs.metrics
+            records = m.counter(
+                "repl_journal_records_total",
+                "Server-journal records appended, by op.",
+                labels=("op",),
+            )
+            self._c_records = lambda op: records.labels(op=op)
+            self._c_checkpoints = m.counter(
+                "repl_checkpoints_total",
+                "Server snapshots checkpointed.",
+            )
+            m.gauge(
+                "repl_journal_seq",
+                "Last sequence number appended to the server journal.",
+            ).set_function(lambda: self._seq)
+
+    # -- paths --------------------------------------------------------------
+    @property
+    def directory(self) -> Optional[str]:
+        return self._directory
+
+    @property
+    def wal_path(self) -> str:
+        if self._directory is None:
+            raise NotDurableError("memory-only journal has no WAL path")
+        return os.path.join(self._directory, SERVER_WAL_FILENAME)
+
+    @property
+    def checkpoint_path(self) -> str:
+        if self._directory is None:
+            raise NotDurableError(
+                "memory-only journal has no checkpoint path"
+            )
+        return os.path.join(self._directory, SERVER_CHECKPOINT_FILENAME)
+
+    # -- sequence and retention --------------------------------------------
+    @property
+    def seq(self) -> int:
+        """The last appended sequence number (0 before any append)."""
+        return self._seq
+
+    @property
+    def snapshot_seq(self) -> int:
+        """The seq covered by the most recent snapshot this run."""
+        return self._snapshot_seq
+
+    @property
+    def tail_length(self) -> int:
+        """Records appended since the last snapshot (the replay cost a
+        crash right now would pay)."""
+        return self._seq - self._snapshot_seq
+
+    def records_since(self, seq: int) -> Optional[List[dict]]:
+        """Retained records with ``seq`` strictly greater than ``seq``,
+        or ``None`` when that suffix is no longer fully retained (the
+        caller must fall back to a fresh snapshot)."""
+        if not self._records:
+            return [] if seq >= self._seq else None
+        base = self._records[0]["seq"] - 1
+        if seq < base:
+            return None
+        return [r for r in self._records if r["seq"] > seq]
+
+    def set_retain_floor(self, seq: Optional[int]) -> None:
+        """Pin in-memory record retention for replication resume.
+
+        Records with ``seq`` at or below the floor may be discarded at
+        the next checkpoint.  ``None`` (the default) means no
+        replication consumer needs history: checkpoints trim
+        everything the snapshot already covers.  The net frontend
+        advances this to the slowest replica's streamed position, so a
+        checkpoint never evicts records a live standby still needs.
+        """
+        self._retain_floor = None if seq is None else int(seq)
+
+    # -- writing ------------------------------------------------------------
+    def subscribe(self, listener: Callable[[dict], None]) -> None:
+        """Add a record listener (the replication feed)."""
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[dict], None]) -> None:
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def append(self, op: str, **fields) -> dict:
+        """Stamp, persist, retain, and broadcast one record."""
+        if self._closed:
+            raise RuntimeError("server journal is closed")
+        if op not in RECORD_OPS:
+            raise ValueError(f"unknown journal op {op!r}")
+        self._seq += 1
+        record = {"seq": self._seq, "op": op, **fields}
+        if self._handle is not None:
+            self._handle.write(
+                json.dumps(record, separators=(",", ":")) + "\n"
+            )
+            if self._sync != "none":
+                self._handle.flush()
+            if self._sync == "fsync":
+                os.fsync(self._handle.fileno())
+        self._records.append(record)
+        self._c_records(op).inc()
+        for listener in list(self._listeners):
+            listener(record)
+        return record
+
+    def write_snapshot(self, snapshot: dict) -> None:
+        """Atomically persist one server snapshot (fsync-at-checkpoint).
+
+        The snapshot must carry the ``seq`` it covers.  The WAL handle
+        is flushed and fsynced first, so the (snapshot, WAL-tail) pair
+        on disk is always consistent; the snapshot itself lands via a
+        temporary file and ``os.replace``.
+        """
+        self._snapshot_seq = int(snapshot.get("seq", self._seq))
+        # Trim in-memory retention: everything the snapshot covers is
+        # recoverable from disk, so only the suffix a live replica may
+        # still resume from (the retain floor) must stay resident.
+        floor = self._snapshot_seq
+        if self._retain_floor is not None:
+            floor = min(floor, self._retain_floor)
+        if self._records and self._records[0]["seq"] <= floor:
+            self._records = [r for r in self._records if r["seq"] > floor]
+        if self._directory is None:
+            return
+        if self._handle is not None and self._sync != "fsync":
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        tmp_path = self.checkpoint_path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.checkpoint_path)
+        self._c_checkpoints.inc()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            if self._handle is not None:
+                self._handle.close()
+
+    def __enter__(self) -> "ServerWal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_server_state(
+    directory: str, repair: bool = True
+) -> "tuple[Optional[dict], List[dict]]":
+    """Read ``(snapshot, tail_records)`` from a durability directory.
+
+    The snapshot is ``None`` when no checkpoint was ever written; the
+    tail is every intact journal record with ``seq`` past the
+    snapshot's (all records when there is no snapshot), in order.  A
+    crash-truncated journal tail is skipped — and truncated away under
+    ``repair`` — by the same tolerant reader the database WAL uses.
+    """
+    checkpoint_path = os.path.join(
+        str(directory), SERVER_CHECKPOINT_FILENAME
+    )
+    wal_path = os.path.join(str(directory), SERVER_WAL_FILENAME)
+    snapshot: Optional[dict] = None
+    if os.path.exists(checkpoint_path):
+        with open(checkpoint_path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    records: List[dict] = []
+    if os.path.exists(wal_path):
+        records = read_jsonl_records(wal_path, repair, _decode_record)
+    covered = 0 if snapshot is None else int(snapshot.get("seq", 0))
+    tail = [r for r in records if r["seq"] > covered]
+    return snapshot, tail

@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 import os
 import time as _time
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.io import database_to_dict, database_from_dict, update_from_dict, update_to_dict
 from repro.mod.database import MovingObjectDatabase
@@ -42,22 +42,57 @@ class WalCorruptionError(RuntimeError):
     """The WAL is damaged beyond what a crash can explain."""
 
 
+# Durability policies for appended lines, weakest to strongest:
+# ``none`` buffers in the process (a *process* crash can lose the
+# buffered tail), ``flush`` pushes every line to the OS page cache (a
+# process crash loses nothing, an OS crash can lose the tail), and
+# ``fsync`` forces every line to stable storage before returning.
+SYNC_POLICIES = ("none", "flush", "fsync")
+
+
+def resolve_sync(sync, fsync) -> str:
+    """Fold the legacy ``fsync=`` bool and the ``sync=`` policy into
+    one policy name (``sync`` wins when both are given)."""
+    if sync is not None:
+        if sync not in SYNC_POLICIES:
+            raise ValueError(
+                f"sync must be one of {SYNC_POLICIES}, got {sync!r}"
+            )
+        return sync
+    if fsync is None or fsync:
+        return "fsync"
+    return "flush"
+
+
 class WriteAheadLog:
     """Append-only durable log of accepted updates, plus checkpoints.
 
-    ``fsync=True`` (the default) forces every appended line to stable
-    storage before returning — the strongest guarantee and the honest
-    configuration for crash-recovery claims; ``fsync=False`` flushes to
-    the OS only, trading the durability of the last few updates for
-    throughput.
+    ``sync`` picks the per-append durability policy: ``"fsync"`` (the
+    default) forces every appended line to stable storage before
+    returning — the strongest guarantee and the honest configuration
+    for crash-recovery claims; ``"flush"`` flushes to the OS only,
+    trading the durability of the last few updates under an *OS* crash
+    for throughput; ``"none"`` leaves lines in the process buffer (a
+    process crash can lose the buffered tail — ``recover()`` tolerates
+    the resulting truncation either way).  :meth:`checkpoint` always
+    fsyncs — both the snapshot and, under the weaker policies, the WAL
+    itself — so a checkpoint is a durability boundary regardless of
+    the per-append policy.
+
+    The legacy ``fsync=`` bool is still honoured (``True`` →
+    ``"fsync"``, ``False`` → ``"flush"``) when ``sync`` is not given.
     """
 
     def __init__(
-        self, directory: str, fsync: bool = True, observe=None
+        self,
+        directory: str,
+        fsync: Optional[bool] = None,
+        observe=None,
+        sync: Optional[str] = None,
     ) -> None:
         self._directory = str(directory)
         os.makedirs(self._directory, exist_ok=True)
-        self._fsync = fsync
+        self._sync = resolve_sync(sync, fsync)
         self._handle = open(self.wal_path, "a", encoding="utf-8")
         self._appended = 0
         self._closed = False
@@ -100,17 +135,24 @@ class WriteAheadLog:
         """Updates appended through this handle."""
         return self._appended
 
+    @property
+    def sync(self) -> str:
+        """The per-append durability policy (``none``/``flush``/``fsync``)."""
+        return self._sync
+
     # -- writing ------------------------------------------------------------
     def append(self, update: Update) -> None:
-        """Durably append one update as a JSON line."""
+        """Append one update as a JSON line, durably per the ``sync``
+        policy."""
         if self._closed:
             raise RuntimeError("write-ahead log is closed")
         timed = self._h_append_seconds is not None
         started = _time.perf_counter() if timed else 0.0
         line = json.dumps(update_to_dict(update), separators=(",", ":"))
         self._handle.write(line + "\n")
-        self._handle.flush()
-        if self._fsync:
+        if self._sync != "none":
+            self._handle.flush()
+        if self._sync == "fsync":
             os.fsync(self._handle.fileno())
         self._appended += 1
         self._c_appends.inc()
@@ -122,7 +164,14 @@ class WriteAheadLog:
 
         The snapshot lands via a temporary file and ``os.replace`` so a
         crash mid-checkpoint leaves the previous checkpoint intact.
+        Checkpoints are durability boundaries: under the ``none`` /
+        ``flush`` append policies the WAL itself is flushed and fsynced
+        here, so everything the snapshot does not cover is on stable
+        storage the moment the snapshot is.
         """
+        if not self._closed and self._sync != "fsync":
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
         tmp_path = self.checkpoint_path + ".tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             json.dump(database_to_dict(db), handle)
@@ -144,20 +193,27 @@ class WriteAheadLog:
         self.close()
 
 
-def _read_wal(path: str, repair: bool) -> List[Update]:
-    """Parse the WAL, handling a crash-truncated or garbled tail.
+def read_jsonl_records(
+    path: str, repair: bool, decode: Callable[[dict], object]
+) -> List[object]:
+    """Parse a JSONL log, handling a crash-truncated or garbled tail.
+
+    The generic engine behind :func:`recover` — the server-level WAL of
+    :mod:`repro.replication` reuses it with its own record codec.
 
     The file is read as *bytes*: a crash mid-append can leave arbitrary
     garbage (including invalid UTF-8) in the tail, and a text-mode read
     would raise ``UnicodeDecodeError`` before any repair logic runs.
-    Each line is decoded individually; a tail of lines that all fail to
-    decode or parse is one partially-written append (garbage bytes may
-    contain newlines, so the artifact is not necessarily a single
-    line) and is skipped — and truncated away under ``repair``.  A
-    corrupt line *followed by an intact one* cannot be a crash
-    artifact and raises :class:`WalCorruptionError`.
+    Each line is decoded individually via ``decode`` (which may raise
+    ``KeyError``/``ValueError``/``TypeError`` on malformed records); a
+    tail of lines that all fail to decode or parse is one
+    partially-written append (garbage bytes may contain newlines, so
+    the artifact is not necessarily a single line) and is skipped — and
+    truncated away under ``repair``.  A corrupt line *followed by an
+    intact one* cannot be a crash artifact and raises
+    :class:`WalCorruptionError`.
     """
-    updates: List[Update] = []
+    records: List[object] = []
     good_offset = 0
     with open(path, "rb") as handle:
         lines = handle.readlines()
@@ -166,9 +222,7 @@ def _read_wal(path: str, repair: bool) -> List[Update]:
             good_offset += len(raw)
             continue
         try:
-            updates.append(
-                update_from_dict(json.loads(raw.decode("utf-8")))
-            )
+            records.append(decode(json.loads(raw.decode("utf-8"))))
         except (
             UnicodeDecodeError,
             json.JSONDecodeError,
@@ -177,7 +231,7 @@ def _read_wal(path: str, repair: bool) -> List[Update]:
             TypeError,
         ) as exc:
             for later in lines[index + 1 :]:
-                if _parses_as_update(later):
+                if _parses_as_record(later, decode):
                     raise WalCorruptionError(
                         f"{path}: line {index + 1} is corrupt but intact "
                         f"entries follow — not a crash artifact ({exc})"
@@ -187,16 +241,22 @@ def _read_wal(path: str, repair: bool) -> List[Update]:
             # several newline-split chunks).  Skip it.
             if repair:
                 _truncate_file(path, good_offset)
-            return updates
+            return records
         good_offset += len(raw)
-    return updates
+    return records
 
 
-def _parses_as_update(raw: bytes) -> bool:
+def _read_wal(path: str, repair: bool) -> List[Update]:
+    return read_jsonl_records(
+        path, repair, lambda data: update_from_dict(data)
+    )
+
+
+def _parses_as_record(raw: bytes, decode) -> bool:
     if not raw.strip():
         return False
     try:
-        update_from_dict(json.loads(raw.decode("utf-8")))
+        decode(json.loads(raw.decode("utf-8")))
     except (
         UnicodeDecodeError,
         json.JSONDecodeError,

@@ -78,6 +78,7 @@ class EngineGroup:
         constants: Sequence[float] = (),
         observe=None,
         curve_store=None,
+        start: Optional[float] = None,
     ) -> None:
         self.gid = gid
         self.key = None  # set by the owning server (its group-map key)
@@ -90,11 +91,21 @@ class EngineGroup:
         self._slots: List[_Slot] = []
         self._views: Dict[Tuple, List] = {}
         self._refs: Dict[Tuple, int] = {}
+        # ``start`` back-dates the sweep window below the source ``tau``
+        # (recovery rebuilding a group whose tenants opened before the
+        # checkpoint).  The MOD keeps every object's full piecewise
+        # history, so a back-dated engine is the paper's past-query
+        # path: Theorem 4 evaluation over ``[start, tau]`` followed by
+        # ordinary Theorem 5 maintenance — identical timelines to a
+        # group that had lived through those updates.
         self.clock = source.last_update_time
-        self.epoch_start = self.clock
+        bootstrap = self.clock if start is None else float(start)
+        if bootstrap > self.clock:
+            self.clock = bootstrap
+        self.epoch_start = bootstrap
         self.failures = 0
         self.rebuilds = 0
-        self._build(self.clock)
+        self._build(bootstrap)
 
     # -- construction -----------------------------------------------------
     def _build(self, start: float) -> None:

@@ -152,7 +152,7 @@ class QueryServer:
         self._sessions: Dict[int, ServerSession] = {}
         self._pending: deque = deque()
         self._pinned: Dict[Tuple, GDistance] = {}
-        self._next_sid = count(1)
+        self._next_sid = 1
         self._next_gid = count(1)
         self._applier = BatchedUpdateApplier(
             self._route, self._apply_group, batch_size=self._config.batch_size
@@ -293,7 +293,7 @@ class QueryServer:
             self._applier.flush()
             session = ServerSession(
                 self,
-                next(self._next_sid),
+                self._take_sid(),
                 kind,
                 gdistance,
                 params,
@@ -326,6 +326,61 @@ class QueryServer:
             self._activate(session)
             return session
 
+    def _take_sid(self, forced: Optional[int] = None) -> int:
+        """Allot the next session id, or honour a forced one (recovery
+        and replication replay register sessions under their original
+        ids so client handles survive a failover)."""
+        if forced is None:
+            sid = self._next_sid
+            self._next_sid += 1
+            return sid
+        sid = int(forced)
+        if sid >= self._next_sid:
+            self._next_sid = sid + 1
+        return sid
+
+    def _register_replayed(
+        self,
+        sid: int,
+        kind: str,
+        gdistance: GDistance,
+        params: dict,
+        constants: Tuple[float, ...],
+        priority: int,
+        shards: int,
+        state: str,
+        start: Optional[float],
+    ) -> ServerSession:
+        """Re-create one journaled session under its original id.
+
+        Admission was decided (and journaled) on the original run, so
+        no budget checks re-run here: a journaled ``active`` session is
+        activated at its original ``start`` (back-dating the group's
+        sweep window when the group does not exist yet) and a journaled
+        ``queued`` session re-enters the FIFO in replay order.
+        """
+        self._applier.flush()
+        session = ServerSession(
+            self,
+            self._take_sid(sid),
+            kind,
+            gdistance,
+            dict(params),
+            priority,
+            int(shards),
+        )
+        session._constants = tuple(float(c) for c in constants)
+        self.stats.registered += 1
+        self._c_session("register").inc()
+        self._sessions[session.session_id] = session
+        if state == QUEUED:
+            self._pending.append(session)
+            self.stats.queued += 1
+            self._c_session("queue").inc()
+        else:
+            self._activate(session, start=start)
+        return session
+
     def _active_count(self) -> int:
         return sum(1 for s in self._sessions.values() if s.state == ACTIVE)
 
@@ -337,7 +392,9 @@ class QueryServer:
             self._pinned[fp] = session.gdistance
         return (fp, session.shards, session._constants)
 
-    def _activate(self, session: ServerSession) -> None:
+    def _activate(
+        self, session: ServerSession, start: Optional[float] = None
+    ) -> None:
         key = self._group_key(session)
         group = self._groups.get(key)
         if group is None:
@@ -349,6 +406,7 @@ class QueryServer:
                 constants=session._constants,
                 observe=self._observe,
                 curve_store=self._curve_store,
+                start=start,
             )
             group.key = key
             self._groups[key] = group
@@ -356,7 +414,9 @@ class QueryServer:
             self._ops_marker = self._total_ops()
         group.acquire(session.view_key)
         session.group = group
-        session.start = session.segment_start = group.current_time
+        session.start = session.segment_start = (
+            group.current_time if start is None else float(start)
+        )
         session.state = ACTIVE
         self.stats.activated += 1
         self._c_session("activate").inc()
@@ -695,6 +755,22 @@ class QueryServer:
 
     def active_sessions(self) -> List[ServerSession]:
         return [s for s in self.sessions() if s.state == ACTIVE]
+
+    def session(self, sid: int) -> ServerSession:
+        """Look up one session by id (KeyError when unknown)."""
+        return self._sessions[sid]
+
+    @classmethod
+    def recover(cls, directory: str, **kwargs) -> "QueryServer":
+        """Rebuild an equivalent server from a durability directory
+        (checkpoint + server-WAL tail — Theorem 5 re-initialization at
+        server granularity).  Returns a
+        :class:`~repro.replication.DurableQueryServer` journaling back
+        into the same directory; see :func:`repro.replication.recover_server`
+        for the knobs."""
+        from repro.replication.durable import recover_server
+
+        return recover_server(directory, **kwargs)
 
     @property
     def group_count(self) -> int:

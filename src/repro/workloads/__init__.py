@@ -1,7 +1,15 @@
 """Synthetic workloads: random MODs, update streams, fault-injected
-streams, and the paper's worked scenarios (Figures 1-3, Examples 1, 2,
-12)."""
+streams, chaos scenarios for the durable serving stack, and the
+paper's worked scenarios (Figures 1-3, Examples 1, 2, 12)."""
 
+from repro.workloads.chaos import (
+    ChaosReport,
+    ChaosScenario,
+    TruncationReport,
+    generate_chaos_scenario,
+    run_failover_chaos,
+    run_truncation_chaos,
+)
 from repro.workloads.faults import FaultInjector, FaultReport, inject_faults
 from repro.workloads.generator import (
     UpdateStream,
@@ -17,15 +25,21 @@ from repro.workloads.paperfigures import (
 )
 
 __all__ = [
+    "ChaosReport",
+    "ChaosScenario",
     "FaultInjector",
     "FaultReport",
+    "TruncationReport",
     "UpdateStream",
     "banded_mod",
     "crossing_rich_mod",
     "example12_scenario",
     "figure1_configuration",
     "figure2_scenario",
+    "generate_chaos_scenario",
     "inject_faults",
     "random_linear_mod",
     "random_piecewise_mod",
+    "run_failover_chaos",
+    "run_truncation_chaos",
 ]

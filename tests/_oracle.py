@@ -454,6 +454,88 @@ def run_netserve(
     return final, probes
 
 
+def run_recovered_server(
+    sc: Scenario,
+    mode: str,
+    crash_every: int = 3,
+    shards: int = 1,
+    checkpoint_interval: int = 4,
+    sync: str = "flush",
+) -> Tuple[
+    Union[SnapshotAnswer, Dict[int, SnapshotAnswer]], List[ProbeRecord]
+]:
+    """Final answer + probe answers from a repeatedly *crashed and
+    recovered* :class:`~repro.replication.DurableQueryServer`.
+
+    Mirrors :func:`run_server` — the probed session is co-registered
+    with one session of each other kind — but every ``crash_every``
+    stream updates the server is abandoned mid-flight (no shutdown, no
+    final checkpoint: exactly what a process kill leaves on disk) and
+    rebuilt with :func:`~repro.replication.recover_server` from its
+    (checkpoint, WAL-tail) pair.  Sessions are re-fetched by id on the
+    recovered server and the stream resumes against the recovered MOD.
+    Theorem 5 equivalence demands bit-for-bit the same probe sets and
+    a final answer equal to the uninterrupted paths'.
+    """
+    import tempfile
+
+    from repro.replication import DurableQueryServer
+    from repro.server import ServerConfig
+
+    with tempfile.TemporaryDirectory() as directory:
+        db = sc.build_db()
+        gd = sc.gdistance()
+        server = DurableQueryServer(
+            db,
+            config=ServerConfig(shards=shards),
+            directory=directory,
+            sync=sync,
+            checkpoint_interval=checkpoint_interval,
+        )
+        # The initial population predates the journal: checkpoint so
+        # recovery starts from a snapshot that carries it.
+        server.checkpoint()
+        sessions = {
+            KNN: server.register_knn(gd, k=sc.k),
+            WITHIN: server.register_within(gd, sc.threshold),
+            MULTIKNN: server.register_multiknn(gd, sc.ks),
+        }
+        sids = {kind: s.session_id for kind, s in sessions.items()}
+        session = sessions[mode]
+        probes: List[ProbeRecord] = []
+        applied = 0
+        for update, probe in sc.schedule():
+            db.apply(update)
+            applied += 1
+            if probe is not None:
+                members = session.advance_to(probe)
+                if mode == MULTIKNN:
+                    probes.append(
+                        (probe, {k: set(members[k]) for k in sc.ks})
+                    )
+                else:
+                    probes.append((probe, set(members)))
+            if crash_every and applied % crash_every == 0:
+                # Crash: drop the whole serving stack on the floor —
+                # db included — and rebuild from disk alone.
+                from repro.replication import recover_server
+
+                server = recover_server(directory, sync=sync)
+                db = server.db
+                session = server.session(sids[mode])
+        final = session.close(at=sc.horizon)
+        from repro.server.session import ACTIVE as _ACTIVE
+        from repro.server.session import QUEUED as _QUEUED
+
+        for kind, sid in sids.items():
+            if kind != mode:
+                other = server.session(sid)
+                if other.state in (_ACTIVE, _QUEUED):
+                    other.close(at=sc.horizon)
+        server.shutdown()
+    return final, probes
+
+
 # ---------------------------------------------------------------------------
 # Comparison helpers
 # ---------------------------------------------------------------------------

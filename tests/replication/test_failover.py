@@ -1,0 +1,175 @@
+"""Client-side failover: endpoint lists, jittered backoff, watchdog.
+
+The server side of failover (standby promotion) lives in
+``test_standby.py``; these tests pin the client mechanics down in
+isolation — deterministic jitter, endpoint rotation, heartbeat-stall
+detection, and push re-subscription across reconnects.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.core.api import serve, serve_tcp
+from repro.geometry.vectors import Vector
+from repro.mod.updates import New
+from repro.net import (
+    ConnectionLostError,
+    NetConfig,
+    QueryNetServer,
+    RemoteQueryClient,
+)
+from repro.workloads.generator import random_linear_mod
+
+
+def _db(seed=7):
+    return random_linear_mod(6, seed=seed, extent=20.0, speed=3.0)
+
+
+def _dead_endpoint():
+    """A (host, port) that refuses connections."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    address = sock.getsockname()[:2]
+    sock.close()
+    return address
+
+
+class TestConstruction:
+    def test_host_or_endpoints_is_required(self):
+        with pytest.raises(ValueError):
+            RemoteQueryClient()
+
+    def test_jitter_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            RemoteQueryClient("127.0.0.1", 1, jitter=1.0)
+        with pytest.raises(ValueError):
+            RemoteQueryClient("127.0.0.1", 1, jitter=-0.1)
+
+
+class TestJitter:
+    def test_seeded_jitter_is_deterministic(self):
+        a = RemoteQueryClient("127.0.0.1", 1, seed=42)
+        b = RemoteQueryClient("127.0.0.1", 1, seed=42)
+        assert [a._sleep_for(0.1) for _ in range(8)] == [
+            b._sleep_for(0.1) for _ in range(8)
+        ]
+
+    def test_jitter_only_shrinks_the_sleep(self):
+        client = RemoteQueryClient("127.0.0.1", 1, jitter=0.5, seed=1)
+        for _ in range(50):
+            sleep = client._sleep_for(0.2)
+            assert 0.1 <= sleep <= 0.2
+
+    def test_zero_jitter_sleeps_the_full_backoff(self):
+        client = RemoteQueryClient("127.0.0.1", 1, jitter=0.0, seed=1)
+        assert client._sleep_for(0.2) == 0.2
+
+
+class TestEndpointRotation:
+    def test_dead_primary_fails_over_to_the_live_endpoint(self):
+        db = _db()
+        with serve_tcp(db) as net:
+            client = RemoteQueryClient(
+                endpoints=[_dead_endpoint(), net.address],
+                retries=3,
+                backoff=0.01,
+            )
+            assert client.ping() == pytest.approx(db.last_update_time)
+            assert client.failovers >= 1
+            client.close()
+
+    def test_single_endpoint_never_rotates(self):
+        db = _db()
+        with serve_tcp(db) as net:
+            client = RemoteQueryClient(*net.address)
+            client.ping()
+            assert client.failovers == 0
+            client.close()
+
+    def test_all_endpoints_dead_raises_connection_lost(self):
+        client = RemoteQueryClient(
+            endpoints=[_dead_endpoint(), _dead_endpoint()],
+            retries=2,
+            backoff=0.01,
+        )
+        with pytest.raises(ConnectionLostError):
+            client.ping()
+        client.close()
+
+
+class TestWatchdog:
+    def test_stalled_push_stream_raises_typed_error(self):
+        db = _db()
+        server = serve(db)
+        net = QueryNetServer(
+            server, NetConfig(heartbeat_interval=0.05)
+        ).start(port=0)
+        client = RemoteQueryClient(
+            *net.address,
+            retries=1,
+            backoff=0.01,
+            heartbeat_timeout=0.3,
+        )
+        session = client.open_knn([0.0, 0.0], k=1)
+        session.subscribe()
+        # Heartbeats keep the stream alive while the server is up.
+        time.sleep(0.4)
+        assert client.poll_events(0.1) >= 0
+        net.kill()
+        deadline = time.monotonic() + 5.0
+        with pytest.raises(ConnectionLostError):
+            while time.monotonic() < deadline:
+                client.poll_events(0.05)
+        client.close()
+
+    def test_watchdog_is_inert_without_subscriptions(self):
+        db = _db()
+        server = serve(db)
+        net = QueryNetServer(server, NetConfig()).start(port=0)
+        client = RemoteQueryClient(
+            *net.address, heartbeat_timeout=0.05
+        )
+        client.ping()
+        time.sleep(0.2)
+        # Silence past the deadline, but nothing subscribed: no alarm.
+        client.poll_events(0.05)
+        client.close()
+        net.close()
+
+
+class TestResubscription:
+    def test_reconnect_rearms_push_subscriptions(self):
+        db = _db()
+        with serve_tcp(db) as net:
+            client = RemoteQueryClient(*net.address, retries=2, backoff=0.01)
+            session = client.open_knn([0.0, 0.0], k=1)
+            session.subscribe()
+            # Sever the transport under the client; the next request
+            # reconnects and must re-subscribe before anything else.
+            client._drop_socket()
+            client.ping()
+            assert session.session_id in client._subscribed
+            db.apply(
+                New(
+                    "nb1",
+                    1.0,
+                    position=Vector.of(0.0, 0.0),
+                    velocity=Vector.of(0.0, 0.0),
+                )
+            )
+            deadline = time.monotonic() + 2.0
+            changed = []
+            while time.monotonic() < deadline and not changed:
+                client.poll_events(0.1)
+                changed = [
+                    e
+                    for e in client.events_for(session.session_id)
+                    if e.get("event") == "answer_change"
+                ]
+            assert changed, "push stream did not survive the reconnect"
+            from repro.net import members_from_wire
+
+            assert "nb1" in members_from_wire(changed[-1]["members"])
+            client.close()
